@@ -1,0 +1,27 @@
+//! Criterion wall-clock benchmarks of the CPU top-k baselines
+//! (the real-measurement half of Figure 15).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{Distribution, Increasing, Uniform};
+use topk_cpu::{CpuBitonic, CpuTopK, HandPq, StlPq};
+
+fn bench_cpu_topk(c: &mut Criterion) {
+    let n = 1 << 18;
+    let k = 32;
+    let uniform: Vec<f32> = Uniform.generate(n, 1);
+    let sorted: Vec<f32> = Increasing.generate(n, 1);
+
+    let mut g = c.benchmark_group("cpu_topk");
+    g.sample_size(10);
+    for (dist_name, data) in [("uniform", &uniform), ("increasing", &sorted)] {
+        for alg in [&StlPq as &dyn CpuTopK<f32>, &HandPq, &CpuBitonic::default()] {
+            g.bench_with_input(BenchmarkId::new(alg.name(), dist_name), data, |b, data| {
+                b.iter(|| alg.topk(std::hint::black_box(data), k, 1))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cpu_topk);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion benchmarks of end-to-end simulated algorithm runs (host
+//! wall-clock of the simulation; the *simulated* device times are what
+//! the fig* binaries report).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{Distribution, Uniform};
+use simt::Device;
+use topk::TopKAlgorithm;
+
+fn bench_gpu_algorithms(c: &mut Criterion) {
+    let n = 1 << 16;
+    let data: Vec<f32> = Uniform.generate(n, 3);
+
+    let mut g = c.benchmark_group("gpu_algos_simulation");
+    g.sample_size(10);
+    for alg in TopKAlgorithm::all() {
+        g.bench_function(alg.name(), |b| {
+            b.iter(|| {
+                let dev = Device::titan_x();
+                let input = dev.upload(&data);
+                alg.run(&dev, &input, 32).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gpu_algorithms);
+criterion_main!(benches);

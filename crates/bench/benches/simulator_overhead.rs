@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the simulator itself: how fast the
+//! warp-lockstep replay processes tracked accesses, and what the bulk
+//! path costs by comparison. (Host wall-clock of the simulation, not
+//! simulated time.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simt::{BlockCtx, Device, DeviceSpec, GpuBuffer, Kernel};
+
+struct TrackedStream {
+    data: GpuBuffer<f32>,
+}
+
+impl Kernel for TrackedStream {
+    fn name(&self) -> &'static str {
+        "tracked_stream"
+    }
+    fn block_dim(&self) -> usize {
+        256
+    }
+    fn grid_dim(&self) -> usize {
+        self.data.len() / (16 * 256)
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let base = blk.block_idx * 16 * 256;
+        let sh = blk.alloc_shared::<f32>(16 * 256);
+        blk.step(|l| {
+            let t = l.tid();
+            for j in 0..16 {
+                let v = l.gread(&self.data, base + t + j * 256);
+                l.swrite(sh, t + j * 256, v);
+            }
+        });
+    }
+}
+
+struct BulkStream {
+    data: GpuBuffer<f32>,
+}
+
+impl Kernel for BulkStream {
+    fn name(&self) -> &'static str {
+        "bulk_stream"
+    }
+    fn block_dim(&self) -> usize {
+        256
+    }
+    fn grid_dim(&self) -> usize {
+        1
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        blk.bulk_global_read((self.data.len() * 4) as u64);
+        blk.bulk_shared((self.data.len() * 4) as u64);
+    }
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let n = 1 << 16;
+    let dev = Device::new(DeviceSpec::titan_x_maxwell());
+    let data = dev.alloc::<f32>(n);
+
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20);
+    g.throughput(criterion::Throughput::Elements(2 * n as u64));
+    g.bench_function("tracked_accesses", |b| {
+        b.iter(|| dev.launch(&TrackedStream { data: data.clone() }).unwrap())
+    });
+    g.bench_function("bulk_accounting", |b| {
+        b.iter(|| dev.launch(&BulkStream { data: data.clone() }).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the host sorting-network primitives — the
+//! building blocks shared by the GPU kernels and the CPU implementation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{Distribution, Uniform};
+use sortnet::{bitonic_topk_host, local_sort, merge_halve, rebuild};
+
+fn bench_sortnet(c: &mut Criterion) {
+    let n = 1 << 14;
+    let k = 32;
+    let base: Vec<u32> = Uniform.generate(n, 2);
+
+    let mut g = c.benchmark_group("sortnet");
+    g.sample_size(20);
+    g.bench_function("local_sort_k32", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut v| local_sort(&mut v, k),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let mut sorted = base.clone();
+    local_sort(&mut sorted, k);
+    g.bench_function("merge_halve_k32", |b| {
+        let mut out = vec![0u32; n / 2];
+        b.iter(|| merge_halve(std::hint::black_box(&sorted), k, &mut out))
+    });
+    let mut bitonic_runs = vec![0u32; n / 2];
+    merge_halve(&sorted, k, &mut bitonic_runs);
+    g.bench_function("rebuild_k32", |b| {
+        b.iter_batched(
+            || bitonic_runs.clone(),
+            |mut v| rebuild(&mut v, k),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("bitonic_topk_host_k32", |b| {
+        b.iter(|| bitonic_topk_host(std::hint::black_box(&base), k))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sortnet);
+criterion_main!(benches);

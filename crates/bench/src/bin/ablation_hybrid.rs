@@ -1,0 +1,66 @@
+//! Hybrid-strategy ablation (the paper's Section 8 future work): the
+//! radix-narrow + bitonic-finish hybrid against the pure algorithms
+//! across k, plus the CPU+GPU device split.
+
+use bench::{banner, scale, K_SWEEP};
+use datagen::{Distribution, Uniform};
+use simt::Device;
+use topk::bitonic::BitonicConfig;
+use topk::hybrid::{cpu_gpu_topk, select_then_bitonic};
+use topk::TopKAlgorithm;
+
+fn main() {
+    let log2n = scale();
+    let n = 1usize << log2n;
+    banner(
+        "Hybrid ablation",
+        "select→bitonic hybrid vs pure algorithms, f32 U(0,1)",
+        log2n,
+    );
+
+    let data: Vec<f32> = Uniform.generate(n, 55);
+    let dev = Device::titan_x();
+    let input = dev.upload(&data);
+
+    println!(
+        "{:>6}{:>14}{:>16}{:>18}",
+        "k", "bitonic", "radix-select", "select->bitonic"
+    );
+    for k in K_SWEEP {
+        let tb = TopKAlgorithm::Bitonic(BitonicConfig::default())
+            .run(&dev, &input, k)
+            .unwrap()
+            .time;
+        let tr = TopKAlgorithm::RadixSelect
+            .run(&dev, &input, k)
+            .unwrap()
+            .time;
+        let th = select_then_bitonic(&dev, &input, k).unwrap().time;
+        println!(
+            "{:>6}{:>12.3}ms{:>14.3}ms{:>16.3}ms",
+            k,
+            tb.millis(),
+            tr.millis(),
+            th.millis()
+        );
+    }
+
+    println!("\n-- CPU+GPU split (GPU simulated, CPU measured on this host) --");
+    println!(
+        "{:>14}{:>14}{:>14}{:>14}",
+        "gpu fraction", "gpu (sim)", "cpu (real)", "combined"
+    );
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    for frac in [0.0, 0.5, 0.8, 0.95, 1.0] {
+        let r = cpu_gpu_topk(&dev, &data, 32, frac, threads).unwrap();
+        println!(
+            "{:>14.2}{:>12.3}ms{:>12.3}ms{:>12.3}ms",
+            r.gpu_fraction,
+            r.gpu_time.millis(),
+            r.cpu_seconds * 1e3,
+            r.combined_seconds * 1e3
+        );
+    }
+    println!("\n(a real system would pick the split from the bandwidth ratio; note the");
+    println!(" mixed fidelity — the GPU column is modeled, the CPU column is measured)");
+}

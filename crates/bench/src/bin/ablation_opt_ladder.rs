@@ -1,0 +1,47 @@
+//! Section 4.3: the optimization ladder ablation — each cumulative
+//! optimization level of bitonic top-k, with the shared-memory counters
+//! that explain the step (the paper's 521 → 122 → 48.2 → 33.7 → 22.3 →
+//! 17.8/16 → 15.4 ms sequence, at our scale).
+
+use bench::{at_paper_scale, banner, scale};
+use datagen::{Distribution, Uniform};
+use simt::Device;
+use topk::bitonic::{bitonic_topk, BitonicConfig, OptLevel};
+
+fn main() {
+    let log2n = scale();
+    let n = 1usize << log2n;
+    banner(
+        "Section 4.3 ablation",
+        "bitonic top-32 optimization ladder",
+        log2n,
+    );
+
+    let data: Vec<f32> = Uniform.generate(n, 24);
+    let dev = Device::titan_x();
+    let input = dev.upload(&data);
+
+    println!(
+        "{:<22}{:>12}{:>14}{:>14}{:>14}{:>12}",
+        "level", "time", "@2^29 (ms)", "shared (MB)", "conflicts", "launches"
+    );
+    for opt in OptLevel::ladder() {
+        let r = bitonic_topk(&dev, &input, 32, BitonicConfig::at_level(opt)).unwrap();
+        let conflicts: u64 = r
+            .reports
+            .iter()
+            .map(|x| x.stats.shared_conflict_cycles)
+            .sum();
+        let shared: u64 = r.reports.iter().map(|x| x.stats.shared_eff_bytes).sum();
+        println!(
+            "{:<22}{:>10.3}ms{:>14.1}{:>14.2}{:>14}{:>12}",
+            opt.name(),
+            r.time.millis(),
+            at_paper_scale(r.time, log2n),
+            shared as f64 / 1e6,
+            conflicts,
+            r.reports.len()
+        );
+    }
+    println!("\npaper (2^29): 521 -> 122 -> 48.2 -> 33.7 -> 22.3 -> 17.8/16.0 -> 15.4 ms");
+}

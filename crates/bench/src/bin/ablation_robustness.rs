@@ -1,0 +1,60 @@
+//! Distribution-robustness ablation (extends Section 6.4): every
+//! algorithm across six input distributions at fixed k = 32. Bitonic
+//! top-k must be bit-identical everywhere; each other algorithm has at
+//! least one bad distribution.
+
+use bench::{banner, scale};
+use datagen::{BucketKiller, Clustered, Decreasing, Distribution, Increasing, Normal, Uniform};
+use simt::Device;
+use topk::TopKAlgorithm;
+
+fn main() {
+    let log2n = scale();
+    let n = 1usize << log2n;
+    banner(
+        "Robustness ablation",
+        "all algorithms × six distributions, k = 32",
+        log2n,
+    );
+
+    let dists: Vec<(&str, Vec<f32>)> = vec![
+        ("uniform", Uniform.generate(n, 40)),
+        ("normal", Normal.generate(n, 40)),
+        ("increasing", Increasing.generate(n, 40)),
+        ("decreasing", Decreasing.generate(n, 40)),
+        ("bucket-killer", BucketKiller.generate(n, 40)),
+        ("clustered", Clustered.generate(n, 40)),
+    ];
+
+    let algs = TopKAlgorithm::all();
+    print!("{:>14}", "distribution");
+    for a in &algs {
+        print!("{:>16}", a.name());
+    }
+    println!();
+    let mut worst_over_best = vec![(f64::MAX, f64::MIN); algs.len()];
+    for (name, data) in &dists {
+        let dev = Device::titan_x();
+        let input = dev.upload(data);
+        print!("{name:>14}");
+        for (i, a) in algs.iter().enumerate() {
+            match a.run(&dev, &input, 32) {
+                Ok(r) => {
+                    let t = r.time.millis();
+                    worst_over_best[i].0 = worst_over_best[i].0.min(t);
+                    worst_over_best[i].1 = worst_over_best[i].1.max(t);
+                    print!("{t:>14.3}ms");
+                }
+                Err(_) => print!("{:>16}", "FAIL"),
+            }
+        }
+        println!();
+    }
+    print!("{:>14}", "worst/best");
+    for (lo, hi) in worst_over_best {
+        print!("{:>15.2}x", hi / lo);
+    }
+    println!(
+        "\n\n(bitonic's worst/best ratio should be exactly 1.00x — no adversarial input exists)"
+    );
+}

@@ -1,0 +1,38 @@
+//! Runs every figure/table reproduction in sequence (the EXPERIMENTS.md
+//! driver). Equivalent to running each `fig*`/`ablation*` binary.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig08_elems_per_thread",
+        "ablation_opt_ladder",
+        "fig11a_vary_k_f32",
+        "fig11b_vary_k_u32",
+        "fig11c_vary_k_f64",
+        "fig12a_increasing",
+        "fig12a_regime",
+        "fig12b_bucket_killer",
+        "fig13_vary_n",
+        "fig14_key_value",
+        "fig15_cpu_vs_gpu",
+        "fig16_mapd",
+        "fig17_cost_model",
+        "fig18_register_topk",
+        "ablation_robustness",
+        "ablation_hybrid",
+        "device_sweep",
+        "planner_accuracy",
+    ];
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        println!("\n################ {bin} ################\n");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nall experiments completed");
+}

@@ -1,0 +1,75 @@
+//! Cross-hardware prediction (the Section 7 motivation: "predict the
+//! performance on different hardware"): runs the k-sweep on three device
+//! generations and compares the measured crossover against the planner's
+//! per-device prediction.
+
+use bench::{banner, scale, K_SWEEP};
+use datagen::{Distribution, Uniform};
+use simt::{Device, DeviceSpec};
+use topk::bitonic::BitonicConfig;
+use topk::TopKAlgorithm;
+use topk_costmodel::{planner::Algorithm, recommend, ReductionProfile};
+
+fn main() {
+    let log2n = scale();
+    let n = 1usize << log2n;
+    banner(
+        "Device sweep",
+        "bitonic vs radix select across GPU generations",
+        log2n,
+    );
+    let data: Vec<f32> = Uniform.generate(n, 99);
+
+    for (name, spec) in [
+        ("GTX Titan X (Maxwell)", DeviceSpec::titan_x_maxwell()),
+        ("Titan X (Pascal)", DeviceSpec::titan_x_pascal()),
+        ("Tesla V100 (Volta)", DeviceSpec::tesla_v100()),
+    ] {
+        println!(
+            "-- {name}: B_G = {:.0} GB/s, B_S = {:.1} TB/s --",
+            spec.global_bw / 1e9,
+            spec.shared_bw / 1e12
+        );
+        let dev = Device::new(spec);
+        let input = dev.upload(&data);
+        println!(
+            "{:>6}{:>14}{:>16}{:>14}{:>12}",
+            "k", "bitonic", "radix-select", "sim winner", "planner"
+        );
+        for k in K_SWEEP {
+            let tb = TopKAlgorithm::Bitonic(BitonicConfig::default())
+                .run(&dev, &input, k)
+                .unwrap()
+                .time;
+            let tr = TopKAlgorithm::RadixSelect
+                .run(&dev, &input, k)
+                .unwrap()
+                .time;
+            let sim_winner = if tb.seconds() <= tr.seconds() {
+                "bitonic"
+            } else {
+                "radix"
+            };
+            let plan = recommend(&spec, n, k, 4, &ReductionProfile::UniformFloats);
+            let plan_winner = match plan.algorithm {
+                Algorithm::BitonicTopK => "bitonic",
+                Algorithm::RadixSelect => "radix",
+            };
+            let mark = if sim_winner == plan_winner {
+                ""
+            } else {
+                "  <-- disagree"
+            };
+            println!(
+                "{:>6}{:>12.3}ms{:>14.3}ms{:>14}{:>12}{}",
+                k,
+                tb.millis(),
+                tr.millis(),
+                sim_winner,
+                plan_winner,
+                mark
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 8: runtime while varying the number of elements per thread (B).
+//! Padding makes B = 16 viable; beyond it, register pressure costs
+//! occupancy.
+
+use bench::{banner, scale};
+use datagen::{Distribution, Uniform};
+use simt::Device;
+use topk::bitonic::{bitonic_topk, BitonicConfig};
+
+fn main() {
+    let log2n = scale();
+    let n = 1usize << log2n;
+    banner(
+        "Figure 8",
+        "varying elements per thread (B), k = 32, f32 U(0,1)",
+        log2n,
+    );
+
+    let data: Vec<f32> = Uniform.generate(n, 23);
+    let dev = Device::titan_x();
+    let input = dev.upload(&data);
+
+    println!(
+        "{:>6}{:>14}{:>14}{:>16}{:>12}",
+        "B", "time", "t_shared", "conflicts", "occupancy"
+    );
+    for b in [4usize, 8, 16, 32, 64] {
+        let r = bitonic_topk(&dev, &input, 32, BitonicConfig::with_elems_per_thread(b)).unwrap();
+        let conflicts: u64 = r
+            .reports
+            .iter()
+            .map(|x| x.stats.shared_conflict_cycles)
+            .sum();
+        let t_shared: f64 = r.reports.iter().map(|x| x.t_shared.millis()).sum();
+        let occ = r.reports.first().map_or(0.0, |x| x.occupancy.occupancy);
+        println!(
+            "{b:>6}{:>12.3}ms{t_shared:>12.3}ms{conflicts:>16}{occ:>12.3}",
+            r.time.millis()
+        );
+    }
+}

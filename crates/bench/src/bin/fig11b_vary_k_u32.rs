@@ -1,0 +1,30 @@
+//! Figure 11b: time vs k for uniform unsigned 32-bit integers — radix
+//! select improves (maximal per-pass reduction), everything else matches
+//! the float results.
+
+use bench::{banner, print_header, print_row, run_cell, scale, K_SWEEP};
+use datagen::{Distribution, Uniform};
+use simt::{Device, SimTime};
+use topk::TopKAlgorithm;
+
+fn main() {
+    let log2n = scale();
+    let n = 1usize << log2n;
+    banner(
+        "Figure 11b",
+        "performance with varying k, u32 U(0, 2^32-1)",
+        log2n,
+    );
+
+    let data: Vec<u32> = Uniform.generate(n, 12);
+    let dev = Device::titan_x();
+    let input = dev.upload(&data);
+    let floor = SimTime::from_seconds(dev.spec().scan_floor_seconds(n * 4));
+
+    let algs = TopKAlgorithm::all();
+    print_header("k", &algs);
+    for k in K_SWEEP {
+        let cells: Vec<_> = algs.iter().map(|a| run_cell(&dev, a, &input, k)).collect();
+        print_row(k, &cells, floor);
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 11c: f64 keys at half the element count (same bytes as 11a) —
+//! sort pays double passes, per-thread fails earlier (k > 128), bitonic
+//! stays bandwidth-bound.
+
+use bench::{banner, print_header, print_row, run_cell, scale, K_SWEEP};
+use datagen::{Distribution, Uniform};
+use simt::{Device, SimTime};
+use topk::TopKAlgorithm;
+
+fn main() {
+    let log2n = scale() - 1; // half the elements, same bytes
+    let n = 1usize << log2n;
+    banner(
+        "Figure 11c",
+        "performance with varying k, f64 U(0,1), same total bytes",
+        log2n,
+    );
+
+    let data: Vec<f64> = Uniform.generate(n, 13);
+    let dev = Device::titan_x();
+    let input = dev.upload(&data);
+    let floor = SimTime::from_seconds(dev.spec().scan_floor_seconds(n * 8));
+
+    let algs = TopKAlgorithm::all();
+    print_header("k", &algs);
+    for k in K_SWEEP {
+        let cells: Vec<_> = algs.iter().map(|a| run_cell(&dev, a, &input, k)).collect();
+        print_row(k, &cells, floor);
+    }
+}

@@ -1,0 +1,26 @@
+//! Figure 12a: sorted (increasing) input — per-thread top-k degrades
+//! (every element displaces the heap minimum); sort and bitonic are
+//! unchanged.
+
+use bench::{banner, print_header, print_row, run_cell, scale, K_SWEEP};
+use datagen::{Distribution, Increasing};
+use simt::{Device, SimTime};
+use topk::TopKAlgorithm;
+
+fn main() {
+    let log2n = scale();
+    let n = 1usize << log2n;
+    banner("Figure 12a", "increasing (sorted) f32 distribution", log2n);
+
+    let data: Vec<f32> = Increasing.generate(n, 14);
+    let dev = Device::titan_x();
+    let input = dev.upload(&data);
+    let floor = SimTime::from_seconds(dev.spec().scan_floor_seconds(n * 4));
+
+    let algs = TopKAlgorithm::all();
+    print_header("k", &algs);
+    for k in K_SWEEP {
+        let cells: Vec<_> = algs.iter().map(|a| run_cell(&dev, a, &input, k)).collect();
+        print_row(k, &cells, floor);
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 12a companion: the per-thread top-k distribution contrast in
+//! the paper's elements-per-thread regime.
+//!
+//! At the default experiment scale (2^22) every warp is still in its
+//! warm-up phase for both distributions, so the per-thread line barely
+//! separates (see EXPERIMENTS.md). The contrast needs elements/thread ≫
+//! 32·k; this binary reaches that regime on the smaller device preset at
+//! 2^24 elements, where the paper's ~3× penalty appears.
+
+use datagen::{Decreasing, Distribution, Increasing, Uniform};
+use simt::{Device, DeviceSpec};
+use topk::TopKAlgorithm;
+
+fn main() {
+    let n = 1usize << 24;
+    println!("== Figure 12a (regime companion): per-thread top-k across distributions ==");
+    println!("n = 2^24, 5-SM device → ~3300 elements/thread (the paper's 2^29 gives ~11000)\n");
+
+    let datasets: [(&str, Vec<f32>); 3] = [
+        ("uniform", Uniform.generate(n, 70)),
+        ("increasing", Increasing.generate(n, 70)),
+        ("decreasing", Decreasing.generate(n, 70)),
+    ];
+    println!("{:>14}{:>14}{:>16}", "distribution", "k=8", "vs uniform");
+    let mut base = None;
+    for (name, data) in &datasets {
+        let dev = Device::new(DeviceSpec::small_mobile());
+        let input = dev.upload(data);
+        let t = TopKAlgorithm::PerThread
+            .run(&dev, &input, 8)
+            .unwrap()
+            .time
+            .millis();
+        let b = *base.get_or_insert(t);
+        println!("{name:>14}{t:>12.3}ms{:>15.2}x", t / b);
+    }
+    println!("\npaper: sorted (increasing) input is up to 3× slower for per-thread top-k");
+}

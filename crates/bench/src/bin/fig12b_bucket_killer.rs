@@ -1,0 +1,30 @@
+//! Figure 12b: the bucket-killer distribution — radix select degrades to
+//! sort-like full passes (one candidate eliminated per digit), bucket
+//! select slows, bitonic top-k is untouched.
+
+use bench::{banner, print_header, print_row, run_cell, scale, K_SWEEP};
+use datagen::{BucketKiller, Distribution};
+use simt::{Device, SimTime};
+use topk::TopKAlgorithm;
+
+fn main() {
+    let log2n = scale();
+    let n = 1usize << log2n;
+    banner(
+        "Figure 12b",
+        "bucket-killer f32 distribution (radix adversary)",
+        log2n,
+    );
+
+    let data: Vec<f32> = BucketKiller.generate(n, 15);
+    let dev = Device::titan_x();
+    let input = dev.upload(&data);
+    let floor = SimTime::from_seconds(dev.spec().scan_floor_seconds(n * 4));
+
+    let algs = TopKAlgorithm::all();
+    print_header("k", &algs);
+    for k in K_SWEEP {
+        let cells: Vec<_> = algs.iter().map(|a| run_cell(&dev, a, &input, k)).collect();
+        print_row(k, &cells, floor);
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 13: time vs data size at fixed k = 64 — bitonic and sort scale
+//! linearly; the selection methods flatten at small n where the prefix
+//! sums dominate.
+
+use bench::{banner, print_header, print_row, run_cell, scale};
+use datagen::{Distribution, Uniform};
+use simt::{Device, SimTime};
+use topk::TopKAlgorithm;
+
+fn main() {
+    let max_log2 = scale();
+    let min_log2 = max_log2.saturating_sub(8).max(14);
+    banner(
+        "Figure 13",
+        "performance with varying data size, k = 64, f32 U(0,1)",
+        max_log2,
+    );
+
+    let algs = TopKAlgorithm::all();
+    print_header("log2(n)", &algs);
+    for log2n in min_log2..=max_log2 {
+        let n = 1usize << log2n;
+        let data: Vec<f32> = Uniform.generate(n, 16);
+        let dev = Device::titan_x();
+        let input = dev.upload(&data);
+        let floor = SimTime::from_seconds(dev.spec().scan_floor_seconds(n * 4));
+        let cells: Vec<_> = algs.iter().map(|a| run_cell(&dev, a, &input, 64)).collect();
+        print_row(log2n, &cells, floor);
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 14: key+value payloads (KV, KKV, KKKV) for radix select and
+//! bitonic top-k — runtime scales with item width, the crossover k stays
+//! put.
+
+use bench::{banner, scale, K_SWEEP};
+use datagen::{Distribution, Kkkv, Kkv, Kv, TopKItem, Uniform};
+use simt::{Device, GpuBuffer};
+use topk::bitonic::BitonicConfig;
+use topk::TopKAlgorithm;
+
+fn sweep<T: TopKItem>(label: &str, dev: &Device, input: &GpuBuffer<T>) {
+    println!("-- {label} ({} B/item) --", T::SIZE_BYTES);
+    println!("{:>8}{:>16}{:>16}", "k", "radix-select", "bitonic");
+    for k in K_SWEEP {
+        let tr = TopKAlgorithm::RadixSelect.run(dev, input, k);
+        let tb = TopKAlgorithm::Bitonic(BitonicConfig::default()).run(dev, input, k);
+        println!(
+            "{:>8}{:>14}{:>14}",
+            k,
+            tr.map_or("FAIL".into(), |r| format!("{:.3}ms", r.time.millis())),
+            tb.map_or("FAIL".into(), |r| format!("{:.3}ms", r.time.millis())),
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let log2n = scale().saturating_sub(1); // the paper uses 2^28 here
+    let n = 1usize << log2n;
+    banner("Figure 14", "key(s)+value tuples: KV, KKV, KKKV", log2n);
+
+    let keys: Vec<f32> = Uniform.generate(n, 17);
+    let dev = Device::titan_x();
+
+    let kv: Vec<Kv<f32>> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| Kv::new(k, i as u32))
+        .collect();
+    let input = dev.upload(&kv);
+    sweep("KV: key + value", &dev, &input);
+    drop(input);
+
+    let keys2: Vec<f32> = Uniform.generate(n, 18);
+    let kkv: Vec<Kkv<f32>> = keys
+        .iter()
+        .zip(&keys2)
+        .enumerate()
+        .map(|(i, (&a, &b))| Kkv::new(a, b, i as u32))
+        .collect();
+    let input = dev.upload(&kkv);
+    sweep("KKV: two keys + value", &dev, &input);
+    drop(input);
+
+    let keys3: Vec<f32> = Uniform.generate(n, 19);
+    let kkkv: Vec<Kkkv<f32>> = keys
+        .iter()
+        .zip(&keys2)
+        .zip(&keys3)
+        .enumerate()
+        .map(|(i, ((&a, &b), &c))| Kkkv::new(a, b, c, i as u32))
+        .collect();
+    let input = dev.upload(&kkkv);
+    sweep("KKKV: three keys + value", &dev, &input);
+}

@@ -1,0 +1,63 @@
+//! Figure 15: CPU vs GPU top-k. CPU numbers are REAL wall-clock
+//! measurements of the multi-threaded Rust baselines; GPU numbers are the
+//! simulator's modeled times (documented substitution — see DESIGN.md).
+
+use bench::{banner, scale, K_SWEEP};
+use datagen::{Distribution, Increasing, Uniform};
+use simt::Device;
+use std::time::Instant;
+use topk::bitonic::BitonicConfig;
+use topk::TopKAlgorithm;
+use topk_cpu::{CpuBitonic, CpuTopK, HandPq, StlPq};
+
+fn measure_cpu(alg: &dyn CpuTopK<f32>, data: &[f32], k: usize, threads: usize) -> f64 {
+    let start = Instant::now();
+    let out = alg.topk(data, k, threads);
+    let dt = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(out.len(), k.min(data.len()));
+    dt
+}
+
+fn table(label: &str, data: &[f32], threads: usize) {
+    println!("-- {label} --");
+    let dev = Device::titan_x();
+    let input = dev.upload(data);
+    println!(
+        "{:>6}{:>14}{:>14}{:>16}{:>18}{:>20}",
+        "k", "stl-pq*", "hand-pq*", "cpu-bitonic*", "gpu-bitonic(sim)", "gpu-radix-sel(sim)"
+    );
+    for k in K_SWEEP.iter().copied().filter(|&k| k <= 256) {
+        let stl = measure_cpu(&StlPq, data, k, threads);
+        let hand = measure_cpu(&HandPq, data, k, threads);
+        let cbit = measure_cpu(&CpuBitonic::default(), data, k, threads);
+        let gb = TopKAlgorithm::Bitonic(BitonicConfig::default())
+            .run(&dev, &input, k)
+            .unwrap()
+            .time
+            .millis();
+        let gr = TopKAlgorithm::RadixSelect
+            .run(&dev, &input, k)
+            .unwrap()
+            .time
+            .millis();
+        println!("{k:>6}{stl:>12.2}ms{hand:>12.2}ms{cbit:>14.2}ms{gb:>14.3}ms{gr:>18.3}ms");
+    }
+    println!("(*wall-clock on this host, {threads} threads; GPU columns are simulated)\n");
+}
+
+fn main() {
+    let log2n = scale();
+    let n = 1usize << log2n;
+    banner(
+        "Figure 15",
+        "CPU vs GPU top-k (CPU measured, GPU simulated)",
+        log2n,
+    );
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+
+    let uniform: Vec<f32> = Uniform.generate(n, 20);
+    table("(a) uniform U(0,1)", &uniform, threads);
+
+    let sorted: Vec<f32> = Increasing.generate(n, 20);
+    table("(b) sorted increasing (heap worst case)", &sorted, threads);
+}

@@ -1,0 +1,107 @@
+//! Figure 16 + Section 6.8: the MapD integration queries on the synthetic
+//! Twitter table.
+
+use bench::{banner, scale};
+use datagen::twitter::TweetTable;
+use qdb::{
+    queries::{filtered_topk, group_topk, ranked_topk},
+    FilterOp, GpuTweetTable, Strategy, TopKStrategy,
+};
+use simt::Device;
+
+fn main() {
+    let log2n = scale().min(19); // six wide columns + host-functional ops: keep the default run snappy
+    let n = 1usize << log2n;
+    banner(
+        "Figure 16",
+        "MapD integration queries on synthetic tweets",
+        log2n,
+    );
+
+    let host = TweetTable::generate(n, 2017);
+    let dev = Device::titan_x();
+    let table = GpuTweetTable::upload(&dev, &host);
+
+    // --- Fig 16a: Q1 selectivity sweep, LIMIT 50
+    println!("-- Q1 (Fig 16a): time-range filter, ORDER BY retweet_count LIMIT 50 --");
+    println!(
+        "{:>12}{:>16}{:>18}{:>20}",
+        "selectivity", "filter+sort", "filter+bitonic", "combined-bitonic"
+    );
+    for s in 0..=10 {
+        let sel = s as f64 / 10.0;
+        let cutoff = host.time_cutoff_for_selectivity(sel);
+        let op = FilterOp::TimeLess(cutoff);
+        let mut cells = Vec::new();
+        for strat in Strategy::all() {
+            cells.push(
+                filtered_topk(&dev, &table, &op, 50, strat)
+                    .kernel_time
+                    .millis(),
+            );
+        }
+        println!(
+            "{:>12.1}{:>14.3}ms{:>16.3}ms{:>18.3}ms",
+            sel, cells[0], cells[1], cells[2]
+        );
+    }
+
+    // --- Fig 16b: Q2 ranking function, vary K
+    println!("\n-- Q2 (Fig 16b): ORDER BY retweet_count + 0.5*likes_count LIMIT K --");
+    println!(
+        "{:>12}{:>16}{:>18}{:>20}",
+        "K", "project+sort", "project+bitonic", "combined-bitonic"
+    );
+    for k in [16usize, 32, 64, 128, 256] {
+        let mut cells = Vec::new();
+        for strat in Strategy::all() {
+            cells.push(ranked_topk(&dev, &table, k, strat).kernel_time.millis());
+        }
+        println!(
+            "{:>12}{:>14.3}ms{:>16.3}ms{:>18.3}ms",
+            k, cells[0], cells[1], cells[2]
+        );
+    }
+
+    // --- Q3: language filter (~80% selectivity), vary K
+    println!("\n-- Q3: WHERE lang='en' OR lang='es', LIMIT K --");
+    println!(
+        "{:>12}{:>16}{:>18}{:>20}",
+        "K", "filter+sort", "filter+bitonic", "combined-bitonic"
+    );
+    for k in [16usize, 64, 256] {
+        let op = FilterOp::LangIn(vec![0, 1]);
+        let mut cells = Vec::new();
+        for strat in Strategy::all() {
+            cells.push(
+                filtered_topk(&dev, &table, &op, k, strat)
+                    .kernel_time
+                    .millis(),
+            );
+        }
+        println!(
+            "{:>12}{:>14.3}ms{:>16.3}ms{:>18.3}ms",
+            k, cells[0], cells[1], cells[2]
+        );
+    }
+
+    // --- Q4: group-by uid, top 50
+    println!("\n-- Q4: GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 50 --");
+    for strat in [TopKStrategy::Sort, TopKStrategy::Bitonic] {
+        let r = group_topk(&dev, &table, 50, strat);
+        let group_time: f64 = r
+            .breakdown
+            .iter()
+            .filter(|(n, _)| n.contains("group"))
+            .map(|(_, t)| t.millis())
+            .sum();
+        let sort_time = r.kernel_time.millis() - group_time;
+        println!(
+            "  {:<8} total {:>8.3} ms  (group-by {:>8.3} ms + top-k {:>8.3} ms)",
+            format!("{strat:?}").to_lowercase(),
+            r.kernel_time.millis(),
+            group_time,
+            sort_time
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 17: Section 7 cost-model predictions vs the simulator's
+//! measured times, for radix select and bitonic top-k across k.
+
+use bench::{banner, scale, K_SWEEP};
+use datagen::{Distribution, Uniform};
+use simt::Device;
+use topk::bitonic::BitonicConfig;
+use topk::TopKAlgorithm;
+use topk_costmodel::{
+    bitonic_topk_seconds, radix_select_seconds, BitonicModelInput, ReductionProfile,
+};
+
+fn main() {
+    let log2n = scale();
+    let n = 1usize << log2n;
+    banner(
+        "Figure 17",
+        "cost model predicted vs measured (simulated), f32 U(0,1)",
+        log2n,
+    );
+
+    let data: Vec<f32> = Uniform.generate(n, 21);
+    let dev = Device::titan_x();
+    let input = dev.upload(&data);
+    let spec = dev.spec();
+
+    println!(
+        "{:>6}{:>18}{:>18}{:>20}{:>20}",
+        "k", "radix measured", "radix predicted", "bitonic measured", "bitonic predicted"
+    );
+    for k in K_SWEEP {
+        let rm = TopKAlgorithm::RadixSelect
+            .run(&dev, &input, k)
+            .unwrap()
+            .time
+            .millis();
+        let rp = radix_select_seconds(spec, n, 4, &ReductionProfile::UniformFloats) * 1e3;
+        let bm = TopKAlgorithm::Bitonic(BitonicConfig::default())
+            .run(&dev, &input, k)
+            .unwrap()
+            .time
+            .millis();
+        let conflict = if k <= 256 { 1.0 } else { 1.3 };
+        let bp = bitonic_topk_seconds(
+            spec,
+            BitonicModelInput {
+                n,
+                k,
+                item_bytes: 4,
+                elems_per_thread: 16,
+                conflict_degree: conflict,
+            },
+        ) * 1e3;
+        println!("{k:>6}{rm:>16.3}ms{rp:>16.3}ms{bm:>18.3}ms{bp:>18.3}ms");
+    }
+    println!("\n(the paper's models also underestimate: kernels do not reach peak bandwidth)");
+}

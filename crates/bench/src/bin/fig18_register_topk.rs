@@ -1,0 +1,39 @@
+//! Figure 18 (Appendix A): register-buffer vs shared-memory per-thread
+//! top-k across distributions — the register version wins at small k and
+//! collapses when the buffer spills to local memory.
+
+use bench::{banner, scale};
+use datagen::{Decreasing, Distribution, Increasing, Uniform};
+use simt::Device;
+use topk::TopKAlgorithm;
+
+fn sweep(label: &str, data: &[f32]) {
+    let dev = Device::titan_x();
+    let input = dev.upload(data);
+    println!("-- {label} --");
+    println!("{:>6}{:>18}{:>20}", "k", "shared-heap", "register-buffer");
+    for k in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let sh = TopKAlgorithm::PerThread.run(&dev, &input, k);
+        let rg = TopKAlgorithm::PerThreadRegisters.run(&dev, &input, k);
+        println!(
+            "{:>6}{:>18}{:>20}",
+            k,
+            sh.map_or("FAIL".into(), |r| format!("{:.3}ms", r.time.millis())),
+            rg.map_or("FAIL".into(), |r| format!("{:.3}ms", r.time.millis())),
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let log2n = scale();
+    let n = 1usize << log2n;
+    banner(
+        "Figure 18",
+        "per-thread top-k: registers vs shared memory",
+        log2n,
+    );
+    sweep("(a) uniform U(0,1)", &Uniform.generate(n, 22));
+    sweep("(b) increasing", &Increasing.generate(n, 22));
+    sweep("(c) decreasing", &Decreasing.generate(n, 22));
+}

@@ -1,0 +1,88 @@
+//! Planner accuracy: the full five-way cost-model ranking
+//! (`recommend_full`, extending the paper's two-way planner) against the
+//! simulator's measured winner over an (n, k) grid.
+
+use bench::banner;
+use datagen::{Distribution, Uniform};
+use simt::Device;
+use topk::TopKAlgorithm;
+use topk_costmodel::{recommend_full, FullAlgorithm, ReductionProfile};
+
+fn alg_of(f: FullAlgorithm) -> TopKAlgorithm {
+    match f {
+        FullAlgorithm::Sort => TopKAlgorithm::Sort,
+        FullAlgorithm::PerThread => TopKAlgorithm::PerThread,
+        FullAlgorithm::RadixSelect => TopKAlgorithm::RadixSelect,
+        FullAlgorithm::BucketSelect => TopKAlgorithm::BucketSelect,
+        FullAlgorithm::BitonicTopK => TopKAlgorithm::Bitonic(Default::default()),
+    }
+}
+
+fn main() {
+    banner(
+        "Planner accuracy",
+        "five-way cost-model ranking vs simulated winner",
+        22,
+    );
+    let mut agree = 0usize;
+    let mut near = 0usize;
+    let mut total = 0usize;
+
+    println!(
+        "{:>8}{:>6}{:>18}{:>18}{:>10}",
+        "log2(n)", "k", "planner pick", "sim winner", "verdict"
+    );
+    for log2n in [18u32, 20, 22] {
+        let n = 1usize << log2n;
+        let data: Vec<f32> = Uniform.generate(n, 60 + log2n as u64);
+        let dev = Device::titan_x();
+        let input = dev.upload(&data);
+        for k in [1usize, 16, 64, 256, 1024] {
+            let ranked = recommend_full(dev.spec(), n, k, 4, &ReductionProfile::UniformFloats);
+            let pick = ranked[0].algorithm;
+
+            let mut best: Option<(FullAlgorithm, f64)> = None;
+            let mut times = std::collections::HashMap::new();
+            for r in &ranked {
+                if let Ok(res) = alg_of(r.algorithm).run(&dev, &input, k) {
+                    let t = res.time.seconds();
+                    times.insert(format!("{:?}", r.algorithm), t);
+                    if best.is_none() || t < best.unwrap().1 {
+                        best = Some((r.algorithm, t));
+                    }
+                }
+            }
+            let (winner, t_best) = best.expect("at least one algorithm ran");
+            total += 1;
+            let verdict = if pick == winner {
+                agree += 1;
+                "match"
+            } else {
+                // near-miss: the pick is within 25% of the true winner
+                let t_pick = times
+                    .get(&format!("{pick:?}"))
+                    .copied()
+                    .unwrap_or(f64::INFINITY);
+                if t_pick <= t_best * 1.25 {
+                    near += 1;
+                    "near"
+                } else {
+                    "MISS"
+                }
+            };
+            println!(
+                "{log2n:>8}{k:>6}{:>18}{:>18}{verdict:>10}",
+                format!("{pick:?}"),
+                format!("{winner:?}")
+            );
+        }
+    }
+    println!(
+        "\n{agree}/{total} exact, {near} near-misses (pick within 25% of the winner), {} real misses",
+        total - agree - near
+    );
+    assert!(
+        total - agree - near == 0,
+        "planner made a >25% mistake — cost models need recalibration"
+    );
+}

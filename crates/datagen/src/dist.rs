@@ -1,0 +1,368 @@
+//! Input distributions from the paper's evaluation (Sections 6.2–6.5).
+//!
+//! * [`Uniform`] — i.i.d. `U(0,1)` floats / full-range integers.
+//! * [`Increasing`] / [`Decreasing`] — sorted input, the near-worst /
+//!   best case for heap-based methods (Figure 12a, Figure 18).
+//! * [`BucketKiller`] — all-ones except four values, each differing from
+//!   1.0 in exactly one 8-bit digit: the adversarial input for radix
+//!   select (Figure 12b), which eliminates only one candidate per pass.
+//! * [`Zipf`] — skewed ids for the Twitter group-by workload (Section 6.8).
+
+use crate::keys::SortKey;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible generator of key vectors.
+pub trait Distribution<K: SortKey>: std::fmt::Debug {
+    /// Generates `n` keys with the given RNG seed.
+    fn generate(&self, n: usize, seed: u64) -> Vec<K>;
+
+    /// Human-readable name used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Keys that the standard distributions can synthesize.
+///
+/// Gives each key type a uniform sampler and an inverse-rank construction
+/// (for sorted inputs) without reaching for `rand`'s distribution traits,
+/// which don't cover the order we need (bit order, not numeric order).
+pub trait GenKey: SortKey {
+    /// A uniform random key: `U(0,1)` for floats, full range for integers.
+    fn gen_uniform(rng: &mut SmallRng) -> Self;
+}
+
+impl GenKey for f32 {
+    fn gen_uniform(rng: &mut SmallRng) -> Self {
+        rng.gen::<f32>()
+    }
+}
+impl GenKey for f64 {
+    fn gen_uniform(rng: &mut SmallRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+impl GenKey for u32 {
+    fn gen_uniform(rng: &mut SmallRng) -> Self {
+        rng.gen::<u32>()
+    }
+}
+impl GenKey for u64 {
+    fn gen_uniform(rng: &mut SmallRng) -> Self {
+        rng.gen::<u64>()
+    }
+}
+impl GenKey for i32 {
+    fn gen_uniform(rng: &mut SmallRng) -> Self {
+        rng.gen::<i32>()
+    }
+}
+impl GenKey for i64 {
+    fn gen_uniform(rng: &mut SmallRng) -> Self {
+        rng.gen::<i64>()
+    }
+}
+
+/// I.i.d. uniform keys (`U(0,1)` floats, full-range integers).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uniform;
+
+impl<K: GenKey> Distribution<K> for Uniform {
+    fn generate(&self, n: usize, seed: u64) -> Vec<K> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| K::gen_uniform(&mut rng)).collect()
+    }
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// Uniform keys sorted ascending — every element displaces the heap minimum
+/// in heap-based top-k (near worst case, Figure 12a).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Increasing;
+
+impl<K: GenKey> Distribution<K> for Increasing {
+    fn generate(&self, n: usize, seed: u64) -> Vec<K> {
+        let mut v = Uniform.generate(n, seed);
+        v.sort_unstable_by_key(|k: &K| k.sort_bits());
+        v
+    }
+    fn name(&self) -> &'static str {
+        "increasing"
+    }
+}
+
+/// Uniform keys sorted descending — after the first k inserts, heap-based
+/// top-k never updates (best case, Figure 18).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Decreasing;
+
+impl<K: GenKey> Distribution<K> for Decreasing {
+    fn generate(&self, n: usize, seed: u64) -> Vec<K> {
+        let mut v = Uniform.generate(n, seed);
+        v.sort_unstable_by_key(|k: &K| std::cmp::Reverse(k.sort_bits()));
+        v
+    }
+    fn name(&self) -> &'static str {
+        "decreasing"
+    }
+}
+
+/// The radix-select adversary (Section 6.4): every element is `1.0f32`
+/// except four, each of which differs from 1.0 in exactly one of the four
+/// 8-bit digits of its bit pattern. Each MSD pass can then eliminate only
+/// the single element differing in that digit, so radix select degenerates
+/// to a full scan per pass — the same traffic as sorting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BucketKiller;
+
+impl BucketKiller {
+    /// The four outlier bit patterns: `bits(1.0)` with exactly one 8-bit
+    /// digit perturbed by one (down when possible, up when the digit is
+    /// zero), so the k-th element hunt must walk every digit position.
+    pub fn outliers() -> [f32; 4] {
+        let one = SortKey::sort_bits(1.0f32); // transformed bits
+        let mut out = [0.0f32; 4];
+        for (d, slot) in out.iter_mut().enumerate() {
+            let shift = 32 - 8 * (d as u32 + 1);
+            let byte = (one >> shift) & 0xff;
+            let perturbed = if byte > 0 { byte - 1 } else { byte + 1 };
+            let bits = (one & !(0xffu32 << shift)) | (perturbed << shift);
+            *slot = <f32 as SortKey>::from_sort_bits(bits);
+        }
+        out
+    }
+}
+
+impl Distribution<f32> for BucketKiller {
+    fn generate(&self, n: usize, seed: u64) -> Vec<f32> {
+        assert!(n >= 5, "bucket killer needs at least 5 elements");
+        let mut v = vec![1.0f32; n];
+        let outliers = Self::outliers();
+        // scatter the outliers deterministically but away from the ends
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for o in outliers {
+            let idx = rng.gen_range(0..n);
+            v[idx] = o;
+        }
+        v
+    }
+    fn name(&self) -> &'static str {
+        "bucket-killer"
+    }
+}
+
+/// Approximately normal keys (Irwin–Hall sum of 12 uniforms), centered at
+/// 0.5 — an extension distribution used by the robustness ablation: bitonic
+/// top-k must be invariant to it like every other distribution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Normal;
+
+impl Distribution<f32> for Normal {
+    fn generate(&self, n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let s: f32 = (0..12).map(|_| rng.gen::<f32>()).sum();
+                (s - 6.0) / 6.0 + 0.5
+            })
+            .collect()
+    }
+    fn name(&self) -> &'static str {
+        "normal"
+    }
+}
+
+/// Heavily clustered keys: a handful of dense value clusters with sparse
+/// outliers — hard for equal-width bucketing (most candidates fall into
+/// one bucket), benign for radix and bitonic. Extension distribution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Clustered;
+
+impl Distribution<f32> for Clustered {
+    fn generate(&self, n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let centers = [0.1f32, 0.100001, 0.100002, 0.9];
+        (0..n)
+            .map(|_| {
+                let c = centers[rng.gen_range(0..centers.len().pow(2)) % centers.len().min(3)];
+                c + rng.gen::<f32>() * 1e-9
+            })
+            .collect()
+    }
+    fn name(&self) -> &'static str {
+        "clustered"
+    }
+}
+
+/// Zipf-distributed integer ids in `[0, universe)` with exponent `s`,
+/// sampled by inverse-CDF over precomputed cumulative weights. Used for
+/// the Twitter `uid` column so that group-by sizes are realistically
+/// skewed.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Number of distinct ids, `[0, universe)`.
+    pub universe: usize,
+    /// Skew exponent `s` (larger = more skew).
+    pub exponent: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf sampler over `universe` ids with exponent `s`.
+    pub fn new(universe: usize, exponent: f64) -> Self {
+        assert!(universe > 0);
+        assert!(exponent > 0.0);
+        Self { universe, exponent }
+    }
+
+    /// Samples `n` ids. The cumulative table is O(universe) memory; for the
+    /// experiment scales in this repo (≤ a few million distinct ids) that
+    /// is the pragmatic, exact choice.
+    pub fn sample(&self, n: usize, seed: u64) -> Vec<u32> {
+        let mut cdf = Vec::with_capacity(self.universe);
+        let mut total = 0.0f64;
+        for i in 0..self.universe {
+            total += 1.0 / ((i + 1) as f64).powf(self.exponent);
+            cdf.push(total);
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u = rng.gen::<f64>() * total;
+                // first index with cdf[idx] >= u
+                cdf.partition_point(|&c| c < u).min(self.universe - 1) as u32
+            })
+            .collect()
+    }
+}
+
+/// Reference top-k (largest k, descending) by full sort — the oracle all
+/// algorithm tests compare against.
+pub fn reference_topk<K: SortKey>(data: &[K], k: usize) -> Vec<K> {
+    let mut v: Vec<K> = data.to_vec();
+    v.sort_unstable_by_key(|x| std::cmp::Reverse(x.sort_bits()));
+    v.truncate(k);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_reproducible() {
+        let a: Vec<f32> = Uniform.generate(1000, 42);
+        let b: Vec<f32> = Uniform.generate(1000, 42);
+        let c: Vec<f32> = Uniform.generate(1000, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_floats_in_unit_interval() {
+        let v: Vec<f32> = Uniform.generate(10_000, 7);
+        assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn increasing_is_sorted() {
+        let v: Vec<f32> = Increasing.generate(5000, 1);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn decreasing_is_reverse_sorted() {
+        let v: Vec<u32> = Decreasing.generate(5000, 1);
+        assert!(v.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn increasing_integers_sorted_in_bit_order() {
+        let v: Vec<i32> = Increasing.generate(5000, 9);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn bucket_killer_shape() {
+        let v = BucketKiller.generate(10_000, 3);
+        let ones = v.iter().filter(|&&x| x == 1.0).count();
+        assert!(ones >= 10_000 - 4);
+        // every non-1.0 element differs from bits(1.0) in exactly one byte
+        let one_bits = SortKey::sort_bits(1.0f32);
+        for &x in v.iter().filter(|&&x| x != 1.0) {
+            let xb = SortKey::sort_bits(x);
+            let diff_bytes = (0..4)
+                .filter(|&d| {
+                    let sh = 32 - 8 * (d + 1);
+                    ((xb >> sh) & 0xff) != ((one_bits >> sh) & 0xff)
+                })
+                .count();
+            assert_eq!(diff_bytes, 1, "outlier {x} differs in {diff_bytes} bytes");
+        }
+    }
+
+    #[test]
+    fn bucket_killer_outliers_are_distinct_digits() {
+        let out = BucketKiller::outliers();
+        let one = SortKey::sort_bits(1.0f32);
+        let digits: Vec<usize> = out
+            .iter()
+            .map(|&x| {
+                let xb = SortKey::sort_bits(x);
+                (0..4)
+                    .find(|&d| {
+                        let sh = 32 - 8 * (d + 1);
+                        ((xb >> sh) & 0xff) != ((one >> sh) & 0xff)
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let mut sorted = digits.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn normal_is_centered_and_bounded() {
+        let v = Normal.generate(50_000, 8);
+        let mean: f64 = v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+        assert!(v.iter().all(|&x| (-0.5..1.5).contains(&x)));
+        // bell-shaped: ±1σ (σ = 1/6) holds ~68% of the mass, far more
+        // than the ~33% a uniform distribution would put there
+        let near = v.iter().filter(|&&x| (0.3333..0.6667).contains(&x)).count();
+        assert!(near > v.len() * 6 / 10, "near={near}");
+    }
+
+    #[test]
+    fn clustered_is_degenerate_for_value_buckets() {
+        let v = Clustered.generate(10_000, 9);
+        // nearly all keys in a ~1e-5-wide band around 0.1
+        let tight = v.iter().filter(|&&x| (0.0999..0.1001).contains(&x)).count();
+        assert!(tight > 9_000, "tight={tight}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_bounded() {
+        let z = Zipf::new(1000, 1.1);
+        let s = z.sample(50_000, 5);
+        assert!(s.iter().all(|&x| (x as usize) < 1000));
+        // id 0 should be much more frequent than id 500
+        let c0 = s.iter().filter(|&&x| x == 0).count();
+        let c500 = s.iter().filter(|&&x| x == 500).count();
+        assert!(c0 > 10 * c500.max(1), "c0={c0} c500={c500}");
+    }
+
+    #[test]
+    fn reference_topk_basic() {
+        let data = [3.0f32, 1.0, 4.0, 1.5, 9.0, 2.6];
+        assert_eq!(reference_topk(&data, 3), vec![9.0, 4.0, 3.0]);
+        assert_eq!(reference_topk(&data, 0), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn reference_topk_with_duplicates() {
+        let data = [5u32, 5, 5, 1, 9, 9];
+        assert_eq!(reference_topk(&data, 4), vec![9, 9, 5, 5]);
+    }
+}

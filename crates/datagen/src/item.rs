@@ -1,0 +1,352 @@
+//! Tuple shapes for top-k queries (Section 6.6 of the paper).
+//!
+//! The paper evaluates bare keys, key+value (`KV`), two keys+value (`KKV`)
+//! and three keys+value (`KKKV`). All algorithms in the workspace are
+//! generic over [`TopKItem`]: they order items by [`TopKItem::key_bits`] and
+//! move whole items, so payload width affects (simulated) memory traffic
+//! exactly as it does on real hardware.
+
+use crate::keys::{RadixBits, SortKey};
+
+/// An item that can participate in a top-k query.
+///
+/// Items are small `Copy` records ordered by a primary key (possibly a
+/// lexicographic composite). `SIZE_BYTES` is the item's device footprint,
+/// used by the simulator for traffic accounting.
+pub trait TopKItem: Copy + PartialEq + Default + std::fmt::Debug + Send + Sync + 'static {
+    /// Bit domain of the (composite) ordering key.
+    type KeyBits: RadixBits;
+
+    /// Device footprint of one item in bytes.
+    const SIZE_BYTES: usize;
+
+    /// Order-preserving key bits: items compare by this value.
+    fn key_bits(&self) -> Self::KeyBits;
+
+    /// The ordering key as a real number, monotone with `key_bits` (see
+    /// [`SortKey::as_f64`]). Default: the bits themselves.
+    fn key_value(&self) -> f64 {
+        self.key_bits().as_u64() as f64
+    }
+
+    /// An item smaller (in key order) than every real item — the padding
+    /// sentinel for largest-k queries.
+    fn min_sentinel() -> Self;
+
+    /// An item larger than every real item — the sentinel for smallest-k.
+    fn max_sentinel() -> Self;
+
+    /// `self < other` in key order.
+    #[inline]
+    fn item_lt(&self, other: &Self) -> bool {
+        self.key_bits() < other.key_bits()
+    }
+}
+
+impl<K: SortKey> TopKItem for K {
+    type KeyBits = K::Bits;
+    const SIZE_BYTES: usize = std::mem::size_of::<K>();
+
+    #[inline]
+    fn key_bits(&self) -> K::Bits {
+        self.sort_bits()
+    }
+    #[inline]
+    fn key_value(&self) -> f64 {
+        self.as_f64()
+    }
+    fn min_sentinel() -> Self {
+        <K as SortKey>::min_sentinel()
+    }
+    fn max_sentinel() -> Self {
+        <K as SortKey>::max_sentinel()
+    }
+}
+
+/// Key + 4-byte value payload (the paper's `KV`).
+///
+/// The value is typically a tuple/row id: the paper recommends running top-k
+/// on `(key, id)` and assembling wide payloads afterwards (Section 6.6).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Kv<K: SortKey> {
+    /// The ordering key.
+    pub key: K,
+    /// The 4-byte payload (typically a row id).
+    pub value: u32,
+}
+
+impl<K: SortKey> Kv<K> {
+    /// Creates a key + value pair.
+    pub fn new(key: K, value: u32) -> Self {
+        Self { key, value }
+    }
+}
+
+impl<K: SortKey> TopKItem for Kv<K> {
+    type KeyBits = K::Bits;
+    const SIZE_BYTES: usize = std::mem::size_of::<K>() + 4;
+
+    #[inline]
+    fn key_bits(&self) -> K::Bits {
+        self.key.sort_bits()
+    }
+    #[inline]
+    fn key_value(&self) -> f64 {
+        self.key.as_f64()
+    }
+    fn min_sentinel() -> Self {
+        Self {
+            key: K::min_sentinel(),
+            value: u32::MAX,
+        }
+    }
+    fn max_sentinel() -> Self {
+        Self {
+            key: K::max_sentinel(),
+            value: u32::MAX,
+        }
+    }
+}
+
+/// Two keys + value (`KKV`): ordered lexicographically by `(key0, key1)`.
+///
+/// The composite order is realized by concatenating the two 32-bit key
+/// transforms into a single `u64`, so comparison stays a single unsigned
+/// compare (and radix digits still work).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Kkv<K: SortKey<Bits = u32>> {
+    /// The ordering keys, most significant first.
+    pub keys: [K; 2],
+    /// The 4-byte payload.
+    pub value: u32,
+}
+
+impl<K: SortKey<Bits = u32>> Kkv<K> {
+    /// Creates a two-key + value record.
+    pub fn new(k0: K, k1: K, value: u32) -> Self {
+        Self {
+            keys: [k0, k1],
+            value,
+        }
+    }
+}
+
+impl<K: SortKey<Bits = u32>> TopKItem for Kkv<K> {
+    type KeyBits = u64;
+    const SIZE_BYTES: usize = 2 * std::mem::size_of::<K>() + 4;
+
+    #[inline]
+    fn key_bits(&self) -> u64 {
+        ((self.keys[0].sort_bits() as u64) << 32) | self.keys[1].sort_bits() as u64
+    }
+    fn min_sentinel() -> Self {
+        Self {
+            keys: [K::min_sentinel(); 2],
+            value: u32::MAX,
+        }
+    }
+    fn max_sentinel() -> Self {
+        Self {
+            keys: [K::max_sentinel(); 2],
+            value: u32::MAX,
+        }
+    }
+}
+
+/// Three keys + value (`KKKV`).
+///
+/// Lexicographic order on `(key0, key1, key2)`. The composite does not fit
+/// a native integer, so `key_bits` folds the third key into the low bits of
+/// a 96-bit logical key truncated to 64 bits: `key0 ‖ key1` dominates and
+/// `key2` breaks ties only through [`TopKItem::item_lt`], which algorithms
+/// use for all comparisons. Radix-digit algorithms operate on the top 64
+/// bits and fall back to a final refinement pass; for the paper's
+/// experiments (distinct uniform keys) ties in the top 64 bits are
+/// measure-zero, matching the evaluation setup.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Kkkv<K: SortKey<Bits = u32>> {
+    /// The ordering keys, most significant first.
+    pub keys: [K; 3],
+    /// The 4-byte payload.
+    pub value: u32,
+}
+
+impl<K: SortKey<Bits = u32>> Kkkv<K> {
+    /// Creates a three-key + value record.
+    pub fn new(k0: K, k1: K, k2: K, value: u32) -> Self {
+        Self {
+            keys: [k0, k1, k2],
+            value,
+        }
+    }
+}
+
+impl<K: SortKey<Bits = u32>> TopKItem for Kkkv<K> {
+    type KeyBits = u64;
+    const SIZE_BYTES: usize = 3 * std::mem::size_of::<K>() + 4;
+
+    #[inline]
+    fn key_bits(&self) -> u64 {
+        ((self.keys[0].sort_bits() as u64) << 32) | self.keys[1].sort_bits() as u64
+    }
+    fn min_sentinel() -> Self {
+        Self {
+            keys: [K::min_sentinel(); 3],
+            value: u32::MAX,
+        }
+    }
+    fn max_sentinel() -> Self {
+        Self {
+            keys: [K::max_sentinel(); 3],
+            value: u32::MAX,
+        }
+    }
+
+    #[inline]
+    fn item_lt(&self, other: &Self) -> bool {
+        let a = self.key_bits();
+        let b = other.key_bits();
+        if a != b {
+            return a < b;
+        }
+        self.keys[2].sort_bits() < other.keys[2].sort_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_key_item_size() {
+        assert_eq!(<f32 as TopKItem>::SIZE_BYTES, 4);
+        assert_eq!(<f64 as TopKItem>::SIZE_BYTES, 8);
+        assert_eq!(<u64 as TopKItem>::SIZE_BYTES, 8);
+    }
+
+    #[test]
+    fn kv_orders_by_key_only() {
+        let a = Kv::new(1.0f32, 99);
+        let b = Kv::new(2.0f32, 1);
+        assert!(a.item_lt(&b));
+        assert!(!b.item_lt(&a));
+        // equal keys, different values: neither strictly less
+        let c = Kv::new(1.0f32, 5);
+        assert!(!a.item_lt(&c) && !c.item_lt(&a));
+    }
+
+    #[test]
+    fn kv_size() {
+        assert_eq!(Kv::<f32>::SIZE_BYTES, 8);
+        assert_eq!(Kv::<f64>::SIZE_BYTES, 12);
+    }
+
+    #[test]
+    fn kkv_lexicographic() {
+        let a = Kkv::new(1.0f32, 9.0, 0);
+        let b = Kkv::new(2.0f32, 0.0, 0);
+        let c = Kkv::new(2.0f32, 1.0, 0);
+        assert!(a.item_lt(&b)); // first key dominates
+        assert!(b.item_lt(&c)); // second key breaks ties
+        assert_eq!(Kkv::<f32>::SIZE_BYTES, 12);
+    }
+
+    #[test]
+    fn kkkv_third_key_breaks_ties() {
+        let a = Kkkv::new(1.0f32, 1.0, 1.0, 0);
+        let b = Kkkv::new(1.0f32, 1.0, 2.0, 0);
+        let c = Kkkv::new(1.0f32, 2.0, 0.0, 0);
+        assert!(a.item_lt(&b));
+        assert!(b.item_lt(&c));
+        assert_eq!(Kkkv::<f32>::SIZE_BYTES, 16);
+    }
+
+    #[test]
+    fn sentinels_bound_everything() {
+        let lo = Kv::<f32>::min_sentinel();
+        let hi = Kv::<f32>::max_sentinel();
+        for k in [-1e30f32, -1.0, 0.0, 1.0, 1e30] {
+            let item = Kv::new(k, 7);
+            assert!(!item.item_lt(&lo));
+            assert!(!hi.item_lt(&item));
+        }
+    }
+
+    #[test]
+    fn negative_keys_order_correctly_in_kv() {
+        let a = Kv::new(-5i32, 0);
+        let b = Kv::new(3i32, 0);
+        assert!(a.item_lt(&b));
+    }
+}
+
+/// Order-reversing adapter: `Rev(x)` compares exactly opposite to `x`, so
+/// the top-k of `Rev<T>` items is the bottom-k of the underlying items —
+/// how `ORDER BY … ASC LIMIT k` reuses the largest-k kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rev<T: TopKItem>(pub T);
+
+impl<T: TopKItem> TopKItem for Rev<T>
+where
+    T::KeyBits: RadixBits,
+{
+    type KeyBits = T::KeyBits;
+    const SIZE_BYTES: usize = T::SIZE_BYTES;
+
+    #[inline]
+    fn key_bits(&self) -> Self::KeyBits {
+        // complementing the bits reverses the unsigned order
+        self.0.key_bits() ^ Self::KeyBits::MAX
+    }
+
+    #[inline]
+    fn key_value(&self) -> f64 {
+        -self.0.key_value()
+    }
+
+    fn min_sentinel() -> Self {
+        Rev(T::max_sentinel())
+    }
+
+    fn max_sentinel() -> Self {
+        Rev(T::min_sentinel())
+    }
+}
+
+#[cfg(test)]
+mod rev_tests {
+    use super::*;
+
+    #[test]
+    fn rev_reverses_order() {
+        let a = Rev(1.0f32);
+        let b = Rev(2.0f32);
+        assert!(b.item_lt(&a), "Rev(2.0) must sort below Rev(1.0)");
+        assert!(!a.item_lt(&b));
+    }
+
+    #[test]
+    fn rev_sentinels_swap() {
+        let lo = Rev::<u32>::min_sentinel();
+        let hi = Rev::<u32>::max_sentinel();
+        assert_eq!(lo.0, u32::MAX);
+        assert_eq!(hi.0, 0);
+        for v in [0u32, 1, 1000, u32::MAX] {
+            let r = Rev(v);
+            assert!(!r.item_lt(&lo));
+            assert!(!hi.item_lt(&r));
+        }
+    }
+
+    #[test]
+    fn rev_value_negates() {
+        assert_eq!(Rev(3.5f32).key_value(), -3.5);
+    }
+
+    #[test]
+    fn rev_of_kv_keeps_payload() {
+        let r = Rev(Kv::new(7u32, 99));
+        assert_eq!(r.0.value, 99);
+        assert_eq!(Rev::<Kv<u32>>::SIZE_BYTES, 8);
+    }
+}

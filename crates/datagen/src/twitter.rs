@@ -1,0 +1,188 @@
+//! Synthetic Twitter dataset for the MapD-integration experiments
+//! (Section 6.8).
+//!
+//! The paper evaluates four queries on 250M tweets from May 2017. That
+//! dataset is proprietary; this module synthesizes a table with the same
+//! columns and the statistical properties the queries are sensitive to:
+//!
+//! * `tweet_time` — uniform over the month, so a time-range predicate's
+//!   selectivity is proportional to the range (the Figure 16a sweep).
+//! * `retweet_count`, `likes_count` — power-law (most tweets ~0, a heavy
+//!   tail of viral ones), so top-k keys have realistic skew.
+//! * `lang` — categorical with an en/es share of ≈80% (query Q3's stated
+//!   selectivity).
+//! * `uid` — Zipf over a user universe sized so distinct-user count is a
+//!   large fraction of tweets (the paper: 57M users / 250M tweets ≈ 23%).
+
+use crate::dist::Zipf;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Language codes used by the generator. `En`/`Es` together cover ~80% of
+/// tweets, matching query Q3's selectivity.
+pub const LANG_EN: u8 = 0;
+/// Spanish.
+pub const LANG_ES: u8 = 1;
+/// Portuguese.
+pub const LANG_PT: u8 = 2;
+/// Japanese.
+pub const LANG_JA: u8 = 3;
+/// Arabic.
+pub const LANG_AR: u8 = 4;
+/// Everything else.
+pub const LANG_OTHER: u8 = 5;
+
+/// Column-oriented tweet table.
+#[derive(Debug, Clone)]
+pub struct TweetTable {
+    /// Unique tweet id, 0..n.
+    pub id: Vec<u32>,
+    /// Seconds since the start of the month, uniform in `[0, MONTH_SECONDS)`.
+    pub tweet_time: Vec<u32>,
+    /// Retweets; power-law with unit scale.
+    pub retweet_count: Vec<u32>,
+    /// Likes; power-law, correlated with retweets.
+    pub likes_count: Vec<u32>,
+    /// Language code (see the `LANG_*` constants).
+    pub lang: Vec<u8>,
+    /// Author id, Zipf-distributed over the user universe.
+    pub uid: Vec<u32>,
+}
+
+/// Seconds in the simulated month (May has 31 days).
+pub const MONTH_SECONDS: u32 = 31 * 24 * 3600;
+
+impl TweetTable {
+    /// Number of tweets.
+    pub fn len(&self) -> usize {
+        self.id.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.id.is_empty()
+    }
+
+    /// Generates `n` tweets with ~`0.23 * n` distinct users (paper ratio).
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let universe = ((n as f64 * 0.23) as usize).max(16);
+        Self::generate_with_users(n, universe, seed)
+    }
+
+    /// Generates `n` tweets over a fixed user universe.
+    pub fn generate_with_users(n: usize, user_universe: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut retweet_count = Vec::with_capacity(n);
+        let mut likes_count = Vec::with_capacity(n);
+        let mut tweet_time = Vec::with_capacity(n);
+        let mut lang = Vec::with_capacity(n);
+
+        for _ in 0..n {
+            tweet_time.push(rng.gen_range(0..MONTH_SECONDS));
+            // Power-law counts: x = floor(scale * (u^(-1/alpha) - 1)),
+            // alpha≈1.3 gives a heavy tail with a mode at zero.
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            let rt = (0.8 * (u.powf(-1.0 / 1.3) - 1.0)).floor().min(5e7) as u32;
+            retweet_count.push(rt);
+            // Likes correlate with retweets (roughly 3x) plus noise.
+            let noise: f64 = rng.gen::<f64>().max(1e-12);
+            let lk = (rt as f64 * 3.0 + 2.0 * (noise.powf(-1.0 / 1.5) - 1.0))
+                .floor()
+                .min(2e8) as u32;
+            likes_count.push(lk);
+            let l: f64 = rng.gen();
+            lang.push(match l {
+                x if x < 0.62 => LANG_EN,
+                x if x < 0.80 => LANG_ES,
+                x if x < 0.86 => LANG_PT,
+                x if x < 0.92 => LANG_JA,
+                x if x < 0.96 => LANG_AR,
+                _ => LANG_OTHER,
+            });
+        }
+
+        let uid = Zipf::new(user_universe, 1.05).sample(n, seed ^ 0x5eed_1234);
+
+        Self {
+            id: (0..n as u32).collect(),
+            tweet_time,
+            retweet_count,
+            likes_count,
+            lang,
+            uid,
+        }
+    }
+
+    /// The time-range cutoff whose predicate `tweet_time < cutoff` has the
+    /// given selectivity (used to drive the Figure 16a sweep).
+    pub fn time_cutoff_for_selectivity(&self, selectivity: f64) -> u32 {
+        (MONTH_SECONDS as f64 * selectivity.clamp(0.0, 1.0)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_shapes() {
+        let t = TweetTable::generate(10_000, 1);
+        assert_eq!(t.len(), 10_000);
+        assert!(!t.is_empty());
+        assert_eq!(t.id.len(), t.uid.len());
+        assert_eq!(t.id[0], 0);
+        assert_eq!(*t.id.last().unwrap(), 9_999);
+    }
+
+    #[test]
+    fn reproducible() {
+        let a = TweetTable::generate(5_000, 9);
+        let b = TweetTable::generate(5_000, 9);
+        assert_eq!(a.retweet_count, b.retweet_count);
+        assert_eq!(a.uid, b.uid);
+    }
+
+    #[test]
+    fn en_es_share_near_80_percent() {
+        let t = TweetTable::generate(50_000, 2);
+        let hits = t
+            .lang
+            .iter()
+            .filter(|&&l| l == LANG_EN || l == LANG_ES)
+            .count();
+        let share = hits as f64 / t.len() as f64;
+        assert!((0.77..0.83).contains(&share), "share={share}");
+    }
+
+    #[test]
+    fn retweets_are_heavy_tailed() {
+        let t = TweetTable::generate(100_000, 3);
+        let zeros = t.retweet_count.iter().filter(|&&r| r == 0).count();
+        let max = *t.retweet_count.iter().max().unwrap();
+        // mode at zero, but a large tail
+        assert!(zeros > t.len() / 3, "zeros={zeros}");
+        assert!(max > 1_000, "max={max}");
+    }
+
+    #[test]
+    fn time_uniform_and_cutoff_selectivity() {
+        let t = TweetTable::generate(100_000, 4);
+        let cutoff = t.time_cutoff_for_selectivity(0.3);
+        let sel = t.tweet_time.iter().filter(|&&x| x < cutoff).count() as f64 / t.len() as f64;
+        assert!((0.28..0.32).contains(&sel), "sel={sel}");
+        assert_eq!(t.time_cutoff_for_selectivity(0.0), 0);
+        assert_eq!(t.time_cutoff_for_selectivity(1.5), MONTH_SECONDS);
+    }
+
+    #[test]
+    fn users_are_skewed() {
+        let t = TweetTable::generate_with_users(50_000, 1_000, 5);
+        let mut counts = vec![0usize; 1_000];
+        for &u in &t.uid {
+            counts[u as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        // top user should own far more than the median user
+        assert!(counts[0] > 20 * counts[500].max(1));
+    }
+}

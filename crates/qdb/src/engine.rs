@@ -1,0 +1,429 @@
+//! Physical operators: filter, project, group-by count, and the two
+//! fused top-k kernels of Section 5.
+
+use datagen::{Kv, TopKItem};
+use simt::{BlockCtx, Device, GpuBuffer, Kernel};
+use sortnet::{host, next_pow2};
+use topk::bitonic::{bitonic_topk_from_runs, BitonicConfig};
+use topk::{TopKError, TopKResult};
+
+use crate::table::GpuTweetTable;
+
+/// Selection predicates the Figure 16 queries use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterOp {
+    /// `tweet_time < cutoff` (query Q1's time-range sweep).
+    TimeLess(u32),
+    /// `lang IN (…)` (query Q3).
+    LangIn(Vec<u8>),
+}
+
+impl FilterOp {
+    /// Bytes read per row to evaluate the predicate.
+    pub fn pred_bytes(&self) -> usize {
+        match self {
+            FilterOp::TimeLess(_) => 4,
+            FilterOp::LangIn(_) => 1,
+        }
+    }
+
+    /// Evaluates the predicate against one row.
+    pub fn matches(&self, table: &crate::table::GpuTweetTable, row: usize) -> bool {
+        match self {
+            FilterOp::TimeLess(cutoff) => table.tweet_time.get(row) < *cutoff,
+            FilterOp::LangIn(langs) => langs.contains(&table.lang.get(row)),
+        }
+    }
+}
+
+/// Which operator executes the ORDER BY … LIMIT k.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopKStrategy {
+    /// Full radix sort then take k (MapD's default).
+    Sort,
+    /// The paper's bitonic top-k.
+    Bitonic,
+}
+
+/// Filter kernel: scans the predicate and key columns, writes matching
+/// `(key, id)` pairs to a candidate buffer.
+pub(crate) struct FilterKernel<'a> {
+    pub table: &'a GpuTweetTable,
+    pub op: &'a FilterOp,
+    pub key_col: &'a GpuBuffer<u32>,
+    pub out: GpuBuffer<Kv<u32>>,
+    pub out_count: GpuBuffer<u32>,
+}
+
+impl Kernel for FilterKernel<'_> {
+    fn name(&self) -> &'static str {
+        "qdb_filter"
+    }
+    fn block_dim(&self) -> usize {
+        256
+    }
+    fn grid_dim(&self) -> usize {
+        1
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let n = self.table.len();
+        let mut matched: Vec<Kv<u32>> = Vec::new();
+        for row in 0..n {
+            if self.op.matches(self.table, row) {
+                matched.push(Kv::new(self.key_col.get(row), self.table.id.get(row)));
+            }
+        }
+        blk.bulk_global_read((n * (self.op.pred_bytes() + 4)) as u64);
+        blk.bulk_global_write((matched.len() * Kv::<u32>::SIZE_BYTES) as u64);
+        blk.bulk_ops(2 * n as u64);
+        self.out_count.set(0, matched.len() as u32);
+        let mut buf = self.out.to_vec();
+        buf[..matched.len()].copy_from_slice(&matched);
+        self.out.upload(&buf);
+    }
+}
+
+/// Projection kernel: evaluates `retweet_count + 0.5·likes_count` and
+/// materializes `(rank, id)` pairs (the un-fused Q2 plan).
+pub(crate) struct ProjectRankKernel<'a> {
+    pub table: &'a GpuTweetTable,
+    pub out: GpuBuffer<Kv<f32>>,
+}
+
+impl Kernel for ProjectRankKernel<'_> {
+    fn name(&self) -> &'static str {
+        "qdb_project_rank"
+    }
+    fn block_dim(&self) -> usize {
+        256
+    }
+    fn grid_dim(&self) -> usize {
+        1
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let n = self.table.len();
+        let mut out = Vec::with_capacity(n);
+        for row in 0..n {
+            let rank = self.table.retweet_count.get(row) as f32
+                + 0.5 * self.table.likes_count.get(row) as f32;
+            out.push(Kv::new(rank, self.table.id.get(row)));
+        }
+        blk.bulk_global_read((n * 8) as u64);
+        blk.bulk_global_write((n * Kv::<f32>::SIZE_BYTES) as u64);
+        blk.bulk_ops(3 * n as u64);
+        self.out.upload(&out);
+    }
+}
+
+/// Hash group-by count over `uid` (query Q4). Shared-memory hash tables
+/// with atomic increments, spilled per block and merged — charged as one
+/// column read, per-row atomics, and the group write-out.
+pub(crate) struct GroupCountKernel<'a> {
+    pub table: &'a GpuTweetTable,
+    pub out: GpuBuffer<Kv<u32>>,
+    pub out_count: GpuBuffer<u32>,
+}
+
+impl Kernel for GroupCountKernel<'_> {
+    fn name(&self) -> &'static str {
+        "qdb_group_count"
+    }
+    fn block_dim(&self) -> usize {
+        256
+    }
+    fn grid_dim(&self) -> usize {
+        1
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let n = self.table.len();
+        let mut counts: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for row in 0..n {
+            *counts.entry(self.table.uid.get(row)).or_insert(0) += 1;
+        }
+        let groups: Vec<Kv<u32>> = counts.iter().map(|(&uid, &c)| Kv::new(c, uid)).collect();
+        blk.bulk_global_read((n * 4) as u64);
+        blk.bulk_atomics(n as u64);
+        blk.bulk_global_write((groups.len() * 8) as u64);
+        blk.bulk_ops(4 * n as u64);
+        self.out_count.set(0, groups.len() as u32);
+        let mut buf = self.out.to_vec();
+        buf[..groups.len()].copy_from_slice(&groups);
+        self.out.upload(&buf);
+    }
+}
+
+/// The FusedSortReducer of Section 5: one kernel that streams the columns,
+/// applies the filter (or evaluates the ranking function) as a
+/// buffer-filler, and runs the SortReducer stage on the fly — emitting
+/// bitonic runs of `k` at 1/16th of the matched size without ever
+/// materializing the filtered pairs in global memory.
+pub(crate) struct FusedSortReducerKernel<'a, T: TopKItem> {
+    pub pred_bytes: usize,
+    pub key_bytes: usize,
+    pub n_rows: usize,
+    /// Host-computed matched items (the filter/projection output).
+    pub matched: Vec<T>,
+    pub k_eff: usize,
+    pub out_runs: GpuBuffer<T>,
+    pub out_valid: GpuBuffer<u32>,
+    pub _table: &'a GpuTweetTable,
+}
+
+impl<T: TopKItem> FusedSortReducerKernel<'_, T> {
+    const SEG: usize = 4096;
+    const MERGES: usize = 4; // 16× reduction, B = 16
+}
+
+impl<T: TopKItem> Kernel for FusedSortReducerKernel<'_, T> {
+    fn name(&self) -> &'static str {
+        "qdb_fused_sort_reducer"
+    }
+    fn block_dim(&self) -> usize {
+        256
+    }
+    fn grid_dim(&self) -> usize {
+        1
+    }
+    fn shared_bytes_per_block(&self) -> usize {
+        Self::SEG / 16 * 17 * T::SIZE_BYTES // padded staging buffer
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let k_eff = self.k_eff;
+        let m = self.matched.len();
+        // pad to whole segments with MIN sentinels (the paper pads the
+        // buffer so sentinels never reach the top-k)
+        let seg = Self::SEG.max(2 * k_eff);
+        let padded = next_pow2(m.max(seg));
+        let mut buf: Vec<T> = Vec::with_capacity(padded);
+        buf.extend_from_slice(&self.matched);
+        buf.resize(padded, T::min_sentinel());
+
+        // SortReducer phases on the buffer (functional; host network ops)
+        let merges = Self::MERGES.min(sortnet::log2(padded / k_eff) as usize);
+        host::local_sort(&mut buf, k_eff);
+        let mut len = buf.len();
+        for mi in 0..merges {
+            let mut half = vec![T::min_sentinel(); len / 2];
+            host::merge_halve(&buf[..len], k_eff, &mut half);
+            len /= 2;
+            buf[..len].copy_from_slice(&half);
+            if mi + 1 < merges {
+                host::rebuild(&mut buf[..len], k_eff);
+            }
+        }
+
+        // traffic: stream all columns once; write the 1/16 reduction;
+        // shared cost = filter staging + the SortReducer pipeline factor
+        blk.bulk_global_read((self.n_rows * (self.pred_bytes + self.key_bytes)) as u64);
+        blk.bulk_global_write((len * T::SIZE_BYTES) as u64);
+        let factor = topk_costmodel::shared_traffic_factor(k_eff, 16, merges, true);
+        blk.bulk_shared((2.0 * self.n_rows as f64 * 4.0) as u64); // buffer filling
+        blk.bulk_shared((factor * (m.max(1) * T::SIZE_BYTES) as f64) as u64);
+        blk.bulk_ops((6 * self.n_rows) as u64);
+
+        self.out_valid.set(0, len as u32);
+        let mut out = self.out_runs.to_vec();
+        out[..len].copy_from_slice(&buf[..len]);
+        self.out_runs.upload(&out);
+    }
+}
+
+/// Runs the order-by/limit stage on materialized candidates.
+pub(crate) fn run_topk_stage<T: TopKItem>(
+    dev: &Device,
+    candidates: &GpuBuffer<T>,
+    valid: usize,
+    k: usize,
+    strategy: TopKStrategy,
+) -> Result<TopKResult<T>, TopKError> {
+    // slice the valid prefix into its own buffer (device-side view)
+    let view = dev.upload(&candidates.read_range(0..valid.max(1)));
+    match strategy {
+        TopKStrategy::Sort => topk::sort::sort_topk(dev, &view, k),
+        TopKStrategy::Bitonic => {
+            topk::bitonic::bitonic_topk(dev, &view, k, BitonicConfig::default())
+        }
+    }
+}
+
+/// Runs a fused filter/project + bitonic top-k: the FusedSortReducer
+/// kernel followed by the BitonicReducer continuation.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_fused_topk<T: TopKItem>(
+    dev: &Device,
+    table: &GpuTweetTable,
+    pred_bytes: usize,
+    key_bytes: usize,
+    matched: Vec<T>,
+    k: usize,
+) -> Result<TopKResult<T>, TopKError> {
+    let k_eff = next_pow2(k.min(matched.len()).max(1));
+    let padded = next_pow2(matched.len().max(4096.max(2 * k_eff)));
+    let out_runs = dev.alloc_filled::<T>(padded, T::min_sentinel());
+    let out_valid = dev.alloc::<u32>(1);
+    let n_rows = table.len();
+    dev.launch(&FusedSortReducerKernel {
+        pred_bytes,
+        key_bytes,
+        n_rows,
+        matched,
+        k_eff,
+        out_runs: out_runs.clone(),
+        out_valid: out_valid.clone(),
+        _table: table,
+    })?;
+    let valid = out_valid.get(0) as usize;
+    bitonic_topk_from_runs(dev, &out_runs, valid, k, BitonicConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::twitter::TweetTable;
+
+    fn setup(n: usize) -> (Device, TweetTable, GpuTweetTable) {
+        let dev = Device::titan_x();
+        let host = TweetTable::generate(n, 7);
+        let gpu = GpuTweetTable::upload(&dev, &host);
+        (dev, host, gpu)
+    }
+
+    #[test]
+    fn filter_kernel_selects_matching_rows() {
+        let (dev, host, gpu) = setup(10_000);
+        let cutoff = host.time_cutoff_for_selectivity(0.4);
+        let out = dev.alloc::<Kv<u32>>(10_000);
+        let cnt = dev.alloc::<u32>(1);
+        dev.launch(&FilterKernel {
+            table: &gpu,
+            op: &FilterOp::TimeLess(cutoff),
+            key_col: &gpu.retweet_count,
+            out: out.clone(),
+            out_count: cnt.clone(),
+        })
+        .unwrap();
+        let m = cnt.get(0) as usize;
+        let expect = host.tweet_time.iter().filter(|&&t| t < cutoff).count();
+        assert_eq!(m, expect);
+        // every output row actually satisfies the predicate
+        for item in out.read_range(0..m) {
+            assert!(host.tweet_time[item.value as usize] < cutoff);
+            assert_eq!(host.retweet_count[item.value as usize], item.key);
+        }
+    }
+
+    #[test]
+    fn lang_filter_selectivity() {
+        let (dev, host, gpu) = setup(20_000);
+        let out = dev.alloc::<Kv<u32>>(20_000);
+        let cnt = dev.alloc::<u32>(1);
+        dev.launch(&FilterKernel {
+            table: &gpu,
+            op: &FilterOp::LangIn(vec![0, 1]),
+            key_col: &gpu.retweet_count,
+            out,
+            out_count: cnt.clone(),
+        })
+        .unwrap();
+        let sel = cnt.get(0) as f64 / host.len() as f64;
+        assert!((0.75..0.85).contains(&sel), "en+es selectivity {sel}");
+    }
+
+    #[test]
+    fn project_rank_formula() {
+        let (dev, host, gpu) = setup(5_000);
+        let out = dev.alloc::<Kv<f32>>(5_000);
+        dev.launch(&ProjectRankKernel {
+            table: &gpu,
+            out: out.clone(),
+        })
+        .unwrap();
+        let v = out.to_vec();
+        for i in [0usize, 17, 4999] {
+            let expect = host.retweet_count[i] as f32 + 0.5 * host.likes_count[i] as f32;
+            assert_eq!(v[i].key, expect);
+            assert_eq!(v[i].value, i as u32);
+        }
+    }
+
+    #[test]
+    fn group_count_totals() {
+        let (dev, host, gpu) = setup(30_000);
+        let out = dev.alloc::<Kv<u32>>(30_000);
+        let cnt = dev.alloc::<u32>(1);
+        dev.launch(&GroupCountKernel {
+            table: &gpu,
+            out: out.clone(),
+            out_count: cnt.clone(),
+        })
+        .unwrap();
+        let g = cnt.get(0) as usize;
+        let groups = out.read_range(0..g);
+        let total: u64 = groups.iter().map(|kv| kv.key as u64).sum();
+        assert_eq!(total, host.len() as u64, "counts must sum to row count");
+        let mut uids: Vec<u32> = groups.iter().map(|kv| kv.value).collect();
+        uids.sort_unstable();
+        uids.dedup();
+        assert_eq!(uids.len(), g, "group uids must be distinct");
+    }
+
+    #[test]
+    fn fused_topk_matches_unfused() {
+        let (dev, host, gpu) = setup(50_000);
+        let cutoff = host.time_cutoff_for_selectivity(0.5);
+        let op = FilterOp::TimeLess(cutoff);
+        let matched: Vec<Kv<u32>> = (0..host.len())
+            .filter(|&r| host.tweet_time[r] < cutoff)
+            .map(|r| Kv::new(host.retweet_count[r], r as u32))
+            .collect();
+        let fused = run_fused_topk(&dev, &gpu, op.pred_bytes(), 4, matched.clone(), 50).unwrap();
+        let view = dev.upload(&matched);
+        let unfused = topk::sort::sort_topk(&dev, &view, 50).unwrap();
+        let fk: Vec<u32> = fused.items.iter().map(|x| x.key).collect();
+        let uk: Vec<u32> = unfused.items.iter().map(|x| x.key).collect();
+        assert_eq!(fk, uk);
+    }
+
+    #[test]
+    fn fused_is_cheaper_than_filter_plus_topk_traffic() {
+        // Section 5: fusion saves writing + re-reading the filtered pairs
+        let (dev, host, gpu) = setup(1 << 17);
+        let cutoff = host.time_cutoff_for_selectivity(1.0);
+        let matched: Vec<Kv<u32>> = (0..host.len())
+            .map(|r| Kv::new(host.retweet_count[r], r as u32))
+            .collect();
+
+        let log0 = dev.log_len();
+        let _ = run_fused_topk(&dev, &gpu, 4, 4, matched.clone(), 50).unwrap();
+        let fused_bytes: u64 = dev
+            .log_since(log0)
+            .iter()
+            .map(|r| r.stats.global_bytes())
+            .sum();
+
+        // unfused: filter writes pairs, top-k reads them again
+        let out = dev.alloc::<Kv<u32>>(1 << 17);
+        let cnt = dev.alloc::<u32>(1);
+        let log1 = dev.log_len();
+        dev.launch(&FilterKernel {
+            table: &gpu,
+            op: &FilterOp::TimeLess(cutoff),
+            key_col: &gpu.retweet_count,
+            out: out.clone(),
+            out_count: cnt.clone(),
+        })
+        .unwrap();
+        let r = run_topk_stage(&dev, &out, cnt.get(0) as usize, 50, TopKStrategy::Bitonic).unwrap();
+        let unfused_bytes: u64 = dev
+            .log_since(log1)
+            .iter()
+            .map(|x| x.stats.global_bytes())
+            .sum::<u64>()
+            .max(r.global_bytes());
+
+        assert!(
+            fused_bytes * 10 < unfused_bytes * 9,
+            "fusion should save ≥10% of global traffic: fused={fused_bytes} unfused={unfused_bytes}"
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! EXPLAIN: cost-based strategy selection for the Figure 16 queries.
+//!
+//! The paper motivates its cost models with query planning; this module
+//! closes that loop inside the engine. At upload time the table gathers
+//! light column statistics; `explain_*` estimates the predicate
+//! selectivity, prices each execution strategy with the Section 7 models
+//! (plus simple scan formulas for the filter/projection stages), and
+//! returns a plan naming the winner — which [`crate::queries`] can then
+//! execute.
+
+use simt::DeviceSpec;
+use topk_costmodel::{bitonic_topk_seconds, sort_seconds, BitonicModelInput};
+
+use crate::engine::FilterOp;
+use crate::queries::Strategy;
+use crate::table::GpuTweetTable;
+
+/// Light per-table statistics for selectivity estimation, computed once
+/// at upload (the standard catalog-statistics pattern).
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Minimum of `tweet_time`.
+    pub time_min: u32,
+    /// Maximum of `tweet_time`.
+    pub time_max: u32,
+    /// Relative frequency of each language code (sampled).
+    pub lang_freq: [f64; 8],
+}
+
+impl TableStats {
+    /// Gathers statistics from a device table (full pass on `tweet_time`
+    /// bounds, sampled language histogram — cheap and good enough for
+    /// planning).
+    pub fn gather(table: &GpuTweetTable) -> Self {
+        let times = table.tweet_time.to_vec();
+        let time_min = times.iter().copied().min().unwrap_or(0);
+        let time_max = times.iter().copied().max().unwrap_or(0);
+        let langs = table.lang.to_vec();
+        let sample = 4096.min(langs.len()).max(1);
+        let stride = (langs.len() / sample).max(1);
+        let mut counts = [0usize; 8];
+        let mut seen = 0usize;
+        for i in (0..langs.len()).step_by(stride) {
+            counts[(langs[i] as usize).min(7)] += 1;
+            seen += 1;
+        }
+        let mut lang_freq = [0.0; 8];
+        for (f, c) in lang_freq.iter_mut().zip(counts) {
+            *f = c as f64 / seen.max(1) as f64;
+        }
+        Self {
+            time_min,
+            time_max,
+            lang_freq,
+        }
+    }
+
+    /// Estimated selectivity of a predicate.
+    pub fn selectivity(&self, op: &FilterOp) -> f64 {
+        match op {
+            FilterOp::TimeLess(cutoff) => {
+                if *cutoff <= self.time_min {
+                    0.0
+                } else if *cutoff > self.time_max {
+                    1.0
+                } else {
+                    (*cutoff - self.time_min) as f64 / (self.time_max - self.time_min).max(1) as f64
+                }
+            }
+            FilterOp::LangIn(langs) => langs
+                .iter()
+                .map(|&l| self.lang_freq[(l as usize).min(7)])
+                .sum::<f64>()
+                .clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// One strategy's predicted cost.
+#[derive(Debug, Clone, Copy)]
+pub struct StrategyCost {
+    /// The strategy this row prices.
+    pub strategy: Strategy,
+    /// Predicted kernel seconds.
+    pub predicted_seconds: f64,
+}
+
+/// The planner's output: all strategies priced, cheapest first.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Estimated predicate selectivity used for the estimates.
+    pub selectivity: f64,
+    /// Per-strategy predictions, sorted ascending by cost.
+    pub costs: Vec<StrategyCost>,
+}
+
+impl QueryPlan {
+    /// The recommended (cheapest) strategy.
+    pub fn chosen(&self) -> Strategy {
+        self.costs[0].strategy
+    }
+
+    /// Renders the plan like an EXPLAIN output.
+    pub fn render(&self) -> String {
+        let mut s = format!("plan (est. selectivity {:.2}):\n", self.selectivity);
+        for (i, c) in self.costs.iter().enumerate() {
+            s.push_str(&format!(
+                "  {} {:<18} ~{:.3} ms\n",
+                if i == 0 { "->" } else { "  " },
+                c.strategy.name(),
+                c.predicted_seconds * 1e3
+            ));
+        }
+        s
+    }
+}
+
+/// Prices the three Q1/Q3 strategies for `WHERE <op> ORDER BY
+/// retweet_count DESC LIMIT k`.
+pub fn explain_filtered_topk(
+    spec: &DeviceSpec,
+    table: &GpuTweetTable,
+    stats: &TableStats,
+    op: &FilterOp,
+    k: usize,
+) -> QueryPlan {
+    let n = table.len();
+    let sel = stats.selectivity(op);
+    let matched = ((n as f64 * sel) as usize).max(1);
+    let pair_bytes = 8.0; // (key, id)
+
+    // filter stage: read pred+key columns, write matched pairs
+    let scan = (n as f64 * (op.pred_bytes() + 4) as f64) / spec.global_bw;
+    let filter_stage = scan + (matched as f64 * pair_bytes) / spec.global_bw + spec.launch_overhead;
+
+    let sort_cost = filter_stage + sort_seconds(spec, matched, 8);
+    let bitonic_cost =
+        filter_stage + bitonic_topk_seconds(spec, BitonicModelInput::with_defaults(matched, k, 8));
+    // fused: no pair materialization or re-read; the top-k pipeline runs
+    // on the 16×-reduced stream
+    let fused_cost =
+        scan + bitonic_topk_seconds(
+            spec,
+            BitonicModelInput::with_defaults(matched / 16 + 1, k, 8),
+        ) + spec.launch_overhead;
+
+    let mut costs = vec![
+        StrategyCost {
+            strategy: Strategy::StageSort,
+            predicted_seconds: sort_cost,
+        },
+        StrategyCost {
+            strategy: Strategy::StageBitonic,
+            predicted_seconds: bitonic_cost,
+        },
+        StrategyCost {
+            strategy: Strategy::CombinedBitonic,
+            predicted_seconds: fused_cost,
+        },
+    ];
+    costs.sort_by(|a, b| {
+        a.predicted_seconds
+            .partial_cmp(&b.predicted_seconds)
+            .unwrap()
+    });
+    QueryPlan {
+        selectivity: sel,
+        costs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::filtered_topk;
+    use datagen::twitter::TweetTable;
+    use simt::Device;
+
+    fn setup(n: usize) -> (Device, TweetTable, GpuTweetTable, TableStats) {
+        let dev = Device::titan_x();
+        let host = TweetTable::generate(n, 77);
+        let gpu = GpuTweetTable::upload(&dev, &host);
+        let stats = TableStats::gather(&gpu);
+        (dev, host, gpu, stats)
+    }
+
+    #[test]
+    fn time_selectivity_estimates_track_reality() {
+        let (_dev, host, _gpu, stats) = setup(50_000);
+        for target in [0.1, 0.5, 0.9] {
+            let cutoff = host.time_cutoff_for_selectivity(target);
+            let est = stats.selectivity(&FilterOp::TimeLess(cutoff));
+            assert!((est - target).abs() < 0.05, "target={target} est={est}");
+        }
+        assert_eq!(stats.selectivity(&FilterOp::TimeLess(0)), 0.0);
+    }
+
+    #[test]
+    fn lang_selectivity_estimates_track_reality() {
+        let (_dev, host, _gpu, stats) = setup(50_000);
+        let est = stats.selectivity(&FilterOp::LangIn(vec![0, 1]));
+        let real = host.lang.iter().filter(|&&l| l <= 1).count() as f64 / host.len() as f64;
+        assert!((est - real).abs() < 0.05, "est={est} real={real}");
+    }
+
+    #[test]
+    fn plan_prefers_fusion_and_bitonic_over_sort() {
+        let (_dev, host, gpu, stats) = setup(200_000);
+        let cutoff = host.time_cutoff_for_selectivity(0.8);
+        let plan = explain_filtered_topk(
+            &simt::DeviceSpec::titan_x_maxwell(),
+            &gpu,
+            &stats,
+            &FilterOp::TimeLess(cutoff),
+            50,
+        );
+        assert_eq!(plan.chosen(), Strategy::CombinedBitonic);
+        // sort must be the most expensive
+        assert_eq!(plan.costs.last().unwrap().strategy, Strategy::StageSort);
+        let rendered = plan.render();
+        assert!(rendered.contains("->"));
+        assert!(rendered.contains("combined-bitonic"));
+    }
+
+    #[test]
+    fn chosen_strategy_is_actually_fastest() {
+        let (dev, host, gpu, stats) = setup(1 << 17);
+        let cutoff = host.time_cutoff_for_selectivity(0.6);
+        let op = FilterOp::TimeLess(cutoff);
+        let plan = explain_filtered_topk(dev.spec(), &gpu, &stats, &op, 50);
+        let mut measured: Vec<(Strategy, f64)> = Strategy::all()
+            .iter()
+            .map(|&s| {
+                (
+                    s,
+                    filtered_topk(&dev, &gpu, &op, 50, s).kernel_time.seconds(),
+                )
+            })
+            .collect();
+        measured.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        assert_eq!(
+            plan.chosen(),
+            measured[0].0,
+            "plan={plan:?} measured={measured:?}"
+        );
+    }
+}

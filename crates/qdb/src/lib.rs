@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! A columnar mini query engine on the simulated GPU — the reproduction's
+//! stand-in for MapD (paper Sections 5 and 6.8).
+//!
+//! The engine implements exactly the physical operators the paper's
+//! integration experiments exercise:
+//!
+//! * columnar **scan + filter** producing `(key, id)` candidate pairs,
+//! * **projection** of a custom ranking function,
+//! * hash **group-by count**,
+//! * **order-by/limit** with a pluggable top-k operator (full sort or
+//!   bitonic top-k),
+//! * the two Section 5 **fusions**: filter-as-buffer-filler inside the
+//!   SortReducer (`FusedFilterTopK`) and ranking-function evaluation
+//!   inside the SortReducer (`FusedProjectTopK`).
+//!
+//! [`queries`] wires these into the paper's four Twitter queries
+//! (Figure 16) with per-strategy kernel-time breakdowns.
+
+pub mod engine;
+pub mod explain;
+pub mod queries;
+pub mod sql;
+pub mod table;
+
+pub use engine::{FilterOp, TopKStrategy};
+pub use explain::{explain_filtered_topk, QueryPlan, TableStats};
+pub use queries::{QueryResult, Strategy};
+pub use sql::{execute as execute_sql, parse as parse_sql, Query, SqlError};
+pub use table::GpuTweetTable;

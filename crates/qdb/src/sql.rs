@@ -1,0 +1,507 @@
+//! A small SQL front-end for the query shapes the engine supports — the
+//! "integration into existing systems" demonstration (paper Section 5
+//! frames the top-k kernel as a drop-in physical operator behind SQL).
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```sql
+//! SELECT id FROM tweets
+//!   [WHERE tweet_time < <number> | WHERE lang = '<code>' [OR lang = '<code>']…]
+//!   ORDER BY retweet_count [+ <weight> * likes_count] DESC
+//!   LIMIT <k>;
+//!
+//! SELECT uid, COUNT(*) FROM tweets
+//!   GROUP BY uid ORDER BY COUNT(*) DESC LIMIT <k>;
+//! ```
+//!
+//! `parse` produces a [`Query`]; [`execute`] runs it through
+//! [`crate::queries`] with any [`Strategy`].
+
+use simt::Device;
+
+use crate::engine::{FilterOp, TopKStrategy};
+use crate::queries::{filtered_topk, group_topk, ranked_topk, QueryResult, Strategy};
+use crate::table::GpuTweetTable;
+
+/// Parse/validation errors with byte positions where sensible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Unexpected token (found, expected).
+    Unexpected(String, &'static str),
+    /// Input ended mid-statement.
+    UnexpectedEnd(&'static str),
+    /// A column or table name the engine does not know.
+    Unknown(String),
+    /// LIMIT must be a positive integer.
+    BadLimit(String),
+    /// Unsupported combination (e.g. GROUP BY with WHERE).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Unexpected(got, want) => write!(f, "unexpected '{got}', expected {want}"),
+            SqlError::UnexpectedEnd(want) => write!(f, "unexpected end of input, expected {want}"),
+            SqlError::Unknown(name) => write!(f, "unknown identifier '{name}'"),
+            SqlError::BadLimit(v) => write!(f, "LIMIT must be a positive integer, got '{v}'"),
+            SqlError::Unsupported(what) => write!(f, "unsupported query shape: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// What the query orders by.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderBy {
+    /// `ORDER BY retweet_count DESC`.
+    RetweetCount,
+    /// `ORDER BY retweet_count + w * likes_count DESC`.
+    Rank {
+        /// The likes weight `w`.
+        likes_weight: f32,
+    },
+    /// `ORDER BY COUNT(*) DESC` (group-by queries).
+    Count,
+}
+
+/// A parsed, validated query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Optional predicate.
+    pub filter: Option<FilterOp>,
+    /// `GROUP BY uid` present?
+    pub group_by_uid: bool,
+    /// Ranking expression.
+    pub order_by: OrderBy,
+    /// LIMIT k.
+    pub limit: usize,
+}
+
+/// Language code names accepted in `lang = '<code>'`.
+fn lang_code(name: &str) -> Option<u8> {
+    match name {
+        "en" => Some(0),
+        "es" => Some(1),
+        "pt" => Some(2),
+        "ja" => Some(3),
+        "ar" => Some(4),
+        "other" => Some(5),
+        _ => None,
+    }
+}
+
+/// Tokenizer: lowercased identifiers/keywords, numbers, quoted strings,
+/// and single-character punctuation.
+fn tokenize(sql: &str) -> Result<Vec<String>, SqlError> {
+    let mut out = Vec::new();
+    let mut chars = sql.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(ch) => s.push(ch),
+                        None => return Err(SqlError::UnexpectedEnd("closing quote")),
+                    }
+                }
+                out.push(format!("'{s}'"));
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '.' => {
+                let mut s = String::new();
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_alphanumeric() || ch == '_' || ch == '.' {
+                        s.push(ch.to_ascii_lowercase());
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(s);
+            }
+            '(' | ')' | ',' | ';' | '<' | '>' | '=' | '+' | '*' => {
+                out.push(c.to_string());
+                chars.next();
+            }
+            other => return Err(SqlError::Unexpected(other.to_string(), "a SQL token")),
+        }
+    }
+    Ok(out)
+}
+
+/// Cursor over tokens with expectation helpers.
+struct Cursor {
+    toks: Vec<String>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&str> {
+        self.toks.get(self.pos).map(|s| s.as_str())
+    }
+    fn next(&mut self, want: &'static str) -> Result<&str, SqlError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .ok_or(SqlError::UnexpectedEnd(want))?;
+        self.pos += 1;
+        Ok(t)
+    }
+    fn expect(&mut self, kw: &'static str) -> Result<(), SqlError> {
+        let t = self.next(kw)?;
+        if t == kw {
+            Ok(())
+        } else {
+            Err(SqlError::Unexpected(t.to_string(), kw))
+        }
+    }
+    fn eat(&mut self, kw: &str) -> bool {
+        if self.peek() == Some(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Parses one statement.
+pub fn parse(sql: &str) -> Result<Query, SqlError> {
+    let mut c = Cursor {
+        toks: tokenize(sql)?,
+        pos: 0,
+    };
+    c.expect("select")?;
+
+    // select list: `id` or `uid , count ( * )`
+    let first = c.next("a select column")?.to_string();
+    let group_query = match first.as_str() {
+        "id" => false,
+        "uid" => {
+            c.expect(",")?;
+            let agg = c.next("COUNT(*)")?.to_string();
+            if agg != "count" {
+                return Err(SqlError::Unexpected(agg, "COUNT(*)"));
+            }
+            c.expect("(")?;
+            c.eat("*");
+            c.expect(")")?;
+            // optional `AS alias`
+            if c.eat("as") {
+                c.next("an alias")?;
+            }
+            true
+        }
+        other => return Err(SqlError::Unknown(other.to_string())),
+    };
+
+    c.expect("from")?;
+    let table = c.next("a table name")?.to_string();
+    if table != "tweets" {
+        return Err(SqlError::Unknown(table));
+    }
+
+    // WHERE
+    let mut filter = None;
+    if c.eat("where") {
+        if group_query {
+            return Err(SqlError::Unsupported("GROUP BY with WHERE"));
+        }
+        let col = c.next("a predicate column")?.to_string();
+        match col.as_str() {
+            "tweet_time" => {
+                c.expect("<")?;
+                let num = c.next("a number")?.to_string();
+                let cutoff: u32 = num
+                    .parse()
+                    .map_err(|_| SqlError::Unexpected(num, "a number"))?;
+                filter = Some(FilterOp::TimeLess(cutoff));
+            }
+            "lang" => {
+                let mut langs = Vec::new();
+                loop {
+                    c.expect("=")?;
+                    let lit = c.next("a quoted language code")?.to_string();
+                    let name = lit
+                        .strip_prefix('\'')
+                        .and_then(|s| s.strip_suffix('\''))
+                        .ok_or_else(|| SqlError::Unexpected(lit.clone(), "a quoted string"))?;
+                    langs.push(lang_code(name).ok_or_else(|| SqlError::Unknown(name.to_string()))?);
+                    if c.eat("or") {
+                        let col2 = c.next("lang")?.to_string();
+                        if col2 != "lang" {
+                            return Err(SqlError::Unexpected(col2, "lang"));
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                filter = Some(FilterOp::LangIn(langs));
+            }
+            other => return Err(SqlError::Unknown(other.to_string())),
+        }
+    }
+
+    // GROUP BY
+    let mut group_by_uid = false;
+    if c.eat("group") {
+        c.expect("by")?;
+        let col = c.next("uid")?.to_string();
+        if col != "uid" {
+            return Err(SqlError::Unknown(col));
+        }
+        group_by_uid = true;
+    }
+    if group_query != group_by_uid {
+        return Err(SqlError::Unsupported(
+            "SELECT uid, COUNT(*) requires GROUP BY uid (and vice versa)",
+        ));
+    }
+
+    // ORDER BY
+    c.expect("order")?;
+    c.expect("by")?;
+    let order_by = if group_by_uid {
+        let t = c.next("COUNT(*) or the alias")?.to_string();
+        match t.as_str() {
+            "count" => {
+                c.expect("(")?;
+                c.eat("*");
+                c.expect(")")?;
+            }
+            _ if t.chars().all(|ch| ch.is_alphanumeric() || ch == '_') => {} // alias
+            _ => return Err(SqlError::Unexpected(t, "COUNT(*)")),
+        }
+        OrderBy::Count
+    } else {
+        let col = c.next("retweet_count")?.to_string();
+        if col != "retweet_count" {
+            return Err(SqlError::Unknown(col));
+        }
+        if c.eat("+") {
+            let w = c.next("a weight")?.to_string();
+            let weight: f32 = w.parse().map_err(|_| SqlError::Unexpected(w, "a number"))?;
+            c.expect("*")?;
+            let col2 = c.next("likes_count")?.to_string();
+            if col2 != "likes_count" {
+                return Err(SqlError::Unknown(col2));
+            }
+            OrderBy::Rank {
+                likes_weight: weight,
+            }
+        } else {
+            OrderBy::RetweetCount
+        }
+    };
+    c.expect("desc")?;
+
+    // LIMIT
+    c.expect("limit")?;
+    let lim = c.next("a limit")?.to_string();
+    let limit: usize = lim.parse().map_err(|_| SqlError::BadLimit(lim.clone()))?;
+    if limit == 0 {
+        return Err(SqlError::BadLimit(lim));
+    }
+    c.eat(";");
+    if let Some(extra) = c.peek() {
+        return Err(SqlError::Unexpected(extra.to_string(), "end of statement"));
+    }
+
+    Ok(Query {
+        filter,
+        group_by_uid,
+        order_by,
+        limit,
+    })
+}
+
+/// Executes a parsed query with the given strategy.
+///
+/// Rank queries with a non-default weight are evaluated with the generic
+/// ranking pipeline only when the weight matches the engine's built-in
+/// `0.5` (the paper's Q2); other weights return
+/// [`SqlError::Unsupported`] — the engine compiles one ranking function,
+/// like the paper's fused kernel does.
+pub fn execute(
+    dev: &Device,
+    table: &GpuTweetTable,
+    q: &Query,
+    strategy: Strategy,
+) -> Result<QueryResult, SqlError> {
+    match (&q.order_by, q.group_by_uid) {
+        (OrderBy::Count, true) => {
+            let topk = if strategy == Strategy::StageSort {
+                TopKStrategy::Sort
+            } else {
+                TopKStrategy::Bitonic
+            };
+            Ok(group_topk(dev, table, q.limit, topk))
+        }
+        (OrderBy::RetweetCount, false) => {
+            let op = q.filter.clone().unwrap_or(FilterOp::TimeLess(u32::MAX));
+            Ok(filtered_topk(dev, table, &op, q.limit, strategy))
+        }
+        (OrderBy::Rank { likes_weight }, false) => {
+            if (likes_weight - 0.5).abs() > 1e-9 {
+                return Err(SqlError::Unsupported("ranking weight other than 0.5"));
+            }
+            if q.filter.is_some() {
+                return Err(SqlError::Unsupported(
+                    "WHERE combined with a ranking function",
+                ));
+            }
+            Ok(ranked_topk(dev, table, q.limit, strategy))
+        }
+        _ => Err(SqlError::Unsupported("this SELECT/GROUP BY combination")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::twitter::TweetTable;
+
+    #[test]
+    fn parses_q1() {
+        let q = parse(
+            "SELECT id FROM tweets WHERE tweet_time < 123456 ORDER BY retweet_count DESC LIMIT 50",
+        )
+        .unwrap();
+        assert_eq!(q.filter, Some(FilterOp::TimeLess(123456)));
+        assert_eq!(q.order_by, OrderBy::RetweetCount);
+        assert_eq!(q.limit, 50);
+        assert!(!q.group_by_uid);
+    }
+
+    #[test]
+    fn parses_q2_ranking() {
+        let q = parse(
+            "SELECT id FROM tweets ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT 10;",
+        )
+        .unwrap();
+        assert_eq!(q.order_by, OrderBy::Rank { likes_weight: 0.5 });
+        assert!(q.filter.is_none());
+    }
+
+    #[test]
+    fn parses_q3_lang_disjunction() {
+        let q = parse(
+            "SELECT id FROM tweets WHERE lang='en' OR lang='es' ORDER BY retweet_count DESC LIMIT 7",
+        )
+        .unwrap();
+        assert_eq!(q.filter, Some(FilterOp::LangIn(vec![0, 1])));
+    }
+
+    #[test]
+    fn parses_q4_group_by() {
+        let q = parse(
+            "SELECT uid, COUNT(*) AS num_tweets FROM tweets GROUP BY uid ORDER BY num_tweets DESC LIMIT 50",
+        )
+        .unwrap();
+        assert!(q.group_by_uid);
+        assert_eq!(q.order_by, OrderBy::Count);
+        // and the COUNT(*) spelling in ORDER BY works too
+        let q2 =
+            parse("SELECT uid, COUNT(*) FROM tweets GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 50")
+                .unwrap();
+        assert_eq!(q2.order_by, OrderBy::Count);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse("select ID from TWEETS order by RETWEET_COUNT desc limit 3").unwrap();
+        assert_eq!(q.limit, 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            parse("DROP TABLE tweets"),
+            Err(SqlError::Unexpected(..))
+        ));
+        assert!(matches!(
+            parse("SELECT id FROM users ORDER BY retweet_count DESC LIMIT 5"),
+            Err(SqlError::Unknown(_))
+        ));
+        assert!(matches!(
+            parse("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 0"),
+            Err(SqlError::BadLimit(_))
+        ));
+        assert!(matches!(
+            parse("SELECT id FROM tweets ORDER BY retweet_count DESC"),
+            Err(SqlError::UnexpectedEnd(_))
+        ));
+        assert!(matches!(
+            parse("SELECT id FROM tweets WHERE lang='xx' ORDER BY retweet_count DESC LIMIT 5"),
+            Err(SqlError::Unknown(_))
+        ));
+        assert!(matches!(
+            parse("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5 extra"),
+            Err(SqlError::Unexpected(..))
+        ));
+    }
+
+    #[test]
+    fn executes_all_four_paper_queries() {
+        let host = TweetTable::generate(20_000, 123);
+        let dev = Device::titan_x();
+        let table = GpuTweetTable::upload(&dev, &host);
+        let cutoff = host.time_cutoff_for_selectivity(0.5);
+        let sqls = [
+            format!("SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT 50"),
+            "SELECT id FROM tweets ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT 20".into(),
+            "SELECT id FROM tweets WHERE lang='en' OR lang='es' ORDER BY retweet_count DESC LIMIT 30".into(),
+            "SELECT uid, COUNT(*) AS num_tweets FROM tweets GROUP BY uid ORDER BY num_tweets DESC LIMIT 50".into(),
+        ];
+        for sql in &sqls {
+            let q = parse(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            for strat in Strategy::all() {
+                let r = execute(&dev, &table, &q, strat).unwrap();
+                assert!(!r.ids.is_empty(), "{sql} via {}", strat.name());
+                assert!(r.ids.len() <= q.limit);
+            }
+        }
+    }
+
+    #[test]
+    fn sql_results_match_direct_api() {
+        let host = TweetTable::generate(10_000, 124);
+        let dev = Device::titan_x();
+        let table = GpuTweetTable::upload(&dev, &host);
+        let cutoff = host.time_cutoff_for_selectivity(0.4);
+        let q = parse(&format!(
+            "SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT 25"
+        ))
+        .unwrap();
+        let via_sql = execute(&dev, &table, &q, Strategy::CombinedBitonic).unwrap();
+        let direct = filtered_topk(
+            &dev,
+            &table,
+            &FilterOp::TimeLess(cutoff),
+            25,
+            Strategy::CombinedBitonic,
+        );
+        assert_eq!(via_sql.ids, direct.ids);
+    }
+
+    #[test]
+    fn unsupported_shapes_error_cleanly() {
+        let host = TweetTable::generate(1_000, 125);
+        let dev = Device::titan_x();
+        let table = GpuTweetTable::upload(&dev, &host);
+        let q =
+            parse("SELECT id FROM tweets ORDER BY retweet_count + 0.9 * likes_count DESC LIMIT 5")
+                .unwrap();
+        assert!(matches!(
+            execute(&dev, &table, &q, Strategy::StageBitonic),
+            Err(SqlError::Unsupported(_))
+        ));
+    }
+}

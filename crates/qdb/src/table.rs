@@ -1,0 +1,63 @@
+//! Device-resident tweet table.
+
+use datagen::twitter::TweetTable;
+use simt::{Device, GpuBuffer};
+
+/// The Twitter table of Section 6.8, uploaded column-by-column to the
+/// simulated device.
+pub struct GpuTweetTable {
+    /// Tweet id column.
+    pub id: GpuBuffer<u32>,
+    /// Seconds since the start of the month.
+    pub tweet_time: GpuBuffer<u32>,
+    /// Retweet counts.
+    pub retweet_count: GpuBuffer<u32>,
+    /// Like counts.
+    pub likes_count: GpuBuffer<u32>,
+    /// Language codes (see `datagen::twitter`).
+    pub lang: GpuBuffer<u8>,
+    /// Author ids.
+    pub uid: GpuBuffer<u32>,
+    len: usize,
+}
+
+impl GpuTweetTable {
+    /// Uploads a host-side table.
+    pub fn upload(dev: &Device, t: &TweetTable) -> Self {
+        Self {
+            id: dev.upload(&t.id),
+            tweet_time: dev.upload(&t.tweet_time),
+            retweet_count: dev.upload(&t.retweet_count),
+            likes_count: dev.upload(&t.likes_count),
+            lang: dev.upload(&t.lang),
+            uid: dev.upload(&t.uid),
+            len: t.len(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_roundtrips() {
+        let dev = Device::titan_x();
+        let host = TweetTable::generate(1000, 1);
+        let gpu = GpuTweetTable::upload(&dev, &host);
+        assert_eq!(gpu.len(), 1000);
+        assert!(!gpu.is_empty());
+        assert_eq!(gpu.retweet_count.to_vec(), host.retweet_count);
+        assert_eq!(gpu.lang.to_vec(), host.lang);
+    }
+}

@@ -1,0 +1,121 @@
+//! Device-resident buffers.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::device::DeviceInner;
+
+/// Types that may live in device memory.
+///
+/// Plain bit-copyable records; `Default` supplies the value used by
+/// zero-initialized allocations.
+pub trait DeviceCopy: Copy + Default + 'static {}
+impl<T: Copy + Default + 'static> DeviceCopy for T {}
+
+pub(crate) struct BufferInner<T> {
+    pub(crate) data: RefCell<Vec<T>>,
+    /// Simulated device address of element 0 (for coalescing analysis).
+    pub(crate) base_addr: u64,
+    bytes: usize,
+    dev: Rc<DeviceInner>,
+}
+
+impl<T> Drop for BufferInner<T> {
+    fn drop(&mut self) {
+        self.dev.release_bytes(self.bytes);
+    }
+}
+
+/// A buffer in simulated global memory.
+///
+/// Cloning is cheap (reference-counted); the device tracks allocated bytes
+/// and the high-water mark so experiments can report the paper's memory
+/// usage claims (bitonic top-k: n/8 extra vs. n for sort/select).
+pub struct GpuBuffer<T: DeviceCopy> {
+    pub(crate) inner: Rc<BufferInner<T>>,
+}
+
+impl<T: DeviceCopy> Clone for GpuBuffer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: DeviceCopy> GpuBuffer<T> {
+    pub(crate) fn new(dev: Rc<DeviceInner>, data: Vec<T>) -> Self {
+        let bytes = data.len() * std::mem::size_of::<T>();
+        let base_addr = dev.claim_address_range(bytes);
+        dev.acquire_bytes(bytes);
+        Self {
+            inner: Rc::new(BufferInner {
+                data: RefCell::new(data),
+                base_addr,
+                bytes,
+                dev,
+            }),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.data.borrow().len()
+    }
+
+    /// True when the buffer has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies device contents back to the host.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.inner.data.borrow().clone()
+    }
+
+    /// Copies a range back to the host.
+    pub fn read_range(&self, range: std::ops::Range<usize>) -> Vec<T> {
+        self.inner.data.borrow()[range].to_vec()
+    }
+
+    /// Host-side element read (no traffic accounting; use [`crate::Lane`]
+    /// inside kernels).
+    pub fn get(&self, idx: usize) -> T {
+        self.inner.data.borrow()[idx]
+    }
+
+    /// Host-side element write (no traffic accounting).
+    pub fn set(&self, idx: usize, v: T) {
+        self.inner.data.borrow_mut()[idx] = v;
+    }
+
+    /// Overwrites device contents from a host slice (like `cudaMemcpy` in;
+    /// PCI-E transfer is outside the paper's scope and is not timed).
+    pub fn upload(&self, host: &[T]) {
+        let mut d = self.inner.data.borrow_mut();
+        assert!(host.len() <= d.len(), "upload larger than buffer");
+        d[..host.len()].copy_from_slice(host);
+    }
+
+    /// Simulated device address of element 0.
+    pub fn base_addr(&self) -> u64 {
+        self.inner.base_addr
+    }
+
+    /// Size of one element in bytes.
+    pub fn elem_bytes(&self) -> usize {
+        std::mem::size_of::<T>()
+    }
+}
+
+impl<T: DeviceCopy + std::fmt::Debug> std::fmt::Debug for GpuBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GpuBuffer<{}>(len={}, base=0x{:x})",
+            std::any::type_name::<T>(),
+            self.len(),
+            self.inner.base_addr
+        )
+    }
+}

@@ -1,0 +1,597 @@
+//! The simulated device: buffer allocation, kernel launch, and the
+//! bandwidth-based timing model.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::block::BlockCtx;
+use crate::buffer::{DeviceCopy, GpuBuffer};
+use crate::occupancy::Occupancy;
+use crate::spec::DeviceSpec;
+use crate::stats::{KernelStats, SimTime};
+
+/// A GPU kernel.
+///
+/// `run_block` is invoked once per block of the grid; blocks are
+/// independent (no cross-block synchronization within a launch), exactly
+/// as on real hardware.
+pub trait Kernel {
+    /// Kernel name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Threads per block.
+    fn block_dim(&self) -> usize;
+
+    /// Blocks in the grid.
+    fn grid_dim(&self) -> usize;
+
+    /// Declared shared memory per block, bytes (drives occupancy and the
+    /// launch-limit check).
+    fn shared_bytes_per_block(&self) -> usize {
+        0
+    }
+
+    /// Declared registers per thread (drives occupancy).
+    fn regs_per_thread(&self) -> usize {
+        32
+    }
+
+    /// Executes one block.
+    fn run_block(&self, blk: &mut BlockCtx);
+}
+
+/// Device memory exhaustion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes the failed allocation asked for.
+    pub requested: usize,
+    /// Bytes already allocated on the device.
+    pub in_use: usize,
+    /// Device memory capacity.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} B with {} B in use of {} B",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Errors a launch can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The block's declared shared memory exceeds the per-block limit —
+    /// the failure mode of per-thread top-k for k ≥ 512 (Section 6.2).
+    SharedMemoryExceeded {
+        /// Bytes of shared memory the kernel declared.
+        requested: usize,
+        /// The per-block limit.
+        limit: usize,
+    },
+    /// Block dimension over the device limit.
+    BlockTooLarge {
+        /// Threads per block requested.
+        requested: usize,
+        /// The device's maximum.
+        limit: usize,
+    },
+    /// Empty grid or block.
+    EmptyLaunch,
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::SharedMemoryExceeded { requested, limit } => write!(
+                f,
+                "shared memory per block {requested} B exceeds device limit {limit} B"
+            ),
+            LaunchError::BlockTooLarge { requested, limit } => {
+                write!(f, "block dim {requested} exceeds device limit {limit}")
+            }
+            LaunchError::EmptyLaunch => write!(f, "grid and block dims must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Everything known about one kernel launch: counters, occupancy, and the
+/// modeled time decomposition.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Blocks launched.
+    pub grid_dim: usize,
+    /// Threads per block.
+    pub block_dim: usize,
+    /// Aggregated machine counters.
+    pub stats: KernelStats,
+    /// Residency of this configuration.
+    pub occupancy: Occupancy,
+    /// Time if the kernel were purely global-memory bound.
+    pub t_global: SimTime,
+    /// Time if purely shared-memory bound.
+    pub t_shared: SimTime,
+    /// Time if purely compute bound (includes atomics).
+    pub t_compute: SimTime,
+    /// Modeled kernel time: `max(t_global, t_shared, t_compute) + overhead`.
+    pub time: SimTime,
+}
+
+impl LaunchReport {
+    /// Which resource the kernel is bound by.
+    pub fn bound_by(&self) -> &'static str {
+        if self.t_global.0 >= self.t_shared.0 && self.t_global.0 >= self.t_compute.0 {
+            "global"
+        } else if self.t_shared.0 >= self.t_compute.0 {
+            "shared"
+        } else {
+            "compute"
+        }
+    }
+}
+
+pub(crate) struct DeviceInner {
+    spec: DeviceSpec,
+    mem_allocated: Cell<usize>,
+    mem_highwater: Cell<usize>,
+    next_base: Cell<u64>,
+    log: RefCell<Vec<LaunchReport>>,
+}
+
+impl DeviceInner {
+    pub(crate) fn claim_address_range(&self, bytes: usize) -> u64 {
+        let base = self.next_base.get();
+        // keep buffers 4 KiB-aligned and disjoint so sectors never alias
+        let aligned = (bytes as u64).div_ceil(4096) * 4096 + 4096;
+        self.next_base.set(base + aligned);
+        base
+    }
+
+    pub(crate) fn acquire_bytes(&self, bytes: usize) {
+        let cur = self.mem_allocated.get() + bytes;
+        self.mem_allocated.set(cur);
+        if cur > self.mem_highwater.get() {
+            self.mem_highwater.set(cur);
+        }
+    }
+
+    pub(crate) fn release_bytes(&self, bytes: usize) {
+        self.mem_allocated.set(self.mem_allocated.get() - bytes);
+    }
+}
+
+/// The simulated GPU.
+///
+/// Owns the spec, tracks device-memory usage, and keeps a log of every
+/// launch so multi-kernel algorithms can report end-to-end simulated time.
+pub struct Device {
+    inner: Rc<DeviceInner>,
+}
+
+impl Device {
+    /// Creates a device with the given hardware parameters.
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self {
+            inner: Rc::new(DeviceInner {
+                spec,
+                mem_allocated: Cell::new(0),
+                mem_highwater: Cell::new(0),
+                next_base: Cell::new(0x1000),
+                log: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The device the paper benchmarks on.
+    pub fn titan_x() -> Self {
+        Self::new(DeviceSpec::titan_x_maxwell())
+    }
+
+    /// The device's hardware parameters.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.inner.spec
+    }
+
+    /// Allocates a zero/default-initialized buffer of `n` elements.
+    ///
+    /// # Panics
+    /// If device memory is exhausted — use [`Device::try_alloc`] for a
+    /// recoverable path (the chunked out-of-core top-k does).
+    pub fn alloc<T: DeviceCopy>(&self, n: usize) -> GpuBuffer<T> {
+        self.try_alloc(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible allocation respecting the device memory capacity.
+    pub fn try_alloc<T: DeviceCopy>(&self, n: usize) -> Result<GpuBuffer<T>, OutOfMemory> {
+        self.check_capacity(n * std::mem::size_of::<T>())?;
+        Ok(GpuBuffer::new(
+            Rc::clone(&self.inner),
+            vec![T::default(); n],
+        ))
+    }
+
+    /// Allocates a buffer initialized from a host slice.
+    ///
+    /// # Panics
+    /// On device memory exhaustion (see [`Device::try_upload`]).
+    pub fn upload<T: DeviceCopy>(&self, host: &[T]) -> GpuBuffer<T> {
+        self.try_upload(host).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible upload respecting the device memory capacity.
+    pub fn try_upload<T: DeviceCopy>(&self, host: &[T]) -> Result<GpuBuffer<T>, OutOfMemory> {
+        self.check_capacity(std::mem::size_of_val(host))?;
+        Ok(GpuBuffer::new(Rc::clone(&self.inner), host.to_vec()))
+    }
+
+    /// Allocates a buffer filled with `v`.
+    ///
+    /// # Panics
+    /// On device memory exhaustion.
+    pub fn alloc_filled<T: DeviceCopy>(&self, n: usize, v: T) -> GpuBuffer<T> {
+        self.check_capacity(n * std::mem::size_of::<T>())
+            .unwrap_or_else(|e| panic!("{e}"));
+        GpuBuffer::new(Rc::clone(&self.inner), vec![v; n])
+    }
+
+    fn check_capacity(&self, bytes: usize) -> Result<(), OutOfMemory> {
+        let in_use = self.inner.mem_allocated.get();
+        let capacity = self.inner.spec.global_mem_bytes;
+        if in_use + bytes > capacity {
+            return Err(OutOfMemory {
+                requested: bytes,
+                in_use,
+                capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Currently allocated device bytes.
+    pub fn memory_allocated(&self) -> usize {
+        self.inner.mem_allocated.get()
+    }
+
+    /// High-water mark of device memory over the device's lifetime (reset
+    /// with [`Device::reset_memory_highwater`]).
+    pub fn memory_highwater(&self) -> usize {
+        self.inner.mem_highwater.get()
+    }
+
+    /// Resets the high-water mark to the current allocation.
+    pub fn reset_memory_highwater(&self) {
+        self.inner.mem_highwater.set(self.inner.mem_allocated.get());
+    }
+
+    /// Launches a kernel, executing every block and deriving modeled time.
+    pub fn launch<K: Kernel>(&self, kernel: &K) -> Result<LaunchReport, LaunchError> {
+        let spec = self.inner.spec;
+        let block_dim = kernel.block_dim();
+        let grid_dim = kernel.grid_dim();
+        if block_dim == 0 || grid_dim == 0 {
+            return Err(LaunchError::EmptyLaunch);
+        }
+        if block_dim > spec.max_threads_per_block {
+            return Err(LaunchError::BlockTooLarge {
+                requested: block_dim,
+                limit: spec.max_threads_per_block,
+            });
+        }
+        let shared = kernel.shared_bytes_per_block();
+        if shared > spec.shared_mem_per_block {
+            return Err(LaunchError::SharedMemoryExceeded {
+                requested: shared,
+                limit: spec.shared_mem_per_block,
+            });
+        }
+
+        let mut stats = KernelStats::default();
+        for b in 0..grid_dim {
+            let mut ctx = BlockCtx::new(spec, b, grid_dim, block_dim);
+            kernel.run_block(&mut ctx);
+            stats.merge(&ctx.take_stats());
+        }
+
+        let occupancy = Occupancy::compute(&spec, block_dim, shared, kernel.regs_per_thread());
+        let report = self.report_from_stats(kernel.name(), grid_dim, block_dim, stats, occupancy);
+        self.inner.log.borrow_mut().push(report.clone());
+        Ok(report)
+    }
+
+    fn report_from_stats(
+        &self,
+        name: &'static str,
+        grid_dim: usize,
+        block_dim: usize,
+        stats: KernelStats,
+        occupancy: Occupancy,
+    ) -> LaunchReport {
+        let spec = &self.inner.spec;
+        let bw_eff = occupancy.bandwidth_efficiency(spec).max(1e-3);
+        let t_global = stats.global_bytes() as f64 / (spec.global_bw * bw_eff);
+        let t_shared = stats.shared_eff_bytes as f64 / spec.shared_bw;
+        let t_compute = (stats.compute_ops as f64 + stats.atomic_ops as f64 * spec.atomic_op_cost)
+            / spec.compute_ops_per_sec;
+        let t = t_global.max(t_shared).max(t_compute) + spec.launch_overhead;
+        LaunchReport {
+            name,
+            grid_dim,
+            block_dim,
+            stats,
+            occupancy,
+            t_global: SimTime(t_global),
+            t_shared: SimTime(t_shared),
+            t_compute: SimTime(t_compute),
+            time: SimTime(t),
+        }
+    }
+
+    /// Total modeled time of all launches since the last reset.
+    pub fn total_time(&self) -> SimTime {
+        self.inner.log.borrow().iter().map(|r| r.time).sum()
+    }
+
+    /// Snapshot of the launch log.
+    pub fn launch_log(&self) -> Vec<LaunchReport> {
+        self.inner.log.borrow().clone()
+    }
+
+    /// Number of launches recorded so far (use with [`Device::log_since`]).
+    pub fn log_len(&self) -> usize {
+        self.inner.log.borrow().len()
+    }
+
+    /// The launches recorded after position `start` — how algorithms
+    /// attribute launches (and simulated time) to one invocation.
+    pub fn log_since(&self, start: usize) -> Vec<LaunchReport> {
+        self.inner.log.borrow()[start..].to_vec()
+    }
+
+    /// Clears the launch log (typically between measured runs).
+    pub fn reset_log(&self) {
+        self.inner.log.borrow_mut().clear();
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Self::titan_x()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::SharedHandle;
+
+    /// Doubles every element, grid-strided.
+    struct DoubleKernel {
+        data: GpuBuffer<f32>,
+        grid: usize,
+        block: usize,
+    }
+
+    impl Kernel for DoubleKernel {
+        fn name(&self) -> &'static str {
+            "double"
+        }
+        fn block_dim(&self) -> usize {
+            self.block
+        }
+        fn grid_dim(&self) -> usize {
+            self.grid
+        }
+        fn run_block(&self, blk: &mut BlockCtx) {
+            let n = self.data.len();
+            let total = self.grid * self.block;
+            let mut iters = 0usize;
+            let mut base = blk.block_idx * self.block;
+            while base < n {
+                iters += 1;
+                base += total;
+            }
+            for it in 0..iters {
+                blk.step(|l| {
+                    let i = l.gtid() + it * total;
+                    if i < n {
+                        let v = l.gread(&self.data, i);
+                        l.gwrite(&self.data, i, v * 2.0);
+                        l.ops(1);
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn launch_executes_and_times() {
+        let dev = Device::titan_x();
+        let data = dev.upload(&(0..1024).map(|i| i as f32).collect::<Vec<_>>());
+        let k = DoubleKernel {
+            data: data.clone(),
+            grid: 4,
+            block: 128,
+        };
+        let r = dev.launch(&k).unwrap();
+        assert_eq!(data.get(10), 20.0);
+        // 1024 × 4 B read + written once
+        assert_eq!(r.stats.global_read_bytes, 4096);
+        assert_eq!(r.stats.global_write_bytes, 4096);
+        assert!(r.time.0 > 0.0);
+        assert!(r.time.0 >= dev.spec().launch_overhead);
+        assert_eq!(dev.launch_log().len(), 1);
+        assert!(dev.total_time().0 >= r.time.0 * 0.99);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let dev = Device::titan_x();
+        let data = dev.upload(&[1.0f32; 32]);
+        let k = DoubleKernel {
+            data,
+            grid: 1,
+            block: 32,
+        };
+        let r = dev.launch(&k).unwrap();
+        let oh = dev.spec().launch_overhead;
+        assert!((r.time.0 - oh) / oh < 0.1, "tiny kernel ≈ pure overhead");
+    }
+
+    #[test]
+    fn shared_limit_rejected() {
+        struct BigShared;
+        impl Kernel for BigShared {
+            fn name(&self) -> &'static str {
+                "big"
+            }
+            fn block_dim(&self) -> usize {
+                32
+            }
+            fn grid_dim(&self) -> usize {
+                1
+            }
+            fn shared_bytes_per_block(&self) -> usize {
+                64 * 1024
+            }
+            fn run_block(&self, _b: &mut BlockCtx) {}
+        }
+        let dev = Device::titan_x();
+        match dev.launch(&BigShared) {
+            Err(LaunchError::SharedMemoryExceeded { requested, limit }) => {
+                assert_eq!(requested, 64 * 1024);
+                assert_eq!(limit, 48 * 1024);
+            }
+            other => panic!("expected SharedMemoryExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_too_large_rejected() {
+        struct Wide;
+        impl Kernel for Wide {
+            fn name(&self) -> &'static str {
+                "wide"
+            }
+            fn block_dim(&self) -> usize {
+                2048
+            }
+            fn grid_dim(&self) -> usize {
+                1
+            }
+            fn run_block(&self, _b: &mut BlockCtx) {}
+        }
+        assert!(matches!(
+            Device::titan_x().launch(&Wide),
+            Err(LaunchError::BlockTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_accounting_tracks_highwater() {
+        let dev = Device::titan_x();
+        assert_eq!(dev.memory_allocated(), 0);
+        {
+            let _a = dev.alloc::<f32>(1024); // 4 KiB
+            let _b = dev.alloc::<f64>(1024); // 8 KiB
+            assert_eq!(dev.memory_allocated(), 12 * 1024);
+        }
+        assert_eq!(dev.memory_allocated(), 0);
+        assert_eq!(dev.memory_highwater(), 12 * 1024);
+        dev.reset_memory_highwater();
+        assert_eq!(dev.memory_highwater(), 0);
+    }
+
+    #[test]
+    fn buffers_have_disjoint_address_ranges() {
+        let dev = Device::titan_x();
+        let a = dev.alloc::<f32>(10_000);
+        let b = dev.alloc::<f32>(10_000);
+        let a_end = a.base_addr() + (a.len() * 4) as u64;
+        assert!(b.base_addr() >= a_end);
+    }
+
+    #[test]
+    fn low_occupancy_degrades_bandwidth_timing() {
+        // same traffic, but one kernel declares a huge shared footprint
+        struct Streamer {
+            data: GpuBuffer<f32>,
+            shared: usize,
+        }
+        impl Kernel for Streamer {
+            fn name(&self) -> &'static str {
+                "streamer"
+            }
+            fn block_dim(&self) -> usize {
+                64
+            }
+            fn grid_dim(&self) -> usize {
+                4
+            }
+            fn shared_bytes_per_block(&self) -> usize {
+                self.shared
+            }
+            fn run_block(&self, blk: &mut BlockCtx) {
+                blk.bulk_global_read((self.data.len() * 4) as u64 / self.grid_dim() as u64);
+            }
+        }
+        let dev = Device::titan_x();
+        let data = dev.alloc::<f32>(1 << 20);
+        let fast = dev
+            .launch(&Streamer {
+                data: data.clone(),
+                shared: 0,
+            })
+            .unwrap();
+        let slow = dev
+            .launch(&Streamer {
+                data,
+                shared: 40 * 1024,
+            })
+            .unwrap();
+        assert!(
+            slow.time.0 > fast.time.0 * 1.5,
+            "occupancy penalty missing: slow={} fast={}",
+            slow.time,
+            fast.time
+        );
+    }
+
+    #[test]
+    fn bound_by_classification() {
+        let dev = Device::titan_x();
+        struct Computey;
+        impl Kernel for Computey {
+            fn name(&self) -> &'static str {
+                "computey"
+            }
+            fn block_dim(&self) -> usize {
+                32
+            }
+            fn grid_dim(&self) -> usize {
+                1
+            }
+            fn run_block(&self, blk: &mut BlockCtx) {
+                blk.bulk_ops(1_000_000_000);
+            }
+        }
+        let r = dev.launch(&Computey).unwrap();
+        assert_eq!(r.bound_by(), "compute");
+    }
+
+    #[test]
+    fn shared_handle_len() {
+        let mut ctx = BlockCtx::new(DeviceSpec::titan_x_maxwell(), 0, 1, 32);
+        let h: SharedHandle<u32> = ctx.alloc_shared(48);
+        assert_eq!(h.len(), 48);
+        assert!(!h.is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! Occupancy: how many blocks/warps fit on one SM, and the achieved
+//! fraction of peak global bandwidth.
+//!
+//! The per-thread top-k analysis in the paper (Section 4.1) hinges on
+//! this: large `k` means large shared-memory footprints per block, fewer
+//! resident warps, and not enough parallelism to hide global memory
+//! latency — so achieved bandwidth drops.
+
+use crate::spec::DeviceSpec;
+
+/// Occupancy of a kernel configuration on one SM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: usize,
+    /// Resident warps per SM.
+    pub warps_per_sm: usize,
+    /// Fraction of the SM's maximum warps (0..=1).
+    pub occupancy: f64,
+    /// Which resource bounds residency.
+    pub limiter: Limiter,
+}
+
+/// The resource that limits residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// Shared memory per block caps resident blocks.
+    SharedMemory,
+    /// The register file caps resident threads.
+    Registers,
+    /// The max-warps-per-SM limit binds.
+    Threads,
+    /// The max-blocks-per-SM limit binds.
+    Blocks,
+}
+
+impl Occupancy {
+    /// Computes occupancy for a block configuration.
+    pub fn compute(
+        spec: &DeviceSpec,
+        block_dim: usize,
+        shared_bytes_per_block: usize,
+        regs_per_thread: usize,
+    ) -> Self {
+        let warps_per_block = block_dim.div_ceil(spec.warp_size).max(1);
+
+        let by_shared = spec
+            .shared_mem_per_sm
+            .checked_div(shared_bytes_per_block)
+            .unwrap_or(usize::MAX);
+        let by_regs = if regs_per_thread == 0 {
+            usize::MAX
+        } else {
+            spec.regs_per_sm / (regs_per_thread * block_dim)
+        };
+        let by_threads = spec.max_warps_per_sm / warps_per_block;
+        let by_blocks = spec.max_blocks_per_sm;
+
+        let blocks = by_shared.min(by_regs).min(by_threads).min(by_blocks);
+        let limiter = if blocks == by_shared {
+            Limiter::SharedMemory
+        } else if blocks == by_regs {
+            Limiter::Registers
+        } else if blocks == by_threads {
+            Limiter::Threads
+        } else {
+            Limiter::Blocks
+        };
+        let warps = blocks * warps_per_block;
+        Self {
+            blocks_per_sm: blocks,
+            warps_per_sm: warps.min(spec.max_warps_per_sm),
+            occupancy: (warps.min(spec.max_warps_per_sm)) as f64 / spec.max_warps_per_sm as f64,
+            limiter,
+        }
+    }
+
+    /// Fraction of peak global bandwidth this occupancy can sustain:
+    /// linear up to the saturation occupancy, then flat at 1.0.
+    pub fn bandwidth_efficiency(&self, spec: &DeviceSpec) -> f64 {
+        (self.occupancy / spec.bw_saturation_occupancy).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::titan_x_maxwell()
+    }
+
+    #[test]
+    fn no_shared_full_occupancy() {
+        let o = Occupancy::compute(&spec(), 256, 0, 32);
+        assert_eq!(o.warps_per_sm, 64);
+        assert!((o.occupancy - 1.0).abs() < 1e-12);
+        assert!((o.bandwidth_efficiency(&spec()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_memory_limits_blocks() {
+        // 32 KB/block on a 96 KB SM → 3 blocks
+        let o = Occupancy::compute(&spec(), 256, 32 * 1024, 32);
+        assert_eq!(o.blocks_per_sm, 3);
+        assert_eq!(o.warps_per_sm, 24);
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+        assert!((o.occupancy - 24.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_thread_topk_occupancy_cliff() {
+        // the paper's per-thread top-k: block of 128 threads, k=128 floats
+        // per thread in shared memory = 64 KB/block → 1 block, 4 warps
+        let shared = 128 * 128 * 4;
+        assert!(shared > 48 * 1024); // would not even launch; use k=64
+        let shared = 128 * 64 * 4; // 32 KB
+        let o = Occupancy::compute(&spec(), 128, shared, 32);
+        assert_eq!(o.blocks_per_sm, 3);
+        assert_eq!(o.warps_per_sm, 12);
+        let eff = o.bandwidth_efficiency(&spec());
+        assert!(eff < 0.8, "eff={eff}");
+    }
+
+    #[test]
+    fn registers_limit() {
+        let o = Occupancy::compute(&spec(), 1024, 0, 64);
+        // 64 regs × 1024 threads = 64K regs = whole SM → 1 block
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn small_blocks_hit_block_limit() {
+        let o = Occupancy::compute(&spec(), 32, 0, 16);
+        assert_eq!(o.blocks_per_sm, 32);
+        assert_eq!(o.warps_per_sm, 32);
+        assert_eq!(o.limiter, Limiter::Blocks);
+    }
+
+    #[test]
+    fn efficiency_clamps_at_one() {
+        let o = Occupancy::compute(&spec(), 256, 4096, 32);
+        assert!(o.bandwidth_efficiency(&spec()) <= 1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Device hardware parameters.
+
+/// Hardware parameters of the simulated GPU.
+///
+/// The defaults model the Nvidia GTX Titan X (Maxwell) the paper evaluates
+/// on; the bandwidth figures are the ones Section 7 of the paper measures
+/// (251 GB/s global, 2.9 TB/s shared).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Maximum threads per block.
+    pub max_threads_per_block: usize,
+    /// Shared memory available to one block, bytes.
+    pub shared_mem_per_block: usize,
+    /// Shared memory per SM, bytes (limits concurrent blocks).
+    pub shared_mem_per_sm: usize,
+    /// Register file per SM, 32-bit registers.
+    pub regs_per_sm: usize,
+    /// Maximum registers one thread may use before spilling.
+    pub max_regs_per_thread: usize,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: usize,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Number of shared memory banks.
+    pub shared_banks: usize,
+    /// Global memory bandwidth, bytes/second (B_G).
+    pub global_bw: f64,
+    /// Shared memory aggregate bandwidth, bytes/second (B_S).
+    pub shared_bw: f64,
+    /// Simple compute throughput, scalar ops/second.
+    pub compute_ops_per_sec: f64,
+    /// Cost of one atomic operation, expressed in scalar-op equivalents
+    /// (atomics serialize on contention; this is the calibrated average for
+    /// the histogram-style usage in bucket select).
+    pub atomic_op_cost: f64,
+    /// Kernel launch overhead, seconds.
+    pub launch_overhead: f64,
+    /// Occupancy (fraction of max warps) needed to saturate global
+    /// memory bandwidth; below it, achieved bandwidth degrades linearly.
+    pub bw_saturation_occupancy: f64,
+    /// Device (global) memory capacity in bytes; allocations beyond it
+    /// fail, which is what forces the chunked out-of-core path.
+    pub global_mem_bytes: usize,
+    /// Host↔device interconnect bandwidth, bytes/second (PCI-E 3.0 ×16
+    /// effective ≈ 12 GB/s on the paper's testbed generation).
+    pub pcie_bw: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's evaluation GPU: GTX Titan X (Maxwell, GM200).
+    pub fn titan_x_maxwell() -> Self {
+        Self {
+            warp_size: 32,
+            num_sms: 24,
+            max_threads_per_block: 1024,
+            shared_mem_per_block: 48 * 1024,
+            shared_mem_per_sm: 96 * 1024,
+            regs_per_sm: 64 * 1024,
+            max_regs_per_thread: 255,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            shared_banks: 32,
+            global_bw: 251e9,
+            shared_bw: 2.9e12,
+            compute_ops_per_sec: 3.1e12,
+            atomic_op_cost: 250.0,
+            launch_overhead: 5e-6,
+            bw_saturation_occupancy: 0.25,
+            global_mem_bytes: 12 * 1024 * 1024 * 1024,
+            pcie_bw: 12e9,
+        }
+    }
+
+    /// Titan X (Pascal): the next generation up — higher bandwidth,
+    /// same shared-memory organization. Useful for the cost model's
+    /// cross-hardware prediction claims.
+    pub fn titan_x_pascal() -> Self {
+        Self {
+            num_sms: 28,
+            global_bw: 480e9,
+            shared_bw: 5.3e12,
+            compute_ops_per_sec: 6.0e12,
+            global_mem_bytes: 12 * 1024 * 1024 * 1024,
+            ..Self::titan_x_maxwell()
+        }
+    }
+
+    /// Tesla V100 (Volta): HBM2 bandwidth, larger shared memory per SM.
+    pub fn tesla_v100() -> Self {
+        Self {
+            num_sms: 80,
+            shared_mem_per_sm: 128 * 1024,
+            shared_mem_per_block: 96 * 1024,
+            global_bw: 900e9,
+            shared_bw: 13.8e12,
+            compute_ops_per_sec: 14e12,
+            global_mem_bytes: 16 * 1024 * 1024 * 1024,
+            pcie_bw: 14e9,
+            ..Self::titan_x_maxwell()
+        }
+    }
+
+    /// A smaller laptop-class part, useful for tests that exercise
+    /// occupancy cliffs at modest sizes.
+    pub fn small_mobile() -> Self {
+        Self {
+            num_sms: 5,
+            global_bw: 80e9,
+            shared_bw: 0.9e12,
+            compute_ops_per_sec: 0.8e12,
+            global_mem_bytes: 4 * 1024 * 1024 * 1024,
+            ..Self::titan_x_maxwell()
+        }
+    }
+
+    /// Time to move `bytes` across the host↔device interconnect.
+    pub fn transfer_seconds(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.pcie_bw
+    }
+
+    /// Bytes of the theoretical minimum scan: reading `bytes` once at full
+    /// global bandwidth — the "Memory Bandwidth" floor in Figure 11.
+    pub fn scan_floor_seconds(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.global_bw
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self::titan_x_maxwell()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_x_matches_paper_parameters() {
+        let s = DeviceSpec::titan_x_maxwell();
+        assert_eq!(s.warp_size, 32);
+        assert_eq!(s.shared_mem_per_block, 48 * 1024);
+        assert!((s.global_bw - 251e9).abs() < 1e6);
+        assert!((s.shared_bw - 2.9e12).abs() < 1e6);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_generation() {
+        let maxwell = DeviceSpec::titan_x_maxwell();
+        let pascal = DeviceSpec::titan_x_pascal();
+        let v100 = DeviceSpec::tesla_v100();
+        assert!(maxwell.global_bw < pascal.global_bw);
+        assert!(pascal.global_bw < v100.global_bw);
+        assert!(maxwell.shared_bw < v100.shared_bw);
+        assert!(v100.shared_mem_per_block > maxwell.shared_mem_per_block);
+    }
+
+    #[test]
+    fn transfer_time_is_pcie_bound() {
+        let s = DeviceSpec::titan_x_maxwell();
+        // 12 GB at 12 GB/s = 1 s
+        assert!((s.transfer_seconds(12_000_000_000) - 1.0).abs() < 1e-9);
+        assert!(s.transfer_seconds(1 << 20) < s.scan_floor_seconds(1 << 20) * 100.0);
+    }
+
+    #[test]
+    fn scan_floor_is_linear() {
+        let s = DeviceSpec::titan_x_maxwell();
+        let t1 = s.scan_floor_seconds(1 << 20);
+        let t2 = s.scan_floor_seconds(1 << 21);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+        // 2^31 bytes at 251 GB/s ≈ 8.56 ms (the paper's SortReducer estimate)
+        let t = s.scan_floor_seconds(1 << 31);
+        assert!((t - 8.56e-3).abs() < 0.1e-3, "t={t}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Launch-timeline export in Chrome tracing format.
+//!
+//! [`chrome_trace`] serializes a launch log as a `chrome://tracing` /
+//! Perfetto-compatible JSON array: one complete event per kernel, laid
+//! end-to-end on the device track, with the traffic counters attached as
+//! event arguments. Drop the output into a `.json` file and load it in
+//! the browser to see where an algorithm's simulated time goes.
+
+use crate::device::LaunchReport;
+
+/// Escapes a string for embedding in a JSON literal.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a launch log as Chrome tracing JSON (a complete-event array).
+///
+/// Events are placed sequentially, as the launches would execute on one
+/// stream; timestamps are microseconds of simulated time.
+pub fn chrome_trace(reports: &[LaunchReport]) -> String {
+    let mut out = String::from("[");
+    let mut t_us = 0.0f64;
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let dur = r.time.micros();
+        out.push_str(&format!(
+            concat!(
+                "{{\"name\":\"{}\",\"cat\":\"kernel\",\"ph\":\"X\",",
+                "\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":1,\"args\":{{",
+                "\"grid\":{},\"block\":{},\"bound_by\":\"{}\",",
+                "\"global_MB\":{:.3},\"shared_eff_MB\":{:.3},",
+                "\"conflict_cycles\":{},\"occupancy\":{:.3}}}}}"
+            ),
+            esc(r.name),
+            t_us,
+            dur,
+            r.grid_dim,
+            r.block_dim,
+            r.bound_by(),
+            r.stats.global_bytes() as f64 / 1e6,
+            r.stats.shared_eff_bytes as f64 / 1e6,
+            r.stats.shared_conflict_cycles,
+            r.occupancy.occupancy,
+        ));
+        t_us += dur;
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockCtx, Device, Kernel};
+
+    struct Tiny;
+    impl Kernel for Tiny {
+        fn name(&self) -> &'static str {
+            "tiny\"kernel"
+        }
+        fn block_dim(&self) -> usize {
+            32
+        }
+        fn grid_dim(&self) -> usize {
+            1
+        }
+        fn run_block(&self, blk: &mut BlockCtx) {
+            blk.bulk_global_read(1024);
+        }
+    }
+
+    #[test]
+    fn trace_is_well_formed() {
+        let dev = Device::titan_x();
+        dev.launch(&Tiny).unwrap();
+        dev.launch(&Tiny).unwrap();
+        let json = chrome_trace(&dev.launch_log());
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        // quotes in kernel names must be escaped
+        assert!(json.contains("tiny\\\"kernel"));
+        // events must be laid end-to-end (second ts == first dur)
+        let first_dur = json.split("\"dur\":").nth(1).unwrap();
+        let dur: f64 = first_dur.split(',').next().unwrap().parse().unwrap();
+        let second_ts = json.split("\"ts\":").nth(2).unwrap();
+        let ts: f64 = second_ts.split(',').next().unwrap().parse().unwrap();
+        assert!((dur - ts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_log_is_empty_array() {
+        assert_eq!(chrome_trace(&[]), "[]");
+    }
+}

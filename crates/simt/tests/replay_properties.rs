@@ -1,0 +1,179 @@
+//! Property-based validation of the warp-lockstep replay: for arbitrary
+//! access patterns, the simulator's coalescing and bank-conflict counters
+//! must equal an independently computed brute-force reference.
+
+use proptest::prelude::*;
+use simt::{BlockCtx, Device, DeviceSpec, GpuBuffer, Kernel, KernelStats, Occupancy};
+
+/// A kernel where each lane performs a scripted list of shared-memory
+/// word accesses (one per slot).
+struct ScriptedShared {
+    /// `pattern[lane][slot]` = shared word index.
+    pattern: Vec<Vec<u32>>,
+    words: usize,
+}
+
+impl Kernel for ScriptedShared {
+    fn name(&self) -> &'static str {
+        "scripted_shared"
+    }
+    fn block_dim(&self) -> usize {
+        self.pattern.len()
+    }
+    fn grid_dim(&self) -> usize {
+        1
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let h = blk.alloc_shared::<f32>(self.words);
+        blk.step(|lane| {
+            for &w in &self.pattern[lane.tid()] {
+                let _ = lane.sread(h, w as usize);
+            }
+        });
+    }
+}
+
+/// Brute-force reference: group by (warp, slot), count distinct words per
+/// bank, sum the max (degree) per group.
+fn reference_shared(pattern: &[Vec<u32>], warp: usize, banks: usize) -> KernelStats {
+    let mut stats = KernelStats::default();
+    let warps = pattern.len().div_ceil(warp);
+    for w in 0..warps {
+        let lanes = &pattern[w * warp..((w + 1) * warp).min(pattern.len())];
+        let max_slots = lanes.iter().map(|l| l.len()).max().unwrap_or(0);
+        for slot in 0..max_slots {
+            let mut words: Vec<u32> = lanes.iter().filter_map(|l| l.get(slot).copied()).collect();
+            if words.is_empty() {
+                continue;
+            }
+            stats.shared_accesses += words.len() as u64;
+            words.sort_unstable();
+            words.dedup();
+            let mut per_bank = vec![0u64; banks];
+            for w in words {
+                per_bank[w as usize % banks] += 1;
+            }
+            let degree = *per_bank.iter().max().unwrap();
+            stats.shared_eff_bytes += degree * 32 * 4;
+            if degree > 1 {
+                stats.shared_conflict_groups += 1;
+                stats.shared_conflict_cycles += degree - 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Scripted global reads: one address list per lane.
+struct ScriptedGlobal {
+    pattern: Vec<Vec<u32>>,
+    buf: GpuBuffer<f32>,
+}
+
+impl Kernel for ScriptedGlobal {
+    fn name(&self) -> &'static str {
+        "scripted_global"
+    }
+    fn block_dim(&self) -> usize {
+        self.pattern.len()
+    }
+    fn grid_dim(&self) -> usize {
+        1
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        blk.step(|lane| {
+            for &i in &self.pattern[lane.tid()] {
+                let _ = lane.gread(&self.buf, i as usize);
+            }
+        });
+    }
+}
+
+fn reference_global_bytes(pattern: &[Vec<u32>], warp: usize, base: u64) -> u64 {
+    let mut bytes = 0u64;
+    let warps = pattern.len().div_ceil(warp);
+    for w in 0..warps {
+        let lanes = &pattern[w * warp..((w + 1) * warp).min(pattern.len())];
+        let max_slots = lanes.iter().map(|l| l.len()).max().unwrap_or(0);
+        for slot in 0..max_slots {
+            let mut sectors: Vec<u64> = lanes
+                .iter()
+                .filter_map(|l| l.get(slot).map(|&i| (base + i as u64 * 4) / 32))
+                .collect();
+            sectors.sort_unstable();
+            sectors.dedup();
+            bytes += 32 * sectors.len() as u64;
+        }
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shared_replay_matches_bruteforce(
+        pattern in prop::collection::vec(
+            prop::collection::vec(0u32..512, 0..6),
+            1..96,
+        )
+    ) {
+        let dev = Device::new(DeviceSpec::titan_x_maxwell());
+        let k = ScriptedShared { pattern: pattern.clone(), words: 512 };
+        let r = dev.launch(&k).unwrap();
+        let expect = reference_shared(&pattern, 32, 32);
+        prop_assert_eq!(r.stats.shared_accesses, expect.shared_accesses);
+        prop_assert_eq!(r.stats.shared_eff_bytes, expect.shared_eff_bytes);
+        prop_assert_eq!(r.stats.shared_conflict_cycles, expect.shared_conflict_cycles);
+        prop_assert_eq!(r.stats.shared_conflict_groups, expect.shared_conflict_groups);
+    }
+
+    #[test]
+    fn global_replay_matches_bruteforce(
+        pattern in prop::collection::vec(
+            prop::collection::vec(0u32..4096, 0..5),
+            1..96,
+        )
+    ) {
+        let dev = Device::new(DeviceSpec::titan_x_maxwell());
+        let buf = dev.alloc::<f32>(4096);
+        let base = buf.base_addr();
+        let k = ScriptedGlobal { pattern: pattern.clone(), buf };
+        let r = dev.launch(&k).unwrap();
+        prop_assert_eq!(
+            r.stats.global_read_bytes,
+            reference_global_bytes(&pattern, 32, base)
+        );
+    }
+
+    #[test]
+    fn occupancy_is_monotone_in_shared_usage(
+        block in prop::sample::select(vec![32usize, 64, 128, 256, 512]),
+        s1 in 0usize..48 * 1024,
+        s2 in 0usize..48 * 1024,
+    ) {
+        let spec = DeviceSpec::titan_x_maxwell();
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let o_lo = Occupancy::compute(&spec, block, lo, 32);
+        let o_hi = Occupancy::compute(&spec, block, hi, 32);
+        prop_assert!(o_lo.occupancy >= o_hi.occupancy);
+        prop_assert!(o_lo.bandwidth_efficiency(&spec) >= o_hi.bandwidth_efficiency(&spec));
+    }
+
+    #[test]
+    fn timing_is_monotone_in_traffic(extra in 0u64..10_000_000) {
+        struct Bulk { bytes: u64 }
+        impl Kernel for Bulk {
+            fn name(&self) -> &'static str { "bulk" }
+            fn block_dim(&self) -> usize { 256 }
+            fn grid_dim(&self) -> usize { 1 }
+            fn run_block(&self, blk: &mut BlockCtx) {
+                blk.bulk_global_read(self.bytes);
+            }
+        }
+        let dev = Device::new(DeviceSpec::titan_x_maxwell());
+        let t1 = dev.launch(&Bulk { bytes: 1_000_000 }).unwrap().time;
+        let t2 = dev.launch(&Bulk { bytes: 1_000_000 + extra }).unwrap().time;
+        prop_assert!(t2.seconds() >= t1.seconds());
+    }
+}

@@ -1,0 +1,122 @@
+//! ASCII rendering of sorting networks — the paper's Figure 3/5 style
+//! comparator diagrams, generated from the same step schedules the
+//! kernels execute.
+//!
+//! ```text
+//! wire 0 ─●──●───●──  …
+//!         │  │   │
+//! wire 1 ─●──┼───●──
+//! ```
+//!
+//! Useful in docs and for eyeballing a schedule while debugging index
+//! arithmetic: every comparator column in the picture is exactly one
+//! compare-exchange the network performs.
+
+use crate::network::Step;
+
+/// Renders a step schedule over `n` wires as an ASCII comparator diagram.
+///
+/// Each step becomes a group of columns (parallel comparators that would
+/// collide visually are staggered into separate columns). `▲`/`▼` mark
+/// the direction: the arrow points at the wire that receives the larger
+/// element.
+pub fn render(n: usize, steps: &[Step]) -> String {
+    assert!(n.is_power_of_two(), "diagram needs a power-of-two width");
+    // each column is a vector of (lo, hi, asc) comparators that don't
+    // overlap vertically
+    let mut columns: Vec<Vec<(usize, usize, bool)>> = Vec::new();
+    for step in steps {
+        let mut pending: Vec<(usize, usize, bool)> = (0..n)
+            .filter(|&i| step.partner(i) > i && step.partner(i) < n)
+            .map(|i| (i, step.partner(i), step.ascending(i)))
+            .collect();
+        while !pending.is_empty() {
+            let mut col: Vec<(usize, usize, bool)> = Vec::new();
+            let mut rest = Vec::new();
+            for c in pending {
+                if col.iter().all(|&(lo, hi, _)| c.0 > hi || c.1 < lo) {
+                    col.push(c);
+                } else {
+                    rest.push(c);
+                }
+            }
+            columns.push(col);
+            pending = rest;
+        }
+        columns.push(Vec::new()); // step separator
+    }
+
+    let mut rows: Vec<String> = (0..n).map(|i| format!("w{i:<2} ─")).collect();
+    for col in &columns {
+        if col.is_empty() {
+            for row in rows.iter_mut() {
+                row.push_str("  ");
+            }
+            continue;
+        }
+        for wire in 0..n {
+            let ch = col
+                .iter()
+                .find_map(|&(lo, hi, asc)| {
+                    if wire == lo {
+                        Some(if asc { '●' } else { '▲' })
+                    } else if wire == hi {
+                        Some(if asc { '▼' } else { '●' })
+                    } else if wire > lo && wire < hi {
+                        Some('│')
+                    } else {
+                        None
+                    }
+                })
+                .unwrap_or('─');
+            rows[wire].push(ch);
+            rows[wire].push('─');
+        }
+    }
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{full_sort_steps, local_sort_steps};
+
+    #[test]
+    fn renders_every_comparator_once() {
+        let steps = local_sort_steps(4);
+        let n = 8;
+        let diagram = render(n, &steps);
+        // comparators = steps × n/2 = 3 × 4 = 12 endpoints-pairs; count
+        // direction glyphs: each comparator contributes exactly one ● and
+        // one arrow
+        let dots = diagram.matches('●').count();
+        let arrows = diagram.matches('▲').count() + diagram.matches('▼').count();
+        assert_eq!(dots, 12);
+        assert_eq!(arrows, 12);
+    }
+
+    #[test]
+    fn has_one_row_per_wire() {
+        let diagram = render(16, &full_sort_steps(16));
+        assert_eq!(diagram.lines().count(), 16);
+        assert!(diagram.starts_with("w0 "));
+    }
+
+    #[test]
+    fn rows_have_equal_width() {
+        let diagram = render(8, &local_sort_steps(8));
+        let widths: Vec<usize> = diagram.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{widths:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_odd_width() {
+        let _ = render(6, &local_sort_steps(2));
+    }
+}

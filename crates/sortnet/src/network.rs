@@ -1,0 +1,200 @@
+//! Step schedules and index arithmetic for the bitonic network.
+//!
+//! A [`Step`] is one massively parallel round of compare-exchanges at a
+//! fixed distance. The schedules here are pure descriptions — both the
+//! host reference operators ([`crate::host`]) and the simulated GPU
+//! kernels iterate them, so a single source of truth defines the network.
+
+/// One compare-exchange round of the network.
+///
+/// Every element `i` with `i & j == 0`… more precisely, every element pairs
+/// with `i ^ j`; the lower-index element of each pair drives the exchange.
+/// `run` is the phase's run length: element `i` sorts ascending iff
+/// `(i & run) == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// Comparison distance (a power of two).
+    pub j: usize,
+    /// Run length of the enclosing phase (a power of two, > `j`).
+    pub run: usize,
+}
+
+impl Step {
+    /// The partner element of `i` in this step.
+    #[inline]
+    pub fn partner(&self, i: usize) -> usize {
+        i ^ self.j
+    }
+
+    /// Whether element `i` belongs to an ascending run in this phase.
+    #[inline]
+    pub fn ascending(&self, i: usize) -> bool {
+        (i & self.run) == 0
+    }
+}
+
+/// Partner index at distance `j` (XOR pairing).
+#[inline]
+pub fn partner(i: usize, j: usize) -> usize {
+    i ^ j
+}
+
+/// Direction rule: element `i` sorts ascending in phase `run` iff the
+/// `run` bit of `i` is clear (even run index).
+#[inline]
+pub fn ascending_at(i: usize, run: usize) -> bool {
+    (i & run) == 0
+}
+
+/// The steps of the **local sort** operator (Algorithm 2): from unsorted
+/// data to sorted runs of length `k`, alternating ascending/descending.
+///
+/// Phases `run = 2, 4, …, k`; phase `run` has steps `j = run/2, …, 1`.
+/// Total `log k · (log k + 1) / 2` steps.
+///
+/// # Panics
+/// If `k` is not a power of two or is zero.
+pub fn local_sort_steps(k: usize) -> Vec<Step> {
+    assert!(crate::is_pow2(k), "k must be a power of two, got {k}");
+    let mut steps = Vec::new();
+    let mut run = 2;
+    while run <= k {
+        let mut j = run >> 1;
+        while j > 0 {
+            steps.push(Step { j, run });
+            j >>= 1;
+        }
+        run <<= 1;
+    }
+    steps
+}
+
+/// The steps of the **rebuild** operator (Algorithm 4): from bitonic runs
+/// of length `k` to sorted runs of length `k` (alternating directions).
+///
+/// A single phase `run = k` with steps `j = k/2, …, 1` — `log k` steps,
+/// exploiting that the input already satisfies the bitonic property.
+///
+/// # Panics
+/// If `k` is not a power of two or is zero.
+pub fn rebuild_steps(k: usize) -> Vec<Step> {
+    assert!(crate::is_pow2(k), "k must be a power of two, got {k}");
+    let mut steps = Vec::new();
+    let mut j = k >> 1;
+    while j > 0 {
+        steps.push(Step { j, run: k });
+        j >>= 1;
+    }
+    steps
+}
+
+/// The steps of a full bitonic **sort** of `n` elements (reference).
+pub fn full_sort_steps(n: usize) -> Vec<Step> {
+    assert!(crate::is_pow2(n), "n must be a power of two, got {n}");
+    let mut steps = Vec::new();
+    let mut run = 2;
+    while run <= n {
+        let mut j = run >> 1;
+        while j > 0 {
+            steps.push(Step { j, run });
+            j >>= 1;
+        }
+        run <<= 1;
+    }
+    steps
+}
+
+/// Number of compare-exchange operations one step performs on `n` elements.
+#[inline]
+pub fn comparisons_per_step(n: usize) -> usize {
+    n / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partner_is_involution() {
+        for j in [1usize, 2, 4, 64] {
+            for i in 0..256 {
+                assert_eq!(partner(partner(i, j), j), i);
+            }
+        }
+    }
+
+    #[test]
+    fn partner_pairs_each_element_once() {
+        let j = 4;
+        let mut seen = [false; 32];
+        for i in 0..32 {
+            if i & j == 0 {
+                let p = partner(i, j);
+                assert!(!seen[i] && !seen[p]);
+                seen[i] = true;
+                seen[p] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ascending_alternates_by_run() {
+        // run=4: elements 0..4 ascending, 4..8 descending, 8..12 ascending…
+        for i in 0..16 {
+            assert_eq!(ascending_at(i, 4), (i / 4) % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn local_sort_step_count() {
+        // log k (log k + 1) / 2 steps
+        for k in [2usize, 4, 8, 64, 256] {
+            let lg = crate::log2(k) as usize;
+            assert_eq!(local_sort_steps(k).len(), lg * (lg + 1) / 2);
+        }
+        assert!(local_sort_steps(1).is_empty());
+    }
+
+    #[test]
+    fn rebuild_step_count_and_shape() {
+        let steps = rebuild_steps(8);
+        assert_eq!(
+            steps,
+            vec![
+                Step { j: 4, run: 8 },
+                Step { j: 2, run: 8 },
+                Step { j: 1, run: 8 }
+            ]
+        );
+        assert!(rebuild_steps(1).is_empty());
+    }
+
+    #[test]
+    fn local_sort_steps_order() {
+        let steps = local_sort_steps(8);
+        let expect = vec![
+            Step { j: 1, run: 2 },
+            Step { j: 2, run: 4 },
+            Step { j: 1, run: 4 },
+            Step { j: 4, run: 8 },
+            Step { j: 2, run: 8 },
+            Step { j: 1, run: 8 },
+        ];
+        assert_eq!(steps, expect);
+    }
+
+    #[test]
+    fn full_sort_has_log_n_phases() {
+        let steps = full_sort_steps(16);
+        // 1 + 2 + 3 + 4 = 10 steps
+        assert_eq!(steps.len(), 10);
+        assert_eq!(steps.last().unwrap().run, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn local_sort_steps_rejects_non_pow2() {
+        local_sort_steps(6);
+    }
+}

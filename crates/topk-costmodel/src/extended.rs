@@ -1,0 +1,166 @@
+//! Extended cost models — **beyond the paper**, which models only radix
+//! select and bitonic top-k (Section 7). These cover the remaining two
+//! contenders so the planner can price the whole Figure 11 line-up; they
+//! follow the same style (bandwidth terms + a compute term, max-composed)
+//! and the same calibration constants as the simulator.
+
+use simt::{DeviceSpec, Occupancy};
+
+/// Input distribution classes the per-thread model distinguishes (its
+/// cost is update-frequency-dependent — Figure 12a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapProfile {
+    /// I.i.d. keys: update probability decays as `k/i`.
+    Uniform,
+    /// Sorted ascending: every element displaces the heap minimum.
+    Increasing,
+    /// Sorted descending: no updates after the warm-up fill.
+    Decreasing,
+}
+
+/// Predicted per-thread top-k time, or `None` when the configuration
+/// cannot launch (`block · k · item > 48 KB`, the Figure 11 FAIL points).
+pub fn per_thread_seconds(
+    spec: &DeviceSpec,
+    n: usize,
+    k: usize,
+    item_bytes: usize,
+    profile: HeapProfile,
+) -> Option<f64> {
+    // block size policy mirrors the implementation: largest power of two
+    // ≤ 256 whose heap footprint fits
+    let mut block = 256usize;
+    while block >= spec.warp_size && block * k * item_bytes > spec.shared_mem_per_block {
+        block /= 2;
+    }
+    if block < spec.warp_size {
+        return None;
+    }
+    let occ = Occupancy::compute(spec, block, block * k * item_bytes, 32);
+    let eff = occ.bandwidth_efficiency(spec).max(1e-3);
+
+    let d = (n * item_bytes) as f64;
+    // the launch fills half the device's thread capacity (the
+    // implementation's policy), never more threads than elements
+    let fill = (spec.num_sms * spec.max_warps_per_sm * spec.warp_size / 2) as f64;
+    let threads = fill.min(n as f64);
+    let per_thread = (n as f64 / threads).max(1.0);
+    let ws = spec.warp_size as f64;
+    let kf = k as f64;
+
+    // fraction of warp iterations where any lane updates
+    let hot = match profile {
+        HeapProfile::Increasing => 1.0,
+        HeapProfile::Decreasing => (kf / per_thread).min(1.0),
+        HeapProfile::Uniform => {
+            // any-lane-update until i ≈ 32k, then ~32k/i decay
+            let warm = (ws * kf).min(per_thread);
+            let tail = if per_thread > warm {
+                warm * (per_thread / warm).ln()
+            } else {
+                0.0
+            };
+            ((warm + tail) / per_thread).min(1.0)
+        }
+    };
+    let sift_depth = (kf.max(2.0)).log2();
+    // the same 24-op sift-level constant the simulator charges
+    let ops_per_elem = 2.0 + hot * (sift_depth + 1.0) * 24.0;
+    let t_compute = n as f64 * ops_per_elem / spec.compute_ops_per_sec;
+    let t_global = d / (spec.global_bw * eff);
+    // final reduce over threads·k candidates (three streaming passes)
+    let reduce = 4.0 * threads * kf * item_bytes as f64 / spec.global_bw;
+    Some(t_global.max(t_compute) + reduce + 2.0 * spec.launch_overhead)
+}
+
+/// Predicted bucket select time: a min/max pass plus value-space passes
+/// shrinking ~16× each (uniform values), every pass paying two streaming
+/// reads and per-element atomics.
+pub fn bucket_select_seconds(spec: &DeviceSpec, n: usize, item_bytes: usize, k: usize) -> f64 {
+    let d0 = (n * item_bytes) as f64;
+    let minmax = d0 / spec.global_bw + spec.launch_overhead;
+    if k == 1 {
+        return minmax; // the max is the answer (Figure 11's fast point)
+    }
+    let mut total = minmax;
+    let mut d = d0;
+    let mut elems = n as f64;
+    while elems > (16 * k) as f64 {
+        let t_mem = 2.0 * d / spec.global_bw + (d / 16.0) / spec.global_bw;
+        let t_atomic = elems * spec.atomic_op_cost / spec.compute_ops_per_sec;
+        total += t_mem.max(t_atomic) + spec.launch_overhead;
+        d /= 16.0;
+        elems /= 16.0;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::titan_x_maxwell()
+    }
+
+    #[test]
+    fn per_thread_fails_exactly_like_the_implementation() {
+        assert!(per_thread_seconds(&spec(), 1 << 24, 512, 4, HeapProfile::Uniform).is_none());
+        assert!(per_thread_seconds(&spec(), 1 << 24, 256, 4, HeapProfile::Uniform).is_some());
+        // doubles fail earlier
+        assert!(per_thread_seconds(&spec(), 1 << 24, 256, 8, HeapProfile::Uniform).is_none());
+        assert!(per_thread_seconds(&spec(), 1 << 24, 128, 8, HeapProfile::Uniform).is_some());
+    }
+
+    #[test]
+    fn per_thread_rises_with_k() {
+        let t8 = per_thread_seconds(&spec(), 1 << 26, 8, 4, HeapProfile::Uniform).unwrap();
+        let t64 = per_thread_seconds(&spec(), 1 << 26, 64, 4, HeapProfile::Uniform).unwrap();
+        let t256 = per_thread_seconds(&spec(), 1 << 26, 256, 4, HeapProfile::Uniform).unwrap();
+        assert!(t8 < t64 && t64 < t256, "{t8} {t64} {t256}");
+    }
+
+    #[test]
+    fn sorted_input_is_much_slower_at_paper_scale() {
+        let uni = per_thread_seconds(&spec(), 1 << 29, 32, 4, HeapProfile::Uniform).unwrap();
+        let inc = per_thread_seconds(&spec(), 1 << 29, 32, 4, HeapProfile::Increasing).unwrap();
+        let dec = per_thread_seconds(&spec(), 1 << 29, 32, 4, HeapProfile::Decreasing).unwrap();
+        assert!(
+            inc > 2.0 * uni,
+            "Figure 12a: sorted ~3x worse (inc={inc}, uni={uni})"
+        );
+        assert!(dec <= uni);
+    }
+
+    #[test]
+    fn bucket_select_k1_is_one_scan() {
+        let s = spec();
+        let t = bucket_select_seconds(&s, 1 << 26, 4, 1);
+        let scan = ((1u64 << 26) * 4) as f64 / s.global_bw;
+        assert!((t - scan - s.launch_overhead).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_select_slower_than_radix_select() {
+        let s = spec();
+        let tb = bucket_select_seconds(&s, 1 << 26, 4, 32);
+        let tr = crate::radix_select_seconds(&s, 1 << 26, 4, &crate::ReductionProfile::UniformInts);
+        assert!(tb > tr, "bucket {tb} should trail radix {tr} (atomics)");
+    }
+
+    #[test]
+    fn models_track_simulator_ordering_at_k32() {
+        // predicted ordering at 2^22, k=32 must match Figure 11a's
+        // measured ordering: bitonic < per-thread < bucket ≈ radix < sort
+        let s = spec();
+        let n = 1 << 22;
+        let bitonic =
+            crate::bitonic_topk_seconds(&s, crate::BitonicModelInput::with_defaults(n, 32, 4));
+        let pt = per_thread_seconds(&s, n, 32, 4, HeapProfile::Uniform).unwrap();
+        let bucket = bucket_select_seconds(&s, n, 4, 32);
+        let sort = crate::sort_seconds(&s, n, 4);
+        assert!(bitonic < pt, "bitonic {bitonic} < per-thread {pt}");
+        assert!(pt < bucket, "per-thread {pt} < bucket {bucket}");
+        assert!(bucket < sort, "bucket {bucket} < sort {sort}");
+    }
+}

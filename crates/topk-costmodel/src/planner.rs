@@ -1,0 +1,219 @@
+//! The planner use case of Section 7: given `(n, k, key width)`, predict
+//! which top-k implementation a query optimizer should pick.
+
+use crate::bitonic::{bitonic_topk_seconds, BitonicModelInput};
+use crate::radix::{radix_select_seconds, ReductionProfile};
+use simt::DeviceSpec;
+
+/// The planner's verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Choice {
+    /// The algorithm the planner recommends.
+    pub algorithm: Algorithm,
+    /// Predicted seconds for the chosen algorithm.
+    pub predicted_seconds: f64,
+    /// Predicted seconds for the runner-up.
+    pub alternative_seconds: f64,
+}
+
+/// The two candidate implementations the paper models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The paper's bitonic top-k (wins for small k).
+    BitonicTopK,
+    /// MSD radix select (wins for large k).
+    RadixSelect,
+}
+
+/// Chooses between bitonic top-k and radix select from the cost models —
+/// the paper's conclusion: bitonic for `k ≤ 256`, radix select beyond.
+///
+/// `profile` describes the expected digit distribution; use
+/// [`ReductionProfile::UniformFloats`] when unknown (a conservative
+/// choice: it favors radix select the least).
+pub fn recommend(
+    spec: &DeviceSpec,
+    n: usize,
+    k: usize,
+    item_bytes: usize,
+    profile: &ReductionProfile,
+) -> Choice {
+    // conflict degree rises past the k range chunk permutation covers
+    let conflict_degree = if k.next_power_of_two() <= 256 {
+        1.0
+    } else {
+        1.3
+    };
+    let t_bitonic = bitonic_topk_seconds(
+        spec,
+        BitonicModelInput {
+            n,
+            k,
+            item_bytes,
+            elems_per_thread: 16,
+            conflict_degree,
+        },
+    );
+    let t_radix = radix_select_seconds(spec, n, item_bytes, profile);
+    if t_bitonic <= t_radix {
+        Choice {
+            algorithm: Algorithm::BitonicTopK,
+            predicted_seconds: t_bitonic,
+            alternative_seconds: t_radix,
+        }
+    } else {
+        Choice {
+            algorithm: Algorithm::RadixSelect,
+            predicted_seconds: t_radix,
+            alternative_seconds: t_bitonic,
+        }
+    }
+}
+
+/// A priced algorithm in the full line-up ranking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedAlgorithm {
+    /// Which algorithm this row prices.
+    pub algorithm: FullAlgorithm,
+    /// Predicted seconds (`None` = cannot launch at this configuration).
+    pub predicted_seconds: Option<f64>,
+}
+
+/// The full Figure 11 line-up (extends the paper's two-way [`Algorithm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FullAlgorithm {
+    /// Sort-and-choose baseline.
+    Sort,
+    /// Per-thread heaps.
+    PerThread,
+    /// MSD radix select.
+    RadixSelect,
+    /// Min/max bucket select.
+    BucketSelect,
+    /// Bitonic top-k.
+    BitonicTopK,
+}
+
+/// Prices every algorithm (the paper's two models plus the `extended`
+/// ones) and returns them cheapest-first. Algorithms that cannot launch
+/// (per-thread beyond its shared-memory limit) sort last with
+/// `predicted_seconds = None`.
+pub fn recommend_full(
+    spec: &DeviceSpec,
+    n: usize,
+    k: usize,
+    item_bytes: usize,
+    profile: &ReductionProfile,
+) -> Vec<RankedAlgorithm> {
+    use crate::extended::{bucket_select_seconds, per_thread_seconds, HeapProfile};
+    let conflict_degree = if k.next_power_of_two() <= 256 {
+        1.0
+    } else {
+        1.3
+    };
+    let mut out = vec![
+        RankedAlgorithm {
+            algorithm: FullAlgorithm::Sort,
+            predicted_seconds: Some(crate::radix::sort_seconds(spec, n, item_bytes)),
+        },
+        RankedAlgorithm {
+            algorithm: FullAlgorithm::PerThread,
+            predicted_seconds: per_thread_seconds(spec, n, k, item_bytes, HeapProfile::Uniform),
+        },
+        RankedAlgorithm {
+            algorithm: FullAlgorithm::RadixSelect,
+            predicted_seconds: Some(radix_select_seconds(spec, n, item_bytes, profile)),
+        },
+        RankedAlgorithm {
+            algorithm: FullAlgorithm::BucketSelect,
+            predicted_seconds: Some(bucket_select_seconds(spec, n, item_bytes, k)),
+        },
+        RankedAlgorithm {
+            algorithm: FullAlgorithm::BitonicTopK,
+            predicted_seconds: Some(bitonic_topk_seconds(
+                spec,
+                BitonicModelInput {
+                    n,
+                    k,
+                    item_bytes,
+                    elems_per_thread: 16,
+                    conflict_degree,
+                },
+            )),
+        },
+    ];
+    out.sort_by(|a, b| match (a.predicted_seconds, b.predicted_seconds) {
+        (Some(x), Some(y)) => x.partial_cmp(&y).expect("finite predictions"),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => std::cmp::Ordering::Equal,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::titan_x_maxwell()
+    }
+
+    #[test]
+    fn small_k_picks_bitonic() {
+        for k in [1usize, 32, 128, 256] {
+            let c = recommend(&spec(), 1 << 28, k, 4, &ReductionProfile::UniformFloats);
+            assert_eq!(c.algorithm, Algorithm::BitonicTopK, "k={k}");
+            assert!(c.predicted_seconds <= c.alternative_seconds);
+        }
+    }
+
+    #[test]
+    fn crossover_exists_for_large_k() {
+        // somewhere beyond the paper's k = 256 the planner must flip
+        let flipped = [512usize, 1024, 2048, 4096].iter().any(|&k| {
+            recommend(&spec(), 1 << 28, k, 4, &ReductionProfile::UniformFloats).algorithm
+                == Algorithm::RadixSelect
+        });
+        assert!(flipped, "planner never chose radix select at large k");
+    }
+
+    #[test]
+    fn bucket_killer_pushes_toward_bitonic() {
+        let c = recommend(&spec(), 1 << 28, 1024, 4, &ReductionProfile::BucketKiller);
+        assert_eq!(
+            c.algorithm,
+            Algorithm::BitonicTopK,
+            "radix select degenerates on the adversarial input"
+        );
+    }
+
+    #[test]
+    fn full_ranking_matches_figure_11_at_k32() {
+        // bitonic < per-thread < {radix, bucket} < sort at 2^26, k = 32
+        let ranked = recommend_full(&spec(), 1 << 26, 32, 4, &ReductionProfile::UniformFloats);
+        assert_eq!(ranked[0].algorithm, FullAlgorithm::BitonicTopK);
+        assert_eq!(ranked.last().unwrap().algorithm, FullAlgorithm::Sort);
+        // strictly ordered costs
+        let costs: Vec<f64> = ranked.iter().filter_map(|r| r.predicted_seconds).collect();
+        assert!(costs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn full_ranking_marks_unlaunchable_per_thread() {
+        let ranked = recommend_full(&spec(), 1 << 24, 512, 4, &ReductionProfile::UniformFloats);
+        let pt = ranked
+            .iter()
+            .find(|r| r.algorithm == FullAlgorithm::PerThread)
+            .unwrap();
+        assert!(pt.predicted_seconds.is_none(), "k=512 cannot launch");
+        assert_eq!(ranked.last().unwrap().algorithm, FullAlgorithm::PerThread);
+    }
+
+    #[test]
+    fn predictions_are_positive_and_ordered() {
+        let c = recommend(&spec(), 1 << 24, 64, 4, &ReductionProfile::UniformInts);
+        assert!(c.predicted_seconds > 0.0);
+        assert!(c.alternative_seconds >= c.predicted_seconds);
+    }
+}

@@ -1,0 +1,167 @@
+//! Section 7.1: the radix select cost model (and a sort model for the
+//! planner's baseline column).
+
+use crate::model_threads;
+use simt::DeviceSpec;
+
+/// How much each radix pass shrinks the candidate set — the `η_i` of the
+/// paper's model. Distribution-dependent, so the model exposes the
+/// canonical profiles of the evaluation section.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReductionProfile {
+    /// Full-range uniform integers: every 8-bit digit is uniform, so each
+    /// pass keeps ~1/256 of the candidates.
+    UniformInts,
+    /// Uniform `U(0,1)` floats: the exponent concentrates the top digit
+    /// (pass 1 keeps ~1/2), subsequent digits are uniform (~1/256).
+    UniformFloats,
+    /// The adversarial bucket-killer input: each pass eliminates exactly
+    /// one element, so `η → 1` from below — the clustering write is
+    /// *never* skipped and every pass reads and rewrites the whole input,
+    /// degrading to sort-like cost (Figure 12b).
+    BucketKiller,
+    /// Explicit per-pass fractions.
+    Custom(Vec<f64>),
+}
+
+impl ReductionProfile {
+    /// Fraction of candidates surviving pass `i` (0-based).
+    pub fn eta(&self, pass: u32) -> f64 {
+        match self {
+            ReductionProfile::UniformInts => 1.0 / 256.0,
+            ReductionProfile::UniformFloats => {
+                if pass == 0 {
+                    0.5
+                } else {
+                    1.0 / 256.0
+                }
+            }
+            // one element removed per pass: η just below 1, so the
+            // write-skip never fires
+            ReductionProfile::BucketKiller => 1.0 - 1e-7,
+            ReductionProfile::Custom(v) => v.get(pass as usize).copied().unwrap_or(1.0 / 256.0),
+        }
+    }
+}
+
+/// Predicted radix select time in seconds (paper §7.1).
+///
+/// Pass `i` over `D_i` bytes:
+/// `T_I1 = D_i/B_G + 16·4·n_t/B_G` (read + per-thread histogram),
+/// `T_I2 = 2·16·4·n_t/B_G` (prefix sum),
+/// `T_I3 = D_i/B_G + η_i·D_i/B_G` (clustering; skipped when `η_i = 1`).
+pub fn radix_select_seconds(
+    spec: &DeviceSpec,
+    n: usize,
+    key_bytes: usize,
+    profile: &ReductionProfile,
+) -> f64 {
+    let bg = spec.global_bw;
+    let passes = (key_bytes * 8 / 8) as u32; // one pass per 8-bit digit
+
+    let mut d = (n * key_bytes) as f64;
+    let mut total = 0.0;
+    for i in 0..passes {
+        if d < 1.0 {
+            break;
+        }
+        // threads scale with the live candidate count, as the launch does
+        let nt = model_threads(spec, (d as usize) / key_bytes.max(1));
+        let hist_bytes = 16.0 * 4.0 * nt;
+        let eta = profile.eta(i);
+        let t_i1 = d / bg + hist_bytes / bg;
+        let t_i2 = 2.0 * hist_bytes / bg;
+        let t_i3 = if eta >= 1.0 {
+            0.0
+        } else {
+            d / bg + eta * d / bg
+        };
+        // three kernels per pass (two when clustering is skipped)
+        let launches = if eta >= 1.0 { 2.0 } else { 3.0 };
+        total += t_i1 + t_i2 + t_i3 + launches * spec.launch_overhead;
+        d *= eta;
+    }
+    total
+}
+
+/// Predicted LSD radix sort time (the sort-and-choose baseline): per
+/// digit, a histogram read plus a scatter read/write of the full input
+/// (the scatter write at the partially-coalesced factor the
+/// implementation charges).
+pub fn sort_seconds(spec: &DeviceSpec, n: usize, key_bytes: usize) -> f64 {
+    let bg = spec.global_bw;
+    let d = (n * key_bytes) as f64;
+    let passes = (key_bytes * 8 / 8) as f64;
+    passes * (d / bg + (d + 2.0 * d) / bg + 2.0 * spec.launch_overhead)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::titan_x_maxwell()
+    }
+
+    #[test]
+    fn first_pass_dominates_uniform_ints() {
+        // §7: the first radix select kernel should cost ≈ 8.6 ms at 2^29
+        // floats (D = 2^31 bytes)
+        let t = radix_select_seconds(&spec(), 1 << 29, 4, &ReductionProfile::UniformInts);
+        let first_read = (1u64 << 31) as f64 / spec().global_bw;
+        assert!(t > first_read, "must at least read the input once");
+        assert!(
+            t < 3.0 * first_read,
+            "uniform ints should be dominated by pass 1: {t} vs {first_read}"
+        );
+    }
+
+    #[test]
+    fn floats_cost_more_than_ints() {
+        let ti = radix_select_seconds(&spec(), 1 << 26, 4, &ReductionProfile::UniformInts);
+        let tf = radix_select_seconds(&spec(), 1 << 26, 4, &ReductionProfile::UniformFloats);
+        assert!(
+            tf > ti,
+            "float exponent clustering costs extra: {tf} vs {ti}"
+        );
+    }
+
+    #[test]
+    fn bucket_killer_approaches_sort() {
+        // Figure 12b: radix select degrades to ~sort-like full passes
+        let tb = radix_select_seconds(&spec(), 1 << 26, 4, &ReductionProfile::BucketKiller);
+        let tu = radix_select_seconds(&spec(), 1 << 26, 4, &ReductionProfile::UniformFloats);
+        assert!(tb > 1.5 * tu, "bk={tb} uniform={tu}");
+        let ts = sort_seconds(&spec(), 1 << 26, 4);
+        assert!(
+            tb > 0.5 * ts && tb < 1.2 * ts,
+            "should be in the sort regime: bk={tb} sort={ts}"
+        );
+    }
+
+    #[test]
+    fn wider_keys_more_passes() {
+        let t4 = radix_select_seconds(&spec(), 1 << 24, 4, &ReductionProfile::UniformInts);
+        let t8 = radix_select_seconds(&spec(), 1 << 23, 8, &ReductionProfile::UniformInts);
+        // same total bytes, but 64-bit keys run more (tiny) passes and more
+        // launches
+        assert!(t8 > t4 * 0.99);
+    }
+
+    #[test]
+    fn custom_profile_used() {
+        // η exactly 1 triggers the write-skip: cheaper than bucket killer
+        let p = ReductionProfile::Custom(vec![1.0, 1.0, 1.0, 1.0]);
+        let t = radix_select_seconds(&spec(), 1 << 24, 4, &p);
+        let tb = radix_select_seconds(&spec(), 1 << 24, 4, &ReductionProfile::BucketKiller);
+        assert!(t < tb, "skip path {t} must beat full rewrites {tb}");
+        assert_eq!(p.eta(7), 1.0 / 256.0, "past the vector: default");
+    }
+
+    #[test]
+    fn sort_linear_in_n() {
+        let t1 = sort_seconds(&spec(), 1 << 24, 4);
+        let t2 = sort_seconds(&spec(), 1 << 25, 4);
+        assert!((t2 / t1 - 2.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,198 @@
+//! Heap-based CPU top-k: the STL priority queue baseline and the
+//! hand-optimized min-heap (Section 6.7).
+
+use crate::CpuTopK;
+use datagen::TopKItem;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Wrapper giving items `Ord` by key bits so they fit `BinaryHeap`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ByKey<T: TopKItem>(T);
+
+impl<T: TopKItem> Eq for ByKey<T> {}
+impl<T: TopKItem> PartialOrd for ByKey<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: TopKItem> Ord for ByKey<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.key_bits().cmp(&other.0.key_bits())
+    }
+}
+
+/// The `std::priority_queue` baseline: a library binary heap used as a
+/// size-k min-heap (via `Reverse`), checking each element against the
+/// minimum before inserting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StlPq;
+
+impl<T: TopKItem> CpuTopK<T> for StlPq {
+    fn name(&self) -> &'static str {
+        "stl-pq"
+    }
+
+    fn partition_topk(&self, data: &[T], k: usize) -> Vec<T> {
+        let k = k.min(data.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<Reverse<ByKey<T>>> = BinaryHeap::with_capacity(k + 1);
+        let mut iter = data.iter();
+        for &x in iter.by_ref().take(k) {
+            heap.push(Reverse(ByKey(x)));
+        }
+        for &x in iter {
+            // compare against the current minimum before touching the heap
+            let min = heap.peek().expect("heap is non-empty").0 .0;
+            if min.item_lt(&x) {
+                heap.pop();
+                heap.push(Reverse(ByKey(x)));
+            }
+        }
+        let mut out: Vec<T> = heap.into_iter().map(|r| r.0 .0).collect();
+        out.sort_unstable_by_key(|x| std::cmp::Reverse(x.key_bits()));
+        out
+    }
+}
+
+/// The paper's "Hand PQ": a flat-array min-heap with inlined sift-down
+/// and the root fast-path compare, avoiding the container overhead of the
+/// library queue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HandPq;
+
+impl HandPq {
+    #[inline]
+    fn sift_down<T: TopKItem>(heap: &mut [T], mut i: usize) {
+        let n = heap.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let mut c = l;
+            if r < n && heap[r].item_lt(&heap[l]) {
+                c = r;
+            }
+            if heap[c].item_lt(&heap[i]) {
+                heap.swap(i, c);
+                i = c;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Floyd heap construction: O(k) instead of k pushes.
+    fn heapify<T: TopKItem>(heap: &mut [T]) {
+        for i in (0..heap.len() / 2).rev() {
+            Self::sift_down(heap, i);
+        }
+    }
+}
+
+impl<T: TopKItem> CpuTopK<T> for HandPq {
+    fn name(&self) -> &'static str {
+        "hand-pq"
+    }
+
+    fn partition_topk(&self, data: &[T], k: usize) -> Vec<T> {
+        let k = k.min(data.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: Vec<T> = data[..k].to_vec();
+        Self::heapify(&mut heap);
+        for &x in &data[k..] {
+            if heap[0].item_lt(&x) {
+                heap[0] = x;
+                Self::sift_down(&mut heap, 0);
+            }
+        }
+        heap.sort_unstable_by_key(|x| std::cmp::Reverse(x.key_bits()));
+        heap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{reference_topk, Decreasing, Distribution, Increasing, Kv, Uniform};
+
+    #[test]
+    fn stl_pq_matches_reference() {
+        let data: Vec<f32> = Uniform.generate(10_000, 90);
+        for k in [1usize, 2, 7, 32, 500] {
+            assert_eq!(
+                StlPq.partition_topk(&data, k),
+                reference_topk(&data, k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn hand_pq_matches_reference() {
+        let data: Vec<f32> = Uniform.generate(10_000, 91);
+        for k in [1usize, 2, 7, 32, 500] {
+            assert_eq!(
+                HandPq.partition_topk(&data, k),
+                reference_topk(&data, k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn sorted_inputs() {
+        let inc: Vec<u32> = Increasing.generate(5_000, 92);
+        let dec: Vec<u32> = Decreasing.generate(5_000, 92);
+        for k in [1usize, 16, 100] {
+            assert_eq!(HandPq.partition_topk(&inc, k), reference_topk(&inc, k));
+            assert_eq!(HandPq.partition_topk(&dec, k), reference_topk(&dec, k));
+            assert_eq!(StlPq.partition_topk(&inc, k), reference_topk(&inc, k));
+        }
+    }
+
+    #[test]
+    fn heapify_establishes_min_heap() {
+        let mut v: Vec<u32> = Uniform.generate(257, 93);
+        HandPq::heapify(&mut v);
+        for i in 1..v.len() {
+            let parent = (i - 1) / 2;
+            assert!(
+                !v[i].item_lt(&v[parent]),
+                "heap property violated at {i}: {} < {}",
+                v[i],
+                v[parent]
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_and_negatives() {
+        let data = vec![-1.5f32, 3.0, 3.0, -1.5, 0.0, 3.0];
+        assert_eq!(HandPq.partition_topk(&data, 4), vec![3.0, 3.0, 3.0, 0.0]);
+        assert_eq!(StlPq.partition_topk(&data, 4), vec![3.0, 3.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn payloads_preserved() {
+        let data: Vec<Kv<u32>> = (0..1000u32).map(|i| Kv::new(i * 37 % 1009, i)).collect();
+        let got = HandPq.partition_topk(&data, 3);
+        let expect = reference_topk_kv(&data, 3);
+        assert_eq!(got, expect);
+        let got = StlPq.partition_topk(&data, 3);
+        assert_eq!(got, expect);
+    }
+
+    fn reference_topk_kv(data: &[Kv<u32>], k: usize) -> Vec<Kv<u32>> {
+        let mut v = data.to_vec();
+        v.sort_unstable_by_key(|kv| std::cmp::Reverse(kv.key));
+        v.truncate(k);
+        v
+    }
+}

@@ -1,0 +1,358 @@
+//! The fused reducer kernel family (SortReducer / BitonicReducer /
+//! monolithic final reducer), with the Section 4.3 shared-memory
+//! optimizations realized as actual access-pattern changes the simulator
+//! measures.
+
+use datagen::TopKItem;
+use simt::{BlockCtx, GpuBuffer, Kernel, SharedHandle};
+use sortnet::{chunk_rotation, local_sort_steps, rebuild_steps, PadMap, StepGroupPlan};
+
+use super::config::BitonicConfig;
+
+/// One operator inside a fused kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReduceOp {
+    /// Unsorted → sorted runs of k (only valid as the first op).
+    LocalSort,
+    /// Bitonic runs of k → sorted runs of k.
+    Rebuild,
+    /// Pairwise max over 2k windows; halves the live length.
+    Merge,
+}
+
+/// A fused reducer: loads a segment to shared memory, applies a sequence
+/// of operators, writes the reduced segment back.
+pub(crate) struct ReducerKernel<T: TopKItem> {
+    pub input: GpuBuffer<T>,
+    pub output: GpuBuffer<T>,
+    /// Segment (elements) each block loads.
+    pub seg: usize,
+    /// Run length (the internally rounded-up k).
+    pub k: usize,
+    pub ops: Vec<ReduceOp>,
+    pub cfg: BitonicConfig,
+    pub block_dim: usize,
+    pub grid_dim: usize,
+    pub kernel_name: &'static str,
+}
+
+impl<T: TopKItem> ReducerKernel<T> {
+    /// Output elements each block produces.
+    pub fn out_seg(&self) -> usize {
+        let merges = self.ops.iter().filter(|o| **o == ReduceOp::Merge).count();
+        self.seg >> merges
+    }
+
+    fn pad_map(&self) -> PadMap {
+        // banks in the element domain: 32 words / words-per-element
+        let wpe = T::SIZE_BYTES.div_ceil(4);
+        PadMap::new((32 / wpe).max(1), self.cfg.padding())
+    }
+
+    /// Shared bytes needed for the (possibly padded) segment.
+    pub fn shared_bytes(&self) -> usize {
+        self.pad_map().padded_len(self.seg) * T::SIZE_BYTES
+    }
+
+    /// Predicts the bank-conflict cycles of one warp executing a group
+    /// with the given per-lane rotation, by replaying the slot/bank
+    /// geometry of the first warp's first sets. Used to pick the chunk
+    /// visit order — the paper derives its permutation by inspecting
+    /// exactly this pattern (Figure 10); we generalize by evaluating the
+    /// candidate orders.
+    fn predict_conflicts(
+        group: &sortnet::CombinedStep,
+        pad: PadMap,
+        workers: usize,
+        ws: usize,
+        sets_total: usize,
+        rotate: bool,
+    ) -> u64 {
+        let m_count = group.elems_per_set();
+        let wpe = T::SIZE_BYTES.div_ceil(4);
+        let lanes = ws.min(workers);
+        let per = sets_total / workers.max(1);
+        let mut cycles = 0u64;
+        for slot in 0..m_count {
+            let mut banks = [0u32; 32];
+            let mut words: Vec<u32> = Vec::with_capacity(lanes);
+            for l in 0..lanes {
+                let rot = if rotate {
+                    chunk_rotation(l, m_count)
+                } else {
+                    0
+                };
+                let m = (slot + rot) % m_count;
+                let word = (pad.index(group.element(l * per.max(1), m)) * wpe) as u32;
+                words.push(word);
+            }
+            words.sort_unstable();
+            words.dedup();
+            for w in words {
+                banks[(w as usize) % 32] += 1;
+            }
+            let degree = *banks.iter().max().unwrap() as u64;
+            cycles += degree.saturating_sub(1);
+        }
+        cycles
+    }
+
+    /// Executes one step-group plan over the live prefix of the segment.
+    fn run_plan(
+        &self,
+        blk: &mut BlockCtx,
+        sh: SharedHandle<T>,
+        pad: PadMap,
+        plan: &StepGroupPlan,
+        cur_len: usize,
+        active: usize,
+    ) {
+        let ws = blk.spec().warp_size;
+        let permute = self.cfg.chunk_permute();
+        for group in &plan.groups {
+            let m_count = group.elems_per_set();
+            let sets_total = cur_len / m_count;
+            let workers = active.min(sets_total);
+            // chunk permutation: rotate the per-lane visit order when the
+            // aligned order would conflict and the rotated one is better
+            let use_rot = permute
+                && m_count > 1
+                && Self::predict_conflicts(group, pad, workers, ws, sets_total, true)
+                    < Self::predict_conflicts(group, pad, workers, ws, sets_total, false);
+            blk.step(|lane| {
+                let t = lane.tid();
+                if t >= workers {
+                    return;
+                }
+                let rot = if use_rot {
+                    chunk_rotation(lane.lane_in_warp(ws), m_count)
+                } else {
+                    0
+                };
+                let mut local: Vec<T> = vec![T::min_sentinel(); m_count];
+                // blocked set assignment, as in the paper's Figure 6: each
+                // thread owns a contiguous range of closed sets
+                let per = sets_total / workers;
+                for i in 0..per {
+                    let set = t * per + i;
+                    for i in 0..m_count {
+                        let m = (i + rot) % m_count;
+                        local[m] = lane.sread(sh, pad.index(group.element(set, m)));
+                    }
+                    for &step in &group.steps {
+                        let lb = group.local_bit_for(step.j);
+                        for m in 0..m_count {
+                            let pm = m ^ (1 << lb);
+                            if pm > m {
+                                let gi = group.element(set, m);
+                                let asc = step.ascending(gi);
+                                if asc == local[pm].item_lt(&local[m]) {
+                                    local.swap(m, pm);
+                                }
+                            }
+                        }
+                        // ~4 scalar ops per compare-exchange: load-compare,
+                        // select, two conditional moves
+                        lane.ops(4 * m_count as u64 / 2);
+                    }
+                    for i in 0..m_count {
+                        let m = (i + rot) % m_count;
+                        lane.swrite(sh, pad.index(group.element(set, m)), local[m]);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Executes a merge: pairwise max over aligned 2k windows, compacting
+    /// the live prefix from `cur_len` to `cur_len/2`. Two warp-synchronous
+    /// steps (read into registers, barrier, write) as on real hardware.
+    fn run_merge(
+        &self,
+        blk: &mut BlockCtx,
+        sh: SharedHandle<T>,
+        pad: PadMap,
+        cur_len: usize,
+        active: usize,
+    ) {
+        let k = self.k;
+        let half = cur_len / 2;
+        let workers = active.min(half);
+        let per_thread = half / workers.max(1);
+        let mut staged: Vec<Vec<T>> = vec![Vec::with_capacity(per_thread); workers];
+
+        blk.step(|lane| {
+            let t = lane.tid();
+            if t >= workers {
+                return;
+            }
+            let mut p = t;
+            while p < half {
+                let w = p / k;
+                let j = p % k;
+                let a = lane.sread(sh, pad.index(2 * k * w + j));
+                let b = lane.sread(sh, pad.index(2 * k * w + j + k));
+                staged[t].push(if a.item_lt(&b) { b } else { a });
+                lane.ops(4);
+                p += workers;
+            }
+        });
+        blk.step(|lane| {
+            let t = lane.tid();
+            if t >= workers {
+                return;
+            }
+            for (i, v) in staged[t].iter().enumerate() {
+                let p = t + i * workers;
+                lane.swrite(sh, pad.index(p), *v);
+            }
+        });
+    }
+}
+
+impl<T: TopKItem> Kernel for ReducerKernel<T> {
+    fn name(&self) -> &'static str {
+        self.kernel_name
+    }
+    fn block_dim(&self) -> usize {
+        self.block_dim
+    }
+    fn grid_dim(&self) -> usize {
+        self.grid_dim
+    }
+    fn shared_bytes_per_block(&self) -> usize {
+        self.shared_bytes()
+    }
+    fn regs_per_thread(&self) -> usize {
+        // the combined-step register set plus loop state; beyond B = 16
+        // this is what costs occupancy in Figure 8
+        32 + self.cfg.group_budget() * T::SIZE_BYTES.div_ceil(4)
+    }
+
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let pad = self.pad_map();
+        let sh = blk.alloc_shared::<T>(pad.padded_len(self.seg));
+        let nt = self.block_dim;
+        let b_elems = self.seg / nt;
+        let base = blk.block_idx * self.seg;
+
+        // ---- load: coalesced global reads staged into shared memory
+        blk.step(|lane| {
+            let t = lane.tid();
+            for j in 0..b_elems {
+                let p = t + j * nt;
+                let v = lane.gread(&self.input, base + p);
+                lane.swrite(sh, pad.index(p), v);
+            }
+        });
+
+        // ---- operator pipeline
+        let mut cur_len = self.seg;
+        for &op in &self.ops {
+            // element budget per thread at the current live length
+            let active = if self.cfg.reassign() {
+                (cur_len / self.cfg.elems()).clamp(1, nt)
+            } else {
+                nt.min(cur_len)
+            };
+            let avail = (cur_len / active).max(2);
+            let budget = self.cfg.group_budget().min(avail);
+            match op {
+                ReduceOp::LocalSort => {
+                    let plan = StepGroupPlan::plan(&local_sort_steps(self.k), budget);
+                    self.run_plan(blk, sh, pad, &plan, cur_len, active);
+                }
+                ReduceOp::Rebuild => {
+                    let plan = StepGroupPlan::plan(&rebuild_steps(self.k), budget);
+                    self.run_plan(blk, sh, pad, &plan, cur_len, active);
+                }
+                ReduceOp::Merge => {
+                    self.run_merge(blk, sh, pad, cur_len, active);
+                    cur_len /= 2;
+                }
+            }
+        }
+
+        // ---- store: coalesced global writes of the reduced segment
+        let out_base = blk.block_idx * cur_len;
+        blk.step(|lane| {
+            let t = lane.tid();
+            let mut p = t;
+            while p < cur_len {
+                let v = lane.sread(sh, pad.index(p));
+                lane.gwrite(&self.output, out_base + p, v);
+                p += nt;
+            }
+        });
+    }
+}
+
+/// Builds the op list of a SortReducer: local sort, then merge/rebuild
+/// alternation ending on a merge — `merges` halvings total.
+pub(crate) fn sort_reducer_ops(merges: usize) -> Vec<ReduceOp> {
+    let mut ops = vec![ReduceOp::LocalSort];
+    for i in 0..merges {
+        ops.push(ReduceOp::Merge);
+        if i + 1 < merges {
+            ops.push(ReduceOp::Rebuild);
+        }
+    }
+    ops
+}
+
+/// Builds the op list of a BitonicReducer: rebuild/merge alternation
+/// starting from bitonic runs, ending on a merge.
+pub(crate) fn bitonic_reducer_ops(merges: usize) -> Vec<ReduceOp> {
+    let mut ops = Vec::new();
+    for _ in 0..merges {
+        ops.push(ReduceOp::Rebuild);
+        ops.push(ReduceOp::Merge);
+    }
+    ops
+}
+
+/// Builds the final-kernel op list: from bitonic runs of k, reduce
+/// `merges` times and leave a fully sorted run of k.
+pub(crate) fn final_reducer_ops(merges: usize) -> Vec<ReduceOp> {
+    let mut ops = Vec::new();
+    for _ in 0..merges {
+        ops.push(ReduceOp::Rebuild);
+        ops.push(ReduceOp::Merge);
+    }
+    ops.push(ReduceOp::Rebuild);
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_list_shapes() {
+        assert_eq!(
+            sort_reducer_ops(3),
+            vec![
+                ReduceOp::LocalSort,
+                ReduceOp::Merge,
+                ReduceOp::Rebuild,
+                ReduceOp::Merge,
+                ReduceOp::Rebuild,
+                ReduceOp::Merge
+            ]
+        );
+        assert_eq!(
+            bitonic_reducer_ops(2),
+            vec![
+                ReduceOp::Rebuild,
+                ReduceOp::Merge,
+                ReduceOp::Rebuild,
+                ReduceOp::Merge
+            ]
+        );
+        assert_eq!(final_reducer_ops(0), vec![ReduceOp::Rebuild]);
+        assert_eq!(
+            final_reducer_ops(1),
+            vec![ReduceOp::Rebuild, ReduceOp::Merge, ReduceOp::Rebuild]
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Out-of-core top-k: data larger than device memory (the Section 4.3
+//! discussion point).
+//!
+//! The paper observes that top-k's *reductive* nature makes oversubscribed
+//! inputs easy: process the data in memory-sized chunks, keep each chunk's
+//! top-k, and reduce the concatenated winners — overlapping each chunk's
+//! PCI-E transfer with the previous chunk's computation, as GPU sorts do.
+//!
+//! This module implements exactly that on the simulator: transfers are
+//! timed against [`simt::DeviceSpec::pcie_bw`], chunk compute against the
+//! usual kernel model, and the modeled wall time composes them either
+//! serially or double-buffered (overlapped).
+
+use crate::bitonic::{bitonic_topk, BitonicConfig};
+use crate::util::sort_desc;
+use crate::TopKError;
+use datagen::TopKItem;
+use simt::{Device, SimTime};
+
+/// Configuration for the chunked pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkedConfig {
+    /// Elements per chunk; `None` sizes chunks to a quarter of device
+    /// memory (leaving room for the working buffers and double buffering).
+    pub chunk_elems: Option<usize>,
+    /// Overlap transfers with computation (double buffering).
+    pub overlap: bool,
+    /// Bitonic configuration for the per-chunk top-k.
+    pub bitonic: BitonicConfig,
+}
+
+impl Default for ChunkedConfig {
+    fn default() -> Self {
+        Self {
+            chunk_elems: None,
+            overlap: true,
+            bitonic: BitonicConfig::default(),
+        }
+    }
+}
+
+/// Result of a chunked top-k, with the time decomposition.
+#[derive(Debug, Clone)]
+pub struct ChunkedResult<T> {
+    /// The global top-k, descending.
+    pub items: Vec<T>,
+    /// Number of chunks processed.
+    pub chunks: usize,
+    /// Total device compute time (all chunk kernels + the final reduce).
+    pub compute_time: SimTime,
+    /// Total host→device transfer time.
+    pub transfer_time: SimTime,
+    /// Modeled end-to-end wall time: serial sum, or the double-buffered
+    /// pipeline `max(transfer, compute)` composition when overlapped.
+    pub wall_time: SimTime,
+}
+
+/// Top-k over host data of arbitrary size, streamed through the device in
+/// chunks.
+///
+/// # Errors
+/// Propagates kernel launch failures; `k` must fit a single chunk.
+pub fn chunked_bitonic_topk<T: TopKItem>(
+    host_data: &[T],
+    k: usize,
+    dev: &Device,
+    cfg: ChunkedConfig,
+) -> Result<ChunkedResult<T>, TopKError> {
+    if k == 0 {
+        return Err(TopKError::ZeroK);
+    }
+    if host_data.is_empty() {
+        return Err(TopKError::EmptyInput);
+    }
+    let spec = *dev.spec();
+    let chunk = cfg
+        .chunk_elems
+        .unwrap_or(spec.global_mem_bytes / 4 / T::SIZE_BYTES)
+        .max(k.next_power_of_two() * 2)
+        .min(host_data.len());
+
+    let mut per_chunk_compute: Vec<f64> = Vec::new();
+    let mut per_chunk_transfer: Vec<f64> = Vec::new();
+    let mut winners: Vec<T> = Vec::new();
+
+    for piece in host_data.chunks(chunk) {
+        per_chunk_transfer.push(spec.transfer_seconds(std::mem::size_of_val(piece)));
+        let input = dev
+            .try_upload(piece)
+            .map_err(|_| TopKError::Launch(simt::LaunchError::EmptyLaunch))?;
+        let r = bitonic_topk(dev, &input, k.min(piece.len()), cfg.bitonic)?;
+        per_chunk_compute.push(r.time.seconds());
+        winners.extend_from_slice(&r.items);
+    }
+    let chunks = per_chunk_compute.len();
+
+    // final reduction over the concatenated winners (typically tiny)
+    let mut final_compute = 0.0;
+    let items = if winners.len() > k {
+        let input = dev
+            .try_upload(&winners)
+            .map_err(|_| TopKError::Launch(simt::LaunchError::EmptyLaunch))?;
+        let r = bitonic_topk(dev, &input, k.min(winners.len()), cfg.bitonic)?;
+        final_compute = r.time.seconds();
+        per_chunk_transfer.push(0.0); // winners stayed on device in a real pipeline
+        r.items
+    } else {
+        sort_desc(&mut winners);
+        winners
+    };
+
+    let compute_total: f64 = per_chunk_compute.iter().sum::<f64>() + final_compute;
+    let transfer_total: f64 = per_chunk_transfer.iter().sum();
+    let wall = if cfg.overlap {
+        // double buffering: chunk i's transfer hides behind chunk i−1's
+        // compute; the pipeline costs the first transfer, then the max of
+        // each overlapping (compute_i, transfer_{i+1}) pair, then the tail
+        let mut t = per_chunk_transfer.first().copied().unwrap_or(0.0);
+        for (i, compute) in per_chunk_compute.iter().enumerate() {
+            let next_transfer = per_chunk_transfer.get(i + 1).copied().unwrap_or(0.0);
+            t += compute.max(next_transfer);
+        }
+        t + final_compute
+    } else {
+        compute_total + transfer_total
+    };
+
+    Ok(ChunkedResult {
+        items,
+        chunks,
+        compute_time: SimTime::from_seconds(compute_total),
+        transfer_time: SimTime::from_seconds(transfer_total),
+        wall_time: SimTime::from_seconds(wall),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{reference_topk, Distribution, Uniform};
+    use simt::DeviceSpec;
+
+    #[test]
+    fn matches_reference_across_chunk_counts() {
+        let data: Vec<f32> = Uniform.generate(1 << 15, 200);
+        let dev = Device::titan_x();
+        for chunk in [1 << 12, 1 << 13, 1 << 15, 1 << 20] {
+            let r = chunked_bitonic_topk(
+                &data,
+                32,
+                &dev,
+                ChunkedConfig {
+                    chunk_elems: Some(chunk),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(r.items, reference_topk(&data, 32), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn chunk_count_is_ceil_division() {
+        let data: Vec<f32> = Uniform.generate(10_000, 201);
+        let dev = Device::titan_x();
+        let r = chunked_bitonic_topk(
+            &data,
+            8,
+            &dev,
+            ChunkedConfig {
+                chunk_elems: Some(4096),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.chunks, 3);
+    }
+
+    #[test]
+    fn overlap_beats_serial() {
+        let data: Vec<f32> = Uniform.generate(1 << 16, 202);
+        let dev = Device::titan_x();
+        let base = ChunkedConfig {
+            chunk_elems: Some(1 << 13),
+            ..Default::default()
+        };
+        let overlapped = chunked_bitonic_topk(&data, 16, &dev, base).unwrap();
+        let serial = chunked_bitonic_topk(
+            &data,
+            16,
+            &dev,
+            ChunkedConfig {
+                overlap: false,
+                ..base
+            },
+        )
+        .unwrap();
+        assert!(overlapped.wall_time.seconds() < serial.wall_time.seconds());
+        assert_eq!(overlapped.items, serial.items);
+        // the pipeline can never beat the slower of its two resources
+        assert!(
+            overlapped.wall_time.seconds()
+                >= overlapped
+                    .transfer_time
+                    .seconds()
+                    .max(overlapped.compute_time.seconds())
+                    * 0.99
+        );
+    }
+
+    #[test]
+    fn transfer_dominates_at_pcie_speeds() {
+        // PCI-E is ~20× slower than device memory: the paper's point that
+        // reductive top-k should be streamed, not staged
+        let data: Vec<f32> = Uniform.generate(1 << 16, 203);
+        let dev = Device::titan_x();
+        let r = chunked_bitonic_topk(&data, 32, &dev, ChunkedConfig::default()).unwrap();
+        assert!(r.transfer_time.seconds() > r.compute_time.seconds());
+    }
+
+    #[test]
+    fn data_larger_than_device_memory() {
+        // a small device forces multiple chunks via the default sizing
+        let spec = DeviceSpec {
+            global_mem_bytes: 64 * 1024,
+            ..DeviceSpec::titan_x_maxwell()
+        };
+        let dev = Device::new(spec);
+        let data: Vec<f32> = Uniform.generate(40_000, 204); // 160 KB > 64 KB
+        let r = chunked_bitonic_topk(&data, 16, &dev, ChunkedConfig::default()).unwrap();
+        assert!(r.chunks >= 8, "chunks={}", r.chunks);
+        assert_eq!(r.items, reference_topk(&data, 16));
+    }
+
+    #[test]
+    fn rejects_zero_k_and_empty() {
+        let dev = Device::titan_x();
+        assert!(matches!(
+            chunked_bitonic_topk(&[1.0f32], 0, &dev, ChunkedConfig::default()),
+            Err(TopKError::ZeroK)
+        ));
+        assert!(matches!(
+            chunked_bitonic_topk::<f32>(&[], 5, &dev, ChunkedConfig::default()),
+            Err(TopKError::EmptyInput)
+        ));
+    }
+}

@@ -1,0 +1,251 @@
+#![warn(missing_docs)]
+//! GPU top-k algorithms on the `simt` simulator — the paper's contribution.
+//!
+//! Five algorithms (Section 3), all returning the largest `k` items in
+//! descending key order:
+//!
+//! | Algorithm | Module | Paper |
+//! |---|---|---|
+//! | Sort & choose (LSD radix sort) | [`sort`] | §3, baseline |
+//! | Per-thread heaps (+ register variant) | [`per_thread`] | §3.1, App. A |
+//! | Radix select | [`radix_select`] | §2.3/§4.2 |
+//! | Bucket select | [`bucket_select`] | §2.3/§4.2 |
+//! | **Bitonic top-k** | [`bitonic`] | §3.2/§4.3 |
+//!
+//! Every algorithm is functionally executed on simulated device buffers —
+//! results are real and tested against a sort oracle — while the
+//! simulator's traffic counters drive the modeled kernel times
+//! (see the `simt` crate docs).
+//!
+//! # Example
+//!
+//! ```
+//! use simt::Device;
+//! use topk::{bitonic::BitonicConfig, TopKAlgorithm};
+//!
+//! let dev = Device::titan_x();
+//! let data: Vec<f32> = (0..4096).map(|i| (i * 31 % 4096) as f32).collect();
+//! let input = dev.upload(&data);
+//! let result = TopKAlgorithm::Bitonic(BitonicConfig::default())
+//!     .run(&dev, &input, 8)
+//!     .unwrap();
+//! assert_eq!(result.items.len(), 8);
+//! assert_eq!(result.items[0], 4095.0);
+//! ```
+
+pub mod batched;
+pub mod bitonic;
+pub mod bucket_select;
+pub mod chunked;
+pub mod hybrid;
+pub mod per_thread;
+pub mod radix_select;
+pub mod sort;
+pub(crate) mod util;
+
+use datagen::TopKItem;
+use simt::{Device, GpuBuffer, LaunchError, LaunchReport, SimTime};
+
+/// Errors top-k execution can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopKError {
+    /// `k` must be at least 1.
+    ZeroK,
+    /// The input buffer is empty.
+    EmptyInput,
+    /// A kernel could not launch — e.g. per-thread top-k's shared-memory
+    /// footprint exceeds the device limit for large `k` (Section 6.2).
+    Launch(LaunchError),
+}
+
+impl From<LaunchError> for TopKError {
+    fn from(e: LaunchError) -> Self {
+        TopKError::Launch(e)
+    }
+}
+
+impl std::fmt::Display for TopKError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopKError::ZeroK => write!(f, "k must be at least 1"),
+            TopKError::EmptyInput => write!(f, "input is empty"),
+            TopKError::Launch(e) => write!(f, "kernel launch failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TopKError {}
+
+/// The outcome of a top-k invocation.
+#[derive(Debug, Clone)]
+pub struct TopKResult<T> {
+    /// The largest `k` items, descending by key. If `k > n` all items are
+    /// returned.
+    pub items: Vec<T>,
+    /// Total modeled device time across the algorithm's kernel launches.
+    pub time: SimTime,
+    /// Per-kernel launch reports, in launch order.
+    pub reports: Vec<LaunchReport>,
+}
+
+impl<T> TopKResult<T> {
+    /// Aggregate global memory traffic over all launches.
+    pub fn global_bytes(&self) -> u64 {
+        self.reports.iter().map(|r| r.stats.global_bytes()).sum()
+    }
+
+    /// Aggregate effective shared-memory traffic over all launches.
+    pub fn shared_eff_bytes(&self) -> u64 {
+        self.reports.iter().map(|r| r.stats.shared_eff_bytes).sum()
+    }
+}
+
+/// Algorithm selector for experiment sweeps and the query planner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TopKAlgorithm {
+    /// Full LSD radix sort, then take the first `k`.
+    Sort,
+    /// Per-thread heaps in shared memory (Algorithm 1).
+    PerThread,
+    /// Per-thread linear buffer held in registers (Appendix A).
+    PerThreadRegisters,
+    /// MSD radix select with the §4.2 output optimizations.
+    RadixSelect,
+    /// Min/max bucket select.
+    BucketSelect,
+    /// Bitonic top-k with the given optimization configuration.
+    Bitonic(bitonic::BitonicConfig),
+}
+
+impl TopKAlgorithm {
+    /// Short name for experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopKAlgorithm::Sort => "sort",
+            TopKAlgorithm::PerThread => "per-thread",
+            TopKAlgorithm::PerThreadRegisters => "per-thread-regs",
+            TopKAlgorithm::RadixSelect => "radix-select",
+            TopKAlgorithm::BucketSelect => "bucket-select",
+            TopKAlgorithm::Bitonic(_) => "bitonic",
+        }
+    }
+
+    /// Runs the selected algorithm.
+    pub fn run<T: TopKItem>(
+        &self,
+        dev: &Device,
+        input: &GpuBuffer<T>,
+        k: usize,
+    ) -> Result<TopKResult<T>, TopKError> {
+        match self {
+            TopKAlgorithm::Sort => sort::sort_topk(dev, input, k),
+            TopKAlgorithm::PerThread => {
+                per_thread::per_thread_topk(dev, input, k, per_thread::Variant::SharedHeap)
+            }
+            TopKAlgorithm::PerThreadRegisters => {
+                per_thread::per_thread_topk(dev, input, k, per_thread::Variant::RegisterBuffer)
+            }
+            TopKAlgorithm::RadixSelect => radix_select::radix_select_topk(dev, input, k),
+            TopKAlgorithm::BucketSelect => bucket_select::bucket_select_topk(dev, input, k),
+            TopKAlgorithm::Bitonic(cfg) => bitonic::bitonic_topk(dev, input, k, *cfg),
+        }
+    }
+
+    /// Runs the algorithm in smallest-k mode (`ORDER BY … ASC LIMIT k`):
+    /// items are wrapped in the order-reversing [`datagen::item::Rev`]
+    /// adapter, so the same kernels compute the bottom-k. Returns items in
+    /// ascending key order.
+    pub fn run_smallest<T: TopKItem>(
+        &self,
+        dev: &Device,
+        input: &GpuBuffer<T>,
+        k: usize,
+    ) -> Result<TopKResult<T>, TopKError> {
+        use datagen::item::Rev;
+        let wrapped: Vec<Rev<T>> = input.to_vec().into_iter().map(Rev).collect();
+        let winput = dev.upload(&wrapped);
+        let r = self.run(dev, &winput, k)?;
+        Ok(TopKResult {
+            items: r.items.into_iter().map(|x| x.0).collect(),
+            time: r.time,
+            reports: r.reports,
+        })
+    }
+
+    /// All algorithms at their default configurations (the Figure 11
+    /// line-up).
+    pub fn all() -> Vec<TopKAlgorithm> {
+        vec![
+            TopKAlgorithm::Sort,
+            TopKAlgorithm::PerThread,
+            TopKAlgorithm::RadixSelect,
+            TopKAlgorithm::BucketSelect,
+            TopKAlgorithm::Bitonic(bitonic::BitonicConfig::default()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{Distribution, Uniform};
+
+    #[test]
+    fn dispatcher_runs_every_algorithm() {
+        let dev = Device::titan_x();
+        let data: Vec<f32> = Uniform.generate(1 << 12, 3);
+        let input = dev.upload(&data);
+        let expect = datagen::reference_topk(&data, 16);
+        for alg in TopKAlgorithm::all() {
+            let r = alg.run(&dev, &input, 16).unwrap();
+            let got: Vec<u32> = r.items.iter().map(|x| x.key_bits()).collect();
+            let want: Vec<u32> = expect.iter().map(|x| x.key_bits()).collect();
+            assert_eq!(got, want, "algorithm {}", alg.name());
+            assert!(r.time.seconds() > 0.0, "{} reported no time", alg.name());
+            assert!(!r.reports.is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        let dev = Device::titan_x();
+        let input = dev.upload(&[1.0f32, 2.0]);
+        for alg in TopKAlgorithm::all() {
+            assert_eq!(alg.run(&dev, &input, 0).unwrap_err(), TopKError::ZeroK);
+        }
+    }
+
+    #[test]
+    fn smallest_k_mode() {
+        let dev = Device::titan_x();
+        let data: Vec<f32> = Uniform.generate(1 << 12, 5);
+        let input = dev.upload(&data);
+        let mut expect = data.clone();
+        expect.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        expect.truncate(16);
+        for alg in TopKAlgorithm::all() {
+            let r = alg.run_smallest(&dev, &input, 16).unwrap();
+            assert_eq!(r.items, expect, "{} smallest-k", alg.name());
+        }
+    }
+
+    #[test]
+    fn smallest_k_with_negatives() {
+        let dev = Device::titan_x();
+        let data = vec![3.0f32, -7.5, 0.0, -1.0, 12.0, -7.4];
+        let input = dev.upload(&data);
+        let r = TopKAlgorithm::Bitonic(bitonic::BitonicConfig::default())
+            .run_smallest(&dev, &input, 3)
+            .unwrap();
+        assert_eq!(r.items, vec![-7.5, -7.4, -1.0]);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let dev = Device::titan_x();
+        let input = dev.upload::<f32>(&[]);
+        for alg in TopKAlgorithm::all() {
+            assert_eq!(alg.run(&dev, &input, 4).unwrap_err(), TopKError::EmptyInput);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Failure injection: constrained devices, exhausted memory, and
+//! degenerate launch configurations must fail loudly and recoverably —
+//! never silently corrupt results.
+
+use datagen::{reference_topk, Distribution, Uniform};
+use simt::{Device, DeviceSpec};
+use topk::bitonic::{bitonic_topk, BitonicConfig};
+use topk::{per_thread, TopKAlgorithm, TopKError};
+
+/// A device with almost no shared memory: every staged algorithm must
+/// reject cleanly.
+fn crippled_shared() -> Device {
+    Device::new(DeviceSpec {
+        shared_mem_per_block: 2 * 1024,
+        shared_mem_per_sm: 4 * 1024,
+        ..DeviceSpec::titan_x_maxwell()
+    })
+}
+
+#[test]
+fn per_thread_rejects_on_tiny_shared_memory() {
+    let dev = crippled_shared();
+    let data: Vec<f32> = Uniform.generate(4096, 1);
+    let input = dev.upload(&data);
+    // 2 KB/block can hold at most 16 floats per 32-thread block
+    let err =
+        per_thread::per_thread_topk(&dev, &input, 64, per_thread::Variant::SharedHeap).unwrap_err();
+    assert!(matches!(err, TopKError::Launch(_)), "got {err:?}");
+}
+
+#[test]
+fn per_thread_register_variant_survives_tiny_shared_memory() {
+    // the register variant does not use shared memory, so it still runs
+    let dev = crippled_shared();
+    let data: Vec<f32> = Uniform.generate(4096, 2);
+    let input = dev.upload(&data);
+    let r =
+        per_thread::per_thread_topk(&dev, &input, 64, per_thread::Variant::RegisterBuffer).unwrap();
+    let got: Vec<u32> = r.items.iter().map(|x| x.to_bits()).collect();
+    let expect: Vec<u32> = reference_topk(&data, 64)
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn device_memory_exhaustion_is_reported() {
+    let dev = Device::new(DeviceSpec {
+        global_mem_bytes: 64 * 1024,
+        ..DeviceSpec::titan_x_maxwell()
+    });
+    // 64 KB device: a 32 KB buffer fits, two don't
+    let _a = dev.try_alloc::<f32>(8192).expect("first buffer fits");
+    let err = dev.try_alloc::<f32>(8192 + 1).unwrap_err();
+    assert!(err.requested > err.capacity - err.in_use);
+    assert_eq!(err.capacity, 64 * 1024);
+}
+
+#[test]
+fn sort_topk_needs_a_double_buffer() {
+    // sort allocates an extra n-sized buffer; with the input filling
+    // device memory it must panic (documented behaviour of `alloc`) —
+    // while bitonic (n/8 extra) still fits
+    let n = 8192usize;
+    let dev = Device::new(DeviceSpec {
+        global_mem_bytes: n * 4 + n / 2, // input + ~n/8 headroom
+        ..DeviceSpec::titan_x_maxwell()
+    });
+    let data: Vec<f32> = Uniform.generate(n, 3);
+    let input = dev.upload(&data);
+
+    let r = bitonic_topk(&dev, &input, 16, BitonicConfig::default()).unwrap();
+    assert_eq!(r.items, reference_topk(&data, 16));
+
+    let sort_attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        TopKAlgorithm::Sort.run(&dev, &input, 16)
+    }));
+    assert!(sort_attempt.is_err(), "sort should exhaust device memory");
+}
+
+#[test]
+fn bitonic_rejects_k_beyond_shared_window() {
+    let dev = crippled_shared();
+    let data: Vec<f32> = Uniform.generate(1 << 14, 4);
+    let input = dev.upload(&data);
+    // 2 KB shared → max window 512 f32 → k_eff ≤ 256
+    assert!(bitonic_topk(&dev, &input, 512, BitonicConfig::default()).is_err());
+    let ok = bitonic_topk(&dev, &input, 64, BitonicConfig::default()).unwrap();
+    let got: Vec<u32> = ok.items.iter().map(|x| x.to_bits()).collect();
+    let expect: Vec<u32> = reference_topk(&data, 64)
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    assert_eq!(
+        got, expect,
+        "small k must still work on the crippled device"
+    );
+}
+
+#[test]
+fn algorithms_work_on_every_device_preset() {
+    let data: Vec<f32> = Uniform.generate(1 << 13, 5);
+    let expect: Vec<u32> = reference_topk(&data, 32)
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    for spec in [
+        DeviceSpec::titan_x_maxwell(),
+        DeviceSpec::titan_x_pascal(),
+        DeviceSpec::tesla_v100(),
+        DeviceSpec::small_mobile(),
+    ] {
+        let dev = Device::new(spec);
+        let input = dev.upload(&data);
+        for alg in TopKAlgorithm::all() {
+            let r = alg.run(&dev, &input, 32).unwrap();
+            let got: Vec<u32> = r.items.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got, expect, "{} on {:?}", alg.name(), spec.num_sms);
+        }
+    }
+}
+
+#[test]
+fn faster_device_is_faster() {
+    let data: Vec<f32> = Uniform.generate(1 << 20, 6);
+    let mut times = Vec::new();
+    for spec in [
+        DeviceSpec::titan_x_maxwell(),
+        DeviceSpec::titan_x_pascal(),
+        DeviceSpec::tesla_v100(),
+    ] {
+        let dev = Device::new(spec);
+        let input = dev.upload(&data);
+        let r = bitonic_topk(&dev, &input, 32, BitonicConfig::default()).unwrap();
+        times.push(r.time.seconds());
+    }
+    assert!(times[0] > times[1], "Pascal should beat Maxwell: {times:?}");
+    assert!(times[1] > times[2], "V100 should beat Pascal: {times:?}");
+}

@@ -1,0 +1,72 @@
+//! Quickstart: run every top-k algorithm on the same data and compare
+//! simulated GPU times against the memory-bandwidth floor.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gpu_topk::datagen::{Distribution, Uniform};
+use gpu_topk::simt::Device;
+use gpu_topk::topk::TopKAlgorithm;
+
+fn main() {
+    let n = 1 << 20;
+    let k = 32;
+    println!("top-{k} of {n} uniform f32 keys on a simulated Titan X (Maxwell)\n");
+
+    let data: Vec<f32> = Uniform.generate(n, 42);
+    let dev = Device::titan_x();
+    let input = dev.upload(&data);
+
+    let floor = dev.spec().scan_floor_seconds(n * 4) * 1e6;
+    println!("{:<16} {:>12}  notes", "algorithm", "time (µs)");
+    println!(
+        "{:<16} {:>12.1}  read the input once at peak bandwidth",
+        "— floor —", floor
+    );
+
+    let mut best: Option<(String, f64)> = None;
+    for alg in TopKAlgorithm::all() {
+        match alg.run(&dev, &input, k) {
+            Ok(r) => {
+                let us = r.time.micros();
+                let note = format!(
+                    "{} kernels, {:.1} MB global traffic",
+                    r.reports.len(),
+                    r.global_bytes() as f64 / 1e6
+                );
+                println!("{:<16} {:>12.1}  {note}", alg.name(), us);
+                if best.as_ref().is_none_or(|(_, b)| us < *b) {
+                    best = Some((alg.name().to_string(), us));
+                }
+            }
+            Err(e) => println!("{:<16} {:>12}  {e}", alg.name(), "—"),
+        }
+    }
+
+    let (name, us) = best.expect("at least one algorithm ran");
+    println!(
+        "\nfastest: {name} at {us:.1} µs ({:.2}× the bandwidth floor)",
+        us / floor
+    );
+
+    // verify against a host-side sort
+    let reference = gpu_topk::datagen::reference_topk(&data, k);
+    let bitonic = TopKAlgorithm::Bitonic(Default::default())
+        .run(&dev, &input, k)
+        .unwrap();
+    assert_eq!(
+        bitonic.items, reference,
+        "results must match the sort oracle"
+    );
+    println!("result verified against host sort ✓");
+
+    // dump the launch timeline for chrome://tracing / Perfetto
+    let trace = gpu_topk::simt::chrome_trace(&bitonic.reports);
+    let path = std::env::temp_dir().join("gpu_topk_trace.json");
+    std::fs::write(&path, trace).expect("write trace");
+    println!(
+        "kernel timeline written to {} (load it in chrome://tracing)",
+        path.display()
+    );
+}

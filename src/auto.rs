@@ -1,0 +1,79 @@
+//! Planner-driven top-k: the Section 7 use case, wired end-to-end.
+//!
+//! A query optimizer doesn't know which top-k implementation wins for a
+//! given `(n, k, item width, distribution)`; the paper's closing argument
+//! is that its cost models are accurate enough to choose. [`auto_topk`]
+//! does exactly that: consult the analytic models, then run the chosen
+//! algorithm on the simulated device.
+
+use datagen::TopKItem;
+use simt::{Device, GpuBuffer};
+use topk::bitonic::BitonicConfig;
+use topk::{TopKAlgorithm, TopKError, TopKResult};
+use topk_costmodel::planner::Algorithm;
+use topk_costmodel::{recommend, ReductionProfile};
+
+/// The auto-planned result: what ran, what the model predicted, what the
+/// simulator measured.
+#[derive(Debug, Clone)]
+pub struct AutoResult<T> {
+    /// The underlying top-k result.
+    pub result: TopKResult<T>,
+    /// Which algorithm the planner picked.
+    pub chosen: TopKAlgorithm,
+    /// The model's predicted seconds for the chosen algorithm.
+    pub predicted_seconds: f64,
+}
+
+/// Top-k with the algorithm chosen by the Section 7 cost models.
+///
+/// `profile` describes the key distribution's radix behaviour; use
+/// [`ReductionProfile::UniformFloats`] when unknown.
+pub fn auto_topk<T: TopKItem>(
+    dev: &Device,
+    input: &GpuBuffer<T>,
+    k: usize,
+    profile: &ReductionProfile,
+) -> Result<AutoResult<T>, TopKError> {
+    let choice = recommend(dev.spec(), input.len(), k, T::SIZE_BYTES, profile);
+    let chosen = match choice.algorithm {
+        Algorithm::BitonicTopK => TopKAlgorithm::Bitonic(BitonicConfig::default()),
+        Algorithm::RadixSelect => TopKAlgorithm::RadixSelect,
+    };
+    let result = chosen.run(dev, input, k)?;
+    Ok(AutoResult {
+        result,
+        chosen,
+        predicted_seconds: choice.predicted_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{reference_topk, Distribution, Uniform};
+
+    #[test]
+    fn auto_picks_bitonic_for_small_k() {
+        let dev = Device::titan_x();
+        let data: Vec<f32> = Uniform.generate(1 << 16, 1);
+        let input = dev.upload(&data);
+        let r = auto_topk(&dev, &input, 32, &ReductionProfile::UniformFloats).unwrap();
+        assert!(matches!(r.chosen, TopKAlgorithm::Bitonic(_)));
+        assert_eq!(r.result.items, reference_topk(&data, 32));
+        assert!(r.predicted_seconds > 0.0);
+    }
+
+    #[test]
+    fn auto_picks_radix_for_huge_k() {
+        // the crossover is n-dependent: at small n, launch overheads favor
+        // bitonic even for large k, so test at a bandwidth-bound size
+        let dev = Device::titan_x();
+        let data: Vec<u32> = Uniform.generate(1 << 22, 2);
+        let input = dev.upload(&data);
+        let r = auto_topk(&dev, &input, 4096, &ReductionProfile::UniformInts).unwrap();
+        assert!(matches!(r.chosen, TopKAlgorithm::RadixSelect));
+        let got: Vec<u32> = r.result.items.clone();
+        assert_eq!(got, reference_topk(&data, 4096));
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! # gpu-topk
+//!
+//! A from-scratch reproduction of *Efficient Top-K Query Processing on
+//! Massively Parallel Hardware* (SIGMOD 2018): GPU top-k algorithms —
+//! including the paper's novel **bitonic top-k** — running on a
+//! warp-synchronous SIMT simulator, plus CPU baselines, the Section 7
+//! cost models, and a MapD-style columnar engine for the integration
+//! experiments.
+//!
+//! This crate is a facade: it re-exports the workspace's crates under one
+//! namespace. See `README.md` for the architecture map and
+//! `EXPERIMENTS.md` for the paper-vs-measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gpu_topk::simt::Device;
+//! use gpu_topk::topk::{bitonic::BitonicConfig, TopKAlgorithm};
+//!
+//! let dev = Device::titan_x();
+//! let data: Vec<f32> = (0..10_000).map(|i| (i as f32).sin()).collect();
+//! let input = dev.upload(&data);
+//!
+//! let result = TopKAlgorithm::Bitonic(BitonicConfig::default())
+//!     .run(&dev, &input, 5)
+//!     .expect("top-k");
+//!
+//! assert_eq!(result.items.len(), 5);
+//! println!("top-5 = {:?} in {} (simulated)", result.items, result.time);
+//! ```
+
+pub mod auto;
+
+pub use datagen;
+pub use qdb;
+pub use simt;
+pub use sortnet;
+pub use topk;
+pub use topk_costmodel;
+pub use topk_cpu;
+
+/// The workspace version.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,153 @@
+//! Cross-crate agreement: every implementation in the workspace — five
+//! simulated GPU algorithms, three CPU algorithms, and the host reference
+//! operators — must return the same top-k keys for the same input.
+
+use gpu_topk::datagen::{
+    reference_topk, BucketKiller, Decreasing, Distribution, GenKey, Increasing, Kv, TopKItem,
+    Uniform,
+};
+use gpu_topk::simt::Device;
+use gpu_topk::sortnet::bitonic_topk_host;
+use gpu_topk::topk::TopKAlgorithm;
+use gpu_topk::topk_cpu::{CpuBitonic, CpuTopK, HandPq, StlPq};
+
+fn gpu_algorithms() -> Vec<TopKAlgorithm> {
+    let mut algs = TopKAlgorithm::all();
+    algs.push(TopKAlgorithm::PerThreadRegisters);
+    algs
+}
+
+fn check_all<K: GenKey>(dist: &dyn Distribution<K>, n: usize, k: usize, seed: u64) {
+    let data = dist.generate(n, seed);
+    let expect: Vec<K::Bits> = reference_topk(&data, k)
+        .iter()
+        .map(|x| x.sort_bits())
+        .collect();
+
+    let dev = Device::titan_x();
+    let input = dev.upload(&data);
+    for alg in gpu_algorithms() {
+        match alg.run(&dev, &input, k) {
+            Ok(r) => {
+                let got: Vec<K::Bits> = r.items.iter().map(|x| x.key_bits()).collect();
+                assert_eq!(
+                    got,
+                    expect,
+                    "GPU {} n={n} k={k} {}",
+                    alg.name(),
+                    dist.name()
+                );
+            }
+            Err(e) => panic!("GPU {} failed at n={n} k={k}: {e}", alg.name()),
+        }
+    }
+
+    for cpu in [&StlPq as &dyn CpuTopK<K>, &HandPq, &CpuBitonic::default()] {
+        let got: Vec<K::Bits> = cpu
+            .topk(&data, k, 4)
+            .iter()
+            .map(|x| x.sort_bits())
+            .collect();
+        assert_eq!(
+            got,
+            expect,
+            "CPU {} n={n} k={k} {}",
+            cpu.name(),
+            dist.name()
+        );
+    }
+
+    let got: Vec<K::Bits> = bitonic_topk_host(&data, k)
+        .iter()
+        .map(|x| x.sort_bits())
+        .collect();
+    assert_eq!(got, expect, "host bitonic n={n} k={k}");
+}
+
+#[test]
+fn all_agree_uniform_f32() {
+    for k in [1usize, 8, 32, 128] {
+        check_all::<f32>(&Uniform, 1 << 13, k, 1000 + k as u64);
+    }
+}
+
+#[test]
+fn all_agree_uniform_u32() {
+    for k in [1usize, 16, 64] {
+        check_all::<u32>(&Uniform, 1 << 13, k, 2000 + k as u64);
+    }
+}
+
+#[test]
+fn all_agree_uniform_f64() {
+    // per-thread shared-heap k-limit for doubles is 128 (tested in-crate);
+    // keep k small enough for every algorithm to run
+    for k in [1usize, 8, 64] {
+        check_all::<f64>(&Uniform, 1 << 12, k, 3000 + k as u64);
+    }
+}
+
+#[test]
+fn all_agree_sorted_inputs() {
+    check_all::<f32>(&Increasing, 1 << 13, 32, 4000);
+    check_all::<f32>(&Decreasing, 1 << 13, 32, 4001);
+    check_all::<u32>(&Increasing, 1 << 12, 8, 4002);
+}
+
+#[test]
+fn all_agree_bucket_killer() {
+    check_all::<f32>(&BucketKiller, 1 << 13, 32, 5000);
+}
+
+#[test]
+fn all_agree_awkward_sizes() {
+    // non-power-of-two, k near n, tiny inputs
+    for (n, k) in [(5000usize, 7usize), (1023, 17), (129, 128), (37, 5)] {
+        check_all::<f32>(&Uniform, n, k, (n * 31 + k) as u64);
+    }
+}
+
+#[test]
+fn kv_payload_winners_match_across_gpu_algorithms() {
+    // distinct keys → winning (key,value) pairs are fully determined
+    let data: Vec<Kv<u32>> = {
+        let keys: Vec<u32> = Uniform.generate(1 << 12, 6000);
+        let mut seen = std::collections::HashSet::new();
+        keys.into_iter()
+            .enumerate()
+            .filter(|(_, k)| seen.insert(*k))
+            .map(|(i, k)| Kv::new(k, i as u32))
+            .collect()
+    };
+    let mut expect = data.clone();
+    expect.sort_unstable_by_key(|kv| std::cmp::Reverse(kv.key));
+    expect.truncate(16);
+
+    let dev = Device::titan_x();
+    let input = dev.upload(&data);
+    for alg in gpu_algorithms() {
+        let r = alg.run(&dev, &input, 16).unwrap();
+        assert_eq!(r.items.len(), 16, "{}", alg.name());
+        for (g, e) in r.items.iter().zip(expect.iter()) {
+            assert_eq!(g.key, e.key, "{}", alg.name());
+            assert_eq!(g.value, e.value, "{}: payload lost", alg.name());
+        }
+    }
+}
+
+#[test]
+fn results_are_descending_for_every_algorithm() {
+    let data: Vec<f32> = Uniform.generate(1 << 12, 7000);
+    let dev = Device::titan_x();
+    let input = dev.upload(&data);
+    for alg in gpu_algorithms() {
+        let r = alg.run(&dev, &input, 100).unwrap();
+        assert!(
+            r.items
+                .windows(2)
+                .all(|w| w[0].key_bits() >= w[1].key_bits()),
+            "{} output not descending",
+            alg.name()
+        );
+    }
+}

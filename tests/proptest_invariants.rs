@@ -1,0 +1,151 @@
+//! Property-based tests: randomized inputs drive every algorithm against
+//! the sort oracle, and the core data-structure invariants of the bitonic
+//! decomposition are checked on arbitrary data.
+
+use gpu_topk::datagen::{reference_topk, Kv, SortKey, TopKItem};
+use gpu_topk::simt::Device;
+use gpu_topk::sortnet::{
+    self, bitonic_topk_host, is_bitonic, local_sort, merge_halve, next_pow2, rebuild,
+    runs_sorted_alternating,
+};
+use gpu_topk::topk::bitonic::{bitonic_topk, BitonicConfig, OptLevel};
+use gpu_topk::topk::TopKAlgorithm;
+use gpu_topk::topk_cpu::{CpuBitonic, CpuTopK, HandPq, StlPq};
+use proptest::prelude::*;
+
+fn keybits<T: TopKItem>(v: &[T]) -> Vec<T::KeyBits> {
+    v.iter().map(|x| x.key_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every GPU algorithm returns exactly the oracle's keys, for random
+    /// lengths, k, and arbitrary bit patterns (including ±0, ±∞, NaN).
+    #[test]
+    fn gpu_algorithms_match_oracle(
+        bits in prop::collection::vec(any::<u32>(), 1..3000),
+        k in 1usize..300,
+    ) {
+        let data: Vec<f32> = bits.iter().map(|&b| f32::from_sort_bits(b)).collect();
+        let expect = keybits(&reference_topk(&data, k.min(data.len())));
+        let dev = Device::titan_x();
+        let input = dev.upload(&data);
+        for alg in [
+            TopKAlgorithm::Sort,
+            TopKAlgorithm::RadixSelect,
+            TopKAlgorithm::BucketSelect,
+            TopKAlgorithm::Bitonic(BitonicConfig::default()),
+        ] {
+            let r = alg.run(&dev, &input, k).unwrap();
+            prop_assert_eq!(keybits(&r.items), expect.clone(), "{}", alg.name());
+        }
+    }
+
+    /// CPU implementations against the oracle under the same regime.
+    #[test]
+    fn cpu_algorithms_match_oracle(
+        data in prop::collection::vec(any::<u32>(), 1..5000),
+        k in 1usize..200,
+        threads in 1usize..6,
+    ) {
+        let expect = reference_topk(&data, k.min(data.len()));
+        for alg in [&StlPq as &dyn CpuTopK<u32>, &HandPq, &CpuBitonic::default()] {
+            let got = alg.topk(&data, k, threads);
+            prop_assert_eq!(&got, &expect, "{}", alg.name());
+        }
+    }
+
+    /// The merge operator's central invariant (the paper's key insight):
+    /// after local sort, the pairwise max of each 2k window (a) contains
+    /// that window's top-k as a multiset and (b) is a bitonic sequence.
+    #[test]
+    fn merge_invariant_holds(
+        seed in prop::collection::vec(any::<u32>(), 64..64+512),
+        k_log in 1u32..6,
+    ) {
+        let k = 1usize << k_log;
+        let n = next_pow2(seed.len()).max(2 * k);
+        let mut data = seed;
+        data.resize(n, 0);
+        local_sort(&mut data, k);
+        prop_assert!(runs_sorted_alternating(&data, k));
+        let mut out = vec![0u32; n / 2];
+        merge_halve(&data, k, &mut out);
+        for w in 0..n / (2 * k) {
+            let window = &data[2 * k * w..2 * k * (w + 1)];
+            let merged = &out[k * w..k * (w + 1)];
+            prop_assert!(is_bitonic(merged));
+            let mut top: Vec<u32> = window.to_vec();
+            top.sort_unstable_by(|a, b| b.cmp(a));
+            top.truncate(k);
+            let mut got: Vec<u32> = merged.to_vec();
+            got.sort_unstable_by(|a, b| b.cmp(a));
+            prop_assert_eq!(got, top);
+        }
+        // and rebuild restores sorted alternating runs
+        rebuild(&mut out, k);
+        prop_assert!(runs_sorted_alternating(&out, k));
+    }
+
+    /// The host bitonic top-k equals the oracle for arbitrary n/k.
+    #[test]
+    fn host_bitonic_matches_oracle(
+        data in prop::collection::vec(any::<i64>(), 1..2000),
+        k in 1usize..128,
+    ) {
+        let got = bitonic_topk_host(&data, k);
+        prop_assert_eq!(got, reference_topk(&data, k.min(data.len())));
+    }
+
+    /// Every optimization level is result-equivalent (the optimizations
+    /// must never change what is computed).
+    #[test]
+    fn opt_levels_result_equivalent(
+        data in prop::collection::vec(any::<u32>(), 100..2048),
+        k in 1usize..64,
+        lvl in 0usize..7,
+    ) {
+        let dev = Device::titan_x();
+        let input = dev.upload(&data);
+        let opt = OptLevel::ladder()[lvl];
+        let r = bitonic_topk(&dev, &input, k, BitonicConfig::at_level(opt)).unwrap();
+        prop_assert_eq!(
+            keybits(&r.items),
+            keybits(&reference_topk(&data, k.min(data.len())))
+        );
+    }
+
+    /// Padding maps are injective and in-bounds for arbitrary shapes.
+    #[test]
+    fn pad_map_injective(banks in 1usize..64, n in 1usize..4096) {
+        let p = sortnet::PadMap::new(banks, true);
+        let mut phys: Vec<usize> = (0..n).map(|i| p.index(i)).collect();
+        prop_assert!(*phys.last().unwrap() < p.padded_len(n));
+        phys.sort_unstable();
+        phys.dedup();
+        prop_assert_eq!(phys.len(), n);
+    }
+
+    /// Payload integrity under the full bitonic pipeline: with distinct
+    /// keys, winning values are exactly the oracle's.
+    #[test]
+    fn payloads_survive_bitonic(perm_seed in any::<u64>(), k in 1usize..32) {
+        // a permutation of distinct keys
+        let n = 1024usize;
+        let mut keys: Vec<u32> = (0..n as u32).collect();
+        let mut s = perm_seed;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            keys.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        let data: Vec<Kv<u32>> = keys.iter().enumerate().map(|(i, &kk)| Kv::new(kk, i as u32)).collect();
+        let dev = Device::titan_x();
+        let input = dev.upload(&data);
+        let r = bitonic_topk(&dev, &input, k, BitonicConfig::default()).unwrap();
+        for (rank, item) in r.items.iter().enumerate() {
+            prop_assert_eq!(item.key, (n - 1 - rank) as u32);
+            prop_assert_eq!(data[item.value as usize].key, item.key, "payload must point at its key");
+        }
+    }
+}
