@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use datagen::{Distribution, Uniform};
 use simt::Device;
-use topk::TopKAlgorithm;
+use topk::{TopKAlgorithm, TopKRequest};
 
 fn bench_gpu_algorithms(c: &mut Criterion) {
     let n = 1 << 16;
@@ -18,7 +18,10 @@ fn bench_gpu_algorithms(c: &mut Criterion) {
             b.iter(|| {
                 let dev = Device::titan_x();
                 let input = dev.upload(&data);
-                alg.run(&dev, &input, 32).unwrap()
+                TopKRequest::largest(32)
+                    .with_alg(alg)
+                    .run(&dev, &input)
+                    .unwrap()
             })
         });
     }

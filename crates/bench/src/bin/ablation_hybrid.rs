@@ -7,7 +7,7 @@ use datagen::{Distribution, Uniform};
 use simt::Device;
 use topk::bitonic::BitonicConfig;
 use topk::hybrid::{cpu_gpu_topk, select_then_bitonic};
-use topk::TopKAlgorithm;
+use topk::{TopKAlgorithm, TopKRequest};
 
 fn main() {
     let log2n = scale();
@@ -27,12 +27,14 @@ fn main() {
         "k", "bitonic", "radix-select", "select->bitonic"
     );
     for k in K_SWEEP {
-        let tb = TopKAlgorithm::Bitonic(BitonicConfig::default())
-            .run(&dev, &input, k)
+        let tb = TopKRequest::largest(k)
+            .with_alg(TopKAlgorithm::Bitonic(BitonicConfig::default()))
+            .run(&dev, &input)
             .unwrap()
             .time;
-        let tr = TopKAlgorithm::RadixSelect
-            .run(&dev, &input, k)
+        let tr = TopKRequest::largest(k)
+            .with_alg(TopKAlgorithm::RadixSelect)
+            .run(&dev, &input)
             .unwrap()
             .time;
         let th = select_then_bitonic(&dev, &input, k).unwrap().time;

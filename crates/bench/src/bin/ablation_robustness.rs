@@ -6,7 +6,7 @@
 use bench::{banner, scale};
 use datagen::{BucketKiller, Clustered, Decreasing, Distribution, Increasing, Normal, Uniform};
 use simt::Device;
-use topk::TopKAlgorithm;
+use topk::{TopKAlgorithm, TopKRequest};
 
 fn main() {
     let log2n = scale();
@@ -38,7 +38,7 @@ fn main() {
         let input = dev.upload(data);
         print!("{name:>14}");
         for (i, a) in algs.iter().enumerate() {
-            match a.run(&dev, &input, 32) {
+            match TopKRequest::largest(32).with_alg(*a).run(&dev, &input) {
                 Ok(r) => {
                     let t = r.time.millis();
                     worst_over_best[i].0 = worst_over_best[i].0.min(t);

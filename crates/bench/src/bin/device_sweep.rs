@@ -7,7 +7,7 @@ use bench::{banner, scale, K_SWEEP};
 use datagen::{Distribution, Uniform};
 use simt::{Device, DeviceSpec};
 use topk::bitonic::BitonicConfig;
-use topk::TopKAlgorithm;
+use topk::{TopKAlgorithm, TopKRequest};
 use topk_costmodel::{planner::Algorithm, recommend, ReductionProfile};
 
 fn main() {
@@ -37,12 +37,14 @@ fn main() {
             "k", "bitonic", "radix-select", "sim winner", "planner"
         );
         for k in K_SWEEP {
-            let tb = TopKAlgorithm::Bitonic(BitonicConfig::default())
-                .run(&dev, &input, k)
+            let tb = TopKRequest::largest(k)
+                .with_alg(TopKAlgorithm::Bitonic(BitonicConfig::default()))
+                .run(&dev, &input)
                 .unwrap()
                 .time;
-            let tr = TopKAlgorithm::RadixSelect
-                .run(&dev, &input, k)
+            let tr = TopKRequest::largest(k)
+                .with_alg(TopKAlgorithm::RadixSelect)
+                .run(&dev, &input)
                 .unwrap()
                 .time;
             let sim_winner = if tb.seconds() <= tr.seconds() {

@@ -9,7 +9,7 @@
 
 use datagen::{Decreasing, Distribution, Increasing, Uniform};
 use simt::{Device, DeviceSpec};
-use topk::TopKAlgorithm;
+use topk::{TopKAlgorithm, TopKRequest};
 
 fn main() {
     let n = 1usize << 24;
@@ -26,8 +26,9 @@ fn main() {
     for (name, data) in &datasets {
         let dev = Device::new(DeviceSpec::small_mobile());
         let input = dev.upload(data);
-        let t = TopKAlgorithm::PerThread
-            .run(&dev, &input, 8)
+        let t = TopKRequest::largest(8)
+            .with_alg(TopKAlgorithm::PerThread)
+            .run(&dev, &input)
             .unwrap()
             .time
             .millis();

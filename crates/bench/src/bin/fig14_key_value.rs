@@ -6,14 +6,18 @@ use bench::{banner, scale, K_SWEEP};
 use datagen::{Distribution, Kkkv, Kkv, Kv, TopKItem, Uniform};
 use simt::{Device, GpuBuffer};
 use topk::bitonic::BitonicConfig;
-use topk::TopKAlgorithm;
+use topk::{TopKAlgorithm, TopKRequest};
 
 fn sweep<T: TopKItem>(label: &str, dev: &Device, input: &GpuBuffer<T>) {
     println!("-- {label} ({} B/item) --", T::SIZE_BYTES);
     println!("{:>8}{:>16}{:>16}", "k", "radix-select", "bitonic");
     for k in K_SWEEP {
-        let tr = TopKAlgorithm::RadixSelect.run(dev, input, k);
-        let tb = TopKAlgorithm::Bitonic(BitonicConfig::default()).run(dev, input, k);
+        let tr = TopKRequest::largest(k)
+            .with_alg(TopKAlgorithm::RadixSelect)
+            .run(dev, input);
+        let tb = TopKRequest::largest(k)
+            .with_alg(TopKAlgorithm::Bitonic(BitonicConfig::default()))
+            .run(dev, input);
         println!(
             "{:>8}{:>14}{:>14}",
             k,

@@ -7,7 +7,7 @@ use datagen::{Distribution, Increasing, Uniform};
 use simt::Device;
 use std::time::Instant;
 use topk::bitonic::BitonicConfig;
-use topk::TopKAlgorithm;
+use topk::{TopKAlgorithm, TopKRequest};
 use topk_cpu::{CpuBitonic, CpuTopK, HandPq, StlPq};
 
 fn measure_cpu(alg: &dyn CpuTopK<f32>, data: &[f32], k: usize, threads: usize) -> f64 {
@@ -30,13 +30,15 @@ fn table(label: &str, data: &[f32], threads: usize) {
         let stl = measure_cpu(&StlPq, data, k, threads);
         let hand = measure_cpu(&HandPq, data, k, threads);
         let cbit = measure_cpu(&CpuBitonic::default(), data, k, threads);
-        let gb = TopKAlgorithm::Bitonic(BitonicConfig::default())
-            .run(&dev, &input, k)
+        let gb = TopKRequest::largest(k)
+            .with_alg(TopKAlgorithm::Bitonic(BitonicConfig::default()))
+            .run(&dev, &input)
             .unwrap()
             .time
             .millis();
-        let gr = TopKAlgorithm::RadixSelect
-            .run(&dev, &input, k)
+        let gr = TopKRequest::largest(k)
+            .with_alg(TopKAlgorithm::RadixSelect)
+            .run(&dev, &input)
             .unwrap()
             .time
             .millis();

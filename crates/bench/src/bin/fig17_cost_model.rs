@@ -5,7 +5,7 @@ use bench::{banner, scale, K_SWEEP};
 use datagen::{Distribution, Uniform};
 use simt::Device;
 use topk::bitonic::BitonicConfig;
-use topk::TopKAlgorithm;
+use topk::{TopKAlgorithm, TopKRequest};
 use topk_costmodel::{
     bitonic_topk_seconds, radix_select_seconds, BitonicModelInput, ReductionProfile,
 };
@@ -29,14 +29,16 @@ fn main() {
         "k", "radix measured", "radix predicted", "bitonic measured", "bitonic predicted"
     );
     for k in K_SWEEP {
-        let rm = TopKAlgorithm::RadixSelect
-            .run(&dev, &input, k)
+        let rm = TopKRequest::largest(k)
+            .with_alg(TopKAlgorithm::RadixSelect)
+            .run(&dev, &input)
             .unwrap()
             .time
             .millis();
         let rp = radix_select_seconds(spec, n, 4, &ReductionProfile::UniformFloats) * 1e3;
-        let bm = TopKAlgorithm::Bitonic(BitonicConfig::default())
-            .run(&dev, &input, k)
+        let bm = TopKRequest::largest(k)
+            .with_alg(TopKAlgorithm::Bitonic(BitonicConfig::default()))
+            .run(&dev, &input)
             .unwrap()
             .time
             .millis();

@@ -5,7 +5,7 @@
 use bench::{banner, scale};
 use datagen::{Decreasing, Distribution, Increasing, Uniform};
 use simt::Device;
-use topk::TopKAlgorithm;
+use topk::{TopKAlgorithm, TopKRequest};
 
 fn sweep(label: &str, data: &[f32]) {
     let dev = Device::titan_x();
@@ -13,8 +13,12 @@ fn sweep(label: &str, data: &[f32]) {
     println!("-- {label} --");
     println!("{:>6}{:>18}{:>20}", "k", "shared-heap", "register-buffer");
     for k in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
-        let sh = TopKAlgorithm::PerThread.run(&dev, &input, k);
-        let rg = TopKAlgorithm::PerThreadRegisters.run(&dev, &input, k);
+        let sh = TopKRequest::largest(k)
+            .with_alg(TopKAlgorithm::PerThread)
+            .run(&dev, &input);
+        let rg = TopKRequest::largest(k)
+            .with_alg(TopKAlgorithm::PerThreadRegisters)
+            .run(&dev, &input);
         println!(
             "{:>6}{:>18}{:>20}",
             k,

@@ -5,7 +5,7 @@
 use bench::banner;
 use datagen::{Distribution, Uniform};
 use simt::Device;
-use topk::TopKAlgorithm;
+use topk::{TopKAlgorithm, TopKRequest};
 use topk_costmodel::{recommend_full, FullAlgorithm, ReductionProfile};
 
 fn alg_of(f: FullAlgorithm) -> TopKAlgorithm {
@@ -44,7 +44,10 @@ fn main() {
             let mut best: Option<(FullAlgorithm, f64)> = None;
             let mut times = std::collections::HashMap::new();
             for r in &ranked {
-                if let Ok(res) = alg_of(r.algorithm).run(&dev, &input, k) {
+                if let Ok(res) = TopKRequest::largest(k)
+                    .with_alg(alg_of(r.algorithm))
+                    .run(&dev, &input)
+                {
                     let t = res.time.seconds();
                     times.insert(format!("{:?}", r.algorithm), t);
                     if best.is_none() || t < best.unwrap().1 {

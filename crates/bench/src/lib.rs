@@ -10,7 +10,7 @@
 
 use datagen::TopKItem;
 use simt::{Device, SimTime};
-use topk::{TopKAlgorithm, TopKError};
+use topk::{TopKAlgorithm, TopKError, TopKRequest};
 
 /// Standard experiment scale: `TOPK_REPRO_LOG2N` or 2^22.
 pub fn scale() -> u32 {
@@ -32,7 +32,10 @@ pub fn run_cell<T: TopKItem>(
     input: &simt::GpuBuffer<T>,
     k: usize,
 ) -> Result<SimTime, TopKError> {
-    alg.run(dev, input, k).map(|r| r.time)
+    TopKRequest::largest(k)
+        .with_alg(*alg)
+        .run(dev, input)
+        .map(|r| r.time)
 }
 
 /// Prints a table header for an algorithm sweep.

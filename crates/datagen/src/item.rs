@@ -283,7 +283,13 @@ mod tests {
 /// Order-reversing adapter: `Rev(x)` compares exactly opposite to `x`, so
 /// the top-k of `Rev<T>` items is the bottom-k of the underlying items —
 /// how `ORDER BY … ASC LIMIT k` reuses the largest-k kernels.
+///
+/// `repr(transparent)` guarantees `Rev<T>` has the exact memory layout of
+/// `T`, so a device buffer of `T` can be *reinterpreted* as a buffer of
+/// `Rev<T>` in place (see `GpuBuffer::map_cast` in the `simt` crate) —
+/// smallest-k needs no download/re-upload round-trip.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(transparent)]
 pub struct Rev<T: TopKItem>(pub T);
 
 impl<T: TopKItem> TopKItem for Rev<T>

@@ -1,0 +1,255 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of proptest it uses: the `proptest!` macro with a
+//! `#![proptest_config(...)]` header, `prop_assert!`/`prop_assert_eq!`,
+//! `any::<T>()`, range strategies, `prop::collection::{vec, btree_set}`,
+//! and `prop::sample::select`.
+//!
+//! Differences from the real crate, deliberately accepted:
+//! - **No shrinking.** A failing case panics with the assert message; the
+//!   deterministic per-(test, case) seed makes every failure exactly
+//!   reproducible, which is what the suite actually relies on.
+//! - `prop_assert*` are plain `assert*` aliases (they panic instead of
+//!   returning `Err`), so failures surface as ordinary test panics.
+
+pub mod test_runner {
+    /// Runner configuration. Only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::{SampleUniform, SeedableRng, Standard};
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values. Unlike real proptest there is no value
+    /// tree: strategies produce plain values and nothing shrinks.
+    pub trait Strategy {
+        type Value;
+        fn new_value(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    /// Deterministic rng for a (test name, case index) pair, so any
+    /// reported failure can be re-run bit-identically.
+    pub fn rng_for(name: &str, case: u32) -> SmallRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        SmallRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    impl<T: SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut SmallRng) -> T {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut SmallRng) -> T {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// `any::<T>()` — uniform over the whole value domain of `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any<T: Standard>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Standard> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut SmallRng) -> T {
+            T::sample(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `BTreeSet` with a target size drawn from `size`. If the element
+    /// domain is too small to reach the target, returns what it has
+    /// after a bounded number of draws (still at least one element when
+    /// `size.start >= 1`, provided the domain is non-empty).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut SmallRng) -> BTreeSet<S::Value> {
+            let target = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < 64 * (target + 1) {
+                set.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Uniformly pick one of the given values.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: empty options");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut SmallRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `proptest!` block: expands each contained `fn name(arg in strat,
+/// ...) { body }` into a `#[test]`-attributed function that runs `cases`
+/// iterations with fresh strategy draws per iteration.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::strategy::rng_for(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::new_value(
+                        &($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirrors real proptest's `prelude::prop` module alias so call
+    /// sites like `prop::collection::vec(..)` resolve.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy::any;
+    }
+}

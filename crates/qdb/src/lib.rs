@@ -15,16 +15,21 @@
 //!   inside the SortReducer (`FusedProjectTopK`).
 //!
 //! [`queries`] wires these into the paper's four Twitter queries
-//! (Figure 16) with per-strategy kernel-time breakdowns.
+//! (Figure 16) with per-strategy kernel-time breakdowns, and [`server`]
+//! turns the engine into a concurrent serving layer: a [`Server`] admits
+//! a queue of SQL queries, overlaps them on simt streams, and coalesces
+//! compatible small queries into one batched top-k launch.
 
 pub mod engine;
 pub mod explain;
 pub mod queries;
+pub mod server;
 pub mod sql;
 pub mod table;
 
 pub use engine::{FilterOp, TopKStrategy};
 pub use explain::{explain_filtered_topk, QueryPlan, TableStats};
 pub use queries::{QueryResult, Strategy};
+pub use server::{LoadReport, QueryTicket, QueryTiming, ServedQuery, Server, ServerConfig};
 pub use sql::{execute as execute_sql, parse as parse_sql, Query, SqlError};
 pub use table::GpuTweetTable;

@@ -1,8 +1,10 @@
 //! The four Twitter queries of Section 6.8, each with the paper's
 //! execution strategies and per-stage kernel-time breakdowns (Figure 16).
 
-use datagen::Kv;
+use datagen::{Kv, Rev};
 use simt::{Device, SimTime};
+use topk::bitonic::BitonicConfig;
+use topk::{TopKAlgorithm, TopKRequest};
 
 use crate::engine::{
     run_fused_topk, run_topk_stage, FilterKernel, FilterOp, GroupCountKernel, ProjectRankKernel,
@@ -114,6 +116,65 @@ pub fn filtered_topk(
             let r =
                 run_fused_topk(dev, table, op.pred_bytes(), 4, matched, k).expect("fused top-k");
             let ids = r.items.iter().map(|kv| kv.value).collect();
+            collect_result(dev, log_start, ids)
+        }
+    }
+}
+
+/// Q1/Q3 reversed: `… ORDER BY retweet_count ASC LIMIT k` — the
+/// smallest-k variant. The staged plans run the candidate buffer through
+/// [`TopKRequest::smallest`] (an on-device reversed view, no extra pass);
+/// the fused plan feeds [`datagen::Rev`]-wrapped pairs to the same
+/// FusedSortReducer kernel.
+pub fn filtered_bottomk(
+    dev: &Device,
+    table: &GpuTweetTable,
+    op: &FilterOp,
+    k: usize,
+    strategy: Strategy,
+) -> QueryResult {
+    let log_start = dev.log_len();
+    match strategy {
+        Strategy::StageSort | Strategy::StageBitonic => {
+            let out = dev.alloc::<Kv<u32>>(table.len());
+            let cnt = dev.alloc::<u32>(1);
+            dev.launch(&FilterKernel {
+                table,
+                op,
+                key_col: &table.retweet_count,
+                out: out.clone(),
+                out_count: cnt.clone(),
+            })
+            .expect("filter kernel");
+            let m = cnt.get(0) as usize;
+            if m == 0 {
+                return collect_result(dev, log_start, Vec::new());
+            }
+            let view = dev.upload(&out.read_range(0..m));
+            let alg = if strategy == Strategy::StageSort {
+                TopKAlgorithm::Sort
+            } else {
+                TopKAlgorithm::Bitonic(BitonicConfig::default())
+            };
+            let r = TopKRequest::smallest(k.min(m))
+                .with_alg(alg)
+                .run(dev, &view)
+                .expect("bottom-k stage");
+            let ids = r.items.iter().map(|kv| kv.value).collect();
+            collect_result(dev, log_start, ids)
+        }
+        Strategy::CombinedBitonic => {
+            let matched: Vec<Rev<Kv<u32>>> = (0..table.len())
+                .filter(|&r| op.matches(table, r))
+                .map(|r| Rev(Kv::new(table.retweet_count.get(r), table.id.get(r))))
+                .collect();
+            if matched.is_empty() {
+                return collect_result(dev, log_start, Vec::new());
+            }
+            let k = k.min(matched.len());
+            let r =
+                run_fused_topk(dev, table, op.pred_bytes(), 4, matched, k).expect("fused bottom-k");
+            let ids = r.items.iter().map(|kv| kv.0.value).collect();
             collect_result(dev, log_start, ids)
         }
     }
@@ -239,6 +300,31 @@ mod tests {
         for strat in Strategy::all() {
             let r = filtered_topk(&dev, &gpu, &FilterOp::TimeLess(0), 50, strat);
             assert!(r.ids.is_empty(), "{}", strat.name());
+        }
+    }
+
+    #[test]
+    fn q1_ascending_returns_the_smallest_keys() {
+        let (dev, host, gpu) = setup(30_000);
+        let cutoff = host.time_cutoff_for_selectivity(0.5);
+        let op = FilterOp::TimeLess(cutoff);
+        let mut expect: Vec<u32> = (0..host.len())
+            .filter(|&r| host.tweet_time[r] < cutoff)
+            .map(|r| host.retweet_count[r])
+            .collect();
+        expect.sort_unstable();
+        expect.truncate(25);
+        for strat in Strategy::all() {
+            let r = filtered_bottomk(&dev, &gpu, &op, 25, strat);
+            let keys: Vec<u32> = r
+                .ids
+                .iter()
+                .map(|&id| host.retweet_count[id as usize])
+                .collect();
+            assert_eq!(keys, expect, "{}", strat.name());
+            for &id in &r.ids {
+                assert!(host.tweet_time[id as usize] < cutoff, "{}", strat.name());
+            }
         }
     }
 

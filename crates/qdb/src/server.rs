@@ -1,0 +1,730 @@
+//! Concurrent query serving: a batching scheduler over simt streams.
+//!
+//! The paper's integration argument (Section 5) is that top-k belongs
+//! *inside* the database as a physical operator. A real database does not
+//! run one query at a time, though — it serves a queue of concurrent
+//! queries, and a single small top-k query comes nowhere near filling the
+//! device (a `k = 50` query over a few tens of thousands of rows runs a
+//! handful of one- and few-block kernels). This module closes that gap
+//! with the two classic GPU serving tricks:
+//!
+//! * **streams** — each admitted query issues its kernels on its own simt
+//!   stream, so independent queries overlap on the device timeline and
+//!   small kernels fill SMs that one query would leave idle;
+//! * **batch coalescing** — compatible small queries (plain
+//!   `ORDER BY retweet_count DESC` shapes) have their filter outputs
+//!   packed into one `rows × cols` matrix and their ORDER BY/LIMIT stages
+//!   replaced by a *single* [`batched_bitonic_topk`] launch, one block
+//!   per query, amortizing launch overhead across the whole batch.
+//!
+//! [`Server::submit`] parses and admits a SQL query; [`Server::drain`]
+//! executes everything admitted since the last drain and returns a
+//! [`LoadReport`] with per-query results, queue/execution/total latency
+//! per query, percentile summaries, achieved queries/sec, and a
+//! multi-stream chrome trace of the whole drain.
+
+use std::collections::HashMap;
+
+use datagen::{Kv, TopKItem};
+use simt::{
+    chrome_trace_streams, BlockCtx, Device, GpuBuffer, Kernel, SimTime, Stream, StreamSchedule,
+};
+use sortnet::next_pow2;
+use topk::batched::{batched_bitonic_topk, max_single_launch_row};
+
+use crate::engine::{FilterKernel, FilterOp, TopKStrategy};
+use crate::queries::{QueryResult, Strategy};
+use crate::sql::{execute, parse, OrderBy, Query, SqlError};
+use crate::table::GpuTweetTable;
+
+/// Serving-layer knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of device streams queries round-robin onto.
+    pub streams: usize,
+    /// Coalesce compatible small queries into one batched launch.
+    pub coalesce: bool,
+    /// Maximum queries folded into one batched launch.
+    pub max_batch: usize,
+    /// Strategy for queries submitted without an explicit one.
+    pub default_strategy: Strategy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            streams: 8,
+            coalesce: true,
+            max_batch: 64,
+            default_strategy: Strategy::StageBitonic,
+        }
+    }
+}
+
+/// Handle for a submitted query; indexes into the drain's results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryTicket(pub usize);
+
+/// Per-query latency breakdown on the drain's shared timeline
+/// (times are relative to the start of the drain).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryTiming {
+    /// Time the query spent queued before its first kernel started.
+    pub queued: SimTime,
+    /// Time from its first kernel's start to its last kernel's end.
+    pub exec: SimTime,
+    /// End-to-end latency: when its last kernel finished.
+    pub total: SimTime,
+}
+
+/// One query's outcome from a drain.
+#[derive(Debug, Clone)]
+pub struct ServedQuery {
+    /// The ticket [`Server::submit`] returned for it.
+    pub ticket: QueryTicket,
+    /// The original SQL text.
+    pub sql: String,
+    /// Result ids and solo kernel-time breakdown.
+    pub result: QueryResult,
+    /// Latency on the shared timeline. For coalesced queries the shared
+    /// pack/batch launches count fully towards every member — latency is
+    /// about when *this* query's answer was ready.
+    pub timing: QueryTiming,
+    /// True when the query's ORDER BY/LIMIT ran inside a shared batched
+    /// launch instead of its own pipeline.
+    pub coalesced: bool,
+}
+
+/// Everything one [`Server::drain`] produced.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Per-query outcomes, in submission order.
+    pub queries: Vec<ServedQuery>,
+    /// Completion time of the whole drain on the shared timeline.
+    pub makespan: SimTime,
+    /// What the same kernels would take back-to-back on one stream.
+    pub serial_time: SimTime,
+    /// Achieved throughput: queries divided by makespan.
+    pub queries_per_sec: f64,
+    /// Median end-to-end query latency.
+    pub p50: SimTime,
+    /// 95th-percentile end-to-end query latency.
+    pub p95: SimTime,
+    /// 99th-percentile end-to-end query latency.
+    pub p99: SimTime,
+    /// The drain's launches placed on the shared device timeline.
+    pub schedule: StreamSchedule,
+    trace_json: String,
+}
+
+impl LoadReport {
+    /// `serial_time / makespan` — the throughput multiplier the streams
+    /// plus coalescing bought over one-at-a-time execution.
+    pub fn speedup(&self) -> f64 {
+        self.schedule.speedup()
+    }
+
+    /// Chrome `chrome://tracing` JSON of the drain, one track per stream.
+    pub fn chrome_trace(&self) -> &str {
+        &self.trace_json
+    }
+}
+
+/// Packs each query's filtered candidate buffer into one row of a
+/// `rows × cols` matrix (padded with MIN sentinels) so a single
+/// [`batched_bitonic_topk`] launch can serve the whole batch.
+struct PackKernel {
+    sources: Vec<(GpuBuffer<Kv<u32>>, usize)>,
+    out: GpuBuffer<Kv<u32>>,
+    cols: usize,
+}
+
+impl Kernel for PackKernel {
+    fn name(&self) -> &'static str {
+        "qdb_pack_batch"
+    }
+    fn block_dim(&self) -> usize {
+        256
+    }
+    fn grid_dim(&self) -> usize {
+        self.sources.len()
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let row = blk.block_idx;
+        let (src, m) = &self.sources[row];
+        for (j, item) in src.read_range(0..*m).into_iter().enumerate() {
+            self.out.set(row * self.cols + j, item);
+        }
+        let bytes = (*m * Kv::<u32>::SIZE_BYTES) as u64;
+        blk.bulk_global_read(bytes);
+        blk.bulk_global_write(bytes);
+        blk.bulk_ops(*m as u64);
+    }
+}
+
+/// A query admitted but not yet drained.
+struct Pending {
+    ticket: QueryTicket,
+    sql: String,
+    query: Query,
+    strategy: Strategy,
+}
+
+/// What a pending query turned into while draining.
+struct Executed {
+    ticket: QueryTicket,
+    sql: String,
+    ids: Vec<u32>,
+    /// Absolute launch-log indices of this query's own kernels.
+    own: Vec<usize>,
+    /// Absolute indices of shared (batch) kernels it rode along in.
+    shared: Vec<usize>,
+    coalesced: bool,
+}
+
+/// A serving front-end over one device and one resident table.
+///
+/// ```
+/// # use simt::Device;
+/// # use datagen::twitter::TweetTable;
+/// # use qdb::{GpuTweetTable, Server, ServerConfig};
+/// let dev = Device::titan_x();
+/// let host = TweetTable::generate(10_000, 1);
+/// let table = GpuTweetTable::upload(&dev, &host);
+/// let mut server = Server::new(&dev, &table, ServerConfig::default());
+/// let t = server
+///     .submit("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 10")
+///     .unwrap();
+/// let report = server.drain();
+/// assert_eq!(report.queries[t.0].result.ids.len(), 10);
+/// ```
+pub struct Server<'a> {
+    dev: &'a Device,
+    table: &'a GpuTweetTable,
+    cfg: ServerConfig,
+    streams: Vec<Stream>,
+    pending: Vec<Pending>,
+    next_ticket: usize,
+}
+
+impl<'a> Server<'a> {
+    /// Creates a server over a device-resident table.
+    pub fn new(dev: &'a Device, table: &'a GpuTweetTable, cfg: ServerConfig) -> Self {
+        let streams = (0..cfg.streams.max(1))
+            .map(|_| dev.create_stream())
+            .collect();
+        Server {
+            dev,
+            table,
+            cfg,
+            streams,
+            pending: Vec::new(),
+            next_ticket: 0,
+        }
+    }
+
+    /// Parses, validates and admits one SQL query with the default
+    /// strategy. Unsupported shapes are rejected here, not at drain time.
+    pub fn submit(&mut self, sql: &str) -> Result<QueryTicket, SqlError> {
+        let strategy = self.cfg.default_strategy;
+        self.submit_with(sql, strategy)
+    }
+
+    /// [`Server::submit`] with an explicit execution strategy.
+    pub fn submit_with(&mut self, sql: &str, strategy: Strategy) -> Result<QueryTicket, SqlError> {
+        let query = parse(sql)?;
+        validate_executable(&query)?;
+        let ticket = QueryTicket(self.next_ticket);
+        self.next_ticket += 1;
+        self.pending.push(Pending {
+            ticket,
+            sql: sql.to_string(),
+            query,
+            strategy,
+        });
+        Ok(ticket)
+    }
+
+    /// Number of queries admitted and not yet drained.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// A query can fold into a shared batched launch when it is a plain
+    /// descending `retweet_count` top-k (the batched kernel computes
+    /// exactly that shape) and its strategy tolerates a bitonic operator.
+    fn coalescable(&self, p: &Pending) -> bool {
+        self.cfg.coalesce
+            && !p.query.group_by_uid
+            && !p.query.ascending
+            && p.query.order_by == OrderBy::RetweetCount
+            && p.strategy != Strategy::StageSort
+    }
+
+    /// Executes every admitted query and returns the load report.
+    ///
+    /// Coalescable queries run their filters concurrently (round-robin
+    /// over the server's streams), then share one pack + one batched
+    /// top-k launch per [`ServerConfig::max_batch`] chunk; everything
+    /// else runs its normal pipeline on its round-robin stream.
+    pub fn drain(&mut self) -> LoadReport {
+        let dev = self.dev;
+        let window = dev.log_len();
+        let pending = std::mem::take(&mut self.pending);
+        let n = pending.len();
+
+        let mut executed: Vec<Executed> = Vec::with_capacity(n);
+        // coalescable queries whose filter already ran: (pending-slot,
+        // candidates, matched-count, executed-slot)
+        let mut filtered: Vec<(Pending, GpuBuffer<Kv<u32>>, usize, usize)> = Vec::new();
+
+        for (i, p) in pending.into_iter().enumerate() {
+            let stream = &self.streams[i % self.streams.len()];
+            if self.coalescable(&p) {
+                let op = p
+                    .query
+                    .filter
+                    .clone()
+                    .unwrap_or(FilterOp::TimeLess(u32::MAX));
+                let before = dev.log_len();
+                let out = dev.alloc::<Kv<u32>>(self.table.len());
+                let cnt = dev.alloc::<u32>(1);
+                dev.stream_scope(stream.id(), || {
+                    dev.launch(&FilterKernel {
+                        table: self.table,
+                        op: &op,
+                        key_col: &self.table.retweet_count,
+                        out: out.clone(),
+                        out_count: cnt.clone(),
+                    })
+                    .expect("filter kernel")
+                });
+                let m = cnt.get(0) as usize;
+                executed.push(Executed {
+                    ticket: p.ticket,
+                    sql: p.sql.clone(),
+                    ids: Vec::new(),
+                    own: (before..dev.log_len()).collect(),
+                    shared: Vec::new(),
+                    coalesced: false,
+                });
+                filtered.push((p, out, m, executed.len() - 1));
+            } else {
+                let before = dev.log_len();
+                let r = dev.stream_scope(stream.id(), || {
+                    execute(dev, self.table, &p.query, p.strategy)
+                        .expect("shape validated at submit")
+                });
+                executed.push(Executed {
+                    ticket: p.ticket,
+                    sql: p.sql,
+                    ids: r.ids,
+                    own: (before..dev.log_len()).collect(),
+                    shared: Vec::new(),
+                    coalesced: false,
+                });
+            }
+        }
+
+        // split the filtered queries into batchable and oversized
+        let max_row = max_single_launch_row::<Kv<u32>>(dev.spec());
+        let mut batchable: Vec<(Pending, GpuBuffer<Kv<u32>>, usize, usize)> = Vec::new();
+        for (p, out, m, slot) in filtered {
+            if m == 0 {
+                continue; // empty result, already recorded
+            }
+            if next_pow2(m) <= max_row {
+                batchable.push((p, out, m, slot));
+            } else {
+                // too big for the fused batch row: finish on its own stream
+                let stream = &self.streams[slot % self.streams.len()];
+                let before = dev.log_len();
+                let r = dev.stream_scope(stream.id(), || {
+                    crate::engine::run_topk_stage(
+                        dev,
+                        &out,
+                        m,
+                        p.query.limit.min(m),
+                        TopKStrategy::Bitonic,
+                    )
+                    .expect("top-k stage")
+                });
+                executed[slot].ids = r.items.iter().map(|kv| kv.value).collect();
+                executed[slot].own.extend(before..dev.log_len());
+            }
+        }
+
+        // each chunk shares one pack + one batched top-k launch
+        for chunk in batchable.chunks(self.cfg.max_batch.max(2)) {
+            if chunk.len() < 2 {
+                // a lone query gains nothing from the batch detour
+                let (p, out, m, slot) = &chunk[0];
+                let stream = &self.streams[*slot % self.streams.len()];
+                let before = dev.log_len();
+                let r = dev.stream_scope(stream.id(), || {
+                    crate::engine::run_topk_stage(
+                        dev,
+                        out,
+                        *m,
+                        p.query.limit.min(*m),
+                        TopKStrategy::Bitonic,
+                    )
+                    .expect("top-k stage")
+                });
+                executed[*slot].ids = r.items.iter().map(|kv| kv.value).collect();
+                executed[*slot].own.extend(before..dev.log_len());
+                continue;
+            }
+            let rows = chunk.len();
+            let cols = chunk
+                .iter()
+                .map(|(_, _, m, _)| next_pow2(*m))
+                .max()
+                .unwrap_or(1);
+            let k_max = chunk
+                .iter()
+                .map(|(p, _, _, _)| p.query.limit)
+                .max()
+                .unwrap();
+
+            let batch_stream = dev.create_stream();
+            // the pack must see every member's filter output
+            for (_, _, _, slot) in chunk {
+                let ev = self.streams[*slot % self.streams.len()].record_event();
+                batch_stream.wait_event(&ev);
+            }
+            let before = dev.log_len();
+            let matrix = dev.alloc_filled::<Kv<u32>>(rows * cols, Kv::<u32>::min_sentinel());
+            let batched = dev.stream_scope(batch_stream.id(), || {
+                dev.launch(&PackKernel {
+                    sources: chunk
+                        .iter()
+                        .map(|(_, out, m, _)| (out.clone(), *m))
+                        .collect(),
+                    out: matrix.clone(),
+                    cols,
+                })
+                .expect("pack kernel");
+                batched_bitonic_topk(dev, &matrix, rows, cols, k_max.min(cols))
+                    .expect("batched top-k")
+            });
+            let shared: Vec<usize> = (before..dev.log_len()).collect();
+            for (row, (p, _, m, slot)) in chunk.iter().enumerate() {
+                let mut ids: Vec<u32> = batched.rows[row].iter().map(|kv| kv.value).collect();
+                ids.truncate(p.query.limit.min(*m));
+                executed[*slot].ids = ids;
+                executed[*slot].shared.extend(shared.iter().copied());
+                executed[*slot].coalesced = true;
+            }
+        }
+
+        self.finish(window, executed)
+    }
+
+    /// Replays the drain's launches onto the shared timeline and builds
+    /// the per-query and aggregate report.
+    fn finish(&self, window: usize, executed: Vec<Executed>) -> LoadReport {
+        let dev = self.dev;
+        let schedule = dev.schedule_since(window);
+        let full_log = dev.log_since(0);
+        let trace_json = chrome_trace_streams(&schedule, &full_log);
+        let placed: HashMap<usize, (SimTime, SimTime)> = schedule
+            .launches
+            .iter()
+            .map(|l| (l.index, (l.start, l.end)))
+            .collect();
+
+        let mut queries: Vec<ServedQuery> = executed
+            .into_iter()
+            .map(|e| {
+                let spans: Vec<(SimTime, SimTime)> = e
+                    .own
+                    .iter()
+                    .chain(e.shared.iter())
+                    .filter_map(|i| placed.get(i).copied())
+                    .collect();
+                let first = spans.iter().map(|s| s.0).fold(SimTime::ZERO, |a, b| {
+                    if a.0 == 0.0 || b.0 < a.0 {
+                        b
+                    } else {
+                        a
+                    }
+                });
+                let last =
+                    spans
+                        .iter()
+                        .map(|s| s.1)
+                        .fold(SimTime::ZERO, |a, b| if b.0 > a.0 { b } else { a });
+                let reports: Vec<_> = e
+                    .own
+                    .iter()
+                    .chain(e.shared.iter())
+                    .map(|&i| full_log[i].clone())
+                    .collect();
+                ServedQuery {
+                    ticket: e.ticket,
+                    sql: e.sql,
+                    result: QueryResult {
+                        ids: e.ids,
+                        kernel_time: reports.iter().map(|r| r.time).sum(),
+                        breakdown: reports
+                            .iter()
+                            .map(|r| (r.name.to_string(), r.time))
+                            .collect(),
+                    },
+                    timing: QueryTiming {
+                        queued: first,
+                        exec: SimTime(last.0 - first.0),
+                        total: last,
+                    },
+                    coalesced: e.coalesced,
+                }
+            })
+            .collect();
+        queries.sort_by_key(|q| q.ticket.0);
+
+        let mut totals: Vec<f64> = queries.iter().map(|q| q.timing.total.0).collect();
+        totals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |p: f64| -> SimTime {
+            if totals.is_empty() {
+                return SimTime::ZERO;
+            }
+            let idx = ((totals.len() - 1) as f64 * p).round() as usize;
+            SimTime(totals[idx])
+        };
+        let makespan = schedule.makespan;
+        let queries_per_sec = if makespan.0 > 0.0 {
+            queries.len() as f64 / makespan.0
+        } else {
+            0.0
+        };
+
+        LoadReport {
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            makespan,
+            serial_time: schedule.serial_time,
+            queries_per_sec,
+            queries,
+            schedule,
+            trace_json,
+        }
+    }
+}
+
+/// Mirrors the `execute`-time `Unsupported` checks so [`Server::submit`]
+/// rejects shapes eagerly instead of failing mid-drain.
+fn validate_executable(q: &Query) -> Result<(), SqlError> {
+    if let OrderBy::Rank { likes_weight } = q.order_by {
+        if (likes_weight - 0.5).abs() > 1e-9 {
+            return Err(SqlError::Unsupported("ranking weight other than 0.5"));
+        }
+        if q.filter.is_some() {
+            return Err(SqlError::Unsupported(
+                "WHERE combined with a ranking function",
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::twitter::TweetTable;
+
+    fn setup(n: usize) -> (Device, TweetTable) {
+        (Device::titan_x(), TweetTable::generate(n, 31))
+    }
+
+    /// Keys (not ids) of a result — batched and per-query pipelines may
+    /// break exact-tie key duplicates differently, but the returned key
+    /// sequence must be identical.
+    fn keys(host: &TweetTable, ids: &[u32]) -> Vec<u32> {
+        ids.iter()
+            .map(|&id| host.retweet_count[id as usize])
+            .collect()
+    }
+
+    #[test]
+    fn mixed_queries_agree_with_serial_execution() {
+        let (dev, host) = setup(10_000);
+        let table = GpuTweetTable::upload(&dev, &host);
+        let cutoff = host.time_cutoff_for_selectivity(0.3);
+        let sqls = [
+            format!("SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT 10"),
+            "SELECT id FROM tweets WHERE lang='ja' ORDER BY retweet_count DESC LIMIT 25".to_string(),
+            "SELECT id FROM tweets ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT 8".to_string(),
+            "SELECT id FROM tweets ORDER BY retweet_count ASC LIMIT 12".to_string(),
+            "SELECT uid, COUNT(*) FROM tweets GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 5".to_string(),
+            format!("SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT 3"),
+        ];
+        let mut server = Server::new(&dev, &table, ServerConfig::default());
+        let tickets: Vec<QueryTicket> = sqls
+            .iter()
+            .map(|s| server.submit(s).expect("submit"))
+            .collect();
+        let report = server.drain();
+        assert_eq!(report.queries.len(), sqls.len());
+
+        for (sql, t) in sqls.iter().zip(&tickets) {
+            let served = &report.queries[t.0];
+            assert_eq!(&served.sql, sql);
+            let q = parse(sql).unwrap();
+            let serial = execute(&dev, &table, &q, Strategy::StageBitonic).unwrap();
+            if q.group_by_uid {
+                // uids map to counts; compare count sequences
+                let mut counts = std::collections::HashMap::new();
+                for &u in &host.uid {
+                    *counts.entry(u).or_insert(0u32) += 1;
+                }
+                let got: Vec<u32> = served.result.ids.iter().map(|u| counts[u]).collect();
+                let want: Vec<u32> = serial.ids.iter().map(|u| counts[u]).collect();
+                assert_eq!(got, want, "{sql}");
+            } else if matches!(q.order_by, OrderBy::Rank { .. }) {
+                let rank = |id: u32| {
+                    host.retweet_count[id as usize] as f32
+                        + 0.5 * host.likes_count[id as usize] as f32
+                };
+                let got: Vec<f32> = served.result.ids.iter().map(|&i| rank(i)).collect();
+                let want: Vec<f32> = serial.ids.iter().map(|&i| rank(i)).collect();
+                assert_eq!(got, want, "{sql}");
+            } else {
+                assert_eq!(
+                    keys(&host, &served.result.ids),
+                    keys(&host, &serial.ids),
+                    "{sql}"
+                );
+            }
+            assert!(served.timing.total.0 >= served.timing.exec.0);
+        }
+        // the two plain DESC retweet_count queries coalesced, the rest not
+        assert!(report.queries[0].coalesced);
+        assert!(report.queries[1].coalesced);
+        assert!(!report.queries[2].coalesced);
+        assert!(!report.queries[3].coalesced);
+        assert!(!report.queries[4].coalesced);
+        assert!(report.makespan.0 > 0.0);
+        assert!(report.queries_per_sec > 0.0);
+        assert!(report.p50.0 <= report.p95.0 && report.p95.0 <= report.p99.0);
+    }
+
+    #[test]
+    fn coalescing_matches_uncoalesced_results() {
+        let (dev, host) = setup(12_000);
+        let table = GpuTweetTable::upload(&dev, &host);
+        let sqls: Vec<String> = (0..12)
+            .map(|i| {
+                let cutoff = host.time_cutoff_for_selectivity(0.05 + 0.03 * (i % 8) as f64);
+                let k = 1 + 7 * (i % 5);
+                format!("SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT {k}")
+            })
+            .collect();
+
+        let run = |coalesce: bool| {
+            let mut server = Server::new(
+                &dev,
+                &table,
+                ServerConfig {
+                    coalesce,
+                    ..ServerConfig::default()
+                },
+            );
+            for s in &sqls {
+                server.submit(s).unwrap();
+            }
+            server.drain()
+        };
+        let on = run(true);
+        let off = run(false);
+        for (a, b) in on.queries.iter().zip(&off.queries) {
+            assert_eq!(
+                keys(&host, &a.result.ids),
+                keys(&host, &b.result.ids),
+                "{}",
+                a.sql
+            );
+            assert!(a.coalesced);
+            assert!(!b.coalesced);
+        }
+    }
+
+    #[test]
+    fn concurrent_serving_beats_serial() {
+        let (dev, host) = setup(1 << 15);
+        let table = GpuTweetTable::upload(&dev, &host);
+        let mut server = Server::new(&dev, &table, ServerConfig::default());
+        for i in 0..32 {
+            let cutoff = host.time_cutoff_for_selectivity(0.05 + 0.002 * i as f64);
+            server
+                .submit(&format!(
+                    "SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT 16"
+                ))
+                .unwrap();
+        }
+        let report = server.drain();
+        assert!(
+            report.speedup() >= 2.0,
+            "32 coalesced small queries should serve ≥2× faster than serial, got {:.2}×",
+            report.speedup()
+        );
+        assert!(report.queries.iter().all(|q| q.coalesced));
+    }
+
+    #[test]
+    fn drain_trace_has_a_track_per_active_stream() {
+        let (dev, host) = setup(3_000);
+        let table = GpuTweetTable::upload(&dev, &host);
+        let mut server = Server::new(&dev, &table, ServerConfig::default());
+        for k in [5usize, 9, 13] {
+            server
+                .submit(&format!(
+                    "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT {k}"
+                ))
+                .unwrap();
+        }
+        let report = server.drain();
+        let trace = report.chrome_trace();
+        assert!(trace.starts_with('['));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("thread_name"));
+        assert!(trace.contains("qdb_filter"));
+        assert!(trace.contains("batched_bitonic_row"));
+    }
+
+    #[test]
+    fn server_is_reusable_across_drains() {
+        let (dev, host) = setup(5_000);
+        let table = GpuTweetTable::upload(&dev, &host);
+        let mut server = Server::new(&dev, &table, ServerConfig::default());
+        let t0 = server
+            .submit("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 4")
+            .unwrap();
+        let r0 = server.drain();
+        assert_eq!(r0.queries.len(), 1);
+        assert_eq!(r0.queries[0].ticket, t0);
+        assert_eq!(server.pending_len(), 0);
+
+        let t1 = server
+            .submit("SELECT id FROM tweets ORDER BY retweet_count ASC LIMIT 4")
+            .unwrap();
+        let r1 = server.drain();
+        assert_eq!(r1.queries.len(), 1);
+        assert_eq!(r1.queries[0].ticket, t1);
+        // tickets keep counting across drains
+        assert_eq!(t1.0, t0.0 + 1);
+    }
+
+    #[test]
+    fn submit_rejects_bad_sql_eagerly() {
+        let (dev, host) = setup(1_000);
+        let table = GpuTweetTable::upload(&dev, &host);
+        let mut server = Server::new(&dev, &table, ServerConfig::default());
+        assert!(server.submit("DROP TABLE tweets").is_err());
+        assert!(server
+            .submit("SELECT id FROM tweets ORDER BY retweet_count + 0.9 * likes_count DESC LIMIT 5")
+            .is_err());
+        assert_eq!(server.pending_len(), 0);
+    }
+}

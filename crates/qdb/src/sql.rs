@@ -7,7 +7,7 @@
 //! ```sql
 //! SELECT id FROM tweets
 //!   [WHERE tweet_time < <number> | WHERE lang = '<code>' [OR lang = '<code>']…]
-//!   ORDER BY retweet_count [+ <weight> * likes_count] DESC
+//!   ORDER BY retweet_count [+ <weight> * likes_count] [ASC | DESC]
 //!   LIMIT <k>;
 //!
 //! SELECT uid, COUNT(*) FROM tweets
@@ -20,7 +20,9 @@
 use simt::Device;
 
 use crate::engine::{FilterOp, TopKStrategy};
-use crate::queries::{filtered_topk, group_topk, ranked_topk, QueryResult, Strategy};
+use crate::queries::{
+    filtered_bottomk, filtered_topk, group_topk, ranked_topk, QueryResult, Strategy,
+};
 use crate::table::GpuTweetTable;
 
 /// Parse/validation errors with byte positions where sensible.
@@ -75,6 +77,10 @@ pub struct Query {
     pub group_by_uid: bool,
     /// Ranking expression.
     pub order_by: OrderBy,
+    /// `ORDER BY … ASC` — smallest-first. Only supported for the plain
+    /// `retweet_count` ordering (the engine compiles one reversed kernel
+    /// shape, like it compiles one ranking function).
+    pub ascending: bool,
     /// LIMIT k.
     pub limit: usize,
 }
@@ -300,7 +306,17 @@ pub fn parse(sql: &str) -> Result<Query, SqlError> {
             OrderBy::RetweetCount
         }
     };
-    c.expect("desc")?;
+    let dir = c.next("ASC or DESC")?.to_string();
+    let ascending = match dir.as_str() {
+        "desc" => false,
+        "asc" => true,
+        other => return Err(SqlError::Unexpected(other.to_string(), "ASC or DESC")),
+    };
+    if ascending && order_by != OrderBy::RetweetCount {
+        return Err(SqlError::Unsupported(
+            "ASC is only supported for ORDER BY retweet_count",
+        ));
+    }
 
     // LIMIT
     c.expect("limit")?;
@@ -318,6 +334,7 @@ pub fn parse(sql: &str) -> Result<Query, SqlError> {
         filter,
         group_by_uid,
         order_by,
+        ascending,
         limit,
     })
 }
@@ -346,7 +363,11 @@ pub fn execute(
         }
         (OrderBy::RetweetCount, false) => {
             let op = q.filter.clone().unwrap_or(FilterOp::TimeLess(u32::MAX));
-            Ok(filtered_topk(dev, table, &op, q.limit, strategy))
+            if q.ascending {
+                Ok(filtered_bottomk(dev, table, &op, q.limit, strategy))
+            } else {
+                Ok(filtered_topk(dev, table, &op, q.limit, strategy))
+            }
         }
         (OrderBy::Rank { likes_weight }, false) => {
             if (likes_weight - 0.5).abs() > 1e-9 {
@@ -412,6 +433,44 @@ mod tests {
             parse("SELECT uid, COUNT(*) FROM tweets GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 50")
                 .unwrap();
         assert_eq!(q2.order_by, OrderBy::Count);
+    }
+
+    #[test]
+    fn parses_asc_and_rejects_it_off_retweet_count() {
+        let q = parse("SELECT id FROM tweets ORDER BY retweet_count ASC LIMIT 5").unwrap();
+        assert!(q.ascending);
+        let q = parse("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5").unwrap();
+        assert!(!q.ascending);
+        assert!(matches!(
+            parse("SELECT uid, COUNT(*) FROM tweets GROUP BY uid ORDER BY COUNT(*) ASC LIMIT 5"),
+            Err(SqlError::Unsupported(_))
+        ));
+        assert!(matches!(
+            parse("SELECT id FROM tweets ORDER BY retweet_count + 0.5 * likes_count ASC LIMIT 5"),
+            Err(SqlError::Unsupported(_))
+        ));
+        assert!(matches!(
+            parse("SELECT id FROM tweets ORDER BY retweet_count sideways LIMIT 5"),
+            Err(SqlError::Unexpected(..))
+        ));
+    }
+
+    #[test]
+    fn asc_executes_as_bottom_k() {
+        let host = TweetTable::generate(8_000, 126);
+        let dev = Device::titan_x();
+        let table = GpuTweetTable::upload(&dev, &host);
+        let q = parse("SELECT id FROM tweets ORDER BY retweet_count ASC LIMIT 10").unwrap();
+        let r = execute(&dev, &table, &q, Strategy::StageBitonic).unwrap();
+        let mut expect: Vec<u32> = host.retweet_count.clone();
+        expect.sort_unstable();
+        expect.truncate(10);
+        let keys: Vec<u32> = r
+            .ids
+            .iter()
+            .map(|&id| host.retweet_count[id as usize])
+            .collect();
+        assert_eq!(keys, expect);
     }
 
     #[test]

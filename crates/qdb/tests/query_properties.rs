@@ -81,6 +81,54 @@ proptest! {
         }
     }
 
+    /// The serving layer's batch coalescing must never change results:
+    /// for random small-query workloads, a coalesced drain and a
+    /// coalescing-disabled drain return identical key sequences, which
+    /// also match the naive host evaluation.
+    #[test]
+    fn coalesced_drain_agrees_with_per_query(
+        seed in any::<u64>(),
+        sels in prop::collection::vec(0.01f64..0.2, 2..10),
+        ks in prop::collection::vec(1usize..40, 2..10),
+    ) {
+        let host = TweetTable::generate(12_000, seed);
+        let dev = Device::titan_x();
+        let table = GpuTweetTable::upload(&dev, &host);
+        let sqls: Vec<String> = sels
+            .iter()
+            .zip(ks.iter().cycle())
+            .map(|(&sel, &k)| {
+                let cutoff = host.time_cutoff_for_selectivity(sel);
+                format!(
+                    "SELECT id FROM tweets WHERE tweet_time < {cutoff} \
+                     ORDER BY retweet_count DESC LIMIT {k}"
+                )
+            })
+            .collect();
+        let run = |coalesce: bool| {
+            let cfg = qdb::ServerConfig { coalesce, ..qdb::ServerConfig::default() };
+            let mut server = qdb::Server::new(&dev, &table, cfg);
+            for sql in &sqls {
+                server.submit(sql).unwrap();
+            }
+            server.drain()
+        };
+        let on = run(true);
+        let off = run(false);
+        for ((sql, a), b) in sqls.iter().zip(&on.queries).zip(&off.queries) {
+            let ak: Vec<u32> = a.result.ids.iter().map(|&id| host.retweet_count[id as usize]).collect();
+            let bk: Vec<u32> = b.result.ids.iter().map(|&id| host.retweet_count[id as usize]).collect();
+            prop_assert_eq!(&ak, &bk, "{}", sql);
+            let q = qdb::parse_sql(sql).unwrap();
+            let cutoff = match q.filter {
+                Some(FilterOp::TimeLess(c)) => c,
+                _ => unreachable!(),
+            };
+            let expect = host_q1(&host, |r| host.tweet_time[r] < cutoff, q.limit);
+            prop_assert_eq!(&ak, &expect, "{}", sql);
+        }
+    }
+
     /// Fusion must never change results, only traffic.
     #[test]
     fn fused_and_staged_always_agree(seed in any::<u64>(), langs in prop::collection::btree_set(0u8..6, 1..4)) {

@@ -106,6 +106,76 @@ impl<T: DeviceCopy> GpuBuffer<T> {
     pub fn elem_bytes(&self) -> usize {
         std::mem::size_of::<T>()
     }
+
+    /// Reinterprets this buffer's device storage as elements of type `U`
+    /// **in place** — no copy, no new device allocation, same simulated
+    /// address range. The storage moves into the returned view; it moves
+    /// back (with any writes the view received) when the
+    /// [`MappedBuffer`] is dropped. Until then this buffer reads as
+    /// empty.
+    ///
+    /// This is how smallest-k reuses the largest-k kernels: a buffer of
+    /// `T` is viewed as the `repr(transparent)` order-reversing wrapper
+    /// without a host round-trip.
+    ///
+    /// # Safety
+    /// `U` must be layout- and bit-compatible with `T` (same size, same
+    /// alignment, every bit pattern of `T` valid as `U` and vice versa) —
+    /// e.g. a `#[repr(transparent)]` wrapper around `T`. Size and
+    /// alignment are asserted; bit validity cannot be checked.
+    pub unsafe fn map_cast<U: DeviceCopy>(&self) -> MappedBuffer<T, U> {
+        let data = std::mem::take(&mut *self.inner.data.borrow_mut());
+        let view = GpuBuffer {
+            inner: Rc::new(BufferInner {
+                data: RefCell::new(cast_vec::<T, U>(data)),
+                base_addr: self.inner.base_addr,
+                // the storage is the source buffer's; the view itself
+                // owns no device bytes
+                bytes: 0,
+                dev: Rc::clone(&self.inner.dev),
+            }),
+        };
+        MappedBuffer {
+            view,
+            source: self.clone(),
+        }
+    }
+}
+
+/// Moves a `Vec`'s allocation to a layout-identical element type.
+///
+/// # Safety
+/// Caller guarantees `A` and `B` are layout- and bit-compatible (checked
+/// for size/alignment, not bit validity).
+unsafe fn cast_vec<A, B>(v: Vec<A>) -> Vec<B> {
+    assert_eq!(std::mem::size_of::<A>(), std::mem::size_of::<B>());
+    assert_eq!(std::mem::align_of::<A>(), std::mem::align_of::<B>());
+    let mut v = std::mem::ManuallyDrop::new(v);
+    Vec::from_raw_parts(v.as_mut_ptr() as *mut B, v.len(), v.capacity())
+}
+
+/// An in-place reinterpretation of a [`GpuBuffer`]'s storage, created by
+/// [`GpuBuffer::map_cast`]. Dropping it returns the storage to the source
+/// buffer.
+pub struct MappedBuffer<T: DeviceCopy, U: DeviceCopy> {
+    view: GpuBuffer<U>,
+    source: GpuBuffer<T>,
+}
+
+impl<T: DeviceCopy, U: DeviceCopy> MappedBuffer<T, U> {
+    /// The buffer viewed as elements of `U`. Kernels launched on the view
+    /// read and write the source buffer's storage.
+    pub fn view(&self) -> &GpuBuffer<U> {
+        &self.view
+    }
+}
+
+impl<T: DeviceCopy, U: DeviceCopy> Drop for MappedBuffer<T, U> {
+    fn drop(&mut self) {
+        let data = std::mem::take(&mut *self.view.inner.data.borrow_mut());
+        // safety: cast_vec::<T, U> in map_cast checked the layouts match
+        *self.source.inner.data.borrow_mut() = unsafe { cast_vec::<U, T>(data) };
+    }
 }
 
 impl<T: DeviceCopy + std::fmt::Debug> std::fmt::Debug for GpuBuffer<T> {
@@ -117,5 +187,35 @@ impl<T: DeviceCopy + std::fmt::Debug> std::fmt::Debug for GpuBuffer<T> {
             self.len(),
             self.inner.base_addr
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Device;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Default)]
+    #[repr(transparent)]
+    struct Wrapped(u32);
+
+    #[test]
+    fn map_cast_is_in_place_and_restores() {
+        let dev = Device::titan_x();
+        let buf = dev.upload(&[1u32, 2, 3, 4]);
+        let bytes_before = dev.memory_allocated();
+        let base = buf.base_addr();
+        {
+            let mapped = unsafe { buf.map_cast::<Wrapped>() };
+            // no new device allocation, same address range
+            assert_eq!(dev.memory_allocated(), bytes_before);
+            assert_eq!(mapped.view().base_addr(), base);
+            assert_eq!(mapped.view().get(2), Wrapped(3));
+            mapped.view().set(0, Wrapped(99));
+            // storage has moved into the view
+            assert!(buf.is_empty());
+        }
+        // drop restored the storage, including the view's write
+        assert_eq!(buf.to_vec(), vec![99u32, 2, 3, 4]);
+        assert_eq!(dev.memory_allocated(), bytes_before);
     }
 }

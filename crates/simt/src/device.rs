@@ -9,6 +9,7 @@ use crate::buffer::{DeviceCopy, GpuBuffer};
 use crate::occupancy::Occupancy;
 use crate::spec::DeviceSpec;
 use crate::stats::{KernelStats, SimTime};
+use crate::stream::{self, Stream, StreamId, StreamSchedule, WaitEdge};
 
 /// A GPU kernel.
 ///
@@ -108,6 +109,8 @@ impl std::error::Error for LaunchError {}
 pub struct LaunchReport {
     /// Kernel name.
     pub name: &'static str,
+    /// Stream the launch was issued on (0 = the default stream).
+    pub stream: usize,
     /// Blocks launched.
     pub grid_dim: usize,
     /// Threads per block.
@@ -145,6 +148,13 @@ pub(crate) struct DeviceInner {
     mem_highwater: Cell<usize>,
     next_base: Cell<u64>,
     log: RefCell<Vec<LaunchReport>>,
+    /// Stream subsequent launches are stamped with (set via
+    /// [`Device::stream_scope`]).
+    pub(crate) cur_stream: Cell<usize>,
+    /// Next id handed out by [`Device::create_stream`].
+    pub(crate) next_stream: Cell<usize>,
+    /// Cross-stream ordering constraints recorded by events.
+    pub(crate) waits: RefCell<Vec<WaitEdge>>,
 }
 
 impl DeviceInner {
@@ -167,6 +177,10 @@ impl DeviceInner {
     pub(crate) fn release_bytes(&self, bytes: usize) {
         self.mem_allocated.set(self.mem_allocated.get() - bytes);
     }
+
+    pub(crate) fn log_len(&self) -> usize {
+        self.log.borrow().len()
+    }
 }
 
 /// The simulated GPU.
@@ -187,6 +201,9 @@ impl Device {
                 mem_highwater: Cell::new(0),
                 next_base: Cell::new(0x1000),
                 log: RefCell::new(Vec::new()),
+                cur_stream: Cell::new(0),
+                next_stream: Cell::new(1),
+                waits: RefCell::new(Vec::new()),
             }),
         }
     }
@@ -324,6 +341,7 @@ impl Device {
         let t = t_global.max(t_shared).max(t_compute) + spec.launch_overhead;
         LaunchReport {
             name,
+            stream: self.inner.cur_stream.get(),
             grid_dim,
             block_dim,
             stats,
@@ -356,9 +374,61 @@ impl Device {
         self.inner.log.borrow()[start..].to_vec()
     }
 
-    /// Clears the launch log (typically between measured runs).
+    /// Clears the launch log (typically between measured runs). Also
+    /// drops recorded cross-stream wait edges, which reference log
+    /// positions.
     pub fn reset_log(&self) {
         self.inner.log.borrow_mut().clear();
+        self.inner.waits.borrow_mut().clear();
+    }
+
+    /// Creates a new stream with a device-unique id. Launches issued
+    /// inside [`Device::stream_scope`] for this stream share the device
+    /// with launches on other streams when scheduled.
+    pub fn create_stream(&self) -> Stream {
+        let id = self.inner.next_stream.get();
+        self.inner.next_stream.set(id + 1);
+        Stream::new(Rc::clone(&self.inner), StreamId(id))
+    }
+
+    /// Runs `f` with the current stream set to `id`; every launch inside
+    /// is stamped with that stream. Scopes nest and restore on exit.
+    pub fn stream_scope<R>(&self, id: StreamId, f: impl FnOnce() -> R) -> R {
+        let prev = self.inner.cur_stream.replace(id.0);
+        let out = f();
+        self.inner.cur_stream.set(prev);
+        out
+    }
+
+    /// The stream new launches are currently stamped with.
+    pub fn current_stream(&self) -> StreamId {
+        StreamId(self.inner.cur_stream.get())
+    }
+
+    /// The launches recorded on one stream.
+    pub fn stream_log(&self, id: StreamId) -> Vec<LaunchReport> {
+        self.inner
+            .log
+            .borrow()
+            .iter()
+            .filter(|r| r.stream == id.0)
+            .cloned()
+            .collect()
+    }
+
+    /// Schedules the whole launch log onto the shared device timeline
+    /// (see [`stream::schedule`] for the contention model).
+    pub fn schedule(&self) -> StreamSchedule {
+        self.schedule_since(0)
+    }
+
+    /// Schedules the launches recorded after position `start`. Wait
+    /// edges whose source launches fall before `start` are treated as
+    /// already satisfied.
+    pub fn schedule_since(&self, start: usize) -> StreamSchedule {
+        let log = self.inner.log.borrow();
+        let waits = self.inner.waits.borrow();
+        stream::schedule(&self.inner.spec, &log[start..], &waits, start)
     }
 }
 

@@ -42,12 +42,14 @@ pub mod device;
 pub mod occupancy;
 pub mod spec;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 
 pub use block::{BlockCtx, Lane, SharedHandle};
-pub use buffer::GpuBuffer;
+pub use buffer::{GpuBuffer, MappedBuffer};
 pub use device::{Device, Kernel, LaunchError, LaunchReport, OutOfMemory};
 pub use occupancy::Occupancy;
 pub use spec::DeviceSpec;
 pub use stats::{KernelStats, SimTime};
-pub use trace::chrome_trace;
+pub use stream::{Event, ScheduledLaunch, Stream, StreamId, StreamSchedule};
+pub use trace::{chrome_trace, chrome_trace_streams};

@@ -7,6 +7,7 @@
 //! the browser to see where an algorithm's simulated time goes.
 
 use crate::device::LaunchReport;
+use crate::stream::StreamSchedule;
 
 /// Escapes a string for embedding in a JSON literal.
 fn esc(s: &str) -> String {
@@ -45,6 +46,61 @@ pub fn chrome_trace(reports: &[LaunchReport]) -> String {
             r.occupancy.occupancy,
         ));
         t_us += dur;
+    }
+    out.push(']');
+    out
+}
+
+/// Renders a [`StreamSchedule`] as Chrome tracing JSON: one track (tid)
+/// per stream, events placed at their *scheduled* start times, so
+/// cross-stream overlap and contention stretch are visible.
+///
+/// `log` must be the full device launch log the schedule was computed
+/// from ([`ScheduledLaunch::index`](crate::stream::ScheduledLaunch) is an
+/// absolute log position).
+pub fn chrome_trace_streams(schedule: &StreamSchedule, log: &[LaunchReport]) -> String {
+    let mut out = String::from("[");
+    let mut streams: Vec<usize> = schedule.launches.iter().map(|l| l.stream).collect();
+    streams.sort_unstable();
+    streams.dedup();
+    let mut first = true;
+    for s in &streams {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            concat!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},",
+                "\"args\":{{\"name\":\"stream {}\"}}}}"
+            ),
+            s, s
+        ));
+    }
+    for l in &schedule.launches {
+        let r = &log[l.index];
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            concat!(
+                "{{\"name\":\"{}\",\"cat\":\"kernel\",\"ph\":\"X\",",
+                "\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{",
+                "\"grid\":{},\"block\":{},\"bound_by\":\"{}\",",
+                "\"global_MB\":{:.3},\"stretch\":{:.3},\"occupancy\":{:.3}}}}}"
+            ),
+            esc(r.name),
+            l.start.micros(),
+            (l.end.0 - l.start.0) * 1e6,
+            l.stream,
+            r.grid_dim,
+            r.block_dim,
+            r.bound_by(),
+            r.stats.global_bytes() as f64 / 1e6,
+            l.stretch,
+            r.occupancy.occupancy,
+        ));
     }
     out.push(']');
     out
@@ -92,5 +148,23 @@ mod tests {
     #[test]
     fn empty_log_is_empty_array() {
         assert_eq!(chrome_trace(&[]), "[]");
+    }
+
+    #[test]
+    fn stream_trace_has_one_track_per_stream() {
+        let dev = Device::titan_x();
+        let a = dev.create_stream();
+        let b = dev.create_stream();
+        for st in [&a, &b] {
+            dev.stream_scope(st.id(), || dev.launch(&Tiny).unwrap());
+        }
+        let json = chrome_trace_streams(&dev.schedule(), &dev.launch_log());
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert_eq!(json.matches("\"thread_name\"").count(), 2);
+        assert!(json.contains(&format!("\"tid\":{}", a.id().0)));
+        assert!(json.contains(&format!("\"tid\":{}", b.id().0)));
+        // both tiny kernels overlap: both scheduled at ts 0
+        assert_eq!(json.matches("\"ts\":0.000").count(), 2);
     }
 }

@@ -54,7 +54,7 @@ pub fn render(n: usize, steps: &[Step]) -> String {
             }
             continue;
         }
-        for wire in 0..n {
+        for (wire, row) in rows.iter_mut().enumerate() {
             let ch = col
                 .iter()
                 .find_map(|&(lo, hi, asc)| {
@@ -69,8 +69,8 @@ pub fn render(n: usize, steps: &[Step]) -> String {
                     }
                 })
                 .unwrap_or('─');
-            rows[wire].push(ch);
-            rows[wire].push('─');
+            row.push(ch);
+            row.push('─');
         }
     }
     let mut out = String::new();

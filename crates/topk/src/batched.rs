@@ -19,7 +19,7 @@ use crate::{TopKError, TopKResult};
 use datagen::TopKItem;
 use simt::{BlockCtx, Device, GpuBuffer, Kernel};
 use sortnet::{host, next_pow2};
-use topk_costmodel_shim::shared_factor;
+use topk_costmodel::shared_traffic_factor;
 
 /// One block per row: loads the row into shared memory, runs the full
 /// local-sort/merge/rebuild pipeline down to `k`, writes `k` winners.
@@ -73,10 +73,25 @@ impl<T: TopKItem> Kernel for BatchedRowKernel<T> {
         blk.bulk_global_read(bytes);
         blk.bulk_global_write((self.k_eff * T::SIZE_BYTES) as u64);
         let merges = sortnet::log2(self.row_pad / self.k_eff) as usize;
-        let factor = shared_factor(self.k_eff, 16, merges.max(1));
+        let factor = shared_traffic_factor(self.k_eff, 16, merges.max(1), true);
         blk.bulk_shared((factor * (self.row_pad * T::SIZE_BYTES) as f64) as u64);
         blk.bulk_ops((self.row_pad * 2 * (merges + 4)) as u64);
     }
+}
+
+/// The largest padded row length (in items) that [`batched_bitonic_topk`]
+/// can run as a single fused launch on `spec` — one block per row with
+/// the whole row staged in shared memory. Longer rows fall back to a
+/// per-row pipeline. Callers that coalesce independent queries (the qdb
+/// serving layer) use this to decide which queries are batchable.
+pub fn max_single_launch_row<T: TopKItem>(spec: &simt::DeviceSpec) -> usize {
+    // the staging buffer must fit the block's shared memory
+    let budget = spec.shared_mem_per_block * 11 / 12;
+    let mut m = 1usize;
+    while 2 * m * T::SIZE_BYTES * 33 / 32 <= budget {
+        m *= 2;
+    }
+    m
 }
 
 /// Result of a batched query.
@@ -111,15 +126,7 @@ pub fn batched_bitonic_topk<T: TopKItem>(
     let k_eff = next_pow2(k_req);
     let row_pad = next_pow2(cols).max(k_eff);
 
-    let max_row = {
-        // the staging buffer must fit the block's shared memory
-        let budget = dev.spec().shared_mem_per_block * 11 / 12;
-        let mut m = 1usize;
-        while 2 * m * T::SIZE_BYTES * 33 / 32 <= budget {
-            m *= 2;
-        }
-        m
-    };
+    let max_row = max_single_launch_row::<T>(dev.spec());
 
     let mut out_rows: Vec<Vec<T>> = Vec::with_capacity(rows);
     if row_pad <= max_row {
@@ -152,28 +159,6 @@ pub fn batched_bitonic_topk<T: TopKItem>(
         rows: out_rows,
         time: summary.time,
     })
-}
-
-/// Shared-traffic factor shim: `topk` cannot depend on `topk-costmodel`
-/// (which depends back on `sortnet` only, but sits beside us in the
-/// workspace); reproduce the small schedule-derived factor here.
-mod topk_costmodel_shim {
-    use sortnet::{local_sort_steps, rebuild_steps, StepGroupPlan};
-
-    pub fn shared_factor(k: usize, b: usize, merges: usize) -> f64 {
-        let ls = StepGroupPlan::plan(&local_sort_steps(k), b).round_trips() as f64;
-        let rb = StepGroupPlan::plan(&rebuild_steps(k), b).round_trips() as f64;
-        let mut traffic = 1.0 + 2.0 * ls;
-        let mut live = 1.0;
-        for m in 0..merges {
-            traffic += 1.5 * live;
-            live /= 2.0;
-            if m + 1 < merges {
-                traffic += 2.0 * rb * live;
-            }
-        }
-        traffic + live
-    }
 }
 
 #[cfg(test)]

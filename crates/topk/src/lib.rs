@@ -19,18 +19,27 @@
 //!
 //! # Example
 //!
+//! All entry points go through [`TopKRequest`]: algorithm, `k`, key
+//! order, and (optionally) the stream to launch on travel in one value.
+//!
 //! ```
 //! use simt::Device;
-//! use topk::{bitonic::BitonicConfig, TopKAlgorithm};
+//! use topk::{bitonic::BitonicConfig, TopKAlgorithm, TopKRequest};
 //!
 //! let dev = Device::titan_x();
 //! let data: Vec<f32> = (0..4096).map(|i| (i * 31 % 4096) as f32).collect();
 //! let input = dev.upload(&data);
-//! let result = TopKAlgorithm::Bitonic(BitonicConfig::default())
-//!     .run(&dev, &input, 8)
+//! let result = TopKRequest::largest(8)
+//!     .with_alg(TopKAlgorithm::Bitonic(BitonicConfig::default()))
+//!     .run(&dev, &input)
 //!     .unwrap();
 //! assert_eq!(result.items.len(), 8);
 //! assert_eq!(result.items[0], 4095.0);
+//!
+//! // smallest-k is the same request with the order flipped; the input
+//! // buffer is reinterpreted in place (no host round-trip).
+//! let low = TopKRequest::smallest(3).run(&dev, &input).unwrap();
+//! assert_eq!(low.items[0], 0.0);
 //! ```
 
 pub mod batched;
@@ -44,7 +53,7 @@ pub mod sort;
 pub(crate) mod util;
 
 use datagen::TopKItem;
-use simt::{Device, GpuBuffer, LaunchError, LaunchReport, SimTime};
+use simt::{Device, GpuBuffer, LaunchError, LaunchReport, SimTime, StreamId};
 
 /// Errors top-k execution can fail with.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,58 +139,196 @@ impl TopKAlgorithm {
         }
     }
 
-    /// Runs the selected algorithm.
+    /// Runs the selected algorithm (largest-k, default stream).
+    ///
+    /// Thin shim over [`TopKRequest`], kept so pre-redesign callers
+    /// compile.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use TopKRequest::largest(k).with_alg(alg).run(dev, input)"
+    )]
     pub fn run<T: TopKItem>(
         &self,
         dev: &Device,
         input: &GpuBuffer<T>,
         k: usize,
     ) -> Result<TopKResult<T>, TopKError> {
-        match self {
-            TopKAlgorithm::Sort => sort::sort_topk(dev, input, k),
-            TopKAlgorithm::PerThread => {
-                per_thread::per_thread_topk(dev, input, k, per_thread::Variant::SharedHeap)
-            }
-            TopKAlgorithm::PerThreadRegisters => {
-                per_thread::per_thread_topk(dev, input, k, per_thread::Variant::RegisterBuffer)
-            }
-            TopKAlgorithm::RadixSelect => radix_select::radix_select_topk(dev, input, k),
-            TopKAlgorithm::BucketSelect => bucket_select::bucket_select_topk(dev, input, k),
-            TopKAlgorithm::Bitonic(cfg) => bitonic::bitonic_topk(dev, input, k, *cfg),
-        }
+        TopKRequest::largest(k).with_alg(*self).run(dev, input)
     }
 
-    /// Runs the algorithm in smallest-k mode (`ORDER BY … ASC LIMIT k`):
-    /// items are wrapped in the order-reversing [`datagen::item::Rev`]
-    /// adapter, so the same kernels compute the bottom-k. Returns items in
-    /// ascending key order.
+    /// Runs the algorithm in smallest-k mode (`ORDER BY … ASC LIMIT k`).
+    ///
+    /// Thin shim over [`TopKRequest`], kept so pre-redesign callers
+    /// compile.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use TopKRequest::smallest(k).with_alg(alg).run(dev, input)"
+    )]
     pub fn run_smallest<T: TopKItem>(
         &self,
         dev: &Device,
         input: &GpuBuffer<T>,
         k: usize,
     ) -> Result<TopKResult<T>, TopKError> {
-        use datagen::item::Rev;
-        let wrapped: Vec<Rev<T>> = input.to_vec().into_iter().map(Rev).collect();
-        let winput = dev.upload(&wrapped);
-        let r = self.run(dev, &winput, k)?;
-        Ok(TopKResult {
-            items: r.items.into_iter().map(|x| x.0).collect(),
-            time: r.time,
-            reports: r.reports,
-        })
+        TopKRequest::smallest(k).with_alg(*self).run(dev, input)
     }
 
-    /// All algorithms at their default configurations (the Figure 11
-    /// line-up).
+    /// All six algorithms at their default configurations.
+    ///
+    /// This is the Figure 11 line-up plus [`PerThreadRegisters`]
+    /// (Appendix A): the paper's figure omits the register variant
+    /// because it coincides with per-thread heaps at small `k`, but
+    /// sweeps and agreement tests here cover all six variants.
+    ///
+    /// [`PerThreadRegisters`]: TopKAlgorithm::PerThreadRegisters
     pub fn all() -> Vec<TopKAlgorithm> {
         vec![
             TopKAlgorithm::Sort,
             TopKAlgorithm::PerThread,
+            TopKAlgorithm::PerThreadRegisters,
             TopKAlgorithm::RadixSelect,
             TopKAlgorithm::BucketSelect,
             TopKAlgorithm::Bitonic(bitonic::BitonicConfig::default()),
         ]
+    }
+}
+
+/// Which end of the key order a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KeyOrder {
+    /// The largest `k` items, descending (`ORDER BY key DESC LIMIT k`).
+    #[default]
+    Largest,
+    /// The smallest `k` items, ascending (`ORDER BY key ASC LIMIT k`).
+    Smallest,
+}
+
+/// A top-k invocation: algorithm, `k`, key order, and the stream to
+/// launch on, in one builder-style value.
+///
+/// ```
+/// use simt::Device;
+/// use topk::{TopKAlgorithm, TopKRequest};
+///
+/// let dev = Device::titan_x();
+/// let input = dev.upload(&[5.0f32, 1.0, 9.0, 3.0]);
+/// let top = TopKRequest::largest(2).run(&dev, &input).unwrap();
+/// assert_eq!(top.items, vec![9.0, 5.0]);
+/// let bottom = TopKRequest::smallest(2)
+///     .with_alg(TopKAlgorithm::Sort)
+///     .run(&dev, &input)
+///     .unwrap();
+/// assert_eq!(bottom.items, vec![1.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKRequest {
+    /// The algorithm to dispatch to.
+    pub alg: TopKAlgorithm,
+    /// How many items to return.
+    pub k: usize,
+    /// Largest-k (descending) or smallest-k (ascending).
+    pub order: KeyOrder,
+    /// Stream to issue the kernels on; `None` launches on whatever
+    /// stream is current (the default stream outside any scope).
+    pub stream: Option<StreamId>,
+}
+
+impl TopKRequest {
+    /// A request for `alg` with the given order.
+    pub fn new(alg: TopKAlgorithm, k: usize, order: KeyOrder) -> Self {
+        TopKRequest {
+            alg,
+            k,
+            order,
+            stream: None,
+        }
+    }
+
+    /// Largest-k with the default algorithm (bitonic top-k).
+    pub fn largest(k: usize) -> Self {
+        Self::new(
+            TopKAlgorithm::Bitonic(bitonic::BitonicConfig::default()),
+            k,
+            KeyOrder::Largest,
+        )
+    }
+
+    /// Smallest-k with the default algorithm (bitonic top-k).
+    pub fn smallest(k: usize) -> Self {
+        Self::new(
+            TopKAlgorithm::Bitonic(bitonic::BitonicConfig::default()),
+            k,
+            KeyOrder::Smallest,
+        )
+    }
+
+    /// Selects the algorithm.
+    pub fn with_alg(mut self, alg: TopKAlgorithm) -> Self {
+        self.alg = alg;
+        self
+    }
+
+    /// Selects the key order.
+    pub fn with_order(mut self, order: KeyOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Issues the kernels on the given stream (see `simt::Stream`).
+    pub fn on_stream(mut self, stream: StreamId) -> Self {
+        self.stream = Some(stream);
+        self
+    }
+
+    /// Executes the request.
+    ///
+    /// Smallest-k reinterprets the input buffer **in place** as the
+    /// order-reversing [`datagen::item::Rev`] wrapper (a
+    /// `repr(transparent)` view — no host round-trip, no extra device
+    /// memory) and returns items in ascending key order.
+    pub fn run<T: TopKItem>(
+        &self,
+        dev: &Device,
+        input: &GpuBuffer<T>,
+    ) -> Result<TopKResult<T>, TopKError> {
+        let exec = || match self.order {
+            KeyOrder::Largest => dispatch(self.alg, dev, input, self.k),
+            KeyOrder::Smallest => {
+                // safety: Rev<T> is repr(transparent) over T
+                let mapped = unsafe { input.map_cast::<datagen::item::Rev<T>>() };
+                let r = dispatch(self.alg, dev, mapped.view(), self.k)?;
+                Ok(TopKResult {
+                    items: r.items.into_iter().map(|x| x.0).collect(),
+                    time: r.time,
+                    reports: r.reports,
+                })
+            }
+        };
+        match self.stream {
+            Some(id) => dev.stream_scope(id, exec),
+            None => exec(),
+        }
+    }
+}
+
+/// Single dispatch point every entry path funnels through.
+fn dispatch<T: TopKItem>(
+    alg: TopKAlgorithm,
+    dev: &Device,
+    input: &GpuBuffer<T>,
+    k: usize,
+) -> Result<TopKResult<T>, TopKError> {
+    match alg {
+        TopKAlgorithm::Sort => sort::sort_topk(dev, input, k),
+        TopKAlgorithm::PerThread => {
+            per_thread::per_thread_topk(dev, input, k, per_thread::Variant::SharedHeap)
+        }
+        TopKAlgorithm::PerThreadRegisters => {
+            per_thread::per_thread_topk(dev, input, k, per_thread::Variant::RegisterBuffer)
+        }
+        TopKAlgorithm::RadixSelect => radix_select::radix_select_topk(dev, input, k),
+        TopKAlgorithm::BucketSelect => bucket_select::bucket_select_topk(dev, input, k),
+        TopKAlgorithm::Bitonic(cfg) => bitonic::bitonic_topk(dev, input, k, cfg),
     }
 }
 
@@ -196,8 +343,12 @@ mod tests {
         let data: Vec<f32> = Uniform.generate(1 << 12, 3);
         let input = dev.upload(&data);
         let expect = datagen::reference_topk(&data, 16);
+        assert_eq!(TopKAlgorithm::all().len(), 6, "all six variants");
         for alg in TopKAlgorithm::all() {
-            let r = alg.run(&dev, &input, 16).unwrap();
+            let r = TopKRequest::largest(16)
+                .with_alg(alg)
+                .run(&dev, &input)
+                .unwrap();
             let got: Vec<u32> = r.items.iter().map(|x| x.key_bits()).collect();
             let want: Vec<u32> = expect.iter().map(|x| x.key_bits()).collect();
             assert_eq!(got, want, "algorithm {}", alg.name());
@@ -211,7 +362,8 @@ mod tests {
         let dev = Device::titan_x();
         let input = dev.upload(&[1.0f32, 2.0]);
         for alg in TopKAlgorithm::all() {
-            assert_eq!(alg.run(&dev, &input, 0).unwrap_err(), TopKError::ZeroK);
+            let req = TopKRequest::largest(0).with_alg(alg);
+            assert_eq!(req.run(&dev, &input).unwrap_err(), TopKError::ZeroK);
         }
     }
 
@@ -224,7 +376,10 @@ mod tests {
         expect.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
         expect.truncate(16);
         for alg in TopKAlgorithm::all() {
-            let r = alg.run_smallest(&dev, &input, 16).unwrap();
+            let r = TopKRequest::smallest(16)
+                .with_alg(alg)
+                .run(&dev, &input)
+                .unwrap();
             assert_eq!(r.items, expect, "{} smallest-k", alg.name());
         }
     }
@@ -234,10 +389,25 @@ mod tests {
         let dev = Device::titan_x();
         let data = vec![3.0f32, -7.5, 0.0, -1.0, 12.0, -7.4];
         let input = dev.upload(&data);
-        let r = TopKAlgorithm::Bitonic(bitonic::BitonicConfig::default())
-            .run_smallest(&dev, &input, 3)
-            .unwrap();
+        let r = TopKRequest::smallest(3).run(&dev, &input).unwrap();
         assert_eq!(r.items, vec![-7.5, -7.4, -1.0]);
+    }
+
+    #[test]
+    fn smallest_k_leaves_input_intact_without_reupload() {
+        let dev = Device::titan_x();
+        let data: Vec<f32> = Uniform.generate(1 << 10, 11);
+        let input = dev.upload(&data);
+        let before = dev.memory_highwater();
+        let r = TopKRequest::smallest(8).run(&dev, &input).unwrap();
+        assert_eq!(r.items.len(), 8);
+        // the in-place view adds no allocation for the wrapped input
+        // (scratch buffers of the algorithm itself still count)
+        assert!(
+            dev.memory_highwater() - before < input.len() * 4,
+            "smallest-k must not duplicate the input buffer"
+        );
+        assert_eq!(input.to_vec(), data, "input restored after the view");
     }
 
     #[test]
@@ -245,7 +415,42 @@ mod tests {
         let dev = Device::titan_x();
         let input = dev.upload::<f32>(&[]);
         for alg in TopKAlgorithm::all() {
-            assert_eq!(alg.run(&dev, &input, 4).unwrap_err(), TopKError::EmptyInput);
+            let req = TopKRequest::new(alg, 4, KeyOrder::Largest);
+            assert_eq!(req.run(&dev, &input).unwrap_err(), TopKError::EmptyInput);
         }
+    }
+
+    #[test]
+    fn request_runs_on_chosen_stream() {
+        let dev = Device::titan_x();
+        let st = dev.create_stream();
+        let data: Vec<f32> = Uniform.generate(1 << 10, 7);
+        let input = dev.upload(&data);
+        let r = TopKRequest::largest(4)
+            .on_stream(st.id())
+            .run(&dev, &input)
+            .unwrap();
+        assert!(r.reports.iter().all(|rep| rep.stream == st.id().0));
+        assert_eq!(dev.stream_log(st.id()).len(), r.reports.len());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let dev = Device::titan_x();
+        let data: Vec<f32> = Uniform.generate(512, 9);
+        let input = dev.upload(&data);
+        let a = TopKAlgorithm::Sort.run(&dev, &input, 5).unwrap();
+        let b = TopKRequest::largest(5)
+            .with_alg(TopKAlgorithm::Sort)
+            .run(&dev, &input)
+            .unwrap();
+        assert_eq!(a.items, b.items);
+        let s = TopKAlgorithm::Sort.run_smallest(&dev, &input, 5).unwrap();
+        let t = TopKRequest::smallest(5)
+            .with_alg(TopKAlgorithm::Sort)
+            .run(&dev, &input)
+            .unwrap();
+        assert_eq!(s.items, t.items);
     }
 }

@@ -5,7 +5,7 @@
 use datagen::{reference_topk, Distribution, Uniform};
 use simt::{Device, DeviceSpec};
 use topk::bitonic::{bitonic_topk, BitonicConfig};
-use topk::{per_thread, TopKAlgorithm, TopKError};
+use topk::{per_thread, TopKAlgorithm, TopKError, TopKRequest};
 
 /// A device with almost no shared memory: every staged algorithm must
 /// reject cleanly.
@@ -74,7 +74,9 @@ fn sort_topk_needs_a_double_buffer() {
     assert_eq!(r.items, reference_topk(&data, 16));
 
     let sort_attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        TopKAlgorithm::Sort.run(&dev, &input, 16)
+        TopKRequest::largest(16)
+            .with_alg(TopKAlgorithm::Sort)
+            .run(&dev, &input)
     }));
     assert!(sort_attempt.is_err(), "sort should exhaust device memory");
 }
@@ -114,7 +116,10 @@ fn algorithms_work_on_every_device_preset() {
         let dev = Device::new(spec);
         let input = dev.upload(&data);
         for alg in TopKAlgorithm::all() {
-            let r = alg.run(&dev, &input, 32).unwrap();
+            let r = TopKRequest::largest(32)
+                .with_alg(alg)
+                .run(&dev, &input)
+                .unwrap();
             let got: Vec<u32> = r.items.iter().map(|x| x.to_bits()).collect();
             assert_eq!(got, expect, "{} on {:?}", alg.name(), spec.num_sms);
         }

@@ -1,0 +1,79 @@
+//! Concurrent query serving end-to-end: submit a mixed batch of SQL
+//! top-k queries, drain them through the stream/batching scheduler, and
+//! write a multi-stream chrome trace of the drain.
+//!
+//! Run with `cargo run --example concurrent_serving`, then load the
+//! printed JSON file in `chrome://tracing` (or https://ui.perfetto.dev):
+//! one track per device stream, with the coalesced batched top-k launch
+//! visible after the overlapped per-query filters.
+
+use gpu_topk::datagen::twitter::TweetTable;
+use gpu_topk::qdb::{GpuTweetTable, Server, ServerConfig};
+use gpu_topk::simt::Device;
+
+fn main() {
+    let n = 1usize << 16;
+    let host = TweetTable::generate(n, 77);
+    let dev = Device::titan_x();
+    let table = GpuTweetTable::upload(&dev, &host);
+
+    let mut server = Server::new(&dev, &table, ServerConfig::default());
+
+    // a mixed burst: coalescable Q1-shapes plus a ranking query, an
+    // ascending (bottom-k) query, and a group-by
+    let mut sqls: Vec<String> = (0..12)
+        .map(|i| {
+            let cutoff = host.time_cutoff_for_selectivity(0.01 + 0.004 * i as f64);
+            format!(
+                "SELECT id FROM tweets WHERE tweet_time < {cutoff} \
+                 ORDER BY retweet_count DESC LIMIT {}",
+                4 + 4 * (i % 4)
+            )
+        })
+        .collect();
+    sqls.push(
+        "SELECT id FROM tweets ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT 10".into(),
+    );
+    sqls.push("SELECT id FROM tweets WHERE lang='ja' ORDER BY retweet_count ASC LIMIT 5".into());
+    sqls.push(
+        "SELECT uid, COUNT(*) FROM tweets GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 8".into(),
+    );
+
+    println!("submitting {} queries…", sqls.len());
+    for sql in &sqls {
+        server.submit(sql).expect("admit");
+    }
+    let report = server.drain();
+
+    println!(
+        "\ndrained {} queries in {} (serial would be {}; {:.2}x speedup, {:.0} queries/sec)",
+        report.queries.len(),
+        report.makespan,
+        report.serial_time,
+        report.speedup(),
+        report.queries_per_sec
+    );
+    println!(
+        "latency p50 {}  p95 {}  p99 {}\n",
+        report.p50, report.p95, report.p99
+    );
+    for q in &report.queries {
+        println!(
+            "  #{:<2} {}{}  queued {}  exec {}  -> {} ids",
+            q.ticket.0,
+            if q.coalesced { "[batched] " } else { "" },
+            &q.sql[..q.sql.len().min(68)],
+            q.timing.queued,
+            q.timing.exec,
+            q.result.ids.len()
+        );
+    }
+
+    let path = std::env::temp_dir().join("concurrent_serving_trace.json");
+    std::fs::write(&path, report.chrome_trace()).expect("write trace");
+    println!(
+        "\nwrote multi-stream chrome trace ({} bytes) to {}",
+        report.chrome_trace().len(),
+        path.display()
+    );
+}

@@ -7,7 +7,7 @@
 
 use gpu_topk::datagen::{Distribution, Uniform};
 use gpu_topk::simt::Device;
-use gpu_topk::topk::TopKAlgorithm;
+use gpu_topk::topk::{TopKAlgorithm, TopKRequest};
 
 fn main() {
     let n = 1 << 20;
@@ -27,7 +27,7 @@ fn main() {
 
     let mut best: Option<(String, f64)> = None;
     for alg in TopKAlgorithm::all() {
-        match alg.run(&dev, &input, k) {
+        match TopKRequest::largest(k).with_alg(alg).run(&dev, &input) {
             Ok(r) => {
                 let us = r.time.micros();
                 let note = format!(
@@ -52,9 +52,7 @@ fn main() {
 
     // verify against a host-side sort
     let reference = gpu_topk::datagen::reference_topk(&data, k);
-    let bitonic = TopKAlgorithm::Bitonic(Default::default())
-        .run(&dev, &input, k)
-        .unwrap();
+    let bitonic = TopKRequest::largest(k).run(&dev, &input).unwrap();
     assert_eq!(
         bitonic.items, reference,
         "results must match the sort oracle"

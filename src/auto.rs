@@ -9,9 +9,9 @@
 use datagen::TopKItem;
 use simt::{Device, GpuBuffer};
 use topk::bitonic::BitonicConfig;
-use topk::{TopKAlgorithm, TopKError, TopKResult};
+use topk::{TopKAlgorithm, TopKError, TopKRequest, TopKResult};
 use topk_costmodel::planner::Algorithm;
-use topk_costmodel::{recommend, ReductionProfile};
+use topk_costmodel::{recommend, recommend_full, RankedAlgorithm, ReductionProfile};
 
 /// The auto-planned result: what ran, what the model predicted, what the
 /// simulator measured.
@@ -23,6 +23,10 @@ pub struct AutoResult<T> {
     pub chosen: TopKAlgorithm,
     /// The model's predicted seconds for the chosen algorithm.
     pub predicted_seconds: f64,
+    /// The planner's full per-algorithm price list, cheapest first
+    /// (`predicted_seconds = None` means the model says it cannot launch
+    /// at this configuration).
+    pub predictions: Vec<RankedAlgorithm>,
 }
 
 /// Top-k with the algorithm chosen by the Section 7 cost models.
@@ -40,11 +44,12 @@ pub fn auto_topk<T: TopKItem>(
         Algorithm::BitonicTopK => TopKAlgorithm::Bitonic(BitonicConfig::default()),
         Algorithm::RadixSelect => TopKAlgorithm::RadixSelect,
     };
-    let result = chosen.run(dev, input, k)?;
+    let result = TopKRequest::largest(k).with_alg(chosen).run(dev, input)?;
     Ok(AutoResult {
         result,
         chosen,
         predicted_seconds: choice.predicted_seconds,
+        predictions: recommend_full(dev.spec(), input.len(), k, T::SIZE_BYTES, profile),
     })
 }
 
@@ -62,6 +67,22 @@ mod tests {
         assert!(matches!(r.chosen, TopKAlgorithm::Bitonic(_)));
         assert_eq!(r.result.items, reference_topk(&data, 32));
         assert!(r.predicted_seconds > 0.0);
+        // the full price list comes back, cheapest first, and its winner
+        // agrees with the two-way recommendation
+        assert_eq!(r.predictions.len(), 5);
+        assert!(matches!(
+            r.predictions[0].algorithm,
+            topk_costmodel::FullAlgorithm::BitonicTopK
+        ));
+        let priced: Vec<f64> = r
+            .predictions
+            .iter()
+            .filter_map(|p| p.predicted_seconds)
+            .collect();
+        assert!(
+            priced.windows(2).all(|w| w[0] <= w[1]),
+            "sorted cheapest-first"
+        );
     }
 
     #[test]

@@ -16,15 +16,13 @@
 //!
 //! ```
 //! use gpu_topk::simt::Device;
-//! use gpu_topk::topk::{bitonic::BitonicConfig, TopKAlgorithm};
+//! use gpu_topk::topk::TopKRequest;
 //!
 //! let dev = Device::titan_x();
 //! let data: Vec<f32> = (0..10_000).map(|i| (i as f32).sin()).collect();
 //! let input = dev.upload(&data);
 //!
-//! let result = TopKAlgorithm::Bitonic(BitonicConfig::default())
-//!     .run(&dev, &input, 5)
-//!     .expect("top-k");
+//! let result = TopKRequest::largest(5).run(&dev, &input).expect("top-k");
 //!
 //! assert_eq!(result.items.len(), 5);
 //! println!("top-5 = {:?} in {} (simulated)", result.items, result.time);

@@ -8,13 +8,11 @@ use gpu_topk::datagen::{
 };
 use gpu_topk::simt::Device;
 use gpu_topk::sortnet::bitonic_topk_host;
-use gpu_topk::topk::TopKAlgorithm;
+use gpu_topk::topk::{TopKAlgorithm, TopKRequest};
 use gpu_topk::topk_cpu::{CpuBitonic, CpuTopK, HandPq, StlPq};
 
 fn gpu_algorithms() -> Vec<TopKAlgorithm> {
-    let mut algs = TopKAlgorithm::all();
-    algs.push(TopKAlgorithm::PerThreadRegisters);
-    algs
+    TopKAlgorithm::all()
 }
 
 fn check_all<K: GenKey>(dist: &dyn Distribution<K>, n: usize, k: usize, seed: u64) {
@@ -27,7 +25,7 @@ fn check_all<K: GenKey>(dist: &dyn Distribution<K>, n: usize, k: usize, seed: u6
     let dev = Device::titan_x();
     let input = dev.upload(&data);
     for alg in gpu_algorithms() {
-        match alg.run(&dev, &input, k) {
+        match TopKRequest::largest(k).with_alg(alg).run(&dev, &input) {
             Ok(r) => {
                 let got: Vec<K::Bits> = r.items.iter().map(|x| x.key_bits()).collect();
                 assert_eq!(
@@ -126,7 +124,10 @@ fn kv_payload_winners_match_across_gpu_algorithms() {
     let dev = Device::titan_x();
     let input = dev.upload(&data);
     for alg in gpu_algorithms() {
-        let r = alg.run(&dev, &input, 16).unwrap();
+        let r = TopKRequest::largest(16)
+            .with_alg(alg)
+            .run(&dev, &input)
+            .unwrap();
         assert_eq!(r.items.len(), 16, "{}", alg.name());
         for (g, e) in r.items.iter().zip(expect.iter()) {
             assert_eq!(g.key, e.key, "{}", alg.name());
@@ -141,7 +142,10 @@ fn results_are_descending_for_every_algorithm() {
     let dev = Device::titan_x();
     let input = dev.upload(&data);
     for alg in gpu_algorithms() {
-        let r = alg.run(&dev, &input, 100).unwrap();
+        let r = TopKRequest::largest(100)
+            .with_alg(alg)
+            .run(&dev, &input)
+            .unwrap();
         assert!(
             r.items
                 .windows(2)

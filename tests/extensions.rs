@@ -9,7 +9,7 @@ use gpu_topk::topk::batched::batched_bitonic_topk;
 use gpu_topk::topk::bitonic::{bitonic_topk, BitonicConfig};
 use gpu_topk::topk::chunked::{chunked_bitonic_topk, ChunkedConfig};
 use gpu_topk::topk::hybrid::select_then_bitonic;
-use gpu_topk::topk::TopKAlgorithm;
+use gpu_topk::topk::{TopKAlgorithm, TopKRequest};
 use gpu_topk::topk_costmodel::ReductionProfile;
 
 #[test]
@@ -63,8 +63,16 @@ fn smallest_k_is_reverse_of_largest_k_on_distinct_keys() {
     let dev = Device::titan_x();
     let input = dev.upload(&data);
     let alg = TopKAlgorithm::Bitonic(BitonicConfig::default());
-    let largest = alg.run(&dev, &input, 4096).unwrap().items;
-    let smallest = alg.run_smallest(&dev, &input, 4096).unwrap().items;
+    let largest = TopKRequest::largest(4096)
+        .with_alg(alg)
+        .run(&dev, &input)
+        .unwrap()
+        .items;
+    let smallest = TopKRequest::smallest(4096)
+        .with_alg(alg)
+        .run(&dev, &input)
+        .unwrap()
+        .items;
     let mut rev = largest.clone();
     rev.reverse();
     assert_eq!(smallest, rev);
@@ -101,6 +109,55 @@ fn sql_front_end_composes_with_explain() {
     let runner_up = qdb::execute_sql(&dev, &table, &q, plan.costs[1].strategy).unwrap();
     assert_eq!(chosen.ids, runner_up.ids, "results must agree");
     assert!(chosen.kernel_time.seconds() <= runner_up.kernel_time.seconds() * 1.05);
+}
+
+#[test]
+fn serving_layer_coalesces_and_matches_serial() {
+    let host = gpu_topk::datagen::twitter::TweetTable::generate(16_384, 906);
+    let dev = Device::titan_x();
+    let table = qdb::GpuTweetTable::upload(&dev, &host);
+
+    let sqls: Vec<String> = (0..16)
+        .map(|i| {
+            let cutoff = host.time_cutoff_for_selectivity(0.03 + 0.01 * (i % 8) as f64);
+            format!(
+                "SELECT id FROM tweets WHERE tweet_time < {cutoff} \
+                 ORDER BY retweet_count DESC LIMIT {}",
+                4 + 3 * (i % 5)
+            )
+        })
+        .collect();
+
+    let mut server = qdb::Server::new(&dev, &table, qdb::ServerConfig::default());
+    for sql in &sqls {
+        server.submit(sql).unwrap();
+    }
+    let report = server.drain();
+
+    assert_eq!(report.queries.len(), sqls.len());
+    assert!(
+        report.speedup() > 1.5,
+        "16 concurrent small queries should overlap, got {:.2}x",
+        report.speedup()
+    );
+    for (sql, served) in sqls.iter().zip(&report.queries) {
+        let q = qdb::parse_sql(sql).unwrap();
+        let serial = qdb::execute_sql(&dev, &table, &q, qdb::Strategy::StageBitonic).unwrap();
+        let keys = |ids: &[u32]| -> Vec<u32> {
+            ids.iter()
+                .map(|&id| host.retweet_count[id as usize])
+                .collect()
+        };
+        assert_eq!(
+            keys(&served.result.ids),
+            keys(&serial.ids),
+            "{sql} must match serial execution"
+        );
+        assert!(served.coalesced, "{sql} should have joined the batch");
+    }
+    // the drain's trace is loadable multi-stream chrome JSON
+    assert!(report.chrome_trace().starts_with('['));
+    assert!(report.chrome_trace().contains("thread_name"));
 }
 
 #[test]

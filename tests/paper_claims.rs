@@ -5,14 +5,19 @@
 use gpu_topk::datagen::{BucketKiller, Distribution, Increasing, Uniform};
 use gpu_topk::simt::Device;
 use gpu_topk::topk::bitonic::{bitonic_topk, BitonicConfig, OptLevel};
-use gpu_topk::topk::TopKAlgorithm;
+use gpu_topk::topk::{TopKAlgorithm, TopKRequest};
 use gpu_topk::topk_costmodel::{self as costmodel, planner::Algorithm, ReductionProfile};
 
 const N: usize = 1 << 20;
 
 fn run(dev: &Device, alg: &TopKAlgorithm, data: &[f32], k: usize) -> f64 {
     let input = dev.upload(data);
-    alg.run(dev, &input, k).unwrap().time.seconds()
+    TopKRequest::largest(k)
+        .with_alg(*alg)
+        .run(dev, &input)
+        .unwrap()
+        .time
+        .seconds()
 }
 
 /// §1/§6.2: bitonic top-k beats every other algorithm for k ≤ 256.
@@ -67,13 +72,15 @@ fn radix_select_overtakes_at_large_k() {
     let dev = Device::titan_x();
     let input = dev.upload(&data);
     let flipped = [512usize, 1024, 2048].iter().any(|&k| {
-        let b = TopKAlgorithm::Bitonic(BitonicConfig::default())
-            .run(&dev, &input, k)
+        let b = TopKRequest::largest(k)
+            .with_alg(TopKAlgorithm::Bitonic(BitonicConfig::default()))
+            .run(&dev, &input)
             .unwrap()
             .time
             .seconds();
-        let r = TopKAlgorithm::RadixSelect
-            .run(&dev, &input, k)
+        let r = TopKRequest::largest(k)
+            .with_alg(TopKAlgorithm::RadixSelect)
+            .run(&dev, &input)
             .unwrap()
             .time
             .seconds();
@@ -164,13 +171,17 @@ fn memory_usage_claims() {
     let input_bytes = n * 4;
 
     dev.reset_memory_highwater();
-    let _ = TopKAlgorithm::Bitonic(BitonicConfig::default())
-        .run(&dev, &input, 32)
+    let _ = TopKRequest::largest(32)
+        .with_alg(TopKAlgorithm::Bitonic(BitonicConfig::default()))
+        .run(&dev, &input)
         .unwrap();
     let bitonic_extra = dev.memory_highwater().saturating_sub(input_bytes);
 
     dev.reset_memory_highwater();
-    let _ = TopKAlgorithm::Sort.run(&dev, &input, 32).unwrap();
+    let _ = TopKRequest::largest(32)
+        .with_alg(TopKAlgorithm::Sort)
+        .run(&dev, &input)
+        .unwrap();
     let sort_extra = dev.memory_highwater().saturating_sub(input_bytes);
 
     assert!(
@@ -193,13 +204,15 @@ fn cost_model_planner_agrees_with_simulation() {
     let input = dev.upload(&data);
     for k in [8usize, 64, 256, 2048] {
         let choice = costmodel::recommend(dev.spec(), N, k, 4, &ReductionProfile::UniformInts);
-        let tb = TopKAlgorithm::Bitonic(BitonicConfig::default())
-            .run(&dev, &input, k)
+        let tb = TopKRequest::largest(k)
+            .with_alg(TopKAlgorithm::Bitonic(BitonicConfig::default()))
+            .run(&dev, &input)
             .unwrap()
             .time
             .seconds();
-        let tr = TopKAlgorithm::RadixSelect
-            .run(&dev, &input, k)
+        let tr = TopKRequest::largest(k)
+            .with_alg(TopKAlgorithm::RadixSelect)
+            .run(&dev, &input)
             .unwrap()
             .time
             .seconds();
@@ -227,9 +240,16 @@ fn per_thread_fails_where_others_continue() {
     let data: Vec<f32> = Uniform.generate(1 << 16, 9);
     let dev = Device::titan_x();
     let input = dev.upload(&data);
-    assert!(TopKAlgorithm::PerThread.run(&dev, &input, 512).is_err());
-    assert!(TopKAlgorithm::Bitonic(BitonicConfig::default())
-        .run(&dev, &input, 512)
+    assert!(TopKRequest::largest(512)
+        .with_alg(TopKAlgorithm::PerThread)
+        .run(&dev, &input)
+        .is_err());
+    assert!(TopKRequest::largest(512)
+        .with_alg(TopKAlgorithm::Bitonic(BitonicConfig::default()))
+        .run(&dev, &input)
         .is_ok());
-    assert!(TopKAlgorithm::RadixSelect.run(&dev, &input, 512).is_ok());
+    assert!(TopKRequest::largest(512)
+        .with_alg(TopKAlgorithm::RadixSelect)
+        .run(&dev, &input)
+        .is_ok());
 }

@@ -9,7 +9,7 @@ use gpu_topk::sortnet::{
     runs_sorted_alternating,
 };
 use gpu_topk::topk::bitonic::{bitonic_topk, BitonicConfig, OptLevel};
-use gpu_topk::topk::TopKAlgorithm;
+use gpu_topk::topk::{TopKAlgorithm, TopKRequest};
 use gpu_topk::topk_cpu::{CpuBitonic, CpuTopK, HandPq, StlPq};
 use proptest::prelude::*;
 
@@ -37,7 +37,7 @@ proptest! {
             TopKAlgorithm::BucketSelect,
             TopKAlgorithm::Bitonic(BitonicConfig::default()),
         ] {
-            let r = alg.run(&dev, &input, k).unwrap();
+            let r = TopKRequest::largest(k).with_alg(alg).run(&dev, &input).unwrap();
             prop_assert_eq!(keybits(&r.items), expect.clone(), "{}", alg.name());
         }
     }
