@@ -31,5 +31,8 @@ pub use engine::{FilterOp, TopKStrategy};
 pub use explain::{explain_filtered_topk, QueryPlan, TableStats};
 pub use queries::{QueryResult, Strategy};
 pub use server::{LoadReport, QueryTicket, QueryTiming, ServedQuery, Server, ServerConfig};
-pub use sql::{execute as execute_sql, parse as parse_sql, Query, SqlError};
+pub use sql::{
+    execute as execute_sql, explain_sanitize, parse as parse_sql, parse_statement, Query,
+    SanitizedQuery, SqlError, Statement,
+};
 pub use table::GpuTweetTable;

@@ -611,6 +611,48 @@ mod tests {
     }
 
     #[test]
+    fn sanitizer_clean_across_batched_and_streamed_serving() {
+        // the ISSUE-level acceptance check for the serving layer: the
+        // whole drain — pack kernel, batched top-k, and every per-stream
+        // pipeline — runs under the sanitizer with zero findings
+        let (dev, host) = setup(10_000);
+        let table = GpuTweetTable::upload(&dev, &host);
+        dev.enable_sanitizer();
+        let cutoff = host.time_cutoff_for_selectivity(0.3);
+        let mut server = Server::new(&dev, &table, ServerConfig::default());
+        let sqls = [
+            format!("SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT 10"),
+            format!("SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT 4"),
+            "SELECT id FROM tweets ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT 8".to_string(),
+            "SELECT id FROM tweets ORDER BY retweet_count ASC LIMIT 12".to_string(),
+            "SELECT uid, COUNT(*) FROM tweets GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 5".to_string(),
+        ];
+        for s in &sqls {
+            server.submit(s).expect("submit");
+        }
+        let report = server.drain();
+        assert_eq!(report.queries.len(), sqls.len());
+        assert!(
+            report.queries[0].coalesced,
+            "batched path must be exercised"
+        );
+
+        let reports = dev.take_sanitizer_reports();
+        assert!(!reports.is_empty(), "no serving launches were sanitized");
+        assert!(
+            reports.iter().any(|r| r.kernel == "batched_bitonic_row"),
+            "batched top-k launch missing from sanitizer coverage"
+        );
+        assert!(
+            reports.iter().any(|r| r.stream != 0),
+            "streamed launches missing from sanitizer coverage"
+        );
+        for rep in &reports {
+            assert!(rep.is_clean(), "serving-layer findings\n{}", rep.render());
+        }
+    }
+
+    #[test]
     fn coalescing_matches_uncoalesced_results() {
         let (dev, host) = setup(12_000);
         let table = GpuTweetTable::upload(&dev, &host);

@@ -178,12 +178,52 @@ impl Cursor {
     }
 }
 
-/// Parses one statement.
+/// A parsed top-level statement: a query, or a query wrapped in one of
+/// the `EXPLAIN` modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A plain `SELECT …` — execute it.
+    Select(Query),
+    /// `EXPLAIN SELECT …` — price the strategies with the catalog
+    /// statistics and cost models (see [`crate::explain`]); nothing runs.
+    Explain(Query),
+    /// `EXPLAIN SANITIZE SELECT …` — actually run the query with the
+    /// device sanitizer enabled and report every kernel launch's
+    /// racecheck/memcheck/initcheck/perf findings (see
+    /// [`explain_sanitize`]). Modeled on `EXPLAIN ANALYZE`: the query
+    /// executes for real.
+    ExplainSanitize(Query),
+}
+
+/// Parses one top-level statement, including the `EXPLAIN` and
+/// `EXPLAIN SANITIZE` prefixes.
+pub fn parse_statement(sql: &str) -> Result<Statement, SqlError> {
+    let mut c = Cursor {
+        toks: tokenize(sql)?,
+        pos: 0,
+    };
+    if c.eat("explain") {
+        if c.eat("sanitize") {
+            Ok(Statement::ExplainSanitize(parse_query(&mut c)?))
+        } else {
+            Ok(Statement::Explain(parse_query(&mut c)?))
+        }
+    } else {
+        Ok(Statement::Select(parse_query(&mut c)?))
+    }
+}
+
+/// Parses one `SELECT` statement.
 pub fn parse(sql: &str) -> Result<Query, SqlError> {
     let mut c = Cursor {
         toks: tokenize(sql)?,
         pos: 0,
     };
+    parse_query(&mut c)
+}
+
+/// Parses a `SELECT …` from the cursor position to the end.
+fn parse_query(c: &mut Cursor) -> Result<Query, SqlError> {
     c.expect("select")?;
 
     // select list: `id` or `uid , count ( * )`
@@ -384,6 +424,91 @@ pub fn execute(
     }
 }
 
+/// The output of `EXPLAIN SANITIZE`: the query's real result plus one
+/// [`simt::SanitizerReport`] per kernel launch it performed.
+#[derive(Debug, Clone)]
+pub struct SanitizedQuery {
+    /// The executed query's result (the query really runs, like
+    /// `EXPLAIN ANALYZE`).
+    pub result: QueryResult,
+    /// Sanitizer reports for every launch, in launch order.
+    pub reports: Vec<simt::SanitizerReport>,
+}
+
+impl SanitizedQuery {
+    /// True when no launch produced any finding.
+    pub fn is_clean(&self) -> bool {
+        self.reports.iter().all(|r| r.is_clean())
+    }
+
+    /// Total error-severity findings across all launches.
+    pub fn error_count(&self) -> usize {
+        self.reports.iter().map(|r| r.error_count()).sum()
+    }
+
+    /// Renders an `EXPLAIN SANITIZE` summary: one line per clean launch,
+    /// the full sanitizer report for any launch with findings.
+    pub fn render(&self) -> String {
+        let warnings: usize = self.reports.iter().map(|r| r.warning_count()).sum();
+        let mut s = format!(
+            "EXPLAIN SANITIZE: {} launch(es), {} error(s), {} warning(s)\n",
+            self.reports.len(),
+            self.error_count(),
+            warnings
+        );
+        for rep in &self.reports {
+            if rep.is_clean() {
+                s.push_str(&format!(
+                    "  `{}` (grid {} x block {}): clean\n",
+                    rep.kernel, rep.grid_dim, rep.block_dim
+                ));
+            } else {
+                for line in rep.render().lines() {
+                    s.push_str("  ");
+                    s.push_str(line);
+                    s.push('\n');
+                }
+            }
+        }
+        s
+    }
+
+    /// The launches' findings as a JSON array (the same schema as
+    /// [`simt::sanitize::reports_to_json`]).
+    pub fn to_json(&self) -> String {
+        simt::sanitize::reports_to_json(&self.reports)
+    }
+}
+
+/// Executes `q` with the device sanitizer enabled for the duration and
+/// returns the result together with per-launch sanitizer reports — the
+/// engine's `EXPLAIN SANITIZE` mode.
+///
+/// The device's prior sanitizer enable/disable state is restored
+/// afterwards. The returned reports also stay in the device's own report
+/// log (`Device::sanitizer_reports`), which is left otherwise untouched.
+pub fn explain_sanitize(
+    dev: &Device,
+    table: &GpuTweetTable,
+    q: &Query,
+    strategy: Strategy,
+) -> Result<SanitizedQuery, SqlError> {
+    let was_enabled = dev.sanitizer_enabled();
+    if !was_enabled {
+        dev.enable_sanitizer();
+    }
+    let before = dev.sanitizer_reports().len();
+    let result = execute(dev, table, q, strategy);
+    let reports = dev.sanitizer_reports().split_off(before);
+    if !was_enabled {
+        dev.disable_sanitizer();
+    }
+    Ok(SanitizedQuery {
+        result: result?,
+        reports,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -548,6 +673,76 @@ mod tests {
             Strategy::CombinedBitonic,
         );
         assert_eq!(via_sql.ids, direct.ids);
+    }
+
+    #[test]
+    fn parses_explain_and_explain_sanitize_prefixes() {
+        let sql = "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5";
+        assert!(matches!(
+            parse_statement(sql).unwrap(),
+            Statement::Select(_)
+        ));
+        match parse_statement(&format!("EXPLAIN {sql}")).unwrap() {
+            Statement::Explain(q) => assert_eq!(q.limit, 5),
+            other => panic!("expected Explain, got {other:?}"),
+        }
+        match parse_statement(&format!("explain sanitize {sql}")).unwrap() {
+            Statement::ExplainSanitize(q) => assert_eq!(q.limit, 5),
+            other => panic!("expected ExplainSanitize, got {other:?}"),
+        }
+        // the query inside the prefix is still fully validated
+        assert!(parse_statement(
+            "EXPLAIN SANITIZE SELECT id FROM nope ORDER BY retweet_count DESC LIMIT 5"
+        )
+        .is_err());
+        assert!(parse_statement("EXPLAIN").is_err());
+    }
+
+    #[test]
+    fn sanitizer_explain_sanitize_runs_clean_on_paper_queries() {
+        let host = TweetTable::generate(20_000, 127);
+        let dev = Device::titan_x();
+        let table = GpuTweetTable::upload(&dev, &host);
+        let cutoff = host.time_cutoff_for_selectivity(0.5);
+        let sqls = [
+            format!("EXPLAIN SANITIZE SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT 50"),
+            "EXPLAIN SANITIZE SELECT id FROM tweets ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT 20".into(),
+            "EXPLAIN SANITIZE SELECT uid, COUNT(*) FROM tweets GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 50".into(),
+        ];
+        for sql in &sqls {
+            let q = match parse_statement(sql).unwrap() {
+                Statement::ExplainSanitize(q) => q,
+                other => panic!("{sql}: parsed as {other:?}"),
+            };
+            for strat in Strategy::all() {
+                let out = explain_sanitize(&dev, &table, &q, strat).unwrap();
+                assert!(!out.result.ids.is_empty(), "{sql} via {}", strat.name());
+                assert!(!out.reports.is_empty(), "{sql}: no launches sanitized");
+                assert!(
+                    out.is_clean(),
+                    "{sql} via {}:\n{}",
+                    strat.name(),
+                    out.render()
+                );
+                assert!(out.render().contains("clean"));
+            }
+        }
+        // the temporary enable did not stick
+        assert!(!dev.sanitizer_enabled());
+    }
+
+    #[test]
+    fn sanitizer_explain_sanitize_restores_enabled_state() {
+        let host = TweetTable::generate(2_000, 128);
+        let dev = Device::titan_x();
+        let table = GpuTweetTable::upload(&dev, &host);
+        dev.enable_sanitizer();
+        let q = parse("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5").unwrap();
+        let out = explain_sanitize(&dev, &table, &q, Strategy::StageBitonic).unwrap();
+        assert!(dev.sanitizer_enabled(), "caller's enable must survive");
+        // the device log retains the same launches the statement reported
+        assert!(dev.sanitizer_reports().len() >= out.reports.len());
+        assert!(out.to_json().starts_with('['));
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //! warp-lockstep replay that computes coalescing and bank conflicts.
 
 use std::any::Any;
+use std::cell::RefCell;
 use std::marker::PhantomData;
+use std::rc::Rc;
 
 use crate::buffer::{DeviceCopy, GpuBuffer};
+use crate::sanitize::LaunchSanitizer;
 use crate::spec::DeviceSpec;
 use crate::stats::KernelStats;
 
@@ -61,6 +64,8 @@ pub struct BlockCtx {
     shared_words_used: u32,
     events: Vec<Vec<Ev>>,
     stats: KernelStats,
+    /// Per-launch sanitizer, attached by `Device::launch` when enabled.
+    san: Option<Rc<RefCell<LaunchSanitizer>>>,
     // replay scratch
     scratch_words: Vec<u32>,
     scratch_addrs: Vec<u64>,
@@ -82,9 +87,15 @@ impl BlockCtx {
             shared_words_used: 0,
             events: (0..block_dim).map(|_| Vec::new()).collect(),
             stats: KernelStats::default(),
+            san: None,
             scratch_words: Vec::new(),
             scratch_addrs: Vec::new(),
         }
+    }
+
+    /// Attaches the launch's sanitizer (see [`crate::sanitize`]).
+    pub(crate) fn set_sanitizer(&mut self, san: Rc<RefCell<LaunchSanitizer>>) {
+        self.san = Some(san);
     }
 
     /// Threads in this block.
@@ -122,6 +133,10 @@ impl BlockCtx {
         self.shared.push(SharedArray {
             data: Box::new(vec![T::default(); len]),
         });
+        if let Some(san) = &self.san {
+            san.borrow_mut()
+                .on_alloc_shared(base_word, words, len, std::any::type_name::<T>());
+        }
         SharedHandle {
             id: self.shared.len() - 1,
             len,
@@ -141,6 +156,10 @@ impl BlockCtx {
         for evs in &mut self.events {
             evs.clear();
         }
+        let step_idx = self.stats.steps as usize;
+        if let Some(san) = &self.san {
+            san.borrow_mut().begin_step(step_idx);
+        }
         let mut ops_acc: u64 = 0;
         for tid in 0..self.block_dim {
             let mut lane = Lane {
@@ -148,11 +167,16 @@ impl BlockCtx {
                 block_idx: self.block_idx,
                 block_dim: self.block_dim,
                 grid_dim: self.grid_dim,
+                step: step_idx,
                 shared: &mut self.shared,
                 events: &mut self.events[tid],
                 ops_acc: &mut ops_acc,
+                san: self.san.as_ref(),
             };
             f(&mut lane);
+        }
+        if let Some(san) = &self.san {
+            san.borrow_mut().end_step(&self.spec);
         }
         self.stats.compute_ops += ops_acc;
         self.stats.steps += 1;
@@ -314,9 +338,11 @@ pub struct Lane<'a> {
     block_idx: usize,
     block_dim: usize,
     grid_dim: usize,
+    step: usize,
     shared: &'a mut Vec<SharedArray>,
     events: &'a mut Vec<Ev>,
     ops_acc: &'a mut u64,
+    san: Option<&'a Rc<RefCell<LaunchSanitizer>>>,
 }
 
 impl<'a> Lane<'a> {
@@ -345,11 +371,77 @@ impl<'a> Lane<'a> {
         self.grid_dim * self.block_dim
     }
 
+    /// Handles an out-of-bounds shared access: a memcheck finding when a
+    /// sanitizer is attached (the access is skipped), a structured panic
+    /// otherwise. Always on — release builds no longer skip the check.
+    ///
+    /// Returns `true` when the caller must skip the access.
+    fn shared_oob(&self, base_word: u32, len: usize, idx: usize, write: bool) -> bool {
+        if let Some(san) = self.san {
+            let mut s = san.borrow_mut();
+            if s.memcheck_enabled() {
+                s.record_shared_oob(self.tid, base_word, len, idx, write);
+                return true;
+            }
+        }
+        panic!(
+            "memcheck: shared {} out of bounds: index {idx} >= len {len} \
+             (block {}, step {}, lane {})",
+            if write { "write" } else { "read" },
+            self.block_idx,
+            self.step,
+            self.tid
+        );
+    }
+
+    /// Global-memory analog of [`Lane::shared_oob`].
+    fn global_oob<T: DeviceCopy>(&self, buf: &GpuBuffer<T>, idx: usize, write: bool) -> bool {
+        if let Some(san) = self.san {
+            let mut s = san.borrow_mut();
+            if s.memcheck_enabled() {
+                s.record_global_oob(
+                    self.tid,
+                    buf.inner.base_addr,
+                    buf.len(),
+                    idx,
+                    write,
+                    buf.describe(),
+                );
+                return true;
+            }
+        }
+        panic!(
+            "memcheck: global {} out of bounds: index {idx} >= len {} on {} \
+             (block {}, step {}, lane {})",
+            if write { "write" } else { "read" },
+            buf.len(),
+            buf.describe(),
+            self.block_idx,
+            self.step,
+            self.tid
+        );
+    }
+
     /// Tracked global read.
     pub fn gread<T: DeviceCopy>(&mut self, buf: &GpuBuffer<T>, idx: usize) -> T {
         let bytes = std::mem::size_of::<T>() as u32;
+        if idx >= buf.len() {
+            self.global_oob(buf, idx, false);
+            return T::default();
+        }
+        let addr = buf.inner.base_addr + (idx as u64) * bytes as u64;
+        if let Some(san) = self.san {
+            san.borrow_mut().global_access(
+                self.tid,
+                addr,
+                bytes,
+                false,
+                self.events.len() as u32,
+                &|| buf.describe(),
+            );
+        }
         self.events.push(Ev::Global {
-            addr: buf.inner.base_addr + (idx as u64) * bytes as u64,
+            addr,
             bytes,
             write: false,
         });
@@ -359,8 +451,23 @@ impl<'a> Lane<'a> {
     /// Tracked global write.
     pub fn gwrite<T: DeviceCopy>(&mut self, buf: &GpuBuffer<T>, idx: usize, v: T) {
         let bytes = std::mem::size_of::<T>() as u32;
+        if idx >= buf.len() {
+            self.global_oob(buf, idx, true);
+            return;
+        }
+        let addr = buf.inner.base_addr + (idx as u64) * bytes as u64;
+        if let Some(san) = self.san {
+            san.borrow_mut().global_access(
+                self.tid,
+                addr,
+                bytes,
+                true,
+                self.events.len() as u32,
+                &|| buf.describe(),
+            );
+        }
         self.events.push(Ev::Global {
-            addr: buf.inner.base_addr + (idx as u64) * bytes as u64,
+            addr,
             bytes,
             write: true,
         });
@@ -369,10 +476,24 @@ impl<'a> Lane<'a> {
 
     /// Tracked shared read.
     pub fn sread<T: DeviceCopy>(&mut self, h: SharedHandle<T>, idx: usize) -> T {
-        debug_assert!(idx < h.len, "shared read OOB: {idx} >= {}", h.len);
         let wpe = BlockCtx::words_per_elem::<T>() as u32;
+        if idx >= h.len {
+            self.shared_oob(h.base_word, h.len, idx, false);
+            return T::default();
+        }
+        let word = h.base_word + idx as u32 * wpe;
+        if let Some(san) = self.san {
+            san.borrow_mut().shared_access(
+                self.tid,
+                word,
+                wpe,
+                false,
+                self.events.len() as u32,
+                true,
+            );
+        }
         self.events.push(Ev::Shared {
-            word: h.base_word + idx as u32 * wpe,
+            word,
             words: wpe,
             write: false,
         });
@@ -384,10 +505,24 @@ impl<'a> Lane<'a> {
 
     /// Tracked shared write.
     pub fn swrite<T: DeviceCopy>(&mut self, h: SharedHandle<T>, idx: usize, v: T) {
-        debug_assert!(idx < h.len, "shared write OOB: {idx} >= {}", h.len);
         let wpe = BlockCtx::words_per_elem::<T>() as u32;
+        if idx >= h.len {
+            self.shared_oob(h.base_word, h.len, idx, true);
+            return;
+        }
+        let word = h.base_word + idx as u32 * wpe;
+        if let Some(san) = self.san {
+            san.borrow_mut().shared_access(
+                self.tid,
+                word,
+                wpe,
+                true,
+                self.events.len() as u32,
+                true,
+            );
+        }
         self.events.push(Ev::Shared {
-            word: h.base_word + idx as u32 * wpe,
+            word,
             words: wpe,
             write: true,
         });
@@ -399,8 +534,25 @@ impl<'a> Lane<'a> {
 
     /// Untracked shared read — for accesses whose traffic the kernel
     /// accounts in bulk (e.g. the per-thread heap, where warp-divergence
-    /// costing is done analytically).
+    /// costing is done analytically). Bounds-checked and visible to the
+    /// sanitizer's racecheck/initcheck (but not the perf lints, which
+    /// model only tracked traffic).
     pub fn sread_untracked<T: DeviceCopy>(&self, h: SharedHandle<T>, idx: usize) -> T {
+        if idx >= h.len {
+            self.shared_oob(h.base_word, h.len, idx, false);
+            return T::default();
+        }
+        if let Some(san) = self.san {
+            let wpe = BlockCtx::words_per_elem::<T>() as u32;
+            san.borrow_mut().shared_access(
+                self.tid,
+                h.base_word + idx as u32 * wpe,
+                wpe,
+                false,
+                0,
+                false,
+            );
+        }
         self.shared[h.id]
             .data
             .downcast_ref::<Vec<T>>()
@@ -409,6 +561,21 @@ impl<'a> Lane<'a> {
 
     /// Untracked shared write (see [`Lane::sread_untracked`]).
     pub fn swrite_untracked<T: DeviceCopy>(&mut self, h: SharedHandle<T>, idx: usize, v: T) {
+        if idx >= h.len {
+            self.shared_oob(h.base_word, h.len, idx, true);
+            return;
+        }
+        if let Some(san) = self.san {
+            let wpe = BlockCtx::words_per_elem::<T>() as u32;
+            san.borrow_mut().shared_access(
+                self.tid,
+                h.base_word + idx as u32 * wpe,
+                wpe,
+                true,
+                0,
+                false,
+            );
+        }
         self.shared[h.id]
             .data
             .downcast_mut::<Vec<T>>()

@@ -102,6 +102,17 @@ impl<T: DeviceCopy> GpuBuffer<T> {
         self.inner.base_addr
     }
 
+    /// One-line allocation description used by sanitizer diagnostics to
+    /// attribute global-memory findings (element type, length, address).
+    pub fn describe(&self) -> String {
+        format!(
+            "GpuBuffer<{}> len={} base=0x{:x}",
+            std::any::type_name::<T>(),
+            self.len(),
+            self.inner.base_addr
+        )
+    }
+
     /// Size of one element in bytes.
     pub fn elem_bytes(&self) -> usize {
         std::mem::size_of::<T>()

@@ -7,6 +7,7 @@ use std::rc::Rc;
 use crate::block::BlockCtx;
 use crate::buffer::{DeviceCopy, GpuBuffer};
 use crate::occupancy::Occupancy;
+use crate::sanitize::{LaunchSanitizer, SanitizeConfig, SanitizerReport};
 use crate::spec::DeviceSpec;
 use crate::stats::{KernelStats, SimTime};
 use crate::stream::{self, Stream, StreamId, StreamSchedule, WaitEdge};
@@ -35,6 +36,16 @@ pub trait Kernel {
     /// Declared registers per thread (drives occupancy).
     fn regs_per_thread(&self) -> usize {
         32
+    }
+
+    /// Justification for a launch configuration whose occupancy the
+    /// sanitizer's perf lint would otherwise flag (see
+    /// [`crate::sanitize`]). Kernels whose low occupancy is inherent to
+    /// the algorithm — the paper's per-thread top-k trades resident warps
+    /// for shared-memory heap capacity (Section 4.1) — return a reason;
+    /// the lint is then recorded as waived instead of as a finding.
+    fn low_occupancy_waiver(&self) -> Option<&'static str> {
+        None
     }
 
     /// Executes one block.
@@ -155,6 +166,10 @@ pub(crate) struct DeviceInner {
     pub(crate) next_stream: Cell<usize>,
     /// Cross-stream ordering constraints recorded by events.
     pub(crate) waits: RefCell<Vec<WaitEdge>>,
+    /// When set, every launch runs under the sanitizer with this config.
+    sanitize: RefCell<Option<SanitizeConfig>>,
+    /// One report per sanitized launch, in launch order.
+    san_reports: RefCell<Vec<SanitizerReport>>,
 }
 
 impl DeviceInner {
@@ -181,6 +196,17 @@ impl DeviceInner {
     pub(crate) fn log_len(&self) -> usize {
         self.log.borrow().len()
     }
+
+    /// Sanitizer reports for launches stamped with `stream` (the hook
+    /// `Stream::sanitizer_reports` uses).
+    pub(crate) fn stream_san_reports(&self, stream: usize) -> Vec<SanitizerReport> {
+        self.san_reports
+            .borrow()
+            .iter()
+            .filter(|r| r.stream == stream)
+            .cloned()
+            .collect()
+    }
 }
 
 /// The simulated GPU.
@@ -204,6 +230,8 @@ impl Device {
                 cur_stream: Cell::new(0),
                 next_stream: Cell::new(1),
                 waits: RefCell::new(Vec::new()),
+                sanitize: RefCell::new(None),
+                san_reports: RefCell::new(Vec::new()),
             }),
         }
     }
@@ -311,17 +339,98 @@ impl Device {
             });
         }
 
+        let san = self
+            .inner
+            .sanitize
+            .borrow()
+            .clone()
+            .map(|cfg| Rc::new(RefCell::new(LaunchSanitizer::new(cfg, kernel.name()))));
+
         let mut stats = KernelStats::default();
         for b in 0..grid_dim {
             let mut ctx = BlockCtx::new(spec, b, grid_dim, block_dim);
+            if let Some(s) = &san {
+                s.borrow_mut().begin_block(b);
+                ctx.set_sanitizer(Rc::clone(s));
+            }
             kernel.run_block(&mut ctx);
             stats.merge(&ctx.take_stats());
         }
 
         let occupancy = Occupancy::compute(&spec, block_dim, shared, kernel.regs_per_thread());
+        if let Some(s) = san {
+            let mut s = Rc::try_unwrap(s)
+                .ok()
+                .expect("block contexts dropped; sanitizer uniquely owned")
+                .into_inner();
+            s.check_occupancy(&occupancy, kernel.low_occupancy_waiver());
+            let srep = s.finalize(grid_dim, block_dim, self.inner.cur_stream.get());
+            self.inner.san_reports.borrow_mut().push(srep);
+        }
         let report = self.report_from_stats(kernel.name(), grid_dim, block_dim, stats, occupancy);
         self.inner.log.borrow_mut().push(report.clone());
         Ok(report)
+    }
+
+    /// Enables the sanitizer (default [`SanitizeConfig`]) for every
+    /// subsequent launch on this device — including launches issued
+    /// inside [`Device::stream_scope`], so batched/streamed serving
+    /// traffic is covered. Each launch appends a [`SanitizerReport`]
+    /// (see [`Device::sanitizer_reports`]).
+    pub fn enable_sanitizer(&self) {
+        self.enable_sanitizer_with(SanitizeConfig::default());
+    }
+
+    /// Enables the sanitizer with an explicit config.
+    pub fn enable_sanitizer_with(&self, cfg: SanitizeConfig) {
+        *self.inner.sanitize.borrow_mut() = Some(cfg);
+    }
+
+    /// Disables the sanitizer for subsequent launches. Collected reports
+    /// are kept.
+    pub fn disable_sanitizer(&self) {
+        *self.inner.sanitize.borrow_mut() = None;
+    }
+
+    /// True when launches currently run under the sanitizer.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.inner.sanitize.borrow().is_some()
+    }
+
+    /// Runs one launch under the sanitizer (default config unless the
+    /// device sanitizer is already enabled) and returns its report
+    /// alongside the launch report — the per-launch enablement path.
+    pub fn launch_sanitized<K: Kernel>(
+        &self,
+        kernel: &K,
+    ) -> Result<(LaunchReport, SanitizerReport), LaunchError> {
+        let was_enabled = self.sanitizer_enabled();
+        if !was_enabled {
+            self.enable_sanitizer();
+        }
+        let result = self.launch(kernel);
+        if !was_enabled {
+            self.disable_sanitizer();
+        }
+        let report = result?;
+        let srep = self
+            .inner
+            .san_reports
+            .borrow()
+            .last()
+            .cloned()
+            .expect("sanitized launch must produce a report");
+        Ok((report, srep))
+    }
+
+    /// Snapshot of all sanitizer reports collected so far.
+    pub fn sanitizer_reports(&self) -> Vec<SanitizerReport> {
+        self.inner.san_reports.borrow().clone()
+    }
+
+    /// Drains the collected sanitizer reports.
+    pub fn take_sanitizer_reports(&self) -> Vec<SanitizerReport> {
+        std::mem::take(&mut *self.inner.san_reports.borrow_mut())
     }
 
     fn report_from_stats(

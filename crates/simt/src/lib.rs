@@ -40,6 +40,7 @@ pub mod block;
 pub mod buffer;
 pub mod device;
 pub mod occupancy;
+pub mod sanitize;
 pub mod spec;
 pub mod stats;
 pub mod stream;
@@ -49,6 +50,7 @@ pub use block::{BlockCtx, Lane, SharedHandle};
 pub use buffer::{GpuBuffer, MappedBuffer};
 pub use device::{Device, Kernel, LaunchError, LaunchReport, OutOfMemory};
 pub use occupancy::Occupancy;
+pub use sanitize::{Finding, FindingKind, SanitizeConfig, SanitizerReport, Severity};
 pub use spec::DeviceSpec;
 pub use stats::{KernelStats, SimTime};
 pub use stream::{Event, ScheduledLaunch, Stream, StreamId, StreamSchedule};

@@ -26,6 +26,7 @@
 use std::rc::Rc;
 
 use crate::device::{DeviceInner, LaunchReport};
+use crate::sanitize::SanitizerReport;
 use crate::spec::DeviceSpec;
 use crate::stats::SimTime;
 
@@ -64,6 +65,15 @@ impl Stream {
             source_stream: self.id.0,
             upto_abs: self.dev.log_len(),
         }
+    }
+
+    /// Sanitizer reports for launches issued on this stream, in launch
+    /// order. Empty unless the device sanitizer was enabled while the
+    /// launches ran (see [`crate::Device::enable_sanitizer`]) — this is
+    /// how serving-layer code audits the launches a particular query's
+    /// stream produced.
+    pub fn sanitizer_reports(&self) -> Vec<SanitizerReport> {
+        self.dev.stream_san_reports(self.id.0)
     }
 
     /// Makes all *future* launches on this stream wait until the work

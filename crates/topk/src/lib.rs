@@ -139,40 +139,6 @@ impl TopKAlgorithm {
         }
     }
 
-    /// Runs the selected algorithm (largest-k, default stream).
-    ///
-    /// Thin shim over [`TopKRequest`], kept so pre-redesign callers
-    /// compile.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use TopKRequest::largest(k).with_alg(alg).run(dev, input)"
-    )]
-    pub fn run<T: TopKItem>(
-        &self,
-        dev: &Device,
-        input: &GpuBuffer<T>,
-        k: usize,
-    ) -> Result<TopKResult<T>, TopKError> {
-        TopKRequest::largest(k).with_alg(*self).run(dev, input)
-    }
-
-    /// Runs the algorithm in smallest-k mode (`ORDER BY … ASC LIMIT k`).
-    ///
-    /// Thin shim over [`TopKRequest`], kept so pre-redesign callers
-    /// compile.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use TopKRequest::smallest(k).with_alg(alg).run(dev, input)"
-    )]
-    pub fn run_smallest<T: TopKItem>(
-        &self,
-        dev: &Device,
-        input: &GpuBuffer<T>,
-        k: usize,
-    ) -> Result<TopKResult<T>, TopKError> {
-        TopKRequest::smallest(k).with_alg(*self).run(dev, input)
-    }
-
     /// All six algorithms at their default configurations.
     ///
     /// This is the Figure 11 line-up plus [`PerThreadRegisters`]
@@ -432,25 +398,5 @@ mod tests {
             .unwrap();
         assert!(r.reports.iter().all(|rep| rep.stream == st.id().0));
         assert_eq!(dev.stream_log(st.id()).len(), r.reports.len());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let dev = Device::titan_x();
-        let data: Vec<f32> = Uniform.generate(512, 9);
-        let input = dev.upload(&data);
-        let a = TopKAlgorithm::Sort.run(&dev, &input, 5).unwrap();
-        let b = TopKRequest::largest(5)
-            .with_alg(TopKAlgorithm::Sort)
-            .run(&dev, &input)
-            .unwrap();
-        assert_eq!(a.items, b.items);
-        let s = TopKAlgorithm::Sort.run_smallest(&dev, &input, 5).unwrap();
-        let t = TopKRequest::smallest(5)
-            .with_alg(TopKAlgorithm::Sort)
-            .run(&dev, &input)
-            .unwrap();
-        assert_eq!(s.items, t.items);
     }
 }

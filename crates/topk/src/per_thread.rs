@@ -165,6 +165,15 @@ impl<T: TopKItem> Kernel for PerThreadKernel<T> {
         }
     }
 
+    fn low_occupancy_waiver(&self) -> Option<&'static str> {
+        // The shared-heap variant stages block_dim * k items per block, so
+        // occupancy collapsing as k grows is the algorithm's documented
+        // failure mode (Section 6.2 / Figure 11), not a launch-config bug.
+        // The register variant carries k items per thread instead — same
+        // story, through the register file.
+        Some("per-thread top-k keeps k items per thread resident; occupancy loss at large k is inherent (paper §6.2)")
+    }
+
     fn run_block(&self, blk: &mut BlockCtx) {
         let n = self.input.len();
         let nt = self.total_threads();

@@ -1,0 +1,101 @@
+//! Sanitizer sweep: runs every `TopKAlgorithm` variant (plus the batched
+//! row-wise kernel and a concurrent qdb serving drain) under
+//! `simt::sanitize` and writes the combined per-launch reports as JSON —
+//! the artifact the CI sanitizer job uploads.
+//!
+//! ```sh
+//! cargo run --release --example sanitize_sweep [-- out.json]
+//! ```
+//!
+//! Exits non-zero if any launch produces a finding.
+
+use gpu_topk::datagen::twitter::TweetTable;
+use gpu_topk::datagen::{BucketKiller, Distribution, Increasing, Uniform};
+use gpu_topk::qdb::{GpuTweetTable, Server, ServerConfig};
+use gpu_topk::simt::sanitize::reports_to_json;
+use gpu_topk::simt::{Device, SanitizerReport};
+use gpu_topk::topk::batched::batched_bitonic_topk;
+use gpu_topk::topk::{TopKAlgorithm, TopKRequest};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "sanitizer_report.json".to_string());
+    let mut all: Vec<SanitizerReport> = Vec::new();
+    let mut launches = 0usize;
+
+    // every algorithm x (n, k) x distribution
+    type Gen = Box<dyn Fn(usize) -> Vec<f32>>;
+    let dists: Vec<(&str, Gen)> = vec![
+        ("uniform", Box::new(|n| Uniform.generate(n, 42))),
+        ("sorted", Box::new(|n| Increasing.generate(n, 42))),
+        ("bucket-killer", Box::new(|n| BucketKiller.generate(n, 42))),
+    ];
+    for alg in TopKAlgorithm::all() {
+        for &(n, k) in &[(1usize << 14, 16usize), (1 << 16, 64), (3000, 8)] {
+            for (dist, gen) in &dists {
+                let dev = Device::titan_x();
+                dev.enable_sanitizer();
+                let input = dev.upload(&gen(n));
+                TopKRequest::largest(k)
+                    .with_alg(alg)
+                    .run(&dev, &input)
+                    .unwrap_or_else(|e| panic!("{} n={n} k={k} {dist}: {e}", alg.name()));
+                let reports = dev.take_sanitizer_reports();
+                launches += reports.len();
+                all.extend(reports);
+            }
+        }
+    }
+
+    // batched row-wise top-k
+    {
+        let dev = Device::titan_x();
+        dev.enable_sanitizer();
+        let (rows, cols) = (32usize, 1000usize);
+        let flat: Vec<f32> = Uniform.generate(rows * cols, 9);
+        let input = dev.upload(&flat);
+        batched_bitonic_topk(&dev, &input, rows, cols, 16).unwrap();
+        let reports = dev.take_sanitizer_reports();
+        launches += reports.len();
+        all.extend(reports);
+    }
+
+    // concurrent qdb serving: streamed + coalesced-batched launches
+    {
+        let dev = Device::titan_x();
+        dev.enable_sanitizer();
+        let host = TweetTable::generate(20_000, 5);
+        let table = GpuTweetTable::upload(&dev, &host);
+        let cutoff = host.time_cutoff_for_selectivity(0.4);
+        let mut server = Server::new(&dev, &table, ServerConfig::default());
+        for k in [5usize, 10, 20, 40] {
+            server
+                .submit(&format!(
+                    "SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT {k}"
+                ))
+                .unwrap();
+        }
+        server
+            .submit("SELECT uid, COUNT(*) FROM tweets GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 10")
+            .unwrap();
+        server.drain();
+        let reports = dev.take_sanitizer_reports();
+        launches += reports.len();
+        all.extend(reports);
+    }
+
+    let dirty: Vec<&SanitizerReport> = all.iter().filter(|r| !r.is_clean()).collect();
+    let json = reports_to_json(&all);
+    std::fs::write(&out_path, &json).expect("write report");
+    println!(
+        "sanitize_sweep: {launches} launches, {} with findings -> {out_path}",
+        dirty.len()
+    );
+    for rep in &dirty {
+        print!("{}", rep.render());
+    }
+    if !dirty.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,17 +1,20 @@
 //! A batch SQL "shell": parses and executes the paper's query shapes
 //! through the qdb SQL front-end, printing each plan (EXPLAIN) before
-//! running it with every strategy.
+//! running it with every strategy. `EXPLAIN SANITIZE SELECT …` runs the
+//! query under the simt sanitizer and prints per-launch
+//! racecheck/memcheck/initcheck/perf findings instead.
 //!
 //! ```sh
 //! cargo run --release --example sql_shell
 //! # or pass your own statement:
 //! cargo run --release --example sql_shell -- \
-//!   "SELECT id FROM tweets WHERE lang='ja' ORDER BY retweet_count DESC LIMIT 10"
+//!   "EXPLAIN SANITIZE SELECT id FROM tweets WHERE lang='ja' ORDER BY retweet_count DESC LIMIT 10"
 //! ```
 
 use gpu_topk::datagen::twitter::TweetTable;
 use gpu_topk::qdb::{
-    execute_sql, explain_filtered_topk, parse_sql, GpuTweetTable, Strategy, TableStats,
+    execute_sql, explain_filtered_topk, explain_sanitize, parse_statement, GpuTweetTable, Query,
+    Statement, Strategy, TableStats,
 };
 use gpu_topk::simt::Device;
 
@@ -30,6 +33,7 @@ fn main() {
         "SELECT id FROM tweets ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT 20".to_string(),
         "SELECT id FROM tweets WHERE lang='en' OR lang='es' ORDER BY retweet_count DESC LIMIT 25".to_string(),
         "SELECT uid, COUNT(*) AS num_tweets FROM tweets GROUP BY uid ORDER BY num_tweets DESC LIMIT 10".to_string(),
+        format!("EXPLAIN SANITIZE SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT 50"),
     ];
     let queries = if args.is_empty() {
         default_queries
@@ -39,29 +43,44 @@ fn main() {
 
     for sql in &queries {
         println!("sql> {sql}");
-        let q = match parse_sql(sql) {
-            Ok(q) => q,
+        let stmt = match parse_statement(sql) {
+            Ok(s) => s,
             Err(e) => {
                 println!("  parse error: {e}\n");
                 continue;
             }
         };
-        if let Some(op) = &q.filter {
-            let plan = explain_filtered_topk(dev.spec(), &table, &stats, op, q.limit);
-            print!("{}", plan.render());
-        }
-        for strat in Strategy::all() {
-            match execute_sql(&dev, &table, &q, strat) {
-                Ok(r) => println!(
-                    "  {:<18} {:>9.1} µs  -> {} rows, first id {}",
-                    strat.name(),
-                    r.kernel_time.micros(),
-                    r.ids.len(),
-                    r.ids.first().map_or("-".into(), |i| i.to_string())
-                ),
-                Err(e) => println!("  {:<18} {e}", strat.name()),
+        match stmt {
+            Statement::ExplainSanitize(q) => {
+                match explain_sanitize(&dev, &table, &q, Strategy::CombinedBitonic) {
+                    Ok(out) => print!("{}", out.render()),
+                    Err(e) => println!("  {e}"),
+                }
+            }
+            Statement::Explain(q) => print_plan(&dev, &table, &stats, &q),
+            Statement::Select(q) => {
+                print_plan(&dev, &table, &stats, &q);
+                for strat in Strategy::all() {
+                    match execute_sql(&dev, &table, &q, strat) {
+                        Ok(r) => println!(
+                            "  {:<18} {:>9.1} µs  -> {} rows, first id {}",
+                            strat.name(),
+                            r.kernel_time.micros(),
+                            r.ids.len(),
+                            r.ids.first().map_or("-".into(), |i| i.to_string())
+                        ),
+                        Err(e) => println!("  {:<18} {e}", strat.name()),
+                    }
+                }
             }
         }
         println!();
+    }
+}
+
+fn print_plan(dev: &Device, table: &GpuTweetTable, stats: &TableStats, q: &Query) {
+    if let Some(op) = &q.filter {
+        let plan = explain_filtered_topk(dev.spec(), table, stats, op, q.limit);
+        print!("{}", plan.render());
     }
 }
