@@ -1,0 +1,129 @@
+//! The perf regression gate binary: compares harness reports against the
+//! committed baseline and machine-checks the paper claims.
+//!
+//! ```text
+//! bench-diff [options] <BENCH_*.json>...
+//!   --baseline DIR    baseline directory (default: crates/bench/baseline)
+//!   --bless           overwrite the baseline with the given reports
+//!   --host-tol F      fractional wall-clock tolerance (default 4.0 = 5x)
+//!   --sim-eps F       relative epsilon for sim_* metrics (default 0: exact)
+//!   --skip-claims     skip the paper-claim checks
+//! ```
+//!
+//! Exit status is nonzero on any `FAIL` finding: a drifted deterministic
+//! metric, a wall-clock regression beyond tolerance, a cell that
+//! disappeared, a scale mismatch, or a violated paper claim. New cells
+//! absent from the baseline only warn. After an *intended* performance
+//! change, refresh the baseline with `--bless` and commit the JSON diff.
+
+use bench::diff::{diff_reports, DiffConfig};
+use bench::report::BenchReport;
+
+fn main() {
+    let mut baseline_dir =
+        std::path::PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/baseline"));
+    let mut bless = false;
+    let mut cfg = DiffConfig::default();
+    let mut inputs: Vec<std::path::PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline_dir = args.next().expect("--baseline needs a directory").into()
+            }
+            "--bless" => bless = true,
+            "--host-tol" => {
+                cfg.host_tol = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--host-tol needs a number")
+            }
+            "--sim-eps" => {
+                cfg.sim_rel_eps = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--sim-eps needs a number")
+            }
+            "--skip-claims" => cfg.check_claims = false,
+            other if other.starts_with("--") => panic!("unknown option '{other}'"),
+            path => inputs.push(path.into()),
+        }
+    }
+    if inputs.is_empty() {
+        eprintln!("usage: bench-diff [--baseline DIR] [--bless] [--host-tol F] [--sim-eps F] [--skip-claims] <BENCH_*.json>...");
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    for path in &inputs {
+        let name = path
+            .file_name()
+            .unwrap_or_else(|| panic!("{} has no file name", path.display()))
+            .to_owned();
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let current = match BenchReport::from_json(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("FAIL: {} is not a valid report: {e}", path.display());
+                failed = true;
+                continue;
+            }
+        };
+
+        if bless {
+            std::fs::create_dir_all(&baseline_dir).expect("create baseline dir");
+            let dst = baseline_dir.join(&name);
+            std::fs::write(&dst, &text).expect("write baseline");
+            println!(
+                "blessed {} -> {} ({} experiments, profile '{}')",
+                path.display(),
+                dst.display(),
+                current.experiments.len(),
+                current.scale.profile
+            );
+            continue;
+        }
+
+        let base_path = baseline_dir.join(&name);
+        let base_text = match std::fs::read_to_string(&base_path) {
+            Ok(t) => t,
+            Err(_) => {
+                eprintln!(
+                    "FAIL: no committed baseline at {} — create one with `bench-diff --bless {}`",
+                    base_path.display(),
+                    path.display()
+                );
+                failed = true;
+                continue;
+            }
+        };
+        let baseline = BenchReport::from_json(&base_text)
+            .unwrap_or_else(|e| panic!("baseline {} is invalid: {e}", base_path.display()));
+
+        println!(
+            "== {} vs baseline ({} @ 2^{}, {} experiments) ==",
+            name.to_string_lossy(),
+            baseline.scale.profile,
+            baseline.scale.log2n,
+            baseline.experiments.len()
+        );
+        let outcome = diff_reports(&baseline, &current, &cfg);
+        print!("{}", outcome.render());
+        let fails = outcome
+            .findings
+            .iter()
+            .filter(|f| f.severity == bench::diff::Severity::Fail)
+            .count();
+        let warns = outcome.findings.len() - fails;
+        println!("{fails} failure(s), {warns} warning(s)\n");
+        failed |= outcome.failed();
+    }
+
+    if failed {
+        eprintln!("bench-diff: regression gate FAILED");
+        std::process::exit(1);
+    }
+    println!("bench-diff: gate passed");
+}

@@ -1,0 +1,77 @@
+//! The unified benchmark harness binary: runs the top-k figure suite and
+//! the qdb serving suite, and writes machine-readable `BENCH_topk.json`
+//! and `BENCH_serve.json` reports (see `bench::report` for the schema).
+//!
+//! ```text
+//! harness [--out-dir DIR] [--only topk|serve]
+//! ```
+//!
+//! Scale comes from `TOPK_REPRO_LOG2N` like every experiment binary:
+//! unset runs the full profile (top-k at 2^22, serving at 2^17);
+//! `TOPK_REPRO_LOG2N=16` is the small profile the CI perf gate uses.
+//! Compare the written reports against the committed baseline with
+//! `bench-diff`.
+
+use bench::harness::{run_serve_suite, run_topk_suite, HarnessScales};
+
+fn main() {
+    let mut out_dir = std::path::PathBuf::from(".");
+    let mut only: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out-dir" => {
+                out_dir = args.next().expect("--out-dir needs a directory").into();
+            }
+            "--only" => {
+                let suite = args.next().expect("--only needs topk|serve");
+                assert!(
+                    suite == "topk" || suite == "serve",
+                    "--only accepts topk or serve, got '{suite}'"
+                );
+                only = Some(suite);
+            }
+            other => panic!(
+                "unknown argument '{other}' (usage: harness [--out-dir DIR] [--only topk|serve])"
+            ),
+        }
+    }
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let scales = HarnessScales::from_env();
+    println!(
+        "== bench harness: profile '{}' (topk n=2^{}, serve n=2^{}) ==",
+        scales.profile, scales.topk_log2n, scales.serve_log2n
+    );
+
+    let write = |name: &str, text: String, cells: usize| {
+        let path = out_dir.join(name);
+        std::fs::write(&path, text).expect("write report");
+        println!("wrote {} ({cells} experiments)", path.display());
+    };
+
+    if only.as_deref() != Some("serve") {
+        let wall = std::time::Instant::now();
+        let report = run_topk_suite(scales.topk_log2n, &scales.profile);
+        println!(
+            "topk suite: {} cells in {:.1}s host wall",
+            report.experiments.len(),
+            wall.elapsed().as_secs_f64()
+        );
+        write("BENCH_topk.json", report.render(), report.experiments.len());
+    }
+    if only.as_deref() != Some("topk") {
+        let wall = std::time::Instant::now();
+        let report = run_serve_suite(scales.serve_log2n, &scales.profile);
+        println!(
+            "serve suite: {} cells in {:.1}s host wall",
+            report.experiments.len(),
+            wall.elapsed().as_secs_f64()
+        );
+        write(
+            "BENCH_serve.json",
+            report.render(),
+            report.experiments.len(),
+        );
+    }
+}

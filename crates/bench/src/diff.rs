@@ -1,0 +1,350 @@
+//! The regression gate: compares a fresh [`BenchReport`] against a
+//! committed baseline and machine-checks the paper's headline claims.
+//!
+//! Two metric classes, two gates (see [`crate::report`] for the naming
+//! convention):
+//!
+//! * `sim_*` metrics are deterministic simulator quantities — gated with
+//!   an **exact match** (configurable epsilon, default 0). Any drift,
+//!   faster *or* slower, fails: an unexplained change in modeled time or
+//!   traffic means the code's machine behavior changed, and the baseline
+//!   must be refreshed deliberately (`bench-diff --bless`) with the
+//!   change reviewed in the JSON diff.
+//! * `host_*` metrics are wall-clock — gated with a percentage
+//!   tolerance in the *worse* direction only (`_ms` up is worse, `_qps`
+//!   down is worse), and skipped entirely below a noise floor where
+//!   micro-benchmark wall-clock is meaningless.
+//!
+//! Coverage is part of the contract: an experiment or metric present in
+//! the baseline but missing from the current report **fails** (a cell
+//! silently disappearing is how an algorithm that starts erroring would
+//! otherwise dodge the gate), while new cells absent from the baseline
+//! only **warn** until blessed.
+
+use crate::report::BenchReport;
+
+/// Gate configuration.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Fractional tolerance for `host_*` metrics: the current value may
+    /// be worse than baseline by up to this fraction (default 4.0, i.e.
+    /// up to 5× slower) before failing. Generous because CI machines and
+    /// dev machines differ; the precise gate is the `sim_*` class.
+    pub host_tol: f64,
+    /// Noise floor in milliseconds: `host_*_ms` cells whose *baseline*
+    /// value is below this are not gated (sub-floor wall-clock is
+    /// dominated by scheduler noise). `host_*_qps` metrics use the same
+    /// floor via their experiment's `host_wall_ms` sibling.
+    pub host_floor_ms: f64,
+    /// Relative epsilon for the `sim_*` exact gate (default 0: exact).
+    pub sim_rel_eps: f64,
+    /// Also machine-check the paper claims on the current report.
+    pub check_claims: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            host_tol: 4.0,
+            host_floor_ms: 25.0,
+            sim_rel_eps: 0.0,
+            check_claims: true,
+        }
+    }
+}
+
+/// Finding severity: `Fail` gates (nonzero exit), `Warn` only reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Informational — the gate still passes.
+    Warn,
+    /// A regression, claim violation, or comparison error.
+    Fail,
+}
+
+/// One gate finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Whether this finding fails the gate.
+    pub severity: Severity,
+    /// Human-readable description with the offending values.
+    pub message: String,
+}
+
+impl Finding {
+    fn fail(message: String) -> Self {
+        Finding {
+            severity: Severity::Fail,
+            message,
+        }
+    }
+    fn warn(message: String) -> Self {
+        Finding {
+            severity: Severity::Warn,
+            message,
+        }
+    }
+}
+
+/// The outcome of one baseline comparison.
+#[derive(Debug, Clone, Default)]
+pub struct DiffOutcome {
+    /// All findings, in comparison order.
+    pub findings: Vec<Finding>,
+}
+
+impl DiffOutcome {
+    /// True when any finding is a [`Severity::Fail`].
+    pub fn failed(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Fail)
+    }
+
+    /// Renders findings as one line each (`FAIL`/`warn` prefixed).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let tag = match f.severity {
+                Severity::Fail => "FAIL",
+                Severity::Warn => "warn",
+            };
+            out.push_str(&format!("{tag}: {}\n", f.message));
+        }
+        out
+    }
+}
+
+/// Whether a `host_*` metric regresses upward or downward.
+fn higher_is_better(metric: &str) -> bool {
+    metric.ends_with("_qps")
+}
+
+/// Compares `current` against `baseline` under `cfg`. Claim checks (if
+/// enabled) run on the current report.
+pub fn diff_reports(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    cfg: &DiffConfig,
+) -> DiffOutcome {
+    let mut out = DiffOutcome::default();
+
+    if baseline.kind != current.kind {
+        out.findings.push(Finding::fail(format!(
+            "report kind mismatch: baseline '{}' vs current '{}'",
+            baseline.kind, current.kind
+        )));
+        return out;
+    }
+    if baseline.scale.log2n != current.scale.log2n
+        || baseline.scale.profile != current.scale.profile
+    {
+        out.findings.push(Finding::fail(format!(
+            "scale mismatch: baseline {}@2^{} vs current {}@2^{} — \
+             rerun the harness at the baseline's scale or re-bless",
+            baseline.scale.profile,
+            baseline.scale.log2n,
+            current.scale.profile,
+            current.scale.log2n
+        )));
+        return out;
+    }
+
+    for bexp in &baseline.experiments {
+        let Some(cexp) = current.experiment(&bexp.id) else {
+            out.findings.push(Finding::fail(format!(
+                "experiment '{}' is in the baseline but missing from the current report \
+                 (did a cell start failing?)",
+                bexp.id
+            )));
+            continue;
+        };
+        for (name, &bval) in &bexp.metrics {
+            let Some(&cval) = cexp.metrics.get(name) else {
+                out.findings.push(Finding::fail(format!(
+                    "metric '{}/{name}' is in the baseline but missing from the current report",
+                    bexp.id
+                )));
+                continue;
+            };
+            if name.starts_with("sim_") {
+                let diff = (cval - bval).abs();
+                if diff > cfg.sim_rel_eps * bval.abs() {
+                    let dir = if cval > bval { "+" } else { "-" };
+                    out.findings.push(Finding::fail(format!(
+                        "'{}/{name}' drifted: baseline {bval} -> current {cval} ({dir}{:.3}%) — \
+                         deterministic metrics gate exactly; refresh with `bench-diff --bless` \
+                         if the change is intended",
+                        bexp.id,
+                        100.0 * diff / bval.abs().max(f64::MIN_POSITIVE)
+                    )));
+                }
+            } else {
+                // host wall-clock: gate only the worse direction, above
+                // the noise floor
+                let floor_val = if name.ends_with("_ms") {
+                    bval
+                } else {
+                    bexp.metrics.get("host_wall_ms").copied().unwrap_or(0.0)
+                };
+                if floor_val < cfg.host_floor_ms {
+                    continue;
+                }
+                let worse_ratio = if higher_is_better(name) {
+                    if cval <= 0.0 {
+                        f64::INFINITY
+                    } else {
+                        bval / cval
+                    }
+                } else if bval <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    cval / bval
+                };
+                if worse_ratio > 1.0 + cfg.host_tol {
+                    out.findings.push(Finding::fail(format!(
+                        "'{}/{name}' regressed {worse_ratio:.2}x beyond the {:.0}% wall-clock \
+                         tolerance: baseline {bval:.3} -> current {cval:.3}",
+                        bexp.id,
+                        100.0 * cfg.host_tol
+                    )));
+                }
+            }
+        }
+        for name in cexp.metrics.keys() {
+            if !bexp.metrics.contains_key(name) {
+                out.findings.push(Finding::warn(format!(
+                    "metric '{}/{name}' is new (not in the baseline) — not gated until blessed",
+                    bexp.id
+                )));
+            }
+        }
+    }
+    for cexp in &current.experiments {
+        if baseline.experiment(&cexp.id).is_none() {
+            out.findings.push(Finding::warn(format!(
+                "experiment '{}' is new (not in the baseline) — not gated until blessed",
+                cexp.id
+            )));
+        }
+    }
+
+    if cfg.check_claims {
+        out.findings.extend(check_claims(current));
+    }
+    out
+}
+
+/// Machine-checks the paper's headline claims against one report.
+///
+/// Top-k reports (`kind == "topk"`):
+/// 1. **Bitonic beats full sort for every k ≤ 256** (§1/§6.2) on the
+///    uniform vary-k sweep.
+/// 2. **Bitonic is skew-immune** (§6.4): its modeled time is identical
+///    across all six distributions (no adversarial input exists — its
+///    compare-exchange schedule is data-independent).
+/// 3. **Per-thread top-k degrades gracefully under skew** (§6.3): sorted
+///    (increasing) input costs at most 4× its uniform-input time — it
+///    slows (every element passes the heap filter) but does not blow up.
+///
+/// Serving reports (`kind == "serve"`):
+/// 4. **Concurrent serving beats serial** at the highest offered load:
+///    streams + batch coalescing yield ≥ 1.5× over back-to-back kernels.
+///
+/// A claim whose cells are missing fails — an unverifiable claim is
+/// indistinguishable from a violated one at gate time.
+pub fn check_claims(report: &BenchReport) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let need = |id: &str, metric: &str, findings: &mut Vec<Finding>| -> Option<f64> {
+        let v = report.metric(id, metric);
+        if v.is_none() {
+            findings.push(Finding::fail(format!(
+                "claim check needs '{id}/{metric}' but the report has no such cell"
+            )));
+        }
+        v
+    };
+
+    match report.kind.as_str() {
+        "topk" => {
+            // 1. bitonic < sort for k ≤ 256
+            for k in crate::K_SWEEP.into_iter().filter(|&k| k <= 256) {
+                let b = need(
+                    &format!("vary_k/uniform/bitonic/k{k}"),
+                    "sim_time_ms",
+                    &mut findings,
+                );
+                let s = need(
+                    &format!("vary_k/uniform/sort/k{k}"),
+                    "sim_time_ms",
+                    &mut findings,
+                );
+                if let (Some(b), Some(s)) = (b, s) {
+                    if b >= s {
+                        findings.push(Finding::fail(format!(
+                            "claim violated: bitonic must beat full sort for k={k} \
+                             (bitonic {b:.4} ms vs sort {s:.4} ms)"
+                        )));
+                    }
+                }
+            }
+            // 2. bitonic skew-immune across the distribution sweep
+            let times: Vec<(String, f64)> = crate::harness::distributions()
+                .iter()
+                .filter_map(|(name, _)| {
+                    report
+                        .metric(&format!("dist/{name}/bitonic/k32"), "sim_time_ms")
+                        .map(|t| (name.to_string(), t))
+                })
+                .collect();
+            if times.len() < 2 {
+                findings.push(Finding::fail(
+                    "claim check needs bitonic cells across the distribution sweep".to_string(),
+                ));
+            } else {
+                let min = times.iter().map(|(_, t)| *t).fold(f64::MAX, f64::min);
+                let max = times.iter().map(|(_, t)| *t).fold(f64::MIN, f64::max);
+                if max / min > 1.0 + 1e-6 {
+                    findings.push(Finding::fail(format!(
+                        "claim violated: bitonic top-k must be skew-immune, but its time varies \
+                         {:.4}x across distributions ({times:?})",
+                        max / min
+                    )));
+                }
+            }
+            // 3. per-thread degrades gracefully on sorted input
+            let inc = need(
+                "dist/increasing/per-thread/k32",
+                "sim_time_ms",
+                &mut findings,
+            );
+            let uni = need("dist/uniform/per-thread/k32", "sim_time_ms", &mut findings);
+            if let (Some(inc), Some(uni)) = (inc, uni) {
+                let ratio = inc / uni;
+                if ratio > 4.0 {
+                    findings.push(Finding::fail(format!(
+                        "claim violated: per-thread top-k on sorted input must stay within 4x of \
+                         uniform (paper: up to ~3x), got {ratio:.2}x"
+                    )));
+                }
+            }
+        }
+        "serve" => {
+            let top_load = crate::harness::SERVE_LOADS[crate::harness::SERVE_LOADS.len() - 1];
+            if let Some(speedup) = need(
+                &format!("serve/load{top_load}"),
+                "sim_speedup",
+                &mut findings,
+            ) {
+                if speedup < 1.5 {
+                    findings.push(Finding::fail(format!(
+                        "claim violated: concurrent serving at {top_load} offered queries must \
+                         beat serial by >= 1.5x, got {speedup:.2}x"
+                    )));
+                }
+            }
+        }
+        other => findings.push(Finding::warn(format!(
+            "no claims defined for report kind '{other}'"
+        ))),
+    }
+    findings
+}

@@ -1,5 +1,15 @@
 //! Shared helpers for the experiment binaries (one binary per paper
-//! figure/table; see DESIGN.md's experiment index).
+//! figure/table; see DESIGN.md's experiment index), plus the
+//! perf-trajectory subsystem:
+//!
+//! * [`harness`] — drives the figure experiments and the qdb serving
+//!   workload, collecting simulator counters + host wall-clock into
+//!   versioned `BENCH_*.json` reports (the `harness` binary);
+//! * [`report`] — the machine-readable report schema;
+//! * [`diff`] — the regression gate comparing a report against the
+//!   committed baseline in `crates/bench/baseline/` and machine-checking
+//!   paper claims (the `bench-diff` binary);
+//! * [`json`] — the minimal JSON layer both sides share.
 //!
 //! Experiments print fixed-width tables of **simulated milliseconds**.
 //! Dataset size defaults to 2^22 (the paper uses 2^29) and is overridden
@@ -7,6 +17,11 @@
 //! extrapolating magnitudes to the paper's scale (bandwidth-bound kernels
 //! scale linearly in n; launch overheads do not, so the extrapolation
 //! slightly overestimates).
+
+pub mod diff;
+pub mod harness;
+pub mod json;
+pub mod report;
 
 use datagen::TopKItem;
 use simt::{Device, SimTime};

@@ -1,0 +1,361 @@
+//! Gate-behavior tests for `bench::diff` — the contract the CI
+//! `perf-gate` job relies on: exact gating of deterministic simulator
+//! metrics, tolerance/floor gating of wall-clock metrics, coverage rules
+//! (baseline-only cells fail, current-only cells warn), and the
+//! machine-checked paper claims.
+
+use std::collections::BTreeMap;
+
+use bench::diff::{check_claims, diff_reports, DiffConfig, Severity};
+use bench::report::{BenchReport, Experiment, Scale};
+
+fn exp(id: &str, metrics: &[(&str, f64)]) -> Experiment {
+    Experiment {
+        id: id.to_string(),
+        metrics: metrics
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect::<BTreeMap<_, _>>(),
+    }
+}
+
+fn report(kind: &str, experiments: Vec<Experiment>) -> BenchReport {
+    BenchReport {
+        kind: kind.to_string(),
+        commit: "test".to_string(),
+        scale: Scale::new(16),
+        experiments,
+    }
+}
+
+/// Diff config without claim checks, so synthetic two-cell reports don't
+/// trip the "claim cells missing" failures.
+fn cfg() -> DiffConfig {
+    DiffConfig {
+        check_claims: false,
+        ..DiffConfig::default()
+    }
+}
+
+fn fails(outcome: &bench::diff::DiffOutcome) -> Vec<&str> {
+    outcome
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Fail)
+        .map(|f| f.message.as_str())
+        .collect()
+}
+
+fn warns(outcome: &bench::diff::DiffOutcome) -> Vec<&str> {
+    outcome
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Warn)
+        .map(|f| f.message.as_str())
+        .collect()
+}
+
+#[test]
+fn identical_reports_pass_clean() {
+    let r = report(
+        "topk",
+        vec![exp(
+            "a/b",
+            &[("sim_time_ms", 0.125), ("host_wall_ms", 100.0)],
+        )],
+    );
+    let out = diff_reports(&r, &r.clone(), &cfg());
+    assert!(!out.failed(), "{}", out.render());
+    assert!(out.findings.is_empty());
+}
+
+#[test]
+fn injected_sim_regression_must_fail() {
+    let base = report("topk", vec![exp("a/b", &[("sim_time_ms", 0.125)])]);
+    // any drift in a deterministic metric fails, in either direction
+    for drifted in [0.1250001, 0.120] {
+        let cur = report("topk", vec![exp("a/b", &[("sim_time_ms", drifted)])]);
+        let out = diff_reports(&base, &cur, &cfg());
+        assert!(out.failed(), "sim drift {drifted} must fail");
+        assert!(fails(&out)[0].contains("bless"), "should hint at --bless");
+    }
+}
+
+#[test]
+fn sim_eps_tolerance_boundary() {
+    let base = report("topk", vec![exp("a/b", &[("sim_time_ms", 1.0)])]);
+    let cur = report("topk", vec![exp("a/b", &[("sim_time_ms", 1.001)])]);
+    let loose = DiffConfig {
+        sim_rel_eps: 1e-3,
+        ..cfg()
+    };
+    // exactly at the relative epsilon: passes (gate is strict-greater)
+    assert!(!diff_reports(&base, &cur, &loose).failed());
+    let tight = DiffConfig {
+        sim_rel_eps: 1e-4,
+        ..cfg()
+    };
+    assert!(diff_reports(&base, &cur, &tight).failed());
+}
+
+#[test]
+fn host_tolerance_boundary_cases() {
+    let base = report("topk", vec![exp("a/b", &[("host_wall_ms", 100.0)])]);
+    let c = DiffConfig {
+        host_tol: 1.0, // up to 2x slower allowed
+        ..cfg()
+    };
+    // exactly at the boundary (2x): passes
+    let cur = report("topk", vec![exp("a/b", &[("host_wall_ms", 200.0)])]);
+    assert!(!diff_reports(&base, &cur, &c).failed());
+    // just beyond: fails
+    let cur = report("topk", vec![exp("a/b", &[("host_wall_ms", 200.0001)])]);
+    let out = diff_reports(&base, &cur, &c);
+    assert!(out.failed());
+    assert!(fails(&out)[0].contains("wall-clock"));
+    // improvements never fail, however large
+    let cur = report("topk", vec![exp("a/b", &[("host_wall_ms", 1.0)])]);
+    assert!(!diff_reports(&base, &cur, &c).failed());
+}
+
+#[test]
+fn host_qps_regresses_downward() {
+    // throughput metrics gate in the opposite direction, using the
+    // experiment's host_wall_ms sibling for the noise floor
+    let base = report(
+        "serve",
+        vec![exp(
+            "serve/load64",
+            &[("host_qps", 1000.0), ("host_wall_ms", 500.0)],
+        )],
+    );
+    let c = DiffConfig {
+        host_tol: 1.0,
+        ..cfg()
+    };
+    let cur = report(
+        "serve",
+        vec![exp(
+            "serve/load64",
+            &[("host_qps", 499.0), ("host_wall_ms", 500.0)],
+        )],
+    );
+    assert!(diff_reports(&base, &cur, &c).failed());
+    // doubling throughput is fine
+    let cur = report(
+        "serve",
+        vec![exp(
+            "serve/load64",
+            &[("host_qps", 2000.0), ("host_wall_ms", 500.0)],
+        )],
+    );
+    assert!(!diff_reports(&base, &cur, &c).failed());
+}
+
+#[test]
+fn sub_floor_wall_clock_is_not_gated() {
+    // baseline wall-clock below the noise floor: even a huge relative
+    // regression is scheduler noise, not signal
+    let base = report("topk", vec![exp("a/b", &[("host_wall_ms", 0.05)])]);
+    let cur = report("topk", vec![exp("a/b", &[("host_wall_ms", 20.0)])]);
+    let out = diff_reports(&base, &cur, &cfg());
+    assert!(!out.failed(), "{}", out.render());
+}
+
+#[test]
+fn metric_missing_from_baseline_warns_not_fails() {
+    let base = report("topk", vec![exp("a/b", &[("sim_time_ms", 1.0)])]);
+    let cur = report(
+        "topk",
+        vec![exp(
+            "a/b",
+            &[("sim_time_ms", 1.0), ("sim_global_bytes", 42.0)],
+        )],
+    );
+    let out = diff_reports(&base, &cur, &cfg());
+    assert!(!out.failed(), "{}", out.render());
+    assert_eq!(warns(&out).len(), 1);
+    assert!(warns(&out)[0].contains("sim_global_bytes"));
+}
+
+#[test]
+fn new_benchmark_absent_from_baseline_warns_not_fails() {
+    let base = report("topk", vec![exp("a/b", &[("sim_time_ms", 1.0)])]);
+    let cur = report(
+        "topk",
+        vec![
+            exp("a/b", &[("sim_time_ms", 1.0)]),
+            exp("new/cell", &[("sim_time_ms", 9.0)]),
+        ],
+    );
+    let out = diff_reports(&base, &cur, &cfg());
+    assert!(!out.failed(), "{}", out.render());
+    assert_eq!(warns(&out).len(), 1);
+    assert!(warns(&out)[0].contains("new/cell"));
+}
+
+#[test]
+fn disappeared_experiment_or_metric_fails() {
+    let base = report(
+        "topk",
+        vec![
+            exp("a/b", &[("sim_time_ms", 1.0), ("sim_launches", 3.0)]),
+            exp("gone/cell", &[("sim_time_ms", 2.0)]),
+        ],
+    );
+    // whole experiment vanished
+    let cur = report(
+        "topk",
+        vec![exp("a/b", &[("sim_time_ms", 1.0), ("sim_launches", 3.0)])],
+    );
+    let out = diff_reports(&base, &cur, &cfg());
+    assert!(out.failed());
+    assert!(fails(&out)[0].contains("gone/cell"));
+    // one metric vanished
+    let cur = report(
+        "topk",
+        vec![
+            exp("a/b", &[("sim_time_ms", 1.0)]),
+            exp("gone/cell", &[("sim_time_ms", 2.0)]),
+        ],
+    );
+    let out = diff_reports(&base, &cur, &cfg());
+    assert!(out.failed());
+    assert!(fails(&out)[0].contains("sim_launches"));
+}
+
+#[test]
+fn scale_or_kind_mismatch_fails_before_comparing() {
+    let base = report("topk", vec![exp("a/b", &[("sim_time_ms", 1.0)])]);
+    let mut cur = base.clone();
+    cur.scale = Scale::new(22);
+    let out = diff_reports(&base, &cur, &cfg());
+    assert!(out.failed());
+    assert!(fails(&out)[0].contains("scale mismatch"));
+
+    let mut cur = base.clone();
+    cur.kind = "serve".to_string();
+    assert!(diff_reports(&base, &cur, &cfg()).failed());
+}
+
+/// A minimal claim-satisfying topk report: bitonic beats sort on every
+/// vary-k cell, bitonic time is flat across distributions, per-thread on
+/// sorted input stays within 4x of uniform.
+fn claim_clean_topk() -> BenchReport {
+    let mut exps = Vec::new();
+    for k in bench::K_SWEEP {
+        exps.push(exp(
+            &format!("vary_k/uniform/bitonic/k{k}"),
+            &[("sim_time_ms", 0.1)],
+        ));
+        exps.push(exp(
+            &format!("vary_k/uniform/sort/k{k}"),
+            &[("sim_time_ms", 1.1)],
+        ));
+    }
+    for (name, _) in bench::harness::distributions() {
+        exps.push(exp(
+            &format!("dist/{name}/bitonic/k32"),
+            &[("sim_time_ms", 0.125)],
+        ));
+    }
+    exps.push(exp("dist/uniform/per-thread/k32", &[("sim_time_ms", 0.2)]));
+    exps.push(exp(
+        "dist/increasing/per-thread/k32",
+        &[("sim_time_ms", 0.4)],
+    ));
+    report("topk", exps)
+}
+
+#[test]
+fn satisfied_claims_pass() {
+    let findings = check_claims(&claim_clean_topk());
+    assert!(
+        findings.iter().all(|f| f.severity != Severity::Fail),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn violated_bitonic_vs_sort_claim_fails() {
+    let mut r = claim_clean_topk();
+    // make sort "win" at k=128: the claim must fail
+    for e in &mut r.experiments {
+        if e.id == "vary_k/uniform/sort/k128" {
+            e.metrics.insert("sim_time_ms".to_string(), 0.05);
+        }
+    }
+    let findings = check_claims(&r);
+    assert!(findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("k=128")));
+}
+
+#[test]
+fn violated_skew_immunity_claim_fails() {
+    let mut r = claim_clean_topk();
+    for e in &mut r.experiments {
+        if e.id == "dist/bucket-killer/bitonic/k32" {
+            e.metrics.insert("sim_time_ms".to_string(), 0.5);
+        }
+    }
+    let findings = check_claims(&r);
+    assert!(findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("skew-immune")));
+}
+
+#[test]
+fn ungraceful_per_thread_skew_fails() {
+    let mut r = claim_clean_topk();
+    for e in &mut r.experiments {
+        if e.id == "dist/increasing/per-thread/k32" {
+            e.metrics.insert("sim_time_ms".to_string(), 2.0); // 10x uniform
+        }
+    }
+    let findings = check_claims(&r);
+    assert!(findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("per-thread")));
+}
+
+#[test]
+fn missing_claim_cells_fail_as_unverifiable() {
+    let r = report("topk", vec![exp("a/b", &[("sim_time_ms", 1.0)])]);
+    let findings = check_claims(&r);
+    assert!(findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("no such cell")));
+}
+
+#[test]
+fn serve_claim_gates_speedup_at_top_load() {
+    let good = report("serve", vec![exp("serve/load64", &[("sim_speedup", 3.4)])]);
+    assert!(check_claims(&good)
+        .iter()
+        .all(|f| f.severity != Severity::Fail));
+    let bad = report("serve", vec![exp("serve/load64", &[("sim_speedup", 1.1)])]);
+    assert!(check_claims(&bad)
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("1.10x")));
+}
+
+#[test]
+fn end_to_end_gate_on_real_harness_reports() {
+    // tiny-scale harness runs are deterministic: self-diff passes, and an
+    // injected regression in any sim metric fails
+    let base = bench::harness::run_topk_suite(10, "test");
+    let clean = diff_reports(&base, &bench::harness::run_topk_suite(10, "test"), &cfg());
+    assert!(!clean.failed(), "{}", clean.render());
+
+    let mut regressed = base.clone();
+    let cell = regressed
+        .experiments
+        .iter_mut()
+        .find(|e| e.id == "vary_k/uniform/bitonic/k32")
+        .expect("cell exists");
+    *cell.metrics.get_mut("sim_time_ms").unwrap() *= 1.5;
+    let out = diff_reports(&base, &regressed, &cfg());
+    assert!(out.failed());
+    assert!(fails(&out)[0].contains("vary_k/uniform/bitonic/k32"));
+}

@@ -114,6 +114,10 @@ pub struct LoadReport {
     pub p99: SimTime,
     /// The drain's launches placed on the shared device timeline.
     pub schedule: StreamSchedule,
+    /// Host wall-clock time the drain took — the simulator executes
+    /// kernels functionally on the host, so this measures harness cost,
+    /// not modeled device time (that is [`LoadReport::makespan`]).
+    pub host_wall: std::time::Duration,
     trace_json: String,
 }
 
@@ -127,6 +131,17 @@ impl LoadReport {
     /// Chrome `chrome://tracing` JSON of the drain, one track per stream.
     pub fn chrome_trace(&self) -> &str {
         &self.trace_json
+    }
+
+    /// Host-side throughput: queries divided by [`LoadReport::host_wall`]
+    /// (0 when the drain was too fast to measure).
+    pub fn host_queries_per_sec(&self) -> f64 {
+        let secs = self.host_wall.as_secs_f64();
+        if secs > 0.0 {
+            self.queries.len() as f64 / secs
+        } else {
+            0.0
+        }
     }
 }
 
@@ -268,6 +283,7 @@ impl<'a> Server<'a> {
     /// top-k launch per [`ServerConfig::max_batch`] chunk; everything
     /// else runs its normal pipeline on its round-robin stream.
     pub fn drain(&mut self) -> LoadReport {
+        let wall_start = std::time::Instant::now();
         let dev = self.dev;
         let window = dev.log_len();
         let pending = std::mem::take(&mut self.pending);
@@ -418,7 +434,9 @@ impl<'a> Server<'a> {
             }
         }
 
-        self.finish(window, executed)
+        let mut report = self.finish(window, executed);
+        report.host_wall = wall_start.elapsed();
+        report
     }
 
     /// Replays the drain's launches onto the shared timeline and builds
@@ -508,6 +526,7 @@ impl<'a> Server<'a> {
             queries_per_sec,
             queries,
             schedule,
+            host_wall: std::time::Duration::ZERO,
             trace_json,
         }
     }
@@ -608,6 +627,9 @@ mod tests {
         assert!(report.makespan.0 > 0.0);
         assert!(report.queries_per_sec > 0.0);
         assert!(report.p50.0 <= report.p95.0 && report.p95.0 <= report.p99.0);
+        // the drain ran on the host, so wall-clock capture must be live
+        assert!(report.host_wall > std::time::Duration::ZERO);
+        assert!(report.host_queries_per_sec() > 0.0);
     }
 
     #[test]

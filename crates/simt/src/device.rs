@@ -153,6 +153,44 @@ impl LaunchReport {
     }
 }
 
+/// Aggregate view over a window of launches — the per-run metric set the
+/// benchmark harness records (total modeled time, merged machine
+/// counters, and a time-weighted occupancy), retrievable from the plain
+/// launch log without enabling the sanitizer.
+#[derive(Debug, Clone, Default)]
+pub struct LaunchWindow {
+    /// Launches in the window.
+    pub launches: usize,
+    /// Total modeled time of the window's launches.
+    pub time: SimTime,
+    /// Machine counters merged across the window.
+    pub stats: KernelStats,
+    /// Occupancy averaged over launches, weighted by each launch's
+    /// modeled time (0 when the window is empty).
+    pub time_weighted_occupancy: f64,
+}
+
+impl LaunchWindow {
+    /// Aggregates a slice of launch reports — e.g. `TopKResult::reports`
+    /// or a `Device::log_since` window.
+    pub fn from_reports(reports: &[LaunchReport]) -> Self {
+        let mut w = LaunchWindow {
+            launches: reports.len(),
+            ..LaunchWindow::default()
+        };
+        let mut occ_time = 0.0;
+        for r in reports {
+            w.time += r.time;
+            w.stats.merge(&r.stats);
+            occ_time += r.occupancy.occupancy * r.time.seconds();
+        }
+        if w.time.seconds() > 0.0 {
+            w.time_weighted_occupancy = occ_time / w.time.seconds();
+        }
+        w
+    }
+}
+
 pub(crate) struct DeviceInner {
     spec: DeviceSpec,
     mem_allocated: Cell<usize>,
@@ -483,6 +521,13 @@ impl Device {
         self.inner.log.borrow()[start..].to_vec()
     }
 
+    /// Aggregated counters, modeled time and time-weighted occupancy for
+    /// the launches recorded after position `start` (see
+    /// [`LaunchWindow`]).
+    pub fn window_since(&self, start: usize) -> LaunchWindow {
+        LaunchWindow::from_reports(&self.inner.log.borrow()[start..])
+    }
+
     /// Clears the launch log (typically between measured runs). Also
     /// drops recorded cross-stream wait edges, which reference log
     /// positions.
@@ -764,6 +809,35 @@ mod tests {
         }
         let r = dev.launch(&Computey).unwrap();
         assert_eq!(r.bound_by(), "compute");
+    }
+
+    #[test]
+    fn launch_window_aggregates_counters_without_sanitizer() {
+        let dev = Device::titan_x();
+        let data = dev.upload(&(0..4096).map(|i| i as f32).collect::<Vec<_>>());
+        let start = dev.log_len();
+        for _ in 0..3 {
+            dev.launch(&DoubleKernel {
+                data: data.clone(),
+                grid: 4,
+                block: 128,
+            })
+            .unwrap();
+        }
+        assert!(!dev.sanitizer_enabled());
+        let w = dev.window_since(start);
+        assert_eq!(w.launches, 3);
+        assert_eq!(w.stats.global_read_bytes, 3 * 4096 * 4);
+        assert!((w.time.seconds() - dev.window_since(0).time.seconds()).abs() < 1e-15);
+        assert!(w.time_weighted_occupancy > 0.0 && w.time_weighted_occupancy <= 1.0);
+        // aggregating the same reports directly gives the same window
+        let w2 = LaunchWindow::from_reports(&dev.log_since(start));
+        assert_eq!(w2.launches, w.launches);
+        assert_eq!(w2.stats, w.stats);
+        // empty window: no launches, no time, occupancy 0
+        let e = dev.window_since(dev.log_len());
+        assert_eq!(e.launches, 0);
+        assert_eq!(e.time_weighted_occupancy, 0.0);
     }
 
     #[test]

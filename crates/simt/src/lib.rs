@@ -48,7 +48,7 @@ pub mod trace;
 
 pub use block::{BlockCtx, Lane, SharedHandle};
 pub use buffer::{GpuBuffer, MappedBuffer};
-pub use device::{Device, Kernel, LaunchError, LaunchReport, OutOfMemory};
+pub use device::{Device, Kernel, LaunchError, LaunchReport, LaunchWindow, OutOfMemory};
 pub use occupancy::Occupancy;
 pub use sanitize::{Finding, FindingKind, SanitizeConfig, SanitizerReport, Severity};
 pub use spec::DeviceSpec;

@@ -108,6 +108,19 @@ impl KernelStats {
         self.steps += other.steps;
     }
 
+    /// Average 32-byte sectors touched per raw global access — the
+    /// coalescing quality. 1/8 is perfect for 4-byte lanes (8 lanes per
+    /// sector); 1.0 means every lane paid its own sector (fully
+    /// uncoalesced). Returns 0 when no tracked global accesses occurred
+    /// (bulk-traffic kernels charge bytes without per-lane accounting).
+    pub fn sectors_per_access(&self) -> f64 {
+        if self.global_accesses == 0 {
+            0.0
+        } else {
+            self.global_sectors as f64 / self.global_accesses as f64
+        }
+    }
+
     /// Average bank-conflict degree over shared warp access groups:
     /// 1.0 means conflict-free.
     pub fn avg_conflict_degree(&self) -> f64 {

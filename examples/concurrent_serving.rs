@@ -2,10 +2,13 @@
 //! top-k queries, drain them through the stream/batching scheduler, and
 //! write a multi-stream chrome trace of the drain.
 //!
-//! Run with `cargo run --example concurrent_serving`, then load the
-//! printed JSON file in `chrome://tracing` (or https://ui.perfetto.dev):
-//! one track per device stream, with the coalesced batched top-k launch
-//! visible after the overlapped per-query filters.
+//! Run with `cargo run --example concurrent_serving [-- trace.json]`,
+//! then load the printed JSON file in `chrome://tracing` (or
+//! https://ui.perfetto.dev): one track per device stream, with the
+//! coalesced batched top-k launch visible after the overlapped per-query
+//! filters. The trace lands at the first CLI argument if given, else
+//! `$GPU_TOPK_OUT_DIR/concurrent_serving_trace.json`, else the temp
+//! directory.
 
 use gpu_topk::datagen::twitter::TweetTable;
 use gpu_topk::qdb::{GpuTweetTable, Server, ServerConfig};
@@ -69,7 +72,7 @@ fn main() {
         );
     }
 
-    let path = std::env::temp_dir().join("concurrent_serving_trace.json");
+    let path = gpu_topk::artifact_path("concurrent_serving_trace.json");
     std::fs::write(&path, report.chrome_trace()).expect("write trace");
     println!(
         "\nwrote multi-stream chrome trace ({} bytes) to {}",

@@ -2,8 +2,11 @@
 //! simulated GPU times against the memory-bandwidth floor.
 //!
 //! ```sh
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [-- trace.json]
 //! ```
+//!
+//! The trace artifact lands at the first CLI argument if given, else
+//! `$GPU_TOPK_OUT_DIR/gpu_topk_trace.json`, else the temp directory.
 
 use gpu_topk::datagen::{Distribution, Uniform};
 use gpu_topk::simt::Device;
@@ -61,7 +64,7 @@ fn main() {
 
     // dump the launch timeline for chrome://tracing / Perfetto
     let trace = gpu_topk::simt::chrome_trace(&bitonic.reports);
-    let path = std::env::temp_dir().join("gpu_topk_trace.json");
+    let path = gpu_topk::artifact_path("gpu_topk_trace.json");
     std::fs::write(&path, trace).expect("write trace");
     println!(
         "kernel timeline written to {} (load it in chrome://tracing)",

@@ -7,6 +7,8 @@
 //! cargo run --release --example sanitize_sweep [-- out.json]
 //! ```
 //!
+//! The report lands at the first CLI argument if given, else
+//! `$GPU_TOPK_OUT_DIR/sanitizer_report.json`, else the temp directory.
 //! Exits non-zero if any launch produces a finding.
 
 use gpu_topk::datagen::twitter::TweetTable;
@@ -18,9 +20,7 @@ use gpu_topk::topk::batched::batched_bitonic_topk;
 use gpu_topk::topk::{TopKAlgorithm, TopKRequest};
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "sanitizer_report.json".to_string());
+    let out_path = gpu_topk::artifact_path("sanitizer_report.json");
     let mut all: Vec<SanitizerReport> = Vec::new();
     let mut launches = 0usize;
 
@@ -89,8 +89,9 @@ fn main() {
     let json = reports_to_json(&all);
     std::fs::write(&out_path, &json).expect("write report");
     println!(
-        "sanitize_sweep: {launches} launches, {} with findings -> {out_path}",
-        dirty.len()
+        "sanitize_sweep: {launches} launches, {} with findings -> {}",
+        dirty.len(),
+        out_path.display()
     );
     for rep in &dirty {
         print!("{}", rep.render());

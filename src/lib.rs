@@ -40,3 +40,27 @@ pub use topk_cpu;
 
 /// The workspace version.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Resolves where a report-writing example should put its JSON artifact.
+///
+/// Every artifact-writing example (`quickstart`, `concurrent_serving`,
+/// `sanitize_sweep`, …) uses the same contract, so CI and humans can
+/// redirect outputs without editing code:
+///
+/// 1. an explicit path passed as the example's first CLI argument wins;
+/// 2. else `$GPU_TOPK_OUT_DIR/<default_name>` when that variable is set
+///    (the directory is created if missing);
+/// 3. else the system temp directory + `<default_name>`.
+pub fn artifact_path(default_name: &str) -> std::path::PathBuf {
+    if let Some(arg) = std::env::args().nth(1) {
+        return std::path::PathBuf::from(arg);
+    }
+    match std::env::var_os("GPU_TOPK_OUT_DIR") {
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            std::fs::create_dir_all(&dir).expect("create $GPU_TOPK_OUT_DIR");
+            dir.join(default_name)
+        }
+        None => std::env::temp_dir().join(default_name),
+    }
+}
