@@ -36,6 +36,7 @@ fn main() {
         for strat in Strategy::all() {
             cells.push(
                 filtered_topk(&dev, &table, &op, 50, strat)
+                    .expect("Q1 execution")
                     .kernel_time
                     .millis(),
             );
@@ -55,7 +56,12 @@ fn main() {
     for k in [16usize, 32, 64, 128, 256] {
         let mut cells = Vec::new();
         for strat in Strategy::all() {
-            cells.push(ranked_topk(&dev, &table, k, strat).kernel_time.millis());
+            cells.push(
+                ranked_topk(&dev, &table, k, strat)
+                    .expect("Q2 execution")
+                    .kernel_time
+                    .millis(),
+            );
         }
         println!(
             "{:>12}{:>14.3}ms{:>16.3}ms{:>18.3}ms",
@@ -75,6 +81,7 @@ fn main() {
         for strat in Strategy::all() {
             cells.push(
                 filtered_topk(&dev, &table, &op, k, strat)
+                    .expect("Q3 execution")
                     .kernel_time
                     .millis(),
             );
@@ -88,7 +95,7 @@ fn main() {
     // --- Q4: group-by uid, top 50
     println!("\n-- Q4: GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 50 --");
     for strat in [TopKStrategy::Sort, TopKStrategy::Bitonic] {
-        let r = group_topk(&dev, &table, 50, strat);
+        let r = group_topk(&dev, &table, 50, strat).expect("Q4 execution");
         let group_time: f64 = r
             .breakdown
             .iter()

@@ -5,8 +5,9 @@ use datagen::{Kv, TopKItem};
 use simt::{BlockCtx, Device, GpuBuffer, Kernel};
 use sortnet::{host, next_pow2};
 use topk::bitonic::{bitonic_topk_from_runs, BitonicConfig};
-use topk::{TopKError, TopKResult};
+use topk::TopKResult;
 
+use crate::error::QdbError;
 use crate::table::GpuTweetTable;
 
 /// Selection predicates the Figure 16 queries use.
@@ -235,15 +236,16 @@ pub(crate) fn run_topk_stage<T: TopKItem>(
     valid: usize,
     k: usize,
     strategy: TopKStrategy,
-) -> Result<TopKResult<T>, TopKError> {
+) -> Result<TopKResult<T>, QdbError> {
     // slice the valid prefix into its own buffer (device-side view)
-    let view = dev.upload(&candidates.read_range(0..valid.max(1)));
-    match strategy {
+    let view = dev.try_upload(&candidates.read_range(0..valid.max(1)))?;
+    let r = match strategy {
         TopKStrategy::Sort => topk::sort::sort_topk(dev, &view, k),
         TopKStrategy::Bitonic => {
             topk::bitonic::bitonic_topk(dev, &view, k, BitonicConfig::default())
         }
-    }
+    };
+    r.map_err(QdbError::from)
 }
 
 /// Runs a fused filter/project + bitonic top-k: the FusedSortReducer
@@ -256,11 +258,11 @@ pub(crate) fn run_fused_topk<T: TopKItem>(
     key_bytes: usize,
     matched: Vec<T>,
     k: usize,
-) -> Result<TopKResult<T>, TopKError> {
+) -> Result<TopKResult<T>, QdbError> {
     let k_eff = next_pow2(k.min(matched.len()).max(1));
     let padded = next_pow2(matched.len().max(4096.max(2 * k_eff)));
-    let out_runs = dev.alloc_filled::<T>(padded, T::min_sentinel());
-    let out_valid = dev.alloc::<u32>(1);
+    let out_runs = dev.try_alloc_filled::<T>(padded, T::min_sentinel())?;
+    let out_valid = dev.try_alloc::<u32>(1)?;
     let n_rows = table.len();
     dev.launch(&FusedSortReducerKernel {
         pred_bytes,
@@ -273,7 +275,7 @@ pub(crate) fn run_fused_topk<T: TopKItem>(
         _table: table,
     })?;
     let valid = out_valid.get(0) as usize;
-    bitonic_topk_from_runs(dev, &out_runs, valid, k, BitonicConfig::default())
+    bitonic_topk_from_runs(dev, &out_runs, valid, k, BitonicConfig::default()).map_err(Into::into)
 }
 
 #[cfg(test)]

@@ -1,0 +1,209 @@
+//! The typed error hierarchy of the serving path.
+//!
+//! Every fallible qdb operation reports a [`QdbError`]; nothing on the
+//! submit/drain path panics. Errors carry enough structure for the
+//! server's resilience machinery to act on them: [`QdbError::is_transient`]
+//! separates faults worth retrying (injected device faults, transient
+//! allocation failures) from permanent ones (malformed SQL, an
+//! over-budget launch shape), and the shedding/timeout variants record
+//! the limits that were exceeded.
+
+use simt::{LaunchError, OutOfMemory, SimTime};
+use topk::TopKError;
+
+use crate::sql::SqlError;
+
+/// Any error the qdb serving path can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QdbError {
+    /// The SQL text failed to parse or asks for an unsupported shape.
+    Parse(SqlError),
+    /// LIMIT k is unusable against the resident table (k = 0 or k > n).
+    InvalidK {
+        /// The requested k.
+        k: usize,
+        /// Rows in the resident table.
+        n: usize,
+    },
+    /// The resident table has no rows.
+    EmptyTable,
+    /// The query was submitted with a deadline that had already passed.
+    DeadlineExpired {
+        /// The dead-on-arrival deadline.
+        deadline: SimTime,
+    },
+    /// The query's deadline elapsed before an attempt could complete.
+    Timeout {
+        /// The per-query deadline.
+        deadline: SimTime,
+        /// Simulated time spent when the query was cancelled.
+        spent: SimTime,
+    },
+    /// Admission control shed the query: the submit queue was full.
+    Overloaded {
+        /// Queue length at submission.
+        queue_len: usize,
+        /// The configured queue bound.
+        max_queue: usize,
+    },
+    /// A device fault (injected or real) defeated the query.
+    DeviceFault {
+        /// Human-readable cause.
+        what: String,
+        /// True when retrying could have succeeded (the retry budget was
+        /// simply exhausted).
+        transient: bool,
+        /// Execution attempts made before giving up.
+        attempts: usize,
+    },
+}
+
+impl QdbError {
+    /// True for errors a retry may clear (injected launch faults and
+    /// allocation failures); parse, validation, timeout and shed errors
+    /// are final.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            QdbError::DeviceFault {
+                transient: true,
+                ..
+            }
+        )
+    }
+
+    /// Stable kind name for reports and JSON.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QdbError::Parse(_) => "parse",
+            QdbError::InvalidK { .. } => "invalid-k",
+            QdbError::EmptyTable => "empty-table",
+            QdbError::DeadlineExpired { .. } => "deadline-expired",
+            QdbError::Timeout { .. } => "timeout",
+            QdbError::Overloaded { .. } => "overloaded",
+            QdbError::DeviceFault { .. } => "device-fault",
+        }
+    }
+}
+
+impl std::fmt::Display for QdbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QdbError::Parse(e) => write!(f, "{e}"),
+            QdbError::InvalidK { k, n } => {
+                write!(f, "LIMIT {k} unusable against a {n}-row table")
+            }
+            QdbError::EmptyTable => write!(f, "resident table is empty"),
+            QdbError::DeadlineExpired { deadline } => {
+                write!(f, "deadline {deadline} already expired at submission")
+            }
+            QdbError::Timeout { deadline, spent } => {
+                write!(f, "deadline {deadline} exceeded after {spent}")
+            }
+            QdbError::Overloaded {
+                queue_len,
+                max_queue,
+            } => write!(
+                f,
+                "shed: submit queue full ({queue_len} of {max_queue} slots)"
+            ),
+            QdbError::DeviceFault {
+                what,
+                transient,
+                attempts,
+            } => {
+                let class = if *transient { "transient" } else { "fatal" };
+                write!(
+                    f,
+                    "{class} device fault after {attempts} attempt(s): {what}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for QdbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QdbError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SqlError> for QdbError {
+    fn from(e: SqlError) -> Self {
+        QdbError::Parse(e)
+    }
+}
+
+impl From<LaunchError> for QdbError {
+    fn from(e: LaunchError) -> Self {
+        QdbError::DeviceFault {
+            transient: e.is_transient(),
+            what: e.to_string(),
+            attempts: 1,
+        }
+    }
+}
+
+impl From<OutOfMemory> for QdbError {
+    fn from(e: OutOfMemory) -> Self {
+        // allocation pressure is transient by nature: buffers retire as
+        // queries drain (and injected OOMs model exactly that)
+        QdbError::DeviceFault {
+            what: e.to_string(),
+            transient: true,
+            attempts: 1,
+        }
+    }
+}
+
+impl From<TopKError> for QdbError {
+    fn from(e: TopKError) -> Self {
+        match e {
+            TopKError::ZeroK => QdbError::InvalidK { k: 0, n: 0 },
+            TopKError::EmptyInput => QdbError::EmptyTable,
+            TopKError::Launch(l) => l.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transiency_classification() {
+        let injected: QdbError = LaunchError::DeviceFault { kernel: "k" }.into();
+        assert!(injected.is_transient());
+        let shape: QdbError = LaunchError::EmptyLaunch.into();
+        assert!(!shape.is_transient());
+        let oom: QdbError = OutOfMemory {
+            requested: 1,
+            in_use: 0,
+            capacity: 1,
+        }
+        .into();
+        assert!(oom.is_transient());
+        assert!(!QdbError::EmptyTable.is_transient());
+        assert!(!QdbError::Timeout {
+            deadline: SimTime(1e-3),
+            spent: SimTime(2e-3),
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn kinds_and_display_are_stable() {
+        let e = QdbError::Overloaded {
+            queue_len: 32,
+            max_queue: 32,
+        };
+        assert_eq!(e.kind(), "overloaded");
+        assert!(e.to_string().contains("queue full"));
+        let e = QdbError::InvalidK { k: 0, n: 100 };
+        assert_eq!(e.kind(), "invalid-k");
+        assert!(e.to_string().contains("LIMIT 0"));
+    }
+}

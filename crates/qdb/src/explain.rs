@@ -111,6 +111,7 @@ impl QueryPlan {
                 c.predicted_seconds * 1e3
             ));
         }
+        s.push_str("  on fault: retry w/ backoff -> serial stage-bitonic -> cpu-heap\n");
         s
     }
 }
@@ -158,11 +159,8 @@ pub fn explain_filtered_topk(
             predicted_seconds: fused_cost,
         },
     ];
-    costs.sort_by(|a, b| {
-        a.predicted_seconds
-            .partial_cmp(&b.predicted_seconds)
-            .unwrap()
-    });
+    // NaN-safe: a degenerate cost model must reorder, not panic
+    costs.sort_by(|a, b| a.predicted_seconds.total_cmp(&b.predicted_seconds));
     QueryPlan {
         selectivity: sel,
         costs,
@@ -233,11 +231,14 @@ mod tests {
             .map(|&s| {
                 (
                     s,
-                    filtered_topk(&dev, &gpu, &op, 50, s).kernel_time.seconds(),
+                    filtered_topk(&dev, &gpu, &op, 50, s)
+                        .unwrap()
+                        .kernel_time
+                        .seconds(),
                 )
             })
             .collect();
-        measured.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        measured.sort_by(|a, b| a.1.total_cmp(&b.1));
         assert_eq!(
             plan.chosen(),
             measured[0].0,

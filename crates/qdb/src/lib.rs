@@ -21,6 +21,7 @@
 //! compatible small queries into one batched top-k launch.
 
 pub mod engine;
+pub mod error;
 pub mod explain;
 pub mod queries;
 pub mod server;
@@ -28,9 +29,13 @@ pub mod sql;
 pub mod table;
 
 pub use engine::{FilterOp, TopKStrategy};
+pub use error::QdbError;
 pub use explain::{explain_filtered_topk, QueryPlan, TableStats};
 pub use queries::{QueryResult, Strategy};
-pub use server::{LoadReport, QueryTicket, QueryTiming, ServedQuery, Server, ServerConfig};
+pub use server::{
+    DegradeLevel, LoadReport, QueryTicket, QueryTiming, ResilienceStats, ServedQuery, Server,
+    ServerConfig,
+};
 pub use sql::{
     execute as execute_sql, explain_sanitize, parse as parse_sql, parse_statement, Query,
     SanitizedQuery, SqlError, Statement,

@@ -10,6 +10,7 @@ use crate::engine::{
     run_fused_topk, run_topk_stage, FilterKernel, FilterOp, GroupCountKernel, ProjectRankKernel,
     TopKStrategy,
 };
+use crate::error::QdbError;
 use crate::table::GpuTweetTable;
 
 /// How a query executes its top-k (the Figure 16 strategy line-up).
@@ -75,32 +76,31 @@ pub fn filtered_topk(
     op: &FilterOp,
     k: usize,
     strategy: Strategy,
-) -> QueryResult {
+) -> Result<QueryResult, QdbError> {
     let log_start = dev.log_len();
     match strategy {
         Strategy::StageSort | Strategy::StageBitonic => {
-            let out = dev.alloc::<Kv<u32>>(table.len());
-            let cnt = dev.alloc::<u32>(1);
+            let out = dev.try_alloc::<Kv<u32>>(table.len())?;
+            let cnt = dev.try_alloc::<u32>(1)?;
             dev.launch(&FilterKernel {
                 table,
                 op,
                 key_col: &table.retweet_count,
                 out: out.clone(),
                 out_count: cnt.clone(),
-            })
-            .expect("filter kernel");
+            })?;
             let m = cnt.get(0) as usize;
             if m == 0 {
-                return collect_result(dev, log_start, Vec::new());
+                return Ok(collect_result(dev, log_start, Vec::new()));
             }
             let strat = if strategy == Strategy::StageSort {
                 TopKStrategy::Sort
             } else {
                 TopKStrategy::Bitonic
             };
-            let r = run_topk_stage(dev, &out, m, k.min(m), strat).expect("top-k stage");
+            let r = run_topk_stage(dev, &out, m, k.min(m), strat)?;
             let ids = r.items.iter().map(|kv| kv.value).collect();
-            collect_result(dev, log_start, ids)
+            Ok(collect_result(dev, log_start, ids))
         }
         Strategy::CombinedBitonic => {
             // the fused kernel evaluates the predicate itself; the matched
@@ -110,13 +110,12 @@ pub fn filtered_topk(
                 .map(|r| Kv::new(table.retweet_count.get(r), table.id.get(r)))
                 .collect();
             if matched.is_empty() {
-                return collect_result(dev, log_start, Vec::new());
+                return Ok(collect_result(dev, log_start, Vec::new()));
             }
             let k = k.min(matched.len());
-            let r =
-                run_fused_topk(dev, table, op.pred_bytes(), 4, matched, k).expect("fused top-k");
+            let r = run_fused_topk(dev, table, op.pred_bytes(), 4, matched, k)?;
             let ids = r.items.iter().map(|kv| kv.value).collect();
-            collect_result(dev, log_start, ids)
+            Ok(collect_result(dev, log_start, ids))
         }
     }
 }
@@ -132,25 +131,24 @@ pub fn filtered_bottomk(
     op: &FilterOp,
     k: usize,
     strategy: Strategy,
-) -> QueryResult {
+) -> Result<QueryResult, QdbError> {
     let log_start = dev.log_len();
     match strategy {
         Strategy::StageSort | Strategy::StageBitonic => {
-            let out = dev.alloc::<Kv<u32>>(table.len());
-            let cnt = dev.alloc::<u32>(1);
+            let out = dev.try_alloc::<Kv<u32>>(table.len())?;
+            let cnt = dev.try_alloc::<u32>(1)?;
             dev.launch(&FilterKernel {
                 table,
                 op,
                 key_col: &table.retweet_count,
                 out: out.clone(),
                 out_count: cnt.clone(),
-            })
-            .expect("filter kernel");
+            })?;
             let m = cnt.get(0) as usize;
             if m == 0 {
-                return collect_result(dev, log_start, Vec::new());
+                return Ok(collect_result(dev, log_start, Vec::new()));
             }
-            let view = dev.upload(&out.read_range(0..m));
+            let view = dev.try_upload(&out.read_range(0..m))?;
             let alg = if strategy == Strategy::StageSort {
                 TopKAlgorithm::Sort
             } else {
@@ -158,10 +156,9 @@ pub fn filtered_bottomk(
             };
             let r = TopKRequest::smallest(k.min(m))
                 .with_alg(alg)
-                .run(dev, &view)
-                .expect("bottom-k stage");
+                .run(dev, &view)?;
             let ids = r.items.iter().map(|kv| kv.value).collect();
-            collect_result(dev, log_start, ids)
+            Ok(collect_result(dev, log_start, ids))
         }
         Strategy::CombinedBitonic => {
             let matched: Vec<Rev<Kv<u32>>> = (0..table.len())
@@ -169,13 +166,12 @@ pub fn filtered_bottomk(
                 .map(|r| Rev(Kv::new(table.retweet_count.get(r), table.id.get(r))))
                 .collect();
             if matched.is_empty() {
-                return collect_result(dev, log_start, Vec::new());
+                return Ok(collect_result(dev, log_start, Vec::new()));
             }
             let k = k.min(matched.len());
-            let r =
-                run_fused_topk(dev, table, op.pred_bytes(), 4, matched, k).expect("fused bottom-k");
+            let r = run_fused_topk(dev, table, op.pred_bytes(), 4, matched, k)?;
             let ids = r.items.iter().map(|kv| kv.0.value).collect();
-            collect_result(dev, log_start, ids)
+            Ok(collect_result(dev, log_start, ids))
         }
     }
 }
@@ -187,25 +183,23 @@ pub fn ranked_topk(
     table: &GpuTweetTable,
     k: usize,
     strategy: Strategy,
-) -> QueryResult {
+) -> Result<QueryResult, QdbError> {
     let log_start = dev.log_len();
     match strategy {
         Strategy::StageSort | Strategy::StageBitonic => {
-            let out = dev.alloc::<Kv<f32>>(table.len());
+            let out = dev.try_alloc::<Kv<f32>>(table.len())?;
             dev.launch(&ProjectRankKernel {
                 table,
                 out: out.clone(),
-            })
-            .expect("project kernel");
+            })?;
             let strat = if strategy == Strategy::StageSort {
                 TopKStrategy::Sort
             } else {
                 TopKStrategy::Bitonic
             };
-            let r = run_topk_stage(dev, &out, table.len(), k.min(table.len()), strat)
-                .expect("top-k stage");
+            let r = run_topk_stage(dev, &out, table.len(), k.min(table.len()), strat)?;
             let ids = r.items.iter().map(|kv| kv.value).collect();
-            collect_result(dev, log_start, ids)
+            Ok(collect_result(dev, log_start, ids))
         }
         Strategy::CombinedBitonic => {
             let matched: Vec<Kv<f32>> = (0..table.len())
@@ -218,9 +212,9 @@ pub fn ranked_topk(
             let k = k.min(matched.len());
             // the ranking function reads both count columns (8 B/row); no
             // separate predicate column
-            let r = run_fused_topk(dev, table, 4, 4, matched, k).expect("fused top-k");
+            let r = run_fused_topk(dev, table, 4, 4, matched, k)?;
             let ids = r.items.iter().map(|kv| kv.value).collect();
-            collect_result(dev, log_start, ids)
+            Ok(collect_result(dev, log_start, ids))
         }
     }
 }
@@ -232,20 +226,19 @@ pub fn group_topk(
     table: &GpuTweetTable,
     k: usize,
     strategy: TopKStrategy,
-) -> QueryResult {
+) -> Result<QueryResult, QdbError> {
     let log_start = dev.log_len();
-    let out = dev.alloc::<Kv<u32>>(table.len());
-    let cnt = dev.alloc::<u32>(1);
+    let out = dev.try_alloc::<Kv<u32>>(table.len())?;
+    let cnt = dev.try_alloc::<u32>(1)?;
     dev.launch(&GroupCountKernel {
         table,
         out: out.clone(),
         out_count: cnt.clone(),
-    })
-    .expect("group count");
+    })?;
     let g = cnt.get(0) as usize;
-    let r = run_topk_stage(dev, &out, g, k.min(g), strategy).expect("top-k stage");
+    let r = run_topk_stage(dev, &out, g, k.min(g), strategy)?;
     let ids = r.items.iter().map(|kv| kv.value).collect();
-    collect_result(dev, log_start, ids)
+    Ok(collect_result(dev, log_start, ids))
 }
 
 #[cfg(test)]
@@ -278,7 +271,7 @@ mod tests {
         let op = FilterOp::TimeLess(cutoff);
         let expect = reference_q1_keys(&host, cutoff, 50);
         for strat in Strategy::all() {
-            let r = filtered_topk(&dev, &gpu, &op, 50, strat);
+            let r = filtered_topk(&dev, &gpu, &op, 50, strat).unwrap();
             let keys: Vec<u32> = r
                 .ids
                 .iter()
@@ -298,7 +291,7 @@ mod tests {
     fn q1_zero_selectivity() {
         let (dev, _host, gpu) = setup(10_000);
         for strat in Strategy::all() {
-            let r = filtered_topk(&dev, &gpu, &FilterOp::TimeLess(0), 50, strat);
+            let r = filtered_topk(&dev, &gpu, &FilterOp::TimeLess(0), 50, strat).unwrap();
             assert!(r.ids.is_empty(), "{}", strat.name());
         }
     }
@@ -315,7 +308,7 @@ mod tests {
         expect.sort_unstable();
         expect.truncate(25);
         for strat in Strategy::all() {
-            let r = filtered_bottomk(&dev, &gpu, &op, 25, strat);
+            let r = filtered_bottomk(&dev, &gpu, &op, 25, strat).unwrap();
             let keys: Vec<u32> = r
                 .ids
                 .iter()
@@ -336,7 +329,7 @@ mod tests {
         expect.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
         expect.truncate(20);
         for strat in Strategy::all() {
-            let r = ranked_topk(&dev, &gpu, 20, strat);
+            let r = ranked_topk(&dev, &gpu, 20, strat).unwrap();
             let keys: Vec<f32> = r.ids.iter().map(|&id| rank(id as usize)).collect();
             assert_eq!(keys, expect, "{}", strat.name());
         }
@@ -346,7 +339,7 @@ mod tests {
     fn q3_lang_filter() {
         let (dev, host, gpu) = setup(40_000);
         let op = FilterOp::LangIn(vec![0, 1]);
-        let r = filtered_topk(&dev, &gpu, &op, 30, Strategy::CombinedBitonic);
+        let r = filtered_topk(&dev, &gpu, &op, 30, Strategy::CombinedBitonic).unwrap();
         assert_eq!(r.ids.len(), 30);
         for &id in &r.ids {
             assert!(host.lang[id as usize] <= 1);
@@ -366,7 +359,7 @@ mod tests {
         ref_counts.truncate(5);
 
         for strat in [TopKStrategy::Sort, TopKStrategy::Bitonic] {
-            let r = group_topk(&dev, &gpu, 5, strat);
+            let r = group_topk(&dev, &gpu, 5, strat).unwrap();
             let got: Vec<u32> = r.ids.iter().map(|uid| counts[uid]).collect();
             assert_eq!(got, ref_counts, "{strat:?}");
         }
@@ -378,9 +371,15 @@ mod tests {
         let (dev, host, gpu) = setup(1 << 17);
         let cutoff = host.time_cutoff_for_selectivity(1.0);
         let op = FilterOp::TimeLess(cutoff);
-        let t_sort = filtered_topk(&dev, &gpu, &op, 50, Strategy::StageSort).kernel_time;
-        let t_bitonic = filtered_topk(&dev, &gpu, &op, 50, Strategy::StageBitonic).kernel_time;
-        let t_combined = filtered_topk(&dev, &gpu, &op, 50, Strategy::CombinedBitonic).kernel_time;
+        let t_sort = filtered_topk(&dev, &gpu, &op, 50, Strategy::StageSort)
+            .unwrap()
+            .kernel_time;
+        let t_bitonic = filtered_topk(&dev, &gpu, &op, 50, Strategy::StageBitonic)
+            .unwrap()
+            .kernel_time;
+        let t_combined = filtered_topk(&dev, &gpu, &op, 50, Strategy::CombinedBitonic)
+            .unwrap()
+            .kernel_time;
         assert!(
             t_bitonic.seconds() < t_sort.seconds(),
             "bitonic {t_bitonic} should beat sort {t_sort}"
@@ -394,8 +393,12 @@ mod tests {
     #[test]
     fn combined_saves_on_q2_too() {
         let (dev, _host, gpu) = setup(1 << 17);
-        let t_staged = ranked_topk(&dev, &gpu, 50, Strategy::StageBitonic).kernel_time;
-        let t_combined = ranked_topk(&dev, &gpu, 50, Strategy::CombinedBitonic).kernel_time;
+        let t_staged = ranked_topk(&dev, &gpu, 50, Strategy::StageBitonic)
+            .unwrap()
+            .kernel_time;
+        let t_combined = ranked_topk(&dev, &gpu, 50, Strategy::CombinedBitonic)
+            .unwrap()
+            .kernel_time;
         assert!(t_combined.seconds() < t_staged.seconds());
     }
 }

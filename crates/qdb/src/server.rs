@@ -1,4 +1,5 @@
-//! Concurrent query serving: a batching scheduler over simt streams.
+//! Concurrent query serving: a batching scheduler over simt streams,
+//! hardened against device faults.
 //!
 //! The paper's integration argument (Section 5) is that top-k belongs
 //! *inside* the database as a physical operator. A real database does not
@@ -17,22 +18,55 @@
 //!   replaced by a *single* [`batched_bitonic_topk`] launch, one block
 //!   per query, amortizing launch overhead across the whole batch.
 //!
+//! # Resilience
+//!
+//! The serving path never panics; every failure is a typed
+//! [`QdbError`]. Against a faulty device (see [`simt::fault`]) the
+//! server:
+//!
+//! * **sheds** — the submit queue is bounded
+//!   ([`ServerConfig::max_queue`]); beyond it, [`Server::submit`] returns
+//!   [`QdbError::Overloaded`] instead of growing without bound;
+//! * **retries** — faults classified transient (injected launch
+//!   failures, allocation pressure) are retried up to
+//!   [`ServerConfig::max_retries`] times with exponential backoff
+//!   ([`ServerConfig::backoff_base`] · 2^attempt, charged as simulated
+//!   time against the query's deadline);
+//! * **cancels** — a query submitted with a deadline
+//!   ([`Server::submit_with_deadline`]) is cancelled with
+//!   [`QdbError::Timeout`] once its accumulated simulated time (kernel
+//!   time plus backoff penalties) exceeds it;
+//! * **degrades** — when retries are exhausted a query falls down a
+//!   ladder: the batched/streamed bitonic path first re-runs as serial
+//!   `StageBitonic` on the default stream, and ultimately on the
+//!   `topk-cpu` heap backend, which cannot fault. The rung a query ended
+//!   on is reported in [`ServedQuery::degrade`] and aggregated in
+//!   [`LoadReport::resilience`];
+//! * **audits** — serving-layer intermediate buffers are tagged for
+//!   ECC-corruption injection ([`simt::GpuBuffer::tag_ecc`]); after the
+//!   device work completes, any query whose buffers show up in the fault
+//!   log is transparently re-executed from the pristine resident table
+//!   over untagged buffers, so a completed query's result always equals
+//!   the fault-free oracle.
+//!
 //! [`Server::submit`] parses and admits a SQL query; [`Server::drain`]
 //! executes everything admitted since the last drain and returns a
 //! [`LoadReport`] with per-query results, queue/execution/total latency
-//! per query, percentile summaries, achieved queries/sec, and a
-//! multi-stream chrome trace of the whole drain.
+//! per query, percentile summaries, achieved queries/sec, resilience
+//! counters, and a multi-stream chrome trace of the whole drain.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-use datagen::{Kv, TopKItem};
+use datagen::{Kv, Rev, TopKItem};
 use simt::{
-    chrome_trace_streams, BlockCtx, Device, GpuBuffer, Kernel, SimTime, Stream, StreamSchedule,
+    chrome_trace_streams, BlockCtx, Device, GpuBuffer, Kernel, SimTime, Stream, StreamId,
+    StreamSchedule,
 };
 use sortnet::next_pow2;
 use topk::batched::{batched_bitonic_topk, max_single_launch_row};
 
 use crate::engine::{FilterKernel, FilterOp, TopKStrategy};
+use crate::error::QdbError;
 use crate::queries::{QueryResult, Strategy};
 use crate::sql::{execute, parse, OrderBy, Query, SqlError};
 use crate::table::GpuTweetTable;
@@ -48,6 +82,18 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Strategy for queries submitted without an explicit one.
     pub default_strategy: Strategy,
+    /// Admission bound: submissions beyond this many pending queries are
+    /// shed with [`QdbError::Overloaded`].
+    pub max_queue: usize,
+    /// Deadline applied to queries submitted without an explicit one
+    /// (`None` = no deadline).
+    pub default_deadline: Option<SimTime>,
+    /// Transient-fault retries per degradation rung before falling to
+    /// the next rung.
+    pub max_retries: usize,
+    /// First retry's backoff; doubles every subsequent retry. Charged as
+    /// simulated time against the query's deadline.
+    pub backoff_base: SimTime,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +103,10 @@ impl Default for ServerConfig {
             coalesce: true,
             max_batch: 64,
             default_strategy: Strategy::StageBitonic,
+            max_queue: 256,
+            default_deadline: None,
+            max_retries: 2,
+            backoff_base: SimTime(50e-6),
         }
     }
 }
@@ -71,10 +121,34 @@ pub struct QueryTicket(pub usize);
 pub struct QueryTiming {
     /// Time the query spent queued before its first kernel started.
     pub queued: SimTime,
-    /// Time from its first kernel's start to its last kernel's end.
+    /// Time from its first kernel's start to its last kernel's end,
+    /// including any retry-backoff penalty.
     pub exec: SimTime,
-    /// End-to-end latency: when its last kernel finished.
+    /// End-to-end latency: when its last kernel finished (plus backoff
+    /// penalty).
     pub total: SimTime,
+}
+
+/// How far down the degradation ladder a query ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeLevel {
+    /// Served by the normal batched/streamed path.
+    None,
+    /// Fell back to serial `StageBitonic` on the default stream.
+    SerialBitonic,
+    /// Fell back to the `topk-cpu` heap backend (cannot fault).
+    CpuHeap,
+}
+
+impl DegradeLevel {
+    /// Stable name for reports and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DegradeLevel::None => "none",
+            DegradeLevel::SerialBitonic => "serial-bitonic",
+            DegradeLevel::CpuHeap => "cpu-heap",
+        }
+    }
 }
 
 /// One query's outcome from a drain.
@@ -84,7 +158,8 @@ pub struct ServedQuery {
     pub ticket: QueryTicket,
     /// The original SQL text.
     pub sql: String,
-    /// Result ids and solo kernel-time breakdown.
+    /// Result ids and solo kernel-time breakdown. Empty when
+    /// [`ServedQuery::error`] is set.
     pub result: QueryResult,
     /// Latency on the shared timeline. For coalesced queries the shared
     /// pack/batch launches count fully towards every member — latency is
@@ -93,6 +168,59 @@ pub struct ServedQuery {
     /// True when the query's ORDER BY/LIMIT ran inside a shared batched
     /// launch instead of its own pipeline.
     pub coalesced: bool,
+    /// Why the query did not complete (`None` = completed).
+    pub error: Option<QdbError>,
+    /// Transient-fault retries this query consumed.
+    pub retries: usize,
+    /// The degradation rung the query's final answer came from.
+    pub degrade: DegradeLevel,
+}
+
+impl ServedQuery {
+    /// True when the query produced a result (no typed error).
+    pub fn completed(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Resilience counters for one drain (plus submissions shed since the
+/// previous drain).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Queries that produced a result.
+    pub completed: usize,
+    /// Submissions shed by admission control since the last drain.
+    pub shed: usize,
+    /// Queries cancelled on their deadline.
+    pub timed_out: usize,
+    /// Queries that failed with any other typed error.
+    pub failed: usize,
+    /// Transient-fault retries across all queries (batch retries
+    /// included).
+    pub retries: usize,
+    /// Queries that fell back to serial `StageBitonic`.
+    pub degraded_serial: usize,
+    /// Queries that fell all the way to the CPU heap backend.
+    pub degraded_cpu: usize,
+    /// Faults the device injected during the drain.
+    pub faults_injected: usize,
+}
+
+impl ResilienceStats {
+    /// One-line summary for logs and examples.
+    pub fn render(&self) -> String {
+        format!(
+            "completed {} | shed {} | timed-out {} | failed {} | retries {} | degraded serial {} / cpu {} | faults {}",
+            self.completed,
+            self.shed,
+            self.timed_out,
+            self.failed,
+            self.retries,
+            self.degraded_serial,
+            self.degraded_cpu,
+            self.faults_injected
+        )
+    }
 }
 
 /// Everything one [`Server::drain`] produced.
@@ -104,14 +232,16 @@ pub struct LoadReport {
     pub makespan: SimTime,
     /// What the same kernels would take back-to-back on one stream.
     pub serial_time: SimTime,
-    /// Achieved throughput: queries divided by makespan.
+    /// Achieved throughput: completed queries divided by makespan.
     pub queries_per_sec: f64,
-    /// Median end-to-end query latency.
+    /// Median end-to-end latency over completed queries.
     pub p50: SimTime,
-    /// 95th-percentile end-to-end query latency.
+    /// 95th-percentile end-to-end latency over completed queries.
     pub p95: SimTime,
-    /// 99th-percentile end-to-end query latency.
+    /// 99th-percentile end-to-end latency over completed queries.
     pub p99: SimTime,
+    /// Retry/shed/degradation counters for the drain.
+    pub resilience: ResilienceStats,
     /// The drain's launches placed on the shared device timeline.
     pub schedule: StreamSchedule,
     /// Host wall-clock time the drain took — the simulator executes
@@ -183,18 +313,53 @@ struct Pending {
     sql: String,
     query: Query,
     strategy: Strategy,
+    deadline: Option<SimTime>,
 }
 
 /// What a pending query turned into while draining.
 struct Executed {
     ticket: QueryTicket,
     sql: String,
+    query: Query,
+    strategy: Strategy,
+    deadline: Option<SimTime>,
     ids: Vec<u32>,
     /// Absolute launch-log indices of this query's own kernels.
     own: Vec<usize>,
     /// Absolute indices of shared (batch) kernels it rode along in.
     shared: Vec<usize>,
     coalesced: bool,
+    error: Option<QdbError>,
+    retries: usize,
+    degrade: DegradeLevel,
+    /// Accumulated backoff penalty, added to the query's latency.
+    penalty: SimTime,
+    /// Simulated time charged against the deadline so far.
+    spent: SimTime,
+    /// ECC tags of the buffers this query's device result depended on.
+    labels: Vec<String>,
+}
+
+impl Executed {
+    fn new(p: Pending) -> Self {
+        Executed {
+            ticket: p.ticket,
+            sql: p.sql,
+            query: p.query,
+            strategy: p.strategy,
+            deadline: p.deadline,
+            ids: Vec::new(),
+            own: Vec::new(),
+            shared: Vec::new(),
+            coalesced: false,
+            error: None,
+            retries: 0,
+            degrade: DegradeLevel::None,
+            penalty: SimTime::ZERO,
+            spent: SimTime::ZERO,
+            labels: Vec::new(),
+        }
+    }
 }
 
 /// A serving front-end over one device and one resident table.
@@ -220,6 +385,7 @@ pub struct Server<'a> {
     streams: Vec<Stream>,
     pending: Vec<Pending>,
     next_ticket: usize,
+    shed: usize,
 }
 
 impl<'a> Server<'a> {
@@ -235,20 +401,62 @@ impl<'a> Server<'a> {
             streams,
             pending: Vec::new(),
             next_ticket: 0,
+            shed: 0,
         }
     }
 
     /// Parses, validates and admits one SQL query with the default
-    /// strategy. Unsupported shapes are rejected here, not at drain time.
-    pub fn submit(&mut self, sql: &str) -> Result<QueryTicket, SqlError> {
-        let strategy = self.cfg.default_strategy;
-        self.submit_with(sql, strategy)
+    /// strategy and deadline. Unsupported shapes, unusable LIMITs and a
+    /// full queue are rejected here, not at drain time.
+    pub fn submit(&mut self, sql: &str) -> Result<QueryTicket, QdbError> {
+        self.submit_full(sql, self.cfg.default_strategy, self.cfg.default_deadline)
     }
 
     /// [`Server::submit`] with an explicit execution strategy.
-    pub fn submit_with(&mut self, sql: &str, strategy: Strategy) -> Result<QueryTicket, SqlError> {
+    pub fn submit_with(&mut self, sql: &str, strategy: Strategy) -> Result<QueryTicket, QdbError> {
+        self.submit_full(sql, strategy, self.cfg.default_deadline)
+    }
+
+    /// [`Server::submit`] with an explicit per-query deadline: the query
+    /// is cancelled with [`QdbError::Timeout`] once its simulated
+    /// execution time (kernel time plus retry backoff) exceeds it. A
+    /// deadline that is already non-positive is rejected as
+    /// [`QdbError::DeadlineExpired`].
+    pub fn submit_with_deadline(
+        &mut self,
+        sql: &str,
+        deadline: SimTime,
+    ) -> Result<QueryTicket, QdbError> {
+        self.submit_full(sql, self.cfg.default_strategy, Some(deadline))
+    }
+
+    fn submit_full(
+        &mut self,
+        sql: &str,
+        strategy: Strategy,
+        deadline: Option<SimTime>,
+    ) -> Result<QueryTicket, QdbError> {
+        if self.pending.len() >= self.cfg.max_queue {
+            self.shed += 1;
+            return Err(QdbError::Overloaded {
+                queue_len: self.pending.len(),
+                max_queue: self.cfg.max_queue,
+            });
+        }
         let query = parse(sql)?;
         validate_executable(&query)?;
+        let n = self.table.len();
+        if n == 0 {
+            return Err(QdbError::EmptyTable);
+        }
+        if query.limit > n {
+            return Err(QdbError::InvalidK { k: query.limit, n });
+        }
+        if let Some(d) = deadline {
+            if d.0 <= 0.0 {
+                return Err(QdbError::DeadlineExpired { deadline: d });
+            }
+        }
         let ticket = QueryTicket(self.next_ticket);
         self.next_ticket += 1;
         self.pending.push(Pending {
@@ -256,6 +464,7 @@ impl<'a> Server<'a> {
             sql: sql.to_string(),
             query,
             strategy,
+            deadline,
         });
         Ok(ticket)
     }
@@ -276,97 +485,270 @@ impl<'a> Server<'a> {
             && p.strategy != Strategy::StageSort
     }
 
+    /// Runs `f` with the transient-fault retry policy: up to
+    /// [`ServerConfig::max_retries`] retries with exponential backoff,
+    /// charging kernel time and backoff penalties against `spent` and
+    /// cancelling on the deadline.
+    fn with_retries<T>(
+        &self,
+        deadline: Option<SimTime>,
+        spent: &mut SimTime,
+        retries: &mut usize,
+        penalty: &mut SimTime,
+        mut f: impl FnMut() -> Result<T, QdbError>,
+    ) -> Result<T, QdbError> {
+        let mut attempt = 0usize;
+        loop {
+            if let Some(d) = deadline {
+                if spent.0 >= d.0 {
+                    return Err(QdbError::Timeout {
+                        deadline: d,
+                        spent: *spent,
+                    });
+                }
+            }
+            let log0 = self.dev.log_len();
+            let r = f();
+            *spent += self.dev.window_since(log0).time;
+            match r {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt < self.cfg.max_retries => {
+                    attempt += 1;
+                    *retries += 1;
+                    let backoff =
+                        SimTime(self.cfg.backoff_base.0 * (1u64 << (attempt - 1).min(20)) as f64);
+                    *penalty += backoff;
+                    *spent += backoff;
+                }
+                Err(QdbError::DeviceFault {
+                    what, transient, ..
+                }) => {
+                    return Err(QdbError::DeviceFault {
+                        what,
+                        transient,
+                        attempts: attempt + 1,
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Runs one query down the degradation ladder. `start_serial` skips
+    /// the streamed rung (used when the streamed path already failed).
+    /// Only [`QdbError::Timeout`] escapes: the final CPU rung cannot
+    /// fault.
+    fn run_query_ladder(&self, e: &mut Executed, stream: Option<StreamId>, start_serial: bool) {
+        let dev = self.dev;
+        let Executed {
+            ref query,
+            strategy,
+            deadline,
+            ref mut spent,
+            ref mut retries,
+            ref mut penalty,
+            ..
+        } = *e;
+        if !start_serial {
+            let before = dev.log_len();
+            let r = self.with_retries(deadline, spent, retries, penalty, || match stream {
+                Some(id) => dev.stream_scope(id, || execute(dev, self.table, query, strategy)),
+                None => execute(dev, self.table, query, strategy),
+            });
+            e.own.extend(before..dev.log_len());
+            match r {
+                Ok(res) => {
+                    e.ids = res.ids;
+                    return;
+                }
+                Err(err @ QdbError::Timeout { .. }) => {
+                    e.error = Some(err);
+                    return;
+                }
+                Err(_) => {}
+            }
+        }
+        // rung 2: serial StageBitonic on the default stream
+        e.degrade = DegradeLevel::SerialBitonic;
+        let Executed {
+            ref query,
+            deadline,
+            ref mut spent,
+            ref mut retries,
+            ref mut penalty,
+            ..
+        } = *e;
+        let before = dev.log_len();
+        let r = self.with_retries(deadline, spent, retries, penalty, || {
+            execute(dev, self.table, query, Strategy::StageBitonic)
+        });
+        e.own.extend(before..dev.log_len());
+        match r {
+            Ok(res) => {
+                e.ids = res.ids;
+                return;
+            }
+            Err(err @ QdbError::Timeout { .. }) => {
+                e.error = Some(err);
+                return;
+            }
+            Err(_) => {}
+        }
+        // rung 3: the CPU heap backend — infallible
+        e.degrade = DegradeLevel::CpuHeap;
+        e.ids = self.cpu_execute(&e.query);
+    }
+
+    /// Host-side execution of a validated query against the resident
+    /// table via the `topk-cpu` heap backend — the ladder's final rung.
+    fn cpu_execute(&self, q: &Query) -> Vec<u32> {
+        let t = self.table;
+        let n = t.len();
+        match (&q.order_by, q.group_by_uid) {
+            (OrderBy::Count, true) => {
+                let mut counts: HashMap<u32, u32> = HashMap::new();
+                for row in 0..n {
+                    *counts.entry(t.uid.get(row)).or_insert(0) += 1;
+                }
+                let mut groups: Vec<Kv<u32>> =
+                    counts.into_iter().map(|(uid, c)| Kv::new(c, uid)).collect();
+                // HashMap iteration order is not deterministic; fix it
+                groups.sort_unstable_by_key(|kv| kv.value);
+                topk_cpu::heap_topk(&groups, q.limit)
+                    .iter()
+                    .map(|kv| kv.value)
+                    .collect()
+            }
+            (OrderBy::Rank { likes_weight }, false) => {
+                let items: Vec<Kv<f32>> = (0..n)
+                    .map(|r| {
+                        let rank = t.retweet_count.get(r) as f32
+                            + likes_weight * t.likes_count.get(r) as f32;
+                        Kv::new(rank, t.id.get(r))
+                    })
+                    .collect();
+                topk_cpu::heap_topk(&items, q.limit)
+                    .iter()
+                    .map(|kv| kv.value)
+                    .collect()
+            }
+            (OrderBy::RetweetCount, false) => {
+                let op = q.filter.clone().unwrap_or(FilterOp::TimeLess(u32::MAX));
+                let items: Vec<Kv<u32>> = (0..n)
+                    .filter(|&r| op.matches(t, r))
+                    .map(|r| Kv::new(t.retweet_count.get(r), t.id.get(r)))
+                    .collect();
+                if q.ascending {
+                    let rev: Vec<Rev<Kv<u32>>> = items.into_iter().map(Rev).collect();
+                    topk_cpu::heap_topk(&rev, q.limit)
+                        .iter()
+                        .map(|kv| kv.0.value)
+                        .collect()
+                } else {
+                    topk_cpu::heap_topk(&items, q.limit)
+                        .iter()
+                        .map(|kv| kv.value)
+                        .collect()
+                }
+            }
+            _ => Vec::new(), // unreachable: shapes validated at submit
+        }
+    }
+
     /// Executes every admitted query and returns the load report.
     ///
     /// Coalescable queries run their filters concurrently (round-robin
     /// over the server's streams), then share one pack + one batched
     /// top-k launch per [`ServerConfig::max_batch`] chunk; everything
-    /// else runs its normal pipeline on its round-robin stream.
+    /// else runs its normal pipeline on its round-robin stream. Faults
+    /// are retried/degraded per the module docs; with no fault plan the
+    /// drain's launch sequence is identical to a fault-unaware one.
     pub fn drain(&mut self) -> LoadReport {
         let wall_start = std::time::Instant::now();
         let dev = self.dev;
         let window = dev.log_len();
+        let fault_start = dev.fault_events_len();
         let pending = std::mem::take(&mut self.pending);
         let n = pending.len();
+        let mut batch_retries = 0usize;
 
         let mut executed: Vec<Executed> = Vec::with_capacity(n);
-        // coalescable queries whose filter already ran: (pending-slot,
-        // candidates, matched-count, executed-slot)
-        let mut filtered: Vec<(Pending, GpuBuffer<Kv<u32>>, usize, usize)> = Vec::new();
+        // coalescable queries whose filter already ran: (strategy kept in
+        // Executed; candidates, matched-count, executed-slot)
+        let mut filtered: Vec<(GpuBuffer<Kv<u32>>, usize, usize)> = Vec::new();
 
         for (i, p) in pending.into_iter().enumerate() {
-            let stream = &self.streams[i % self.streams.len()];
-            if self.coalescable(&p) {
-                let op = p
+            let stream_id = self.streams[i % self.streams.len()].id();
+            let coalesce = self.coalescable(&p);
+            let mut e = Executed::new(p);
+            if coalesce {
+                let op = e
                     .query
                     .filter
                     .clone()
                     .unwrap_or(FilterOp::TimeLess(u32::MAX));
+                let label = format!("qdb:candidates:t{}", e.ticket.0);
                 let before = dev.log_len();
-                let out = dev.alloc::<Kv<u32>>(self.table.len());
-                let cnt = dev.alloc::<u32>(1);
-                dev.stream_scope(stream.id(), || {
-                    dev.launch(&FilterKernel {
-                        table: self.table,
-                        op: &op,
-                        key_col: &self.table.retweet_count,
-                        out: out.clone(),
-                        out_count: cnt.clone(),
-                    })
-                    .expect("filter kernel")
-                });
-                let m = cnt.get(0) as usize;
-                executed.push(Executed {
-                    ticket: p.ticket,
-                    sql: p.sql.clone(),
-                    ids: Vec::new(),
-                    own: (before..dev.log_len()).collect(),
-                    shared: Vec::new(),
-                    coalesced: false,
-                });
-                filtered.push((p, out, m, executed.len() - 1));
+                let r = {
+                    let (table, deadline) = (self.table, e.deadline);
+                    let (label, op) = (&label, &op);
+                    self.with_retries(
+                        deadline,
+                        &mut e.spent,
+                        &mut e.retries,
+                        &mut e.penalty,
+                        || {
+                            let out = dev.try_alloc::<Kv<u32>>(table.len())?;
+                            out.tag_ecc(label.clone());
+                            let cnt = dev.try_alloc::<u32>(1)?;
+                            dev.stream_scope(stream_id, || {
+                                dev.launch(&FilterKernel {
+                                    table,
+                                    op,
+                                    key_col: &table.retweet_count,
+                                    out: out.clone(),
+                                    out_count: cnt.clone(),
+                                })
+                            })?;
+                            Ok((out, cnt.get(0) as usize))
+                        },
+                    )
+                };
+                e.own.extend(before..dev.log_len());
+                match r {
+                    Ok((out, m)) => {
+                        e.labels.push(label);
+                        executed.push(e);
+                        filtered.push((out, m, executed.len() - 1));
+                    }
+                    Err(err @ QdbError::Timeout { .. }) => {
+                        e.error = Some(err);
+                        executed.push(e);
+                    }
+                    Err(_) => {
+                        // streamed filter defeated: straight to rung 2
+                        self.run_query_ladder(&mut e, None, true);
+                        executed.push(e);
+                    }
+                }
             } else {
-                let before = dev.log_len();
-                let r = dev.stream_scope(stream.id(), || {
-                    execute(dev, self.table, &p.query, p.strategy)
-                        .expect("shape validated at submit")
-                });
-                executed.push(Executed {
-                    ticket: p.ticket,
-                    sql: p.sql,
-                    ids: r.ids,
-                    own: (before..dev.log_len()).collect(),
-                    shared: Vec::new(),
-                    coalesced: false,
-                });
+                self.run_query_ladder(&mut e, Some(stream_id), false);
+                executed.push(e);
             }
         }
 
         // split the filtered queries into batchable and oversized
         let max_row = max_single_launch_row::<Kv<u32>>(dev.spec());
-        let mut batchable: Vec<(Pending, GpuBuffer<Kv<u32>>, usize, usize)> = Vec::new();
-        for (p, out, m, slot) in filtered {
+        let mut batchable: Vec<(GpuBuffer<Kv<u32>>, usize, usize)> = Vec::new();
+        for (out, m, slot) in filtered {
             if m == 0 {
                 continue; // empty result, already recorded
             }
             if next_pow2(m) <= max_row {
-                batchable.push((p, out, m, slot));
+                batchable.push((out, m, slot));
             } else {
                 // too big for the fused batch row: finish on its own stream
-                let stream = &self.streams[slot % self.streams.len()];
-                let before = dev.log_len();
-                let r = dev.stream_scope(stream.id(), || {
-                    crate::engine::run_topk_stage(
-                        dev,
-                        &out,
-                        m,
-                        p.query.limit.min(m),
-                        TopKStrategy::Bitonic,
-                    )
-                    .expect("top-k stage")
-                });
-                executed[slot].ids = r.items.iter().map(|kv| kv.value).collect();
-                executed[slot].own.extend(before..dev.log_len());
+                self.finish_serially(&mut executed[slot], slot, &out, m);
             }
         }
 
@@ -374,74 +756,155 @@ impl<'a> Server<'a> {
         for chunk in batchable.chunks(self.cfg.max_batch.max(2)) {
             if chunk.len() < 2 {
                 // a lone query gains nothing from the batch detour
-                let (p, out, m, slot) = &chunk[0];
-                let stream = &self.streams[*slot % self.streams.len()];
-                let before = dev.log_len();
-                let r = dev.stream_scope(stream.id(), || {
-                    crate::engine::run_topk_stage(
-                        dev,
-                        out,
-                        *m,
-                        p.query.limit.min(*m),
-                        TopKStrategy::Bitonic,
-                    )
-                    .expect("top-k stage")
-                });
-                executed[*slot].ids = r.items.iter().map(|kv| kv.value).collect();
-                executed[*slot].own.extend(before..dev.log_len());
+                let (out, m, slot) = &chunk[0];
+                self.finish_serially(&mut executed[*slot], *slot, out, *m);
                 continue;
             }
             let rows = chunk.len();
             let cols = chunk
                 .iter()
-                .map(|(_, _, m, _)| next_pow2(*m))
+                .map(|(_, m, _)| next_pow2(*m))
                 .max()
                 .unwrap_or(1);
             let k_max = chunk
                 .iter()
-                .map(|(p, _, _, _)| p.query.limit)
+                .map(|(_, _, slot)| executed[*slot].query.limit)
                 .max()
                 .unwrap();
+            let batch_label = format!("qdb:batch:c{}", chunk[0].2);
 
             let batch_stream = dev.create_stream();
             // the pack must see every member's filter output
-            for (_, _, _, slot) in chunk {
+            for (_, _, slot) in chunk {
                 let ev = self.streams[*slot % self.streams.len()].record_event();
                 batch_stream.wait_event(&ev);
             }
             let before = dev.log_len();
-            let matrix = dev.alloc_filled::<Kv<u32>>(rows * cols, Kv::<u32>::min_sentinel());
-            let batched = dev.stream_scope(batch_stream.id(), || {
-                dev.launch(&PackKernel {
-                    sources: chunk
-                        .iter()
-                        .map(|(_, out, m, _)| (out.clone(), *m))
-                        .collect(),
-                    out: matrix.clone(),
-                    cols,
-                })
-                .expect("pack kernel");
-                batched_bitonic_topk(dev, &matrix, rows, cols, k_max.min(cols))
-                    .expect("batched top-k")
-            });
-            let shared: Vec<usize> = (before..dev.log_len()).collect();
-            for (row, (p, _, m, slot)) in chunk.iter().enumerate() {
-                let mut ids: Vec<u32> = batched.rows[row].iter().map(|kv| kv.value).collect();
-                ids.truncate(p.query.limit.min(*m));
-                executed[*slot].ids = ids;
-                executed[*slot].shared.extend(shared.iter().copied());
-                executed[*slot].coalesced = true;
+            // the shared batch carries no single deadline; per-member
+            // deadlines are enforced on the solo rungs
+            let mut batch_spent = SimTime::ZERO;
+            let mut batch_penalty = SimTime::ZERO;
+            let batched = {
+                let batch_label = &batch_label;
+                self.with_retries(
+                    None,
+                    &mut batch_spent,
+                    &mut batch_retries,
+                    &mut batch_penalty,
+                    || {
+                        let matrix = dev
+                            .try_alloc_filled::<Kv<u32>>(rows * cols, Kv::<u32>::min_sentinel())?;
+                        matrix.tag_ecc(batch_label.clone());
+                        dev.stream_scope(batch_stream.id(), || {
+                            dev.launch(&PackKernel {
+                                sources: chunk
+                                    .iter()
+                                    .map(|(out, m, _)| (out.clone(), *m))
+                                    .collect(),
+                                out: matrix.clone(),
+                                cols,
+                            })?;
+                            batched_bitonic_topk(dev, &matrix, rows, cols, k_max.min(cols))
+                                .map_err(QdbError::from)
+                        })
+                    },
+                )
+            };
+            match batched {
+                Ok(batched) => {
+                    let shared: Vec<usize> = (before..dev.log_len()).collect();
+                    for (row, (_, m, slot)) in chunk.iter().enumerate() {
+                        let e = &mut executed[*slot];
+                        let mut ids: Vec<u32> =
+                            batched.rows[row].iter().map(|kv| kv.value).collect();
+                        ids.truncate(e.query.limit.min(*m));
+                        e.ids = ids;
+                        e.shared.extend(shared.iter().copied());
+                        e.coalesced = true;
+                        e.labels.push(batch_label.clone());
+                    }
+                }
+                Err(_) => {
+                    // the shared batch is defeated: every member finishes
+                    // serially from its own candidates
+                    for (out, m, slot) in chunk {
+                        self.finish_serially(&mut executed[*slot], *slot, out, *m);
+                    }
+                }
             }
         }
 
-        let mut report = self.finish(window, executed);
+        // integrity audit: a completed query whose tagged buffers show up
+        // in the fault log as corruption targets re-executes from the
+        // pristine (untagged) resident table, so completed results always
+        // match the fault-free oracle
+        let hit_labels: HashSet<String> = dev.fault_events()[fault_start..]
+            .iter()
+            .filter(|ev| ev.kind == simt::FaultKind::MemoryCorruption)
+            .filter_map(|ev| ev.target.clone())
+            .collect();
+        if !hit_labels.is_empty() {
+            for e in &mut executed {
+                let tainted = e.error.is_none() && e.labels.iter().any(|l| hit_labels.contains(l));
+                if tainted {
+                    e.degrade = e.degrade.max(DegradeLevel::SerialBitonic);
+                    self.run_query_ladder(e, None, true);
+                }
+            }
+        }
+
+        let mut report = self.finish(window, fault_start, batch_retries, executed);
         report.host_wall = wall_start.elapsed();
         report
     }
 
+    /// Finishes one coalescable query from its candidate buffer with the
+    /// serial rungs of the ladder: bitonic top-k on the query's stream,
+    /// then (on failure) serial re-execution, then the CPU backend.
+    fn finish_serially(&self, e: &mut Executed, slot: usize, out: &GpuBuffer<Kv<u32>>, m: usize) {
+        let dev = self.dev;
+        let stream_id = self.streams[slot % self.streams.len()].id();
+        let before = dev.log_len();
+        let r = {
+            let (deadline, limit) = (e.deadline, e.query.limit);
+            self.with_retries(
+                deadline,
+                &mut e.spent,
+                &mut e.retries,
+                &mut e.penalty,
+                || {
+                    dev.stream_scope(stream_id, || {
+                        crate::engine::run_topk_stage(
+                            dev,
+                            out,
+                            m,
+                            limit.min(m),
+                            TopKStrategy::Bitonic,
+                        )
+                    })
+                },
+            )
+        };
+        e.own.extend(before..dev.log_len());
+        match r {
+            Ok(res) => e.ids = res.items.iter().map(|kv| kv.value).collect(),
+            Err(err @ QdbError::Timeout { .. }) => e.error = Some(err),
+            Err(_) => {
+                e.degrade = DegradeLevel::SerialBitonic;
+                self.run_query_ladder(e, None, true);
+            }
+        }
+    }
+
     /// Replays the drain's launches onto the shared timeline and builds
     /// the per-query and aggregate report.
-    fn finish(&self, window: usize, executed: Vec<Executed>) -> LoadReport {
+    fn finish(
+        &mut self,
+        window: usize,
+        fault_start: usize,
+        batch_retries: usize,
+        executed: Vec<Executed>,
+    ) -> LoadReport {
         let dev = self.dev;
         let schedule = dev.schedule_since(window);
         let full_log = dev.log_since(0);
@@ -479,6 +942,15 @@ impl<'a> Server<'a> {
                     .chain(e.shared.iter())
                     .map(|&i| full_log[i].clone())
                     .collect();
+                let mut timing = QueryTiming {
+                    queued: first,
+                    exec: SimTime(last.0 - first.0),
+                    total: last,
+                };
+                if e.penalty.0 > 0.0 {
+                    timing.exec += e.penalty;
+                    timing.total += e.penalty;
+                }
                 ServedQuery {
                     ticket: e.ticket,
                     sql: e.sql,
@@ -490,19 +962,22 @@ impl<'a> Server<'a> {
                             .map(|r| (r.name.to_string(), r.time))
                             .collect(),
                     },
-                    timing: QueryTiming {
-                        queued: first,
-                        exec: SimTime(last.0 - first.0),
-                        total: last,
-                    },
+                    timing,
                     coalesced: e.coalesced,
+                    error: e.error,
+                    retries: e.retries,
+                    degrade: e.degrade,
                 }
             })
             .collect();
         queries.sort_by_key(|q| q.ticket.0);
 
-        let mut totals: Vec<f64> = queries.iter().map(|q| q.timing.total.0).collect();
-        totals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut totals: Vec<f64> = queries
+            .iter()
+            .filter(|q| q.completed())
+            .map(|q| q.timing.total.0)
+            .collect();
+        totals.sort_by(f64::total_cmp);
         let pct = |p: f64| -> SimTime {
             if totals.is_empty() {
                 return SimTime::ZERO;
@@ -510,9 +985,33 @@ impl<'a> Server<'a> {
             let idx = ((totals.len() - 1) as f64 * p).round() as usize;
             SimTime(totals[idx])
         };
+
+        let resilience = ResilienceStats {
+            completed: queries.iter().filter(|q| q.completed()).count(),
+            shed: std::mem::take(&mut self.shed),
+            timed_out: queries
+                .iter()
+                .filter(|q| matches!(q.error, Some(QdbError::Timeout { .. })))
+                .count(),
+            failed: queries
+                .iter()
+                .filter(|q| q.error.is_some() && !matches!(q.error, Some(QdbError::Timeout { .. })))
+                .count(),
+            retries: batch_retries + queries.iter().map(|q| q.retries).sum::<usize>(),
+            degraded_serial: queries
+                .iter()
+                .filter(|q| q.degrade == DegradeLevel::SerialBitonic)
+                .count(),
+            degraded_cpu: queries
+                .iter()
+                .filter(|q| q.degrade == DegradeLevel::CpuHeap)
+                .count(),
+            faults_injected: dev.fault_events_len() - fault_start,
+        };
+
         let makespan = schedule.makespan;
         let queries_per_sec = if makespan.0 > 0.0 {
-            queries.len() as f64 / makespan.0
+            resilience.completed as f64 / makespan.0
         } else {
             0.0
         };
@@ -524,6 +1023,7 @@ impl<'a> Server<'a> {
             makespan,
             serial_time: schedule.serial_time,
             queries_per_sec,
+            resilience,
             queries,
             schedule,
             host_wall: std::time::Duration::ZERO,
@@ -552,6 +1052,7 @@ fn validate_executable(q: &Query) -> Result<(), SqlError> {
 mod tests {
     use super::*;
     use datagen::twitter::TweetTable;
+    use simt::FaultPlan;
 
     fn setup(n: usize) -> (Device, TweetTable) {
         (Device::titan_x(), TweetTable::generate(n, 31))
@@ -590,6 +1091,8 @@ mod tests {
         for (sql, t) in sqls.iter().zip(&tickets) {
             let served = &report.queries[t.0];
             assert_eq!(&served.sql, sql);
+            assert!(served.completed(), "{sql}: {:?}", served.error);
+            assert_eq!(served.degrade, DegradeLevel::None);
             let q = parse(sql).unwrap();
             let serial = execute(&dev, &table, &q, Strategy::StageBitonic).unwrap();
             if q.group_by_uid {
@@ -627,6 +1130,11 @@ mod tests {
         assert!(report.makespan.0 > 0.0);
         assert!(report.queries_per_sec > 0.0);
         assert!(report.p50.0 <= report.p95.0 && report.p95.0 <= report.p99.0);
+        // a fault-free drain reports a clean resilience ledger
+        assert_eq!(report.resilience.completed, sqls.len());
+        assert_eq!(report.resilience.retries, 0);
+        assert_eq!(report.resilience.shed, 0);
+        assert_eq!(report.resilience.faults_injected, 0);
         // the drain ran on the host, so wall-clock capture must be live
         assert!(report.host_wall > std::time::Duration::ZERO);
         assert!(report.host_queries_per_sec() > 0.0);
@@ -785,10 +1293,243 @@ mod tests {
         let (dev, host) = setup(1_000);
         let table = GpuTweetTable::upload(&dev, &host);
         let mut server = Server::new(&dev, &table, ServerConfig::default());
-        assert!(server.submit("DROP TABLE tweets").is_err());
-        assert!(server
-            .submit("SELECT id FROM tweets ORDER BY retweet_count + 0.9 * likes_count DESC LIMIT 5")
-            .is_err());
+        assert!(matches!(
+            server.submit("DROP TABLE tweets"),
+            Err(QdbError::Parse(_))
+        ));
+        assert!(matches!(
+            server.submit(
+                "SELECT id FROM tweets ORDER BY retweet_count + 0.9 * likes_count DESC LIMIT 5"
+            ),
+            Err(QdbError::Parse(SqlError::Unsupported(_)))
+        ));
         assert_eq!(server.pending_len(), 0);
+    }
+
+    #[test]
+    fn submit_validation_returns_typed_errors() {
+        let (dev, host) = setup(100);
+        let table = GpuTweetTable::upload(&dev, &host);
+        let mut server = Server::new(&dev, &table, ServerConfig::default());
+        // k = 0 dies in the parser, typed, no panic
+        assert!(matches!(
+            server.submit("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 0"),
+            Err(QdbError::Parse(SqlError::BadLimit(_)))
+        ));
+        // k > n is rejected against the resident table
+        assert!(matches!(
+            server.submit("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 200"),
+            Err(QdbError::InvalidK { k: 200, n: 100 })
+        ));
+        // a dead-on-arrival deadline is rejected at submission
+        assert!(matches!(
+            server.submit_with_deadline(
+                "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5",
+                SimTime(0.0),
+            ),
+            Err(QdbError::DeadlineExpired { .. })
+        ));
+        assert_eq!(server.pending_len(), 0);
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_error() {
+        let (dev, host) = setup(1_000);
+        let table = GpuTweetTable::upload(&dev, &host);
+        let cfg = ServerConfig {
+            max_queue: 2,
+            ..ServerConfig::default()
+        };
+        let mut server = Server::new(&dev, &table, cfg);
+        let sql = "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5";
+        server.submit(sql).unwrap();
+        server.submit(sql).unwrap();
+        let shed = server.submit(sql);
+        assert!(matches!(
+            shed,
+            Err(QdbError::Overloaded {
+                queue_len: 2,
+                max_queue: 2
+            })
+        ));
+        let report = server.drain();
+        assert_eq!(report.resilience.shed, 1);
+        assert_eq!(report.resilience.completed, 2);
+        // the shed counter resets between drains
+        server.submit(sql).unwrap();
+        assert_eq!(server.drain().resilience.shed, 0);
+    }
+
+    #[test]
+    fn persistent_launch_faults_degrade_to_cpu_with_oracle_results() {
+        let (dev, host) = setup(4_000);
+        let table = GpuTweetTable::upload(&dev, &host);
+        let cutoff = host.time_cutoff_for_selectivity(0.4);
+        let sqls = [
+            format!("SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT 10"),
+            "SELECT id FROM tweets ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT 8".to_string(),
+            "SELECT id FROM tweets ORDER BY retweet_count ASC LIMIT 6".to_string(),
+            "SELECT uid, COUNT(*) FROM tweets GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 5".to_string(),
+        ];
+        // fault-free oracle first, on the same device
+        let oracles: Vec<Vec<u32>> = sqls
+            .iter()
+            .map(|s| {
+                execute(&dev, &table, &parse(s).unwrap(), Strategy::StageBitonic)
+                    .unwrap()
+                    .ids
+            })
+            .collect();
+        // now every launch fails: nothing on the device can complete
+        dev.set_fault_plan(FaultPlan {
+            launch_failure_rate: 1.0,
+            max_faults: usize::MAX,
+            ..FaultPlan::none()
+        });
+        let mut server = Server::new(&dev, &table, ServerConfig::default());
+        for s in &sqls {
+            server.submit(s).unwrap();
+        }
+        let report = server.drain();
+        dev.clear_fault_plan();
+        assert_eq!(report.resilience.completed, sqls.len());
+        assert_eq!(report.resilience.degraded_cpu, sqls.len());
+        assert!(report.resilience.retries > 0);
+        assert!(report.resilience.faults_injected > 0);
+        for (i, served) in report.queries.iter().enumerate() {
+            assert_eq!(served.degrade, DegradeLevel::CpuHeap, "{}", served.sql);
+            assert!(served.retries > 0, "{}", served.sql);
+            // CPU answers must match the fault-free device oracle by key
+            let q = parse(&sqls[i]).unwrap();
+            if q.group_by_uid {
+                let mut counts = std::collections::HashMap::new();
+                for &u in &host.uid {
+                    *counts.entry(u).or_insert(0u32) += 1;
+                }
+                let got: Vec<u32> = served.result.ids.iter().map(|u| counts[u]).collect();
+                let want: Vec<u32> = oracles[i].iter().map(|u| counts[u]).collect();
+                assert_eq!(got, want, "{}", served.sql);
+            } else if matches!(q.order_by, OrderBy::Rank { .. }) {
+                let rank = |id: u32| {
+                    host.retweet_count[id as usize] as f32
+                        + 0.5 * host.likes_count[id as usize] as f32
+                };
+                let got: Vec<f32> = served.result.ids.iter().map(|&x| rank(x)).collect();
+                let want: Vec<f32> = oracles[i].iter().map(|&x| rank(x)).collect();
+                assert_eq!(got, want, "{}", served.sql);
+            } else if q.ascending {
+                let got = keys(&host, &served.result.ids);
+                let want = keys(&host, &oracles[i]);
+                assert_eq!(got, want, "{}", served.sql);
+            } else {
+                assert_eq!(
+                    keys(&host, &served.result.ids),
+                    keys(&host, &oracles[i]),
+                    "{}",
+                    served.sql
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tight_deadline_times_out_under_faults_and_reports_typed_error() {
+        let (dev, host) = setup(2_000);
+        let table = GpuTweetTable::upload(&dev, &host);
+        dev.set_fault_plan(FaultPlan {
+            launch_failure_rate: 1.0,
+            max_faults: usize::MAX,
+            ..FaultPlan::none()
+        });
+        let mut server = Server::new(&dev, &table, ServerConfig::default());
+        let t = server
+            .submit_with_deadline(
+                "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5",
+                SimTime(1e-9),
+            )
+            .unwrap();
+        let report = server.drain();
+        dev.clear_fault_plan();
+        let served = &report.queries[t.0];
+        assert!(!served.completed());
+        assert!(
+            matches!(served.error, Some(QdbError::Timeout { .. })),
+            "expected timeout, got {:?}",
+            served.error
+        );
+        assert_eq!(report.resilience.timed_out, 1);
+        assert_eq!(report.resilience.completed, 0);
+    }
+
+    #[test]
+    fn generous_deadline_completes_without_faults() {
+        let (dev, host) = setup(2_000);
+        let table = GpuTweetTable::upload(&dev, &host);
+        let mut server = Server::new(&dev, &table, ServerConfig::default());
+        let t = server
+            .submit_with_deadline(
+                "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5",
+                SimTime(1.0),
+            )
+            .unwrap();
+        let report = server.drain();
+        let served = &report.queries[t.0];
+        assert!(served.completed());
+        assert_eq!(served.result.ids.len(), 5);
+        assert_eq!(report.resilience.timed_out, 0);
+    }
+
+    #[test]
+    fn corrupted_candidate_buffers_are_audited_and_rerun() {
+        let (dev, host) = setup(6_000);
+        let table = GpuTweetTable::upload(&dev, &host);
+        let cutoff = host.time_cutoff_for_selectivity(0.3);
+        let sqls: Vec<String> = (0..6)
+            .map(|i| {
+                format!(
+                    "SELECT id FROM tweets WHERE tweet_time < {cutoff} \
+                     ORDER BY retweet_count DESC LIMIT {}",
+                    4 + i
+                )
+            })
+            .collect();
+        let oracles: Vec<Vec<u32>> = sqls
+            .iter()
+            .map(|s| {
+                execute(&dev, &table, &parse(s).unwrap(), Strategy::StageBitonic)
+                    .unwrap()
+                    .ids
+            })
+            .collect();
+        // every launch flips one element of some live tagged buffer
+        dev.set_fault_plan(FaultPlan {
+            corruption_rate: 1.0,
+            max_faults: usize::MAX,
+            ..FaultPlan::none()
+        });
+        let mut server = Server::new(&dev, &table, ServerConfig::default());
+        for s in &sqls {
+            server.submit(s).unwrap();
+        }
+        let report = server.drain();
+        dev.clear_fault_plan();
+        assert!(report.resilience.faults_injected > 0);
+        assert_eq!(report.resilience.completed, sqls.len());
+        // the audit must have re-derived at least one tainted query
+        assert!(
+            report
+                .queries
+                .iter()
+                .any(|q| q.degrade != DegradeLevel::None),
+            "corruption fired but no query was re-derived"
+        );
+        for (i, served) in report.queries.iter().enumerate() {
+            assert_eq!(
+                keys(&host, &served.result.ids),
+                keys(&host, &oracles[i]),
+                "{}",
+                served.sql
+            );
+        }
     }
 }

@@ -20,6 +20,7 @@
 use simt::Device;
 
 use crate::engine::{FilterOp, TopKStrategy};
+use crate::error::QdbError;
 use crate::queries::{
     filtered_bottomk, filtered_topk, group_topk, ranked_topk, QueryResult, Strategy,
 };
@@ -384,14 +385,16 @@ fn parse_query(c: &mut Cursor) -> Result<Query, SqlError> {
 /// Rank queries with a non-default weight are evaluated with the generic
 /// ranking pipeline only when the weight matches the engine's built-in
 /// `0.5` (the paper's Q2); other weights return
-/// [`SqlError::Unsupported`] — the engine compiles one ranking function,
-/// like the paper's fused kernel does.
+/// [`SqlError::Unsupported`] (wrapped in [`QdbError::Parse`]) — the
+/// engine compiles one ranking function, like the paper's fused kernel
+/// does. Device faults surface as [`QdbError::DeviceFault`]; nothing on
+/// this path panics.
 pub fn execute(
     dev: &Device,
     table: &GpuTweetTable,
     q: &Query,
     strategy: Strategy,
-) -> Result<QueryResult, SqlError> {
+) -> Result<QueryResult, QdbError> {
     match (&q.order_by, q.group_by_uid) {
         (OrderBy::Count, true) => {
             let topk = if strategy == Strategy::StageSort {
@@ -399,28 +402,26 @@ pub fn execute(
             } else {
                 TopKStrategy::Bitonic
             };
-            Ok(group_topk(dev, table, q.limit, topk))
+            group_topk(dev, table, q.limit, topk)
         }
         (OrderBy::RetweetCount, false) => {
             let op = q.filter.clone().unwrap_or(FilterOp::TimeLess(u32::MAX));
             if q.ascending {
-                Ok(filtered_bottomk(dev, table, &op, q.limit, strategy))
+                filtered_bottomk(dev, table, &op, q.limit, strategy)
             } else {
-                Ok(filtered_topk(dev, table, &op, q.limit, strategy))
+                filtered_topk(dev, table, &op, q.limit, strategy)
             }
         }
         (OrderBy::Rank { likes_weight }, false) => {
             if (likes_weight - 0.5).abs() > 1e-9 {
-                return Err(SqlError::Unsupported("ranking weight other than 0.5"));
+                return Err(SqlError::Unsupported("ranking weight other than 0.5").into());
             }
             if q.filter.is_some() {
-                return Err(SqlError::Unsupported(
-                    "WHERE combined with a ranking function",
-                ));
+                return Err(SqlError::Unsupported("WHERE combined with a ranking function").into());
             }
-            Ok(ranked_topk(dev, table, q.limit, strategy))
+            ranked_topk(dev, table, q.limit, strategy)
         }
-        _ => Err(SqlError::Unsupported("this SELECT/GROUP BY combination")),
+        _ => Err(SqlError::Unsupported("this SELECT/GROUP BY combination").into()),
     }
 }
 
@@ -492,7 +493,7 @@ pub fn explain_sanitize(
     table: &GpuTweetTable,
     q: &Query,
     strategy: Strategy,
-) -> Result<SanitizedQuery, SqlError> {
+) -> Result<SanitizedQuery, QdbError> {
     let was_enabled = dev.sanitizer_enabled();
     if !was_enabled {
         dev.enable_sanitizer();
@@ -671,7 +672,8 @@ mod tests {
             &FilterOp::TimeLess(cutoff),
             25,
             Strategy::CombinedBitonic,
-        );
+        )
+        .unwrap();
         assert_eq!(via_sql.ids, direct.ids);
     }
 
@@ -755,7 +757,41 @@ mod tests {
                 .unwrap();
         assert!(matches!(
             execute(&dev, &table, &q, Strategy::StageBitonic),
-            Err(SqlError::Unsupported(_))
+            Err(QdbError::Parse(SqlError::Unsupported(_)))
         ));
+    }
+
+    #[test]
+    fn negative_parse_shapes_never_panic() {
+        // malformed statements across every clause return typed errors
+        let bad = [
+            "",
+            ";",
+            "SELECT",
+            "SELECT id",
+            "SELECT id FROM",
+            "SELECT id, uid FROM tweets ORDER BY retweet_count DESC LIMIT 5",
+            "SELECT uid, COUNT(* FROM tweets GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 5",
+            "SELECT uid, COUNT(*) FROM tweets ORDER BY COUNT(*) DESC LIMIT 5",
+            "SELECT id FROM tweets GROUP BY uid ORDER BY retweet_count DESC LIMIT 5",
+            "SELECT id FROM tweets WHERE tweet_time < abc ORDER BY retweet_count DESC LIMIT 5",
+            "SELECT id FROM tweets WHERE tweet_time > 5 ORDER BY retweet_count DESC LIMIT 5",
+            "SELECT id FROM tweets WHERE lang = en ORDER BY retweet_count DESC LIMIT 5",
+            "SELECT id FROM tweets WHERE lang = 'en' OR uid = 3 ORDER BY retweet_count DESC LIMIT 5",
+            "SELECT id FROM tweets WHERE uid = 3 ORDER BY retweet_count DESC LIMIT 5",
+            "SELECT id FROM tweets ORDER BY likes_count DESC LIMIT 5",
+            "SELECT id FROM tweets ORDER BY retweet_count + x * likes_count DESC LIMIT 5",
+            "SELECT id FROM tweets ORDER BY retweet_count + 0.5 * uid DESC LIMIT 5",
+            "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT",
+            "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT -3",
+            "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 1.5",
+            "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5 ; garbage",
+            "SELECT id FROM tweets WHERE lang = 'en ORDER BY retweet_count DESC LIMIT 5",
+            "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5 #",
+        ];
+        for sql in bad {
+            assert!(parse(sql).is_err(), "{sql:?} must fail to parse");
+            assert!(parse_statement(sql).is_err(), "{sql:?} must fail to parse");
+        }
     }
 }

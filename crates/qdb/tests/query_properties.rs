@@ -37,7 +37,7 @@ proptest! {
         let cutoff = host.time_cutoff_for_selectivity(sel);
         let expect = host_q1(&host, |r| host.tweet_time[r] < cutoff, k);
         for strat in Strategy::all() {
-            let r = filtered_topk(&dev, &table, &FilterOp::TimeLess(cutoff), k, strat);
+            let r = filtered_topk(&dev, &table, &FilterOp::TimeLess(cutoff), k, strat).unwrap();
             let keys: Vec<u32> = r.ids.iter().map(|&id| host.retweet_count[id as usize]).collect();
             prop_assert_eq!(&keys, &expect, "{} sel={} k={}", strat.name(), sel, k);
             for &id in &r.ids {
@@ -56,7 +56,7 @@ proptest! {
         expect.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
         expect.truncate(k);
         for strat in Strategy::all() {
-            let r = ranked_topk(&dev, &table, k, strat);
+            let r = ranked_topk(&dev, &table, k, strat).unwrap();
             let keys: Vec<f32> = r.ids.iter().map(|&id| rank(id as usize)).collect();
             prop_assert_eq!(&keys, &expect, "{}", strat.name());
         }
@@ -75,7 +75,7 @@ proptest! {
         expect.sort_unstable_by(|a, b| b.cmp(a));
         expect.truncate(k.min(expect.len()));
         for strat in [TopKStrategy::Sort, TopKStrategy::Bitonic] {
-            let r = group_topk(&dev, &table, k, strat);
+            let r = group_topk(&dev, &table, k, strat).unwrap();
             let got: Vec<u32> = r.ids.iter().map(|uid| counts[uid]).collect();
             prop_assert_eq!(&got, &expect, "{:?}", strat);
         }
@@ -136,8 +136,8 @@ proptest! {
         let dev = Device::titan_x();
         let table = GpuTweetTable::upload(&dev, &host);
         let op = FilterOp::LangIn(langs.into_iter().collect());
-        let staged = filtered_topk(&dev, &table, &op, 25, Strategy::StageBitonic);
-        let fused = filtered_topk(&dev, &table, &op, 25, Strategy::CombinedBitonic);
+        let staged = filtered_topk(&dev, &table, &op, 25, Strategy::StageBitonic).unwrap();
+        let fused = filtered_topk(&dev, &table, &op, 25, Strategy::CombinedBitonic).unwrap();
         let sk: Vec<u32> = staged.ids.iter().map(|&id| host.retweet_count[id as usize]).collect();
         let fk: Vec<u32> = fused.ids.iter().map(|&id| host.retweet_count[id as usize]).collect();
         prop_assert_eq!(sk, fk);

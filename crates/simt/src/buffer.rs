@@ -4,6 +4,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::device::DeviceInner;
+use crate::fault::EccTarget;
 
 /// Types that may live in device memory.
 ///
@@ -100,6 +101,33 @@ impl<T: DeviceCopy> GpuBuffer<T> {
     /// Simulated device address of element 0.
     pub fn base_addr(&self) -> u64 {
         self.inner.base_addr
+    }
+
+    /// Opts this buffer in to ECC-corruption injection under the
+    /// device's fault plan (see [`crate::fault`]). When a corruption
+    /// fault fires, one element of one live tagged buffer is overwritten
+    /// with `T::default()` and a [`crate::FaultEvent`] carrying `label`
+    /// is recorded — callers watch the event log for their labels and
+    /// re-derive anything that was hit. Untagged buffers are never
+    /// corrupted. The tag lives as long as the buffer; dropping every
+    /// clone retires it.
+    pub fn tag_ecc(&self, label: impl Into<String>) {
+        let alive = Rc::downgrade(&self.inner);
+        let corrupt = Rc::downgrade(&self.inner);
+        self.inner.dev.register_ecc_target(EccTarget {
+            label: label.into(),
+            alive: Box::new(move || alive.upgrade().is_some()),
+            corrupt: Box::new(move |word| {
+                let inner = corrupt.upgrade()?;
+                let mut data = inner.data.borrow_mut();
+                if data.is_empty() {
+                    return None;
+                }
+                let idx = (word as usize) % data.len();
+                data[idx] = T::default();
+                Some(idx)
+            }),
+        });
     }
 
     /// One-line allocation description used by sanitizer diagnostics to

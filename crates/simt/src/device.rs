@@ -6,6 +6,7 @@ use std::rc::Rc;
 
 use crate::block::BlockCtx;
 use crate::buffer::{DeviceCopy, GpuBuffer};
+use crate::fault::{attribute, EccTarget, FaultEvent, FaultKind, FaultPlan, FaultState};
 use crate::occupancy::Occupancy;
 use crate::sanitize::{LaunchSanitizer, SanitizeConfig, SanitizerReport};
 use crate::spec::DeviceSpec;
@@ -95,6 +96,22 @@ pub enum LaunchError {
     },
     /// Empty grid or block.
     EmptyLaunch,
+    /// An injected transient device fault (see [`crate::fault`]): the
+    /// launch was valid but the fault plan failed it before any block
+    /// ran. Unlike the configuration errors above, retrying the same
+    /// launch may succeed.
+    DeviceFault {
+        /// Kernel whose launch was failed.
+        kernel: &'static str,
+    },
+}
+
+impl LaunchError {
+    /// True for faults a caller may sensibly retry ([`LaunchError::DeviceFault`]);
+    /// the configuration errors are permanent for a given launch shape.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, LaunchError::DeviceFault { .. })
+    }
 }
 
 impl std::fmt::Display for LaunchError {
@@ -108,6 +125,9 @@ impl std::fmt::Display for LaunchError {
                 write!(f, "block dim {requested} exceeds device limit {limit}")
             }
             LaunchError::EmptyLaunch => write!(f, "grid and block dims must be nonzero"),
+            LaunchError::DeviceFault { kernel } => {
+                write!(f, "injected device fault failed launch of `{kernel}`")
+            }
         }
     }
 }
@@ -208,6 +228,13 @@ pub(crate) struct DeviceInner {
     sanitize: RefCell<Option<SanitizeConfig>>,
     /// One report per sanitized launch, in launch order.
     san_reports: RefCell<Vec<SanitizerReport>>,
+    /// When set, launches and fallible allocations roll against this
+    /// fault plan (see [`crate::fault`]).
+    fault: RefCell<Option<FaultState>>,
+    /// Every injected fault, in firing order.
+    fault_events: RefCell<Vec<FaultEvent>>,
+    /// Buffers opted in to ECC-corruption injection.
+    ecc_targets: RefCell<Vec<EccTarget>>,
 }
 
 impl DeviceInner {
@@ -245,6 +272,132 @@ impl DeviceInner {
             .cloned()
             .collect()
     }
+
+    /// Fault events for launches stamped with `stream` (the hook
+    /// `Stream::fault_events` uses).
+    pub(crate) fn stream_fault_events(&self, stream: usize) -> Vec<FaultEvent> {
+        self.fault_events
+            .borrow()
+            .iter()
+            .filter(|e| e.stream == stream)
+            .cloned()
+            .collect()
+    }
+
+    /// Registers a buffer for ECC-corruption injection (the hook
+    /// `GpuBuffer::tag_ecc` uses). Dead targets are pruned first so the
+    /// registry stays bounded by the number of live tagged buffers.
+    pub(crate) fn register_ecc_target(&self, target: EccTarget) {
+        let mut targets = self.ecc_targets.borrow_mut();
+        targets.retain(|t| (t.alive)());
+        targets.push(target);
+    }
+
+    /// Rolls the launch-failure fault for `kernel`; true when the launch
+    /// must fail with [`LaunchError::DeviceFault`].
+    fn inject_launch_failure(&self, kernel: &'static str, block_dim: usize) -> bool {
+        let mut fault = self.fault.borrow_mut();
+        let Some(st) = fault.as_mut() else {
+            return false;
+        };
+        let rate = st.plan.launch_failure_rate;
+        let Some(w) = st.roll(rate) else {
+            return false;
+        };
+        let (step, lane) = attribute(w, block_dim);
+        self.fault_events.borrow_mut().push(FaultEvent {
+            kind: FaultKind::LaunchFailure,
+            kernel: kernel.to_string(),
+            launch_index: self.log_len(),
+            stream: self.cur_stream.get(),
+            step,
+            lane,
+            target: None,
+            detail: "launch failed before any block ran".to_string(),
+        });
+        true
+    }
+
+    /// Rolls the stream-stall fault; returns the modeled delay to add to
+    /// the completed launch's time.
+    fn inject_stall(&self, kernel: &'static str, block_dim: usize) -> Option<SimTime> {
+        let mut fault = self.fault.borrow_mut();
+        let st = fault.as_mut()?;
+        let rate = st.plan.stall_rate;
+        let w = st.roll(rate)?;
+        let delay = st.plan.stall_delay;
+        let (step, lane) = attribute(w, block_dim);
+        self.fault_events.borrow_mut().push(FaultEvent {
+            kind: FaultKind::StreamStall,
+            kernel: kernel.to_string(),
+            launch_index: self.log_len(),
+            stream: self.cur_stream.get(),
+            step,
+            lane,
+            target: None,
+            detail: format!("stalled {delay}"),
+        });
+        Some(delay)
+    }
+
+    /// Rolls the ECC-corruption fault after a completed launch: one
+    /// element of one live tagged buffer is overwritten with its default
+    /// value. A no-op when no tagged buffer is alive.
+    fn inject_corruption(&self, kernel: &'static str, block_dim: usize) {
+        let w = {
+            let mut fault = self.fault.borrow_mut();
+            let Some(st) = fault.as_mut() else { return };
+            let rate = st.plan.corruption_rate;
+            let Some(w) = st.roll(rate) else { return };
+            w
+        };
+        let mut targets = self.ecc_targets.borrow_mut();
+        targets.retain(|t| (t.alive)());
+        if targets.is_empty() {
+            return;
+        }
+        let pick = (w as usize) % targets.len();
+        let t = &targets[pick];
+        let Some(elem) = (t.corrupt)(w >> 16) else {
+            return;
+        };
+        let (step, lane) = attribute(w, block_dim);
+        self.fault_events.borrow_mut().push(FaultEvent {
+            kind: FaultKind::MemoryCorruption,
+            kernel: kernel.to_string(),
+            launch_index: self.log_len(),
+            stream: self.cur_stream.get(),
+            step,
+            lane,
+            target: Some(t.label.clone()),
+            detail: format!("element {elem} reset to default"),
+        });
+    }
+
+    /// Rolls the allocation-OOM fault; true when a fallible allocation
+    /// of `bytes` must fail despite available capacity.
+    fn inject_alloc_oom(&self, bytes: usize) -> bool {
+        let mut fault = self.fault.borrow_mut();
+        let Some(st) = fault.as_mut() else {
+            return false;
+        };
+        let rate = st.plan.oom_rate;
+        let Some(w) = st.roll(rate) else {
+            return false;
+        };
+        let (step, lane) = attribute(w, 1);
+        self.fault_events.borrow_mut().push(FaultEvent {
+            kind: FaultKind::AllocOom,
+            kernel: "alloc".to_string(),
+            launch_index: self.log_len(),
+            stream: self.cur_stream.get(),
+            step,
+            lane,
+            target: None,
+            detail: format!("allocation of {bytes} B failed"),
+        });
+        true
+    }
 }
 
 /// The simulated GPU.
@@ -270,6 +423,9 @@ impl Device {
                 waits: RefCell::new(Vec::new()),
                 sanitize: RefCell::new(None),
                 san_reports: RefCell::new(Vec::new()),
+                fault: RefCell::new(None),
+                fault_events: RefCell::new(Vec::new()),
+                ecc_targets: RefCell::new(Vec::new()),
             }),
         }
     }
@@ -290,11 +446,18 @@ impl Device {
     /// If device memory is exhausted — use [`Device::try_alloc`] for a
     /// recoverable path (the chunked out-of-core top-k does).
     pub fn alloc<T: DeviceCopy>(&self, n: usize) -> GpuBuffer<T> {
-        self.try_alloc(n).unwrap_or_else(|e| panic!("{e}"))
+        self.alloc_uninjected(n).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Fallible allocation respecting the device memory capacity.
+    /// Fallible allocation respecting the device memory capacity. Also
+    /// the injection point for [`crate::FaultPlan::oom_rate`] — only
+    /// callers that already handle [`OutOfMemory`] see injected failures.
     pub fn try_alloc<T: DeviceCopy>(&self, n: usize) -> Result<GpuBuffer<T>, OutOfMemory> {
+        self.injected_oom(n * std::mem::size_of::<T>())?;
+        self.alloc_uninjected(n)
+    }
+
+    fn alloc_uninjected<T: DeviceCopy>(&self, n: usize) -> Result<GpuBuffer<T>, OutOfMemory> {
         self.check_capacity(n * std::mem::size_of::<T>())?;
         Ok(GpuBuffer::new(
             Rc::clone(&self.inner),
@@ -307,11 +470,18 @@ impl Device {
     /// # Panics
     /// On device memory exhaustion (see [`Device::try_upload`]).
     pub fn upload<T: DeviceCopy>(&self, host: &[T]) -> GpuBuffer<T> {
-        self.try_upload(host).unwrap_or_else(|e| panic!("{e}"))
+        self.upload_uninjected(host)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Fallible upload respecting the device memory capacity.
+    /// Fallible upload respecting the device memory capacity; injected
+    /// OOM faults fire here (see [`Device::try_alloc`]).
     pub fn try_upload<T: DeviceCopy>(&self, host: &[T]) -> Result<GpuBuffer<T>, OutOfMemory> {
+        self.injected_oom(std::mem::size_of_val(host))?;
+        self.upload_uninjected(host)
+    }
+
+    fn upload_uninjected<T: DeviceCopy>(&self, host: &[T]) -> Result<GpuBuffer<T>, OutOfMemory> {
         self.check_capacity(std::mem::size_of_val(host))?;
         Ok(GpuBuffer::new(Rc::clone(&self.inner), host.to_vec()))
     }
@@ -324,6 +494,30 @@ impl Device {
         self.check_capacity(n * std::mem::size_of::<T>())
             .unwrap_or_else(|e| panic!("{e}"));
         GpuBuffer::new(Rc::clone(&self.inner), vec![v; n])
+    }
+
+    /// Fallible fill-allocation; injected OOM faults fire here (see
+    /// [`Device::try_alloc`]).
+    pub fn try_alloc_filled<T: DeviceCopy>(
+        &self,
+        n: usize,
+        v: T,
+    ) -> Result<GpuBuffer<T>, OutOfMemory> {
+        let bytes = n * std::mem::size_of::<T>();
+        self.injected_oom(bytes)?;
+        self.check_capacity(bytes)?;
+        Ok(GpuBuffer::new(Rc::clone(&self.inner), vec![v; n]))
+    }
+
+    fn injected_oom(&self, bytes: usize) -> Result<(), OutOfMemory> {
+        if self.inner.inject_alloc_oom(bytes) {
+            return Err(OutOfMemory {
+                requested: bytes,
+                in_use: self.inner.mem_allocated.get(),
+                capacity: self.inner.spec.global_mem_bytes,
+            });
+        }
+        Ok(())
     }
 
     fn check_capacity(&self, bytes: usize) -> Result<(), OutOfMemory> {
@@ -376,6 +570,11 @@ impl Device {
                 limit: spec.shared_mem_per_block,
             });
         }
+        if self.inner.inject_launch_failure(kernel.name(), block_dim) {
+            return Err(LaunchError::DeviceFault {
+                kernel: kernel.name(),
+            });
+        }
 
         let san = self
             .inner
@@ -405,9 +604,58 @@ impl Device {
             let srep = s.finalize(grid_dim, block_dim, self.inner.cur_stream.get());
             self.inner.san_reports.borrow_mut().push(srep);
         }
-        let report = self.report_from_stats(kernel.name(), grid_dim, block_dim, stats, occupancy);
+        let mut report =
+            self.report_from_stats(kernel.name(), grid_dim, block_dim, stats, occupancy);
+        // fault rolls in a fixed order (stall, then corruption) so a plan
+        // fires identically run to run
+        if let Some(delay) = self.inner.inject_stall(kernel.name(), block_dim) {
+            report.time += delay;
+        }
+        self.inner.inject_corruption(kernel.name(), block_dim);
         self.inner.log.borrow_mut().push(report.clone());
         Ok(report)
+    }
+
+    /// Installs a fault plan: subsequent launches and fallible
+    /// allocations roll against it (see [`crate::fault`]). Replaces any
+    /// previous plan and restarts its RNG stream; collected events are
+    /// kept. An all-zero plan never fires and draws no random words, so
+    /// installing [`FaultPlan::none`] is behaviorally identical to no
+    /// plan at all.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.inner.fault.borrow_mut() = Some(FaultState::new(plan));
+    }
+
+    /// Removes the fault plan; subsequent launches run fault-free.
+    /// Collected events are kept.
+    pub fn clear_fault_plan(&self) {
+        *self.inner.fault.borrow_mut() = None;
+    }
+
+    /// True when a fault plan that can actually fire is installed.
+    pub fn fault_plan_active(&self) -> bool {
+        self.inner
+            .fault
+            .borrow()
+            .as_ref()
+            .is_some_and(|st| !st.plan.is_zero())
+    }
+
+    /// Snapshot of every injected fault so far, in firing order.
+    pub fn fault_events(&self) -> Vec<FaultEvent> {
+        self.inner.fault_events.borrow().clone()
+    }
+
+    /// Drains the collected fault events.
+    pub fn take_fault_events(&self) -> Vec<FaultEvent> {
+        std::mem::take(&mut *self.inner.fault_events.borrow_mut())
+    }
+
+    /// Number of fault events collected so far (use to window a drain:
+    /// events at positions `>= start` belong to work issued after the
+    /// snapshot).
+    pub fn fault_events_len(&self) -> usize {
+        self.inner.fault_events.borrow().len()
     }
 
     /// Enables the sanitizer (default [`SanitizeConfig`]) for every

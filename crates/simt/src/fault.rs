@@ -1,0 +1,251 @@
+//! Deterministic, seed-driven fault injection for the simulated device.
+//!
+//! Real GPU serving stacks survive launch failures, ECC memory events,
+//! driver stalls and allocation pressure; the functional simulator is too
+//! well-behaved to exercise any of that. This module adds a [`FaultPlan`]
+//! the device can carry ([`crate::Device::set_fault_plan`]): a seeded
+//! probability for each fault kind, drawn from a private splitmix64
+//! stream so a given plan fires the *same* faults at the *same* launches
+//! every run — chaos tests stay reproducible and an all-zero plan is
+//! bit-identical to no plan at all.
+//!
+//! Four fault kinds are modeled, each attributed like sanitizer findings
+//! (kernel, launch index, stream, and a simulated step/lane coordinate):
+//!
+//! * **launch failure** — the launch returns
+//!   [`crate::LaunchError::DeviceFault`] before any block runs; classified
+//!   *transient* (the identical launch may succeed on retry).
+//! * **ECC memory corruption** — one element of one *tagged* buffer
+//!   (see [`crate::GpuBuffer::tag_ecc`]) is silently overwritten after a
+//!   launch completes. Untagged buffers are never corrupted, so a serving
+//!   layer opts its intermediate buffers in and re-derives anything whose
+//!   tag shows up in the event log.
+//! * **stream stall** — the launch completes but its modeled time is
+//!   inflated by [`FaultPlan::stall_delay`], pushing deadline-sensitive
+//!   queries over their budget.
+//! * **allocation OOM** — a fallible allocation
+//!   ([`crate::Device::try_alloc`] and friends) fails with
+//!   [`crate::OutOfMemory`] despite available capacity. The panicking
+//!   allocation paths are *not* injected: code that declared
+//!   infallibility cannot report a transient fault, and chaos runs must
+//!   never panic inside the simulator.
+//!
+//! Fault decisions consume random words only for kinds with a nonzero
+//! rate, so enabling one kind does not reshuffle another kind's draws
+//! relative to a plan where the first is off.
+
+use crate::stats::SimTime;
+
+/// Which fault fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A kernel launch was failed with [`crate::LaunchError::DeviceFault`].
+    LaunchFailure,
+    /// An element of a tagged buffer was overwritten (simulated ECC hit).
+    MemoryCorruption,
+    /// A launch's modeled time was inflated by the plan's stall delay.
+    StreamStall,
+    /// A fallible allocation was failed with [`crate::OutOfMemory`].
+    AllocOom,
+}
+
+impl FaultKind {
+    /// Stable name for reports and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::LaunchFailure => "launch-failure",
+            FaultKind::MemoryCorruption => "memory-corruption",
+            FaultKind::StreamStall => "stream-stall",
+            FaultKind::AllocOom => "alloc-oom",
+        }
+    }
+}
+
+/// A deterministic fault-injection plan.
+///
+/// Rates are probabilities in `[0, 1]` evaluated independently per launch
+/// (or per fallible allocation for [`FaultPlan::oom_rate`]). The default
+/// plan is all-zero: installing it changes nothing, which is what keeps
+/// benchmark baselines bit-identical when the plan is off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the private fault RNG stream.
+    pub seed: u64,
+    /// Probability a launch fails with [`crate::LaunchError::DeviceFault`].
+    pub launch_failure_rate: f64,
+    /// Probability a completed launch corrupts one element of one live
+    /// tagged buffer.
+    pub corruption_rate: f64,
+    /// Probability a completed launch is stalled by
+    /// [`FaultPlan::stall_delay`].
+    pub stall_rate: f64,
+    /// Modeled time added to a stalled launch.
+    pub stall_delay: SimTime,
+    /// Probability a fallible allocation fails with
+    /// [`crate::OutOfMemory`].
+    pub oom_rate: f64,
+    /// Hard cap on injected faults (stalls included); `usize::MAX` means
+    /// unlimited.
+    pub max_faults: usize,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The all-zero plan: no faults ever fire.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            launch_failure_rate: 0.0,
+            corruption_rate: 0.0,
+            stall_rate: 0.0,
+            stall_delay: SimTime(100e-6),
+            oom_rate: 0.0,
+            max_faults: usize::MAX,
+        }
+    }
+
+    /// An all-zero plan with a seed (rates are then dialed per field).
+    pub fn with_seed(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// A uniform plan: every kind fires at `rate`, seeded with `seed`.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            launch_failure_rate: rate,
+            corruption_rate: rate,
+            stall_rate: rate,
+            oom_rate: rate,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// True when no fault can ever fire under this plan.
+    pub fn is_zero(&self) -> bool {
+        self.launch_failure_rate <= 0.0
+            && self.corruption_rate <= 0.0
+            && self.stall_rate <= 0.0
+            && self.oom_rate <= 0.0
+    }
+}
+
+/// One injected fault, attributed like a sanitizer finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// What fired.
+    pub kind: FaultKind,
+    /// Kernel the fault hit (`"alloc"` for [`FaultKind::AllocOom`]).
+    pub kernel: String,
+    /// Absolute launch-log position the fault is attributed to (the
+    /// failed/stalled launch, or the log length at allocation time).
+    pub launch_index: usize,
+    /// Stream the affected work was stamped with.
+    pub stream: usize,
+    /// Simulated barrier-interval the fault is attributed to.
+    pub step: usize,
+    /// Simulated lane the fault is attributed to.
+    pub lane: usize,
+    /// For [`FaultKind::MemoryCorruption`]: the tag of the buffer that
+    /// was hit (see [`crate::GpuBuffer::tag_ecc`]).
+    pub target: Option<String>,
+    /// Kind-specific detail (corrupted element index, stall delay,
+    /// requested bytes).
+    pub detail: String,
+}
+
+impl FaultEvent {
+    /// One-line rendering, e.g. for chaos-report artifacts.
+    pub fn render(&self) -> String {
+        let target = match &self.target {
+            Some(t) => format!(" target={t}"),
+            None => String::new(),
+        };
+        format!(
+            "[{}] kernel=`{}` launch#{} stream{} step {} lane {}{} ({})",
+            self.kind.name(),
+            self.kernel,
+            self.launch_index,
+            self.stream,
+            self.step,
+            self.lane,
+            target,
+            self.detail
+        )
+    }
+}
+
+/// An ECC-corruption target registered by [`crate::GpuBuffer::tag_ecc`].
+///
+/// Type-erased: the closure holds a weak reference to the buffer's
+/// storage, overwrites one element (chosen by the supplied random word)
+/// with `T::default()`, and reports the element index — or `None` once
+/// the buffer has been dropped.
+pub(crate) struct EccTarget {
+    pub(crate) label: String,
+    pub(crate) alive: Box<dyn Fn() -> bool>,
+    pub(crate) corrupt: Box<dyn Fn(u64) -> Option<usize>>,
+}
+
+/// Live fault-injection state: the plan, its RNG stream, and the events
+/// fired so far.
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    rng: u64,
+    fired: usize,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        // splitmix64 state; pre-scramble so seed 0 is a fine seed
+        FaultState {
+            rng: plan.seed.wrapping_add(0x9E3779B97F4A7C15),
+            plan,
+            fired: 0,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64 (public-domain constants): one multiply-xor chain
+        // per draw, deterministic and dependency-free
+        self.rng = self.rng.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Draws a fault decision for one kind; consumes a random word only
+    /// when the kind's rate is nonzero. Returns the word used for
+    /// attribution/targeting when the fault fires.
+    pub(crate) fn roll(&mut self, rate: f64) -> Option<u64> {
+        if rate <= 0.0 || self.fired >= self.plan.max_faults {
+            return None;
+        }
+        let w = self.next_u64();
+        let u = (w >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u < rate {
+            self.fired += 1;
+            Some(self.next_u64())
+        } else {
+            None
+        }
+    }
+}
+
+/// Derives a deterministic (step, lane) attribution from a random word —
+/// faults in the simulator do not originate in a particular thread, but
+/// reports keep the sanitizer's coordinate shape.
+pub(crate) fn attribute(word: u64, block_dim: usize) -> (usize, usize) {
+    let step = ((word >> 32) % 8) as usize;
+    let lane = (word as usize) % block_dim.max(1);
+    (step, lane)
+}

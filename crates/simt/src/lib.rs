@@ -39,6 +39,7 @@
 pub mod block;
 pub mod buffer;
 pub mod device;
+pub mod fault;
 pub mod occupancy;
 pub mod sanitize;
 pub mod spec;
@@ -49,6 +50,7 @@ pub mod trace;
 pub use block::{BlockCtx, Lane, SharedHandle};
 pub use buffer::{GpuBuffer, MappedBuffer};
 pub use device::{Device, Kernel, LaunchError, LaunchReport, LaunchWindow, OutOfMemory};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use occupancy::Occupancy;
 pub use sanitize::{Finding, FindingKind, SanitizeConfig, SanitizerReport, Severity};
 pub use spec::DeviceSpec;

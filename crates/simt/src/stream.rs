@@ -76,6 +76,13 @@ impl Stream {
         self.dev.stream_san_reports(self.id.0)
     }
 
+    /// Injected fault events attributed to this stream, in firing order
+    /// (see [`crate::fault`]). Empty unless a fault plan was installed
+    /// while the stream's work ran.
+    pub fn fault_events(&self) -> Vec<crate::fault::FaultEvent> {
+        self.dev.stream_fault_events(self.id.0)
+    }
+
     /// Makes all *future* launches on this stream wait until the work
     /// captured by `event` has completed.
     pub fn wait_event(&self, event: &Event) {

@@ -1,0 +1,291 @@
+//! The fault-injection layer's contract: deterministic, attributable,
+//! opt-in, and invisible when the plan is all-zero.
+
+use simt::block::BlockCtx;
+use simt::{Device, FaultKind, FaultPlan, GpuBuffer, Kernel, LaunchError, SimTime};
+
+/// Doubles every element, one block-stride pass.
+struct DoubleKernel {
+    data: GpuBuffer<f32>,
+}
+
+impl Kernel for DoubleKernel {
+    fn name(&self) -> &'static str {
+        "double"
+    }
+    fn block_dim(&self) -> usize {
+        64
+    }
+    fn grid_dim(&self) -> usize {
+        4
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let n = self.data.len();
+        let total = self.grid_dim() * self.block_dim();
+        let mut iters = 0usize;
+        let mut base = blk.block_idx * self.block_dim();
+        while base < n {
+            iters += 1;
+            base += total;
+        }
+        for it in 0..iters {
+            blk.step(|l| {
+                let i = l.gtid() + it * total;
+                if i < n {
+                    let v = l.gread(&self.data, i);
+                    l.gwrite(&self.data, i, v * 2.0);
+                    l.ops(1);
+                }
+            });
+        }
+    }
+}
+
+fn input(dev: &Device, n: usize) -> GpuBuffer<f32> {
+    dev.upload(&(0..n).map(|i| i as f32).collect::<Vec<_>>())
+}
+
+#[test]
+fn all_zero_plan_is_bit_identical_to_no_plan() {
+    let clean = {
+        let dev = Device::titan_x();
+        let data = input(&dev, 4096);
+        for _ in 0..5 {
+            dev.launch(&DoubleKernel { data: data.clone() }).unwrap();
+        }
+        (
+            dev.launch_log()
+                .iter()
+                .map(|r| r.time.0.to_bits())
+                .collect::<Vec<_>>(),
+            data.to_vec(),
+        )
+    };
+    let planned = {
+        let dev = Device::titan_x();
+        dev.set_fault_plan(FaultPlan::none());
+        assert!(!dev.fault_plan_active(), "all-zero plan cannot fire");
+        let data = input(&dev, 4096);
+        data.tag_ecc("test:data");
+        for _ in 0..5 {
+            dev.launch(&DoubleKernel { data: data.clone() }).unwrap();
+        }
+        assert!(dev.fault_events().is_empty());
+        (
+            dev.launch_log()
+                .iter()
+                .map(|r| r.time.0.to_bits())
+                .collect::<Vec<_>>(),
+            data.to_vec(),
+        )
+    };
+    assert_eq!(clean, planned, "all-zero plan must not perturb anything");
+}
+
+#[test]
+fn launch_failure_fires_with_attribution() {
+    let dev = Device::titan_x();
+    let data = input(&dev, 1024);
+    dev.set_fault_plan(FaultPlan {
+        launch_failure_rate: 1.0,
+        ..FaultPlan::with_seed(7)
+    });
+    assert!(dev.fault_plan_active());
+    let err = dev
+        .launch(&DoubleKernel { data: data.clone() })
+        .unwrap_err();
+    assert_eq!(err, LaunchError::DeviceFault { kernel: "double" });
+    assert!(err.is_transient());
+    // the data is untouched and no launch was logged
+    assert_eq!(data.get(3), 3.0);
+    assert_eq!(dev.log_len(), 0);
+    let events = dev.fault_events();
+    assert_eq!(events.len(), 1);
+    let e = &events[0];
+    assert_eq!(e.kind, FaultKind::LaunchFailure);
+    assert_eq!(e.kernel, "double");
+    assert_eq!(e.launch_index, 0);
+    assert_eq!(e.stream, 0);
+    assert!(e.step < 8);
+    assert!(e.lane < 64);
+    assert!(e.render().contains("launch-failure"));
+}
+
+#[test]
+fn stall_inflates_modeled_time_by_the_plan_delay() {
+    let clean = {
+        let dev = Device::titan_x();
+        let data = input(&dev, 4096);
+        dev.launch(&DoubleKernel { data }).unwrap().time
+    };
+    let dev = Device::titan_x();
+    let data = input(&dev, 4096);
+    let delay = SimTime(250e-6);
+    dev.set_fault_plan(FaultPlan {
+        stall_rate: 1.0,
+        stall_delay: delay,
+        ..FaultPlan::with_seed(7)
+    });
+    let stalled = dev.launch(&DoubleKernel { data }).unwrap();
+    assert_eq!(
+        stalled.time.0.to_bits(),
+        (clean.0 + delay.0).to_bits(),
+        "stall adds exactly the plan delay"
+    );
+    // the logged report carries the stalled time too
+    assert_eq!(dev.launch_log()[0].time, stalled.time);
+    let events = dev.fault_events();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].kind, FaultKind::StreamStall);
+}
+
+#[test]
+fn corruption_hits_only_tagged_buffers() {
+    // untagged: corruption rolls fire but have no target — data intact,
+    // no event recorded
+    let dev = Device::titan_x();
+    let data = input(&dev, 256);
+    dev.set_fault_plan(FaultPlan {
+        corruption_rate: 1.0,
+        ..FaultPlan::with_seed(3)
+    });
+    dev.launch(&DoubleKernel { data: data.clone() }).unwrap();
+    assert!(dev.fault_events().is_empty());
+    assert_eq!(data.get(100), 200.0);
+
+    // tagged: one element is reset to default and the event names the tag
+    let dev = Device::titan_x();
+    let data = input(&dev, 256);
+    data.tag_ecc("test:victim");
+    dev.set_fault_plan(FaultPlan {
+        corruption_rate: 1.0,
+        ..FaultPlan::with_seed(3)
+    });
+    dev.launch(&DoubleKernel { data: data.clone() }).unwrap();
+    let events = dev.fault_events();
+    assert_eq!(events.len(), 1);
+    let e = &events[0];
+    assert_eq!(e.kind, FaultKind::MemoryCorruption);
+    assert_eq!(e.target.as_deref(), Some("test:victim"));
+    let host = data.to_vec();
+    let zeroed = host.iter().filter(|v| **v == 0.0).count();
+    // element 0 doubles to 0.0 anyway; exactly one other element was reset
+    assert_eq!(zeroed, 2, "exactly one element corrupted to default");
+    assert!(e.detail.contains("reset to default"));
+}
+
+#[test]
+fn dropped_buffers_are_never_corrupted() {
+    let dev = Device::titan_x();
+    {
+        let doomed = input(&dev, 64);
+        doomed.tag_ecc("test:doomed");
+    }
+    let data = input(&dev, 256);
+    dev.set_fault_plan(FaultPlan {
+        corruption_rate: 1.0,
+        ..FaultPlan::with_seed(3)
+    });
+    dev.launch(&DoubleKernel { data }).unwrap();
+    // the only tag is dead: the roll fires but nothing can be hit
+    assert!(dev.fault_events().is_empty());
+}
+
+#[test]
+fn oom_injection_only_reaches_fallible_allocations() {
+    let dev = Device::titan_x();
+    dev.set_fault_plan(FaultPlan {
+        oom_rate: 1.0,
+        ..FaultPlan::with_seed(5)
+    });
+    // panicking paths bypass injection entirely
+    let _a = dev.alloc::<f32>(1024);
+    let _b = dev.upload(&[1u32; 16]);
+    let _c = dev.alloc_filled(16, 0u8);
+    assert!(dev.fault_events().is_empty());
+    // fallible paths see the injected failure
+    let err = dev.try_alloc::<f32>(1024).unwrap_err();
+    assert_eq!(err.requested, 4096);
+    assert!(err.in_use < err.capacity, "capacity was not actually short");
+    assert!(dev.try_upload(&[1u32; 16]).is_err());
+    assert!(dev.try_alloc_filled(16, 0u8).is_err());
+    let events = dev.fault_events();
+    assert_eq!(events.len(), 3);
+    assert!(events.iter().all(|e| e.kind == FaultKind::AllocOom));
+    assert!(events.iter().all(|e| e.kernel == "alloc"));
+}
+
+#[test]
+fn same_seed_fires_the_same_faults() {
+    let run = || {
+        let dev = Device::titan_x();
+        let data = input(&dev, 1024);
+        data.tag_ecc("test:data");
+        dev.set_fault_plan(FaultPlan::uniform(42, 0.3));
+        let mut outcomes = Vec::new();
+        for _ in 0..20 {
+            outcomes.push(dev.launch(&DoubleKernel { data: data.clone() }).is_ok());
+            outcomes.push(dev.try_alloc::<u32>(64).is_ok());
+        }
+        (outcomes, dev.fault_events())
+    };
+    let (a_out, a_ev) = run();
+    let (b_out, b_ev) = run();
+    assert_eq!(a_out, b_out);
+    assert_eq!(a_ev, b_ev, "identical plans fire identical faults");
+    assert!(!a_ev.is_empty(), "rate 0.3 over 40 rolls must fire");
+}
+
+#[test]
+fn max_faults_caps_total_injections() {
+    let dev = Device::titan_x();
+    let data = input(&dev, 1024);
+    dev.set_fault_plan(FaultPlan {
+        launch_failure_rate: 1.0,
+        max_faults: 2,
+        ..FaultPlan::with_seed(1)
+    });
+    let mut failures = 0;
+    for _ in 0..10 {
+        if dev.launch(&DoubleKernel { data: data.clone() }).is_err() {
+            failures += 1;
+        }
+    }
+    assert_eq!(failures, 2, "cap bounds injected faults");
+    assert_eq!(dev.fault_events_len(), 2);
+}
+
+#[test]
+fn clear_fault_plan_stops_injection_and_keeps_events() {
+    let dev = Device::titan_x();
+    let data = input(&dev, 1024);
+    dev.set_fault_plan(FaultPlan {
+        launch_failure_rate: 1.0,
+        ..FaultPlan::with_seed(9)
+    });
+    assert!(dev.launch(&DoubleKernel { data: data.clone() }).is_err());
+    dev.clear_fault_plan();
+    assert!(!dev.fault_plan_active());
+    assert!(dev.launch(&DoubleKernel { data }).is_ok());
+    assert_eq!(dev.fault_events_len(), 1);
+    assert_eq!(dev.take_fault_events().len(), 1);
+    assert!(dev.fault_events().is_empty());
+}
+
+#[test]
+fn stream_fault_events_filter_by_stream() {
+    let dev = Device::titan_x();
+    let data = input(&dev, 1024);
+    let s1 = dev.create_stream();
+    let s2 = dev.create_stream();
+    dev.set_fault_plan(FaultPlan {
+        launch_failure_rate: 1.0,
+        max_faults: 1,
+        ..FaultPlan::with_seed(2)
+    });
+    let r = dev.stream_scope(s1.id(), || dev.launch(&DoubleKernel { data: data.clone() }));
+    assert!(r.is_err());
+    assert_eq!(s1.fault_events().len(), 1);
+    assert_eq!(s1.fault_events()[0].stream, s1.id().0);
+    assert!(s2.fault_events().is_empty());
+}

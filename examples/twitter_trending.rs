@@ -28,7 +28,8 @@ fn main() {
     let plan = explain_filtered_topk(dev.spec(), &table, &stats, &FilterOp::TimeLess(cutoff), 50);
     print!("{}", plan.render());
     for strat in Strategy::all() {
-        let r = filtered_topk(&dev, &table, &FilterOp::TimeLess(cutoff), 50, strat);
+        let r = filtered_topk(&dev, &table, &FilterOp::TimeLess(cutoff), 50, strat)
+            .expect("Q1 execution");
         println!(
             "  {:<18} {:>9.1} µs  (top tweet id={} with {} retweets)",
             strat.name(),
@@ -41,21 +42,22 @@ fn main() {
     // Q2: custom ranking function
     println!("\nQ2: … ORDER BY retweet_count + 0.5*likes_count DESC LIMIT 50");
     for strat in Strategy::all() {
-        let r = ranked_topk(&dev, &table, 50, strat);
+        let r = ranked_topk(&dev, &table, 50, strat).expect("Q2 execution");
         println!("  {:<18} {:>9.1} µs", strat.name(), r.kernel_time.micros());
     }
 
     // Q3: language filter (~80% selectivity)
     println!("\nQ3: … WHERE lang='en' OR lang='es' ORDER BY retweet_count DESC LIMIT 50");
     for strat in Strategy::all() {
-        let r = filtered_topk(&dev, &table, &FilterOp::LangIn(vec![0, 1]), 50, strat);
+        let r = filtered_topk(&dev, &table, &FilterOp::LangIn(vec![0, 1]), 50, strat)
+            .expect("Q3 execution");
         println!("  {:<18} {:>9.1} µs", strat.name(), r.kernel_time.micros());
     }
 
     // Q4: group-by
     println!("\nQ4: SELECT uid, COUNT(*) FROM tweets GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 50");
     for strat in [TopKStrategy::Sort, TopKStrategy::Bitonic] {
-        let r = group_topk(&dev, &table, 50, strat);
+        let r = group_topk(&dev, &table, 50, strat).expect("Q4 execution");
         let breakdown: Vec<String> = r
             .breakdown
             .iter()
