@@ -1,9 +1,10 @@
-//! The unified benchmark harness binary: runs the top-k figure suite and
-//! the qdb serving suite, and writes machine-readable `BENCH_topk.json`
-//! and `BENCH_serve.json` reports (see `bench::report` for the schema).
+//! The unified benchmark harness binary: runs the top-k figure suite,
+//! the qdb serving suite and the multi-device cluster suite, and writes
+//! machine-readable `BENCH_topk.json` / `BENCH_serve.json` /
+//! `BENCH_cluster.json` reports (see `bench::report` for the schema).
 //!
 //! ```text
-//! harness [--out-dir DIR] [--only topk|serve]
+//! harness [--out-dir DIR] [--only topk|serve|cluster]
 //! ```
 //!
 //! Scale comes from `TOPK_REPRO_LOG2N` like every experiment binary:
@@ -12,7 +13,7 @@
 //! Compare the written reports against the committed baseline with
 //! `bench-diff`.
 
-use bench::harness::{run_serve_suite, run_topk_suite, HarnessScales};
+use bench::harness::{run_cluster_suite, run_serve_suite, run_topk_suite, HarnessScales};
 
 fn main() {
     let mut out_dir = std::path::PathBuf::from(".");
@@ -24,15 +25,16 @@ fn main() {
                 out_dir = args.next().expect("--out-dir needs a directory").into();
             }
             "--only" => {
-                let suite = args.next().expect("--only needs topk|serve");
+                let suite = args.next().expect("--only needs topk|serve|cluster");
                 assert!(
-                    suite == "topk" || suite == "serve",
-                    "--only accepts topk or serve, got '{suite}'"
+                    suite == "topk" || suite == "serve" || suite == "cluster",
+                    "--only accepts topk, serve or cluster, got '{suite}'"
                 );
                 only = Some(suite);
             }
             other => panic!(
-                "unknown argument '{other}' (usage: harness [--out-dir DIR] [--only topk|serve])"
+                "unknown argument '{other}' \
+                 (usage: harness [--out-dir DIR] [--only topk|serve|cluster])"
             ),
         }
     }
@@ -50,7 +52,8 @@ fn main() {
         println!("wrote {} ({cells} experiments)", path.display());
     };
 
-    if only.as_deref() != Some("serve") {
+    let run = |suite: &str| only.is_none() || only.as_deref() == Some(suite);
+    if run("topk") {
         let wall = std::time::Instant::now();
         let report = run_topk_suite(scales.topk_log2n, &scales.profile);
         println!(
@@ -60,7 +63,7 @@ fn main() {
         );
         write("BENCH_topk.json", report.render(), report.experiments.len());
     }
-    if only.as_deref() != Some("topk") {
+    if run("serve") {
         let wall = std::time::Instant::now();
         let report = run_serve_suite(scales.serve_log2n, &scales.profile);
         println!(
@@ -70,6 +73,20 @@ fn main() {
         );
         write(
             "BENCH_serve.json",
+            report.render(),
+            report.experiments.len(),
+        );
+    }
+    if run("cluster") {
+        let wall = std::time::Instant::now();
+        let report = run_cluster_suite(scales.topk_log2n, &scales.profile);
+        println!(
+            "cluster suite: {} cells in {:.1}s host wall",
+            report.experiments.len(),
+            wall.elapsed().as_secs_f64()
+        );
+        write(
+            "BENCH_cluster.json",
             report.render(),
             report.experiments.len(),
         );

@@ -218,13 +218,20 @@ pub fn diff_reports(
             }
         }
     }
-    for cexp in &current.experiments {
-        if baseline.experiment(&cexp.id).is_none() {
-            out.findings.push(Finding::warn(format!(
-                "experiment '{}' is new (not in the baseline) — not gated until blessed",
-                cexp.id
-            )));
-        }
+    // one aggregate warning naming every new cell: CI logs must show
+    // exactly which experiments a `--bless` would add to the baseline
+    let new_cells: Vec<&str> = current
+        .experiments
+        .iter()
+        .filter(|c| baseline.experiment(&c.id).is_none())
+        .map(|c| c.id.as_str())
+        .collect();
+    if !new_cells.is_empty() {
+        out.findings.push(Finding::warn(format!(
+            "{} new experiment(s) not in the baseline — not gated until blessed: {}",
+            new_cells.len(),
+            new_cells.join(", ")
+        )));
     }
 
     if cfg.check_claims {
@@ -248,6 +255,16 @@ pub fn diff_reports(
 /// Serving reports (`kind == "serve"`):
 /// 4. **Concurrent serving beats serial** at the highest offered load:
 ///    streams + batch coalescing yield ≥ 1.5× over back-to-back kernels.
+///
+/// Cluster reports (`kind == "cluster"`):
+/// 5. **Sharded execution is exact**: every cell's merged result must be
+///    bit-identical to the single-device oracle (`sim_exact == 1`), for
+///    every partition policy × device count.
+/// 6. **Sharding scales**: at full scale (`log2n ≥ 22`), eight devices
+///    must at least halve the single-device end-to-end time for every
+///    policy. At smaller scales launch overhead and link latency
+///    dominate the shrunken local pass, so the speedup gate is replaced
+///    by a warning (exactness is still enforced).
 ///
 /// A claim whose cells are missing fails — an unverifiable claim is
 /// indistinguishable from a violated one at gate time.
@@ -338,6 +355,56 @@ pub fn check_claims(report: &BenchReport) -> Vec<Finding> {
                     findings.push(Finding::fail(format!(
                         "claim violated: concurrent serving at {top_load} offered queries must \
                          beat serial by >= 1.5x, got {speedup:.2}x"
+                    )));
+                }
+            }
+        }
+        "cluster" => {
+            // 5. every cell must be oracle-exact
+            for exp in &report.experiments {
+                match exp.metrics.get("sim_exact") {
+                    Some(&1.0) => {}
+                    Some(&v) => findings.push(Finding::fail(format!(
+                        "claim violated: '{}' must be bit-identical to the single-device \
+                         oracle (sim_exact {v}, expected 1)",
+                        exp.id
+                    ))),
+                    None => findings.push(Finding::fail(format!(
+                        "claim check needs '{}/sim_exact' but the cell lacks it",
+                        exp.id
+                    ))),
+                }
+            }
+            // 6. 8 devices halve the single-device time at full scale
+            for policy in ["range", "hash", "round-robin"] {
+                let one = need(
+                    &format!("cluster/{policy}/dev1"),
+                    "sim_time_ms",
+                    &mut findings,
+                );
+                let eight = need(
+                    &format!("cluster/{policy}/dev8"),
+                    "sim_time_ms",
+                    &mut findings,
+                );
+                let (Some(one), Some(eight)) = (one, eight) else {
+                    continue;
+                };
+                if report.scale.log2n >= 22 {
+                    if eight > 0.5 * one {
+                        findings.push(Finding::fail(format!(
+                            "claim violated: 8-device sharded top-k ({policy}) must run in \
+                             <= 0.5x the single-device time at n=2^{}, got {eight:.4} ms vs \
+                             {one:.4} ms ({:.2}x)",
+                            report.scale.log2n,
+                            eight / one
+                        )));
+                    }
+                } else {
+                    findings.push(Finding::warn(format!(
+                        "cluster scaling claim ({policy}: 8-dev {eight:.4} ms vs 1-dev \
+                         {one:.4} ms) gated only at log2n >= 22; this report is at 2^{}",
+                        report.scale.log2n
                     )));
                 }
             }

@@ -22,10 +22,16 @@
 use std::time::Instant;
 
 use datagen::twitter::TweetTable;
-use datagen::{BucketKiller, Clustered, Decreasing, Distribution, Increasing, Normal, Uniform};
+use datagen::{
+    BucketKiller, Clustered, Decreasing, Distribution, Increasing, Kv, Normal, TopKItem, Uniform,
+};
+use qdb::shard::{partition_indices, sharded_topk, PartitionPolicy};
 use qdb::{GpuTweetTable, Server, ServerConfig};
+use simt::topology::{Cluster, ClusterSpec};
 use simt::{Device, GpuBuffer, LaunchWindow};
+use topk::bitonic::{bitonic_topk, BitonicConfig};
 use topk::{TopKAlgorithm, TopKRequest};
+use topk_costmodel::{cluster_topk_seconds, ClusterModelInput};
 
 use crate::report::{current_commit, BenchReport, Experiment, Scale};
 use crate::K_SWEEP;
@@ -166,6 +172,88 @@ pub fn run_topk_suite(log2n: u32, profile: &str) -> BenchReport {
     }
 }
 
+/// Device counts the cluster suite sweeps.
+pub const CLUSTER_DEVICES: [usize; 4] = [1, 2, 4, 8];
+
+/// Fixed k for the cluster sweep (matches the scaling claim).
+pub const CLUSTER_K: usize = 64;
+
+/// Runs the multi-device sharded top-k suite: device count × partition
+/// policy over uniform keyed items, with the single-device bitonic
+/// result as the exactness oracle (`sim_exact`) and the
+/// `topk-costmodel` cluster estimate alongside for Figure 17-style
+/// model-vs-measurement comparison.
+pub fn run_cluster_suite(log2n: u32, profile: &str) -> BenchReport {
+    let n = 1usize << log2n;
+    let items: Vec<Kv<f32>> = Uniform
+        .generate(n, 23)
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| Kv::new(k, i as u32))
+        .collect();
+
+    // single-device oracle for the exactness column
+    let oracle = {
+        let dev = Device::titan_x();
+        let input = dev.upload(&items);
+        bitonic_topk(&dev, &input, CLUSTER_K, BitonicConfig::default())
+            .expect("oracle top-k")
+            .items
+    };
+
+    let mut experiments = Vec::new();
+    for policy in PartitionPolicy::all() {
+        for devices in CLUSTER_DEVICES {
+            let wall = Instant::now();
+            let cluster = Cluster::new(ClusterSpec::pcie_node(devices));
+            let parts: Vec<Vec<Kv<f32>>> = partition_indices(n, devices, policy)
+                .into_iter()
+                .map(|rows| rows.into_iter().map(|r| items[r]).collect())
+                .collect();
+            let shard_rows: Vec<usize> = parts.iter().map(Vec::len).collect();
+            let r = sharded_topk(&cluster, &parts, CLUSTER_K, BitonicConfig::default(), 0)
+                .expect("sharded top-k");
+            let host_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+            let est = cluster_topk_seconds(
+                cluster.spec(),
+                &ClusterModelInput {
+                    shard_rows,
+                    k: CLUSTER_K,
+                    item_bytes: Kv::<f32>::SIZE_BYTES,
+                },
+            );
+            let max_local = r.local.iter().map(|t| t.seconds()).fold(0.0, f64::max);
+            let metrics = [
+                ("sim_time_ms", r.sim_time.millis()),
+                ("sim_local_ms", max_local * 1e3),
+                ("sim_transfer_done_ms", r.transfer_done.millis()),
+                ("sim_merge_ms", r.merge_time.millis()),
+                ("sim_candidate_bytes", r.candidate_bytes as f64),
+                ("sim_exact", f64::from(r.items == oracle)),
+                ("sim_model_ms", est.total_seconds() * 1e3),
+                ("host_wall_ms", host_wall_ms),
+            ];
+            experiments.push(Experiment {
+                id: format!("cluster/{}/dev{devices}", policy.name()),
+                metrics: metrics
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            });
+        }
+    }
+
+    BenchReport {
+        kind: "cluster".to_string(),
+        commit: current_commit(),
+        scale: Scale {
+            log2n,
+            profile: profile.to_string(),
+        },
+        experiments,
+    }
+}
+
 /// The offered-load sweep of the serving suite.
 pub const SERVE_LOADS: [usize; 4] = [1, 4, 16, 64];
 
@@ -257,6 +345,40 @@ mod tests {
                         "{}/{name} must be deterministic",
                         a.id
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_suite_is_exact_deterministic_and_schema_valid() {
+        let r = run_cluster_suite(12, "test");
+        assert_eq!(r.kind, "cluster");
+        assert_eq!(
+            r.experiments.len(),
+            PartitionPolicy::all().len() * CLUSTER_DEVICES.len()
+        );
+        for policy in PartitionPolicy::all() {
+            for devices in CLUSTER_DEVICES {
+                let id = format!("cluster/{}/dev{devices}", policy.name());
+                let e = r.experiment(&id).expect("cell");
+                assert_eq!(e.metrics["sim_exact"], 1.0, "{id} must be oracle-exact");
+                assert!(e.metrics["sim_time_ms"] > 0.0);
+                assert!(e.metrics["sim_model_ms"] > 0.0);
+                if devices > 1 {
+                    assert!(e.metrics["sim_candidate_bytes"] > 0.0, "{id}");
+                }
+            }
+        }
+        Parsed::from_json(&r.render()).expect("schema-valid");
+
+        // deterministic across runs, bit for bit
+        let r2 = run_cluster_suite(12, "test");
+        for (a, b) in r.experiments.iter().zip(&r2.experiments) {
+            assert_eq!(a.id, b.id);
+            for (name, v) in &a.metrics {
+                if name.starts_with("sim_") {
+                    assert_eq!(v.to_bits(), b.metrics[name].to_bits(), "{}/{name}", a.id);
                 }
             }
         }

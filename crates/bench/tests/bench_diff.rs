@@ -195,6 +195,41 @@ fn new_benchmark_absent_from_baseline_warns_not_fails() {
 }
 
 #[test]
+fn new_cell_warning_lists_every_cell_name() {
+    // blessing must be auditable from the CI log: one warning naming
+    // every cell a --bless would add
+    let base = report(
+        "cluster",
+        vec![exp("cluster/range/dev1", &[("sim_time_ms", 1.0)])],
+    );
+    let cur = report(
+        "cluster",
+        vec![
+            exp("cluster/range/dev1", &[("sim_time_ms", 1.0)]),
+            exp("cluster/range/dev2", &[("sim_time_ms", 0.6)]),
+            exp("cluster/hash/dev4", &[("sim_time_ms", 0.4)]),
+            exp("cluster/round-robin/dev8", &[("sim_time_ms", 0.3)]),
+        ],
+    );
+    let out = diff_reports(&base, &cur, &cfg());
+    assert!(!out.failed(), "{}", out.render());
+    let w = warns(&out);
+    assert_eq!(w.len(), 1, "one aggregate warning, got {w:?}");
+    assert!(w[0].contains("3 new experiment(s)"));
+    for cell in [
+        "cluster/range/dev2",
+        "cluster/hash/dev4",
+        "cluster/round-robin/dev8",
+    ] {
+        assert!(w[0].contains(cell), "missing {cell} in: {}", w[0]);
+    }
+    assert!(
+        !w[0].contains("cluster/range/dev1,"),
+        "baseline cell listed"
+    );
+}
+
+#[test]
 fn disappeared_experiment_or_metric_fails() {
     let base = report(
         "topk",
@@ -338,6 +373,75 @@ fn serve_claim_gates_speedup_at_top_load() {
     assert!(check_claims(&bad)
         .iter()
         .any(|f| f.severity == Severity::Fail && f.message.contains("1.10x")));
+}
+
+/// A claim-satisfying cluster report at the given scale: exact cells
+/// with 8 devices well under half the single-device time.
+fn claim_clean_cluster(log2n: u32) -> BenchReport {
+    let mut exps = Vec::new();
+    for policy in ["range", "hash", "round-robin"] {
+        for (devices, ms) in [(1, 10.0), (2, 5.2), (4, 2.8), (8, 1.6)] {
+            exps.push(exp(
+                &format!("cluster/{policy}/dev{devices}"),
+                &[("sim_time_ms", ms), ("sim_exact", 1.0)],
+            ));
+        }
+    }
+    let mut r = report("cluster", exps);
+    r.scale = Scale::new(log2n);
+    r
+}
+
+#[test]
+fn cluster_exactness_claim_gates_every_cell() {
+    let good = claim_clean_cluster(22);
+    assert!(
+        check_claims(&good)
+            .iter()
+            .all(|f| f.severity != Severity::Fail),
+        "{:?}",
+        check_claims(&good)
+    );
+    // one inexact cell fails
+    let mut bad = claim_clean_cluster(22);
+    bad.experiments[5]
+        .metrics
+        .insert("sim_exact".to_string(), 0.0);
+    let id = bad.experiments[5].id.clone();
+    assert!(check_claims(&bad)
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains(&id)));
+    // a cell lacking the exactness column is unverifiable -> fail
+    let mut missing = claim_clean_cluster(22);
+    missing.experiments[2].metrics.remove("sim_exact");
+    assert!(check_claims(&missing)
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("sim_exact")));
+}
+
+#[test]
+fn cluster_scaling_claim_gates_at_full_scale_only() {
+    // violated speedup at full scale: fail
+    let mut bad = claim_clean_cluster(22);
+    for e in &mut bad.experiments {
+        if e.id == "cluster/hash/dev8" {
+            e.metrics.insert("sim_time_ms".to_string(), 6.0); // > 0.5 * 10
+        }
+    }
+    assert!(check_claims(&bad)
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("0.5x")));
+    // the same report at the CI small scale only warns
+    let mut small = bad.clone();
+    small.scale = Scale::new(16);
+    let findings = check_claims(&small);
+    assert!(
+        findings.iter().all(|f| f.severity != Severity::Fail),
+        "{findings:?}"
+    );
+    assert!(findings
+        .iter()
+        .any(|f| f.severity == Severity::Warn && f.message.contains("log2n >= 22")));
 }
 
 #[test]

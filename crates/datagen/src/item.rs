@@ -67,6 +67,11 @@ impl<K: SortKey> TopKItem for K {
 ///
 /// The value is typically a tuple/row id: the paper recommends running top-k
 /// on `(key, id)` and assembling wide payloads afterwards (Section 6.6).
+///
+/// Equal keys are ordered by the payload: the *smaller* row id ranks
+/// higher, so a top-k over `(key, id)` pairs is a total order and every
+/// execution plan — single-device, batched, or sharded across a cluster —
+/// returns bit-identical winners on duplicate-heavy keys.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Kv<K: SortKey> {
     /// The ordering key.
@@ -101,10 +106,24 @@ impl<K: SortKey> TopKItem for Kv<K> {
         }
     }
     fn max_sentinel() -> Self {
+        // value 0: the smallest id ranks highest on key ties, so the max
+        // sentinel must also carry the most-preferred id
         Self {
             key: K::max_sentinel(),
-            value: u32::MAX,
+            value: 0,
         }
+    }
+
+    #[inline]
+    fn item_lt(&self, other: &Self) -> bool {
+        let a = self.key_bits();
+        let b = other.key_bits();
+        if a != b {
+            return a < b;
+        }
+        // key tie: the smaller row id is the *greater* item, so it wins
+        // the top-k deterministically
+        self.value > other.value
     }
 }
 
@@ -148,8 +167,18 @@ impl<K: SortKey<Bits = u32>> TopKItem for Kkv<K> {
     fn max_sentinel() -> Self {
         Self {
             keys: [K::max_sentinel(); 2],
-            value: u32::MAX,
+            value: 0,
         }
+    }
+
+    #[inline]
+    fn item_lt(&self, other: &Self) -> bool {
+        let a = self.key_bits();
+        let b = other.key_bits();
+        if a != b {
+            return a < b;
+        }
+        self.value > other.value
     }
 }
 
@@ -198,7 +227,7 @@ impl<K: SortKey<Bits = u32>> TopKItem for Kkkv<K> {
     fn max_sentinel() -> Self {
         Self {
             keys: [K::max_sentinel(); 3],
-            value: u32::MAX,
+            value: 0,
         }
     }
 
@@ -209,7 +238,12 @@ impl<K: SortKey<Bits = u32>> TopKItem for Kkkv<K> {
         if a != b {
             return a < b;
         }
-        self.keys[2].sort_bits() < other.keys[2].sort_bits()
+        let a2 = self.keys[2].sort_bits();
+        let b2 = other.keys[2].sort_bits();
+        if a2 != b2 {
+            return a2 < b2;
+        }
+        self.value > other.value
     }
 }
 
@@ -225,14 +259,60 @@ mod tests {
     }
 
     #[test]
-    fn kv_orders_by_key_only() {
+    fn kv_orders_by_key_then_id() {
         let a = Kv::new(1.0f32, 99);
         let b = Kv::new(2.0f32, 1);
         assert!(a.item_lt(&b));
         assert!(!b.item_lt(&a));
-        // equal keys, different values: neither strictly less
+        // equal keys: the smaller id is the greater item (wins top-k)
         let c = Kv::new(1.0f32, 5);
-        assert!(!a.item_lt(&c) && !c.item_lt(&a));
+        assert!(a.item_lt(&c), "id 5 must outrank id 99 on a key tie");
+        assert!(!c.item_lt(&a));
+        // identical items: neither strictly less
+        assert!(!a.item_lt(&a));
+    }
+
+    #[test]
+    fn tie_break_is_a_total_order_on_duplicate_heavy_keys() {
+        // duplicate-heavy: 4 distinct keys across 64 items
+        let items: Vec<Kv<u32>> = (0..64u32).map(|i| Kv::new(i % 4, i)).collect();
+        for x in &items {
+            for y in &items {
+                if x == y {
+                    assert!(!x.item_lt(y));
+                } else {
+                    // exactly one strict direction: totality + antisymmetry
+                    assert!(x.item_lt(y) ^ y.item_lt(x), "{x:?} vs {y:?}");
+                }
+            }
+        }
+        // transitivity on a sorted chain
+        let mut sorted = items.clone();
+        sorted.sort_by(|a, b| {
+            if a.item_lt(b) {
+                std::cmp::Ordering::Less
+            } else if b.item_lt(a) {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        for w in sorted.windows(2) {
+            assert!(w[0].item_lt(&w[1]));
+        }
+    }
+
+    #[test]
+    fn kkv_and_kkkv_tie_break_by_id_last() {
+        let a = Kkv::new(1.0f32, 2.0, 9);
+        let b = Kkv::new(1.0f32, 2.0, 3);
+        assert!(a.item_lt(&b), "equal composite keys: smaller id wins");
+        let c = Kkkv::new(1.0f32, 2.0, 3.0, 9);
+        let d = Kkkv::new(1.0f32, 2.0, 3.0, 3);
+        assert!(c.item_lt(&d));
+        // the third key still dominates the id
+        let e = Kkkv::new(1.0f32, 2.0, 4.0, 99);
+        assert!(d.item_lt(&e));
     }
 
     #[test]
@@ -317,6 +397,12 @@ where
     fn max_sentinel() -> Self {
         Rev(T::min_sentinel())
     }
+
+    #[inline]
+    fn item_lt(&self, other: &Self) -> bool {
+        // strict order reversal, including the underlying tie-break
+        other.0.item_lt(&self.0)
+    }
 }
 
 #[cfg(test)]
@@ -354,5 +440,22 @@ mod rev_tests {
         let r = Rev(Kv::new(7u32, 99));
         assert_eq!(r.0.value, 99);
         assert_eq!(Rev::<Kv<u32>>::SIZE_BYTES, 8);
+    }
+
+    #[test]
+    fn rev_reverses_the_id_tie_break_too() {
+        let a = Rev(Kv::new(7u32, 5));
+        let b = Rev(Kv::new(7u32, 99));
+        // underlying: id 5 outranks id 99; reversed: Rev(id 5) sorts lower
+        assert!(a.item_lt(&b));
+        assert!(!b.item_lt(&a));
+        // Rev sentinels still bound Kv items with the new tie-break
+        let lo = Rev::<Kv<u32>>::min_sentinel();
+        let hi = Rev::<Kv<u32>>::max_sentinel();
+        for v in [0u32, 7, u32::MAX] {
+            let r = Rev(Kv::new(v, 3));
+            assert!(!r.item_lt(&lo), "key {v}");
+            assert!(!hi.item_lt(&r), "key {v}");
+        }
     }
 }

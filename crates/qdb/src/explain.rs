@@ -8,11 +8,15 @@
 //! returns a plan naming the winner — which [`crate::queries`] can then
 //! execute.
 
+use simt::topology::ClusterSpec;
 use simt::DeviceSpec;
-use topk_costmodel::{bitonic_topk_seconds, sort_seconds, BitonicModelInput};
+use topk_costmodel::{
+    bitonic_topk_seconds, cluster_topk_seconds, sort_seconds, BitonicModelInput, ClusterModelInput,
+};
 
 use crate::engine::FilterOp;
 use crate::queries::Strategy;
+use crate::shard::{PartitionPolicy, ShardedTable};
 use crate::table::GpuTweetTable;
 
 /// Light per-table statistics for selectivity estimation, computed once
@@ -167,6 +171,160 @@ pub fn explain_filtered_topk(
     }
 }
 
+/// EXPLAIN output for a sharded query: the scatter-gather phases priced
+/// with the `topk-costmodel` cluster estimator.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// How the table is partitioned.
+    pub policy: PartitionPolicy,
+    /// Rows resident on each device.
+    pub shard_rows: Vec<usize>,
+    /// Estimated post-filter candidates per shard.
+    pub matched_rows: Vec<usize>,
+    /// Requested k.
+    pub k: usize,
+    /// Mean estimated predicate selectivity across shards.
+    pub selectivity: f64,
+    /// Delegate bytes shipped to the merge device.
+    pub candidate_bytes: usize,
+    /// Slowest shard's filter scan, seconds.
+    pub scan_seconds: f64,
+    /// Slowest shard's local top-k pass, seconds.
+    pub local_seconds: f64,
+    /// Delegate gather over the interconnect, seconds.
+    pub transfer_seconds: f64,
+    /// Device-0 merge of the delegate runs, seconds.
+    pub merge_seconds: f64,
+    /// Whether the cluster has peer links (affects the gather row).
+    pub peer_links: bool,
+}
+
+impl ShardPlan {
+    /// End-to-end predicted seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.scan_seconds + self.local_seconds + self.transfer_seconds + self.merge_seconds
+    }
+
+    /// Renders the shard plan like an EXPLAIN output.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "shard plan ({} over {} devices, k={}, est. selectivity {:.2}):\n",
+            self.policy.name(),
+            self.shard_rows.len(),
+            self.k,
+            self.selectivity
+        );
+        for (i, (&n, &m)) in self.shard_rows.iter().zip(&self.matched_rows).enumerate() {
+            let delegates = self.k.min(m);
+            let ship = if i == 0 {
+                "merge-resident".to_string()
+            } else {
+                format!("ships {} B", delegates * 8)
+            };
+            s.push_str(&format!(
+                "  shard {i}: n={n} ~{m} match -> {delegates} delegates ({ship})\n"
+            ));
+        }
+        let link = if self.peer_links {
+            "peer links"
+        } else {
+            "host links"
+        };
+        s.push_str(&format!(
+            "  phase: filter scan      ~{:.3} ms\n",
+            self.scan_seconds * 1e3
+        ));
+        s.push_str(&format!(
+            "  phase: local top-k      ~{:.3} ms\n",
+            self.local_seconds * 1e3
+        ));
+        s.push_str(&format!(
+            "  phase: delegate gather  {} B over {link} ~{:.3} ms\n",
+            self.candidate_bytes,
+            self.transfer_seconds * 1e3
+        ));
+        s.push_str(&format!(
+            "  phase: merge on dev0    ~{:.3} ms\n",
+            self.merge_seconds * 1e3
+        ));
+        s.push_str(&format!(
+            "  total                   ~{:.3} ms\n",
+            self.total_seconds() * 1e3
+        ));
+        s.push_str("  on fault: per-shard retry/degrade; a failed shard fails the query\n");
+        s
+    }
+}
+
+/// Prices a sharded `WHERE <op> ORDER BY retweet_count DESC LIMIT k`
+/// query: per-shard selectivity from shard-local statistics, then the
+/// `topk-costmodel` cluster estimator for the local/gather/merge phases.
+pub fn explain_sharded_topk(
+    cluster: &ClusterSpec,
+    table: &ShardedTable,
+    op: Option<&FilterOp>,
+    k: usize,
+) -> ShardPlan {
+    let spec = &cluster.device;
+    let shard_rows = table.shard_rows();
+    let mut matched_rows = Vec::with_capacity(shard_rows.len());
+    let mut sel_sum = 0.0;
+    let mut shards_with_rows = 0usize;
+    for (i, &n) in shard_rows.iter().enumerate() {
+        if n == 0 {
+            matched_rows.push(0);
+            continue;
+        }
+        let sel = match op {
+            Some(op) => TableStats::gather(&table.shard(i).gpu).selectivity(op),
+            None => 1.0,
+        };
+        sel_sum += sel;
+        shards_with_rows += 1;
+        matched_rows.push(((n as f64 * sel) as usize).clamp(1, n));
+    }
+    let selectivity = if shards_with_rows == 0 {
+        0.0
+    } else {
+        sel_sum / shards_with_rows as f64
+    };
+
+    // scan phase: every shard reads its predicate + key columns and
+    // writes matched pairs, concurrently — the slowest shard gates
+    let pred_bytes = op.map_or(0, FilterOp::pred_bytes);
+    let scan_seconds = shard_rows
+        .iter()
+        .zip(&matched_rows)
+        .filter(|(&n, _)| n > 0)
+        .map(|(&n, &m)| {
+            (n as f64 * (pred_bytes + 4) as f64 + m as f64 * 8.0) / spec.global_bw
+                + spec.launch_overhead
+        })
+        .fold(0.0, f64::max);
+
+    let est = cluster_topk_seconds(
+        cluster,
+        &ClusterModelInput {
+            shard_rows: matched_rows.clone(),
+            k,
+            item_bytes: 8,
+        },
+    );
+    ShardPlan {
+        policy: table.policy(),
+        shard_rows,
+        matched_rows,
+        k,
+        selectivity,
+        candidate_bytes: est.candidate_bytes,
+        scan_seconds,
+        local_seconds: est.local_seconds,
+        transfer_seconds: est.transfer_seconds,
+        merge_seconds: est.merge_seconds,
+        peer_links: cluster.peer_link.is_some(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +376,58 @@ mod tests {
         let rendered = plan.render();
         assert!(rendered.contains("->"));
         assert!(rendered.contains("combined-bitonic"));
+    }
+
+    #[test]
+    fn sharded_plan_golden_render() {
+        use simt::topology::{Cluster, ClusterSpec};
+        // unfiltered: selectivity is exactly 1.00 and every quantity in
+        // the render is a deterministic function of (n, devices, k)
+        let host = TweetTable::generate(4096, 3);
+        let cluster = Cluster::new(ClusterSpec::pcie_node(2));
+        let table = ShardedTable::partition(&cluster, &host, PartitionPolicy::Range).unwrap();
+        let plan = explain_sharded_topk(cluster.spec(), &table, None, 8);
+        let golden = "shard plan (range over 2 devices, k=8, est. selectivity 1.00):\n\
+                      \x20 shard 0: n=2048 ~2048 match -> 8 delegates (merge-resident)\n\
+                      \x20 shard 1: n=2048 ~2048 match -> 8 delegates (ships 64 B)\n\
+                      \x20 phase: filter scan      ~0.005 ms\n\
+                      \x20 phase: local top-k      ~0.015 ms\n\
+                      \x20 phase: delegate gather  64 B over host links ~0.010 ms\n\
+                      \x20 phase: merge on dev0    ~0.010 ms\n\
+                      \x20 total                   ~0.040 ms\n\
+                      \x20 on fault: per-shard retry/degrade; a failed shard fails the query\n";
+        assert_eq!(plan.render(), golden);
+    }
+
+    #[test]
+    fn sharded_plan_prices_filter_and_gather() {
+        use simt::topology::{Cluster, ClusterSpec};
+        let host = TweetTable::generate(20_000, 11);
+        let cluster = Cluster::new(ClusterSpec::pcie_node(4));
+        let table = ShardedTable::partition(&cluster, &host, PartitionPolicy::Hash).unwrap();
+        let cutoff = host.time_cutoff_for_selectivity(0.3);
+        let plan = explain_sharded_topk(
+            cluster.spec(),
+            &table,
+            Some(&FilterOp::TimeLess(cutoff)),
+            16,
+        );
+        assert!(
+            (plan.selectivity - 0.3).abs() < 0.05,
+            "{}",
+            plan.selectivity
+        );
+        // three non-resident shards ship k delegates each
+        assert_eq!(plan.candidate_bytes, 3 * 16 * 8);
+        assert!(plan.scan_seconds > 0.0);
+        assert!(plan.total_seconds() > plan.merge_seconds);
+        // nvlink variant renders peer links and gathers faster
+        let nv = Cluster::new(ClusterSpec::nvlink_node(4));
+        let nv_table = ShardedTable::partition(&nv, &host, PartitionPolicy::Hash).unwrap();
+        let nv_plan =
+            explain_sharded_topk(nv.spec(), &nv_table, Some(&FilterOp::TimeLess(cutoff)), 16);
+        assert!(nv_plan.render().contains("peer links"));
+        assert!(nv_plan.transfer_seconds < plan.transfer_seconds);
     }
 
     #[test]

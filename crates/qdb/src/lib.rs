@@ -25,6 +25,7 @@ pub mod error;
 pub mod explain;
 pub mod queries;
 pub mod server;
+pub mod shard;
 pub mod sql;
 pub mod table;
 
@@ -35,6 +36,10 @@ pub use queries::{QueryResult, Strategy};
 pub use server::{
     DegradeLevel, LoadReport, QueryTicket, QueryTiming, ResilienceStats, ServedQuery, Server,
     ServerConfig,
+};
+pub use shard::{
+    execute_sharded, partition_indices, sharded_topk, PartitionPolicy, Shard, ShardedLoadReport,
+    ShardedQueryResult, ShardedServed, ShardedServer, ShardedTable, ShardedTicket, ShardedTopK,
 };
 pub use sql::{
     execute as execute_sql, explain_sanitize, parse as parse_sql, parse_statement, Query,

@@ -658,6 +658,61 @@ impl Device {
         self.inner.fault_events.borrow().len()
     }
 
+    /// Rolls this device's fault plan against an interconnect transfer
+    /// (see [`crate::topology`]): an endpoint whose plan fires its
+    /// launch-failure rate drops the transfer. Records a
+    /// [`FaultKind::LaunchFailure`] event labeled with the transfer.
+    pub(crate) fn inject_transfer_failure(&self, label: &str) -> bool {
+        let fired = {
+            let mut fault = self.inner.fault.borrow_mut();
+            let Some(st) = fault.as_mut() else {
+                return false;
+            };
+            let rate = st.plan.launch_failure_rate;
+            st.roll(rate)
+        };
+        let Some(w) = fired else {
+            return false;
+        };
+        let (step, lane) = attribute(w, 1);
+        self.inner.fault_events.borrow_mut().push(FaultEvent {
+            kind: FaultKind::LaunchFailure,
+            kernel: label.to_string(),
+            launch_index: self.log_len(),
+            stream: self.inner.cur_stream.get(),
+            step,
+            lane,
+            target: None,
+            detail: "interconnect transfer dropped".to_string(),
+        });
+        true
+    }
+
+    /// Rolls this device's fault plan for a transfer stall: the link op
+    /// completes but its modeled time is inflated by the plan's stall
+    /// delay (a retried DMA / congested switch).
+    pub(crate) fn inject_transfer_stall(&self, label: &str) -> Option<SimTime> {
+        let (w, delay) = {
+            let mut fault = self.inner.fault.borrow_mut();
+            let st = fault.as_mut()?;
+            let rate = st.plan.stall_rate;
+            let w = st.roll(rate)?;
+            (w, st.plan.stall_delay)
+        };
+        let (step, lane) = attribute(w, 1);
+        self.inner.fault_events.borrow_mut().push(FaultEvent {
+            kind: FaultKind::StreamStall,
+            kernel: label.to_string(),
+            launch_index: self.log_len(),
+            stream: self.inner.cur_stream.get(),
+            step,
+            lane,
+            target: None,
+            detail: format!("transfer stalled {delay}"),
+        });
+        Some(delay)
+    }
+
     /// Enables the sanitizer (default [`SanitizeConfig`]) for every
     /// subsequent launch on this device — including launches issued
     /// inside [`Device::stream_scope`], so batched/streamed serving

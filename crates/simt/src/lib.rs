@@ -45,6 +45,7 @@ pub mod sanitize;
 pub mod spec;
 pub mod stats;
 pub mod stream;
+pub mod topology;
 pub mod trace;
 
 pub use block::{BlockCtx, Lane, SharedHandle};
@@ -56,4 +57,5 @@ pub use sanitize::{Finding, FindingKind, SanitizeConfig, SanitizerReport, Severi
 pub use spec::DeviceSpec;
 pub use stats::{KernelStats, SimTime};
 pub use stream::{Event, ScheduledLaunch, Stream, StreamId, StreamSchedule};
+pub use topology::{Cluster, ClusterSpec, Endpoint, LinkSpec, Transfer, TransferError};
 pub use trace::{chrome_trace, chrome_trace_streams};

@@ -1,0 +1,225 @@
+//! Closed-form estimator for sharded top-k on a multi-device node.
+//!
+//! The sharded execution (see `qdb::shard`) has three phases, and the
+//! estimate prices each with the same Section 7 machinery the
+//! single-device models use:
+//!
+//! 1. **local pass** — every shard runs the bitonic top-k over its rows
+//!    concurrently, so the phase costs the *slowest* shard;
+//! 2. **delegate gather** — each non-resident shard ships its `k`
+//!    delegate candidates to device 0. With peer links the transfers use
+//!    disjoint channels and overlap; staged through the host they
+//!    serialize on the shared host→device-0 channel, which the model
+//!    charges as a latency fill plus the serialized byte time;
+//! 3. **merge** — device 0 reduces the `shards × k_eff` delegate runs
+//!    with the bitonic combine.
+//!
+//! Like the single-device models this never executes anything; the
+//! `cluster` bench suite compares it against the simulated cluster.
+
+use simt::topology::ClusterSpec;
+
+use crate::{bitonic_topk_seconds, BitonicModelInput};
+
+/// Workload description for the sharded estimator.
+#[derive(Debug, Clone)]
+pub struct ClusterModelInput {
+    /// Rows resident on each device (index = device id; device 0 hosts
+    /// the merge).
+    pub shard_rows: Vec<usize>,
+    /// Requested k.
+    pub k: usize,
+    /// Bytes per item on the wire and in the top-k pipeline.
+    pub item_bytes: usize,
+}
+
+impl ClusterModelInput {
+    /// An evenly partitioned table of `n` rows over `devices` devices —
+    /// what the range policy produces.
+    pub fn balanced(n: usize, devices: usize, k: usize, item_bytes: usize) -> Self {
+        let base = n / devices;
+        let rem = n % devices;
+        ClusterModelInput {
+            shard_rows: (0..devices).map(|i| base + usize::from(i < rem)).collect(),
+            k,
+            item_bytes,
+        }
+    }
+}
+
+/// The estimator's per-phase breakdown.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterEstimate {
+    /// Slowest shard's local top-k pass, seconds.
+    pub local_seconds: f64,
+    /// Delegate gather over the interconnect, seconds.
+    pub transfer_seconds: f64,
+    /// Device-0 merge of the delegate runs, seconds.
+    pub merge_seconds: f64,
+    /// Delegate bytes shipped to device 0.
+    pub candidate_bytes: usize,
+}
+
+impl ClusterEstimate {
+    /// End-to-end predicted seconds (phases are sequential in the model:
+    /// the gather cannot start before the local pass nor the merge
+    /// before the gather).
+    pub fn total_seconds(&self) -> f64 {
+        self.local_seconds + self.transfer_seconds + self.merge_seconds
+    }
+}
+
+/// Prices a sharded bitonic top-k on `cluster`.
+pub fn cluster_topk_seconds(cluster: &ClusterSpec, input: &ClusterModelInput) -> ClusterEstimate {
+    let spec = &cluster.device;
+    let k = input.k;
+    let ib = input.item_bytes;
+
+    // phase 1: concurrent local passes — the slowest shard gates
+    let local_seconds = input
+        .shard_rows
+        .iter()
+        .filter(|&&n| n > 0)
+        .map(|&n| bitonic_topk_seconds(spec, BitonicModelInput::with_defaults(n, k.min(n), ib)))
+        .fold(0.0, f64::max);
+
+    // phase 2: delegate gather to device 0 (shard 0 is resident)
+    let delegate_counts: Vec<usize> = input.shard_rows.iter().map(|&n| k.min(n)).collect();
+    let shipped: Vec<usize> = delegate_counts
+        .iter()
+        .enumerate()
+        .filter(|&(i, &d)| i > 0 && d > 0)
+        .map(|(_, &d)| d * ib)
+        .collect();
+    let candidate_bytes: usize = shipped.iter().sum();
+    let transfer_seconds = if shipped.is_empty() {
+        0.0
+    } else if let Some(peer) = &cluster.peer_link {
+        // disjoint peer channels: transfers overlap, slowest gates
+        shipped.iter().map(|&b| peer.seconds(b)).fold(0.0, f64::max)
+    } else {
+        // staged through the host: the host→dev0 leg is one channel, so
+        // the byte times serialize behind one pipeline-fill latency
+        cluster.host_link.latency
+            + shipped
+                .iter()
+                .map(|&b| cluster.host_link.seconds(b))
+                .sum::<f64>()
+    };
+
+    // phase 3: bitonic combine of the k_eff-padded delegate runs
+    let total_delegates: usize = delegate_counts.iter().sum();
+    let merge_seconds = if total_delegates == 0 {
+        0.0
+    } else {
+        let k_req = k.min(total_delegates);
+        let k_eff = k_req.next_power_of_two();
+        let runs = delegate_counts.iter().filter(|&&d| d > 0).count();
+        let merge_n = (runs * k_eff).next_power_of_two();
+        bitonic_topk_seconds(spec, BitonicModelInput::with_defaults(merge_n, k_req, ib))
+    };
+
+    ClusterEstimate {
+        local_seconds,
+        transfer_seconds,
+        merge_seconds,
+        candidate_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_pass_shrinks_with_more_devices() {
+        let n = 1 << 22;
+        let mut prev = f64::INFINITY;
+        for devices in [1usize, 2, 4, 8] {
+            let cluster = ClusterSpec::pcie_node(devices);
+            let est =
+                cluster_topk_seconds(&cluster, &ClusterModelInput::balanced(n, devices, 64, 8));
+            assert!(
+                est.local_seconds < prev,
+                "{devices} devices: {} >= {prev}",
+                est.local_seconds
+            );
+            prev = est.local_seconds;
+        }
+    }
+
+    #[test]
+    fn transfer_and_merge_grow_with_devices() {
+        let n = 1 << 22;
+        let one = cluster_topk_seconds(
+            &ClusterSpec::pcie_node(1),
+            &ClusterModelInput::balanced(n, 1, 64, 8),
+        );
+        let eight = cluster_topk_seconds(
+            &ClusterSpec::pcie_node(8),
+            &ClusterModelInput::balanced(n, 8, 64, 8),
+        );
+        assert_eq!(one.candidate_bytes, 0);
+        assert_eq!(one.transfer_seconds, 0.0);
+        assert_eq!(eight.candidate_bytes, 7 * 64 * 8);
+        assert!(eight.transfer_seconds > 0.0);
+        assert!(eight.merge_seconds > one.merge_seconds);
+    }
+
+    #[test]
+    fn eight_devices_halve_the_total_at_full_scale() {
+        // the bench-diff cluster claim, asserted against the model: at
+        // n = 2^22, k = 64, eight devices must at least halve the
+        // single-device time despite gather + merge overhead
+        let n = 1 << 22;
+        let one = cluster_topk_seconds(
+            &ClusterSpec::pcie_node(1),
+            &ClusterModelInput::balanced(n, 1, 64, 8),
+        );
+        let eight = cluster_topk_seconds(
+            &ClusterSpec::pcie_node(8),
+            &ClusterModelInput::balanced(n, 8, 64, 8),
+        );
+        assert!(
+            eight.total_seconds() <= 0.5 * one.total_seconds(),
+            "8-dev {} vs 1-dev {}",
+            eight.total_seconds(),
+            one.total_seconds()
+        );
+    }
+
+    #[test]
+    fn peer_links_beat_staged_host_transfers() {
+        let n = 1 << 20;
+        let input = ClusterModelInput::balanced(n, 8, 64, 8);
+        let pcie = cluster_topk_seconds(&ClusterSpec::pcie_node(8), &input);
+        let nvlink = cluster_topk_seconds(&ClusterSpec::nvlink_node(8), &input);
+        assert!(nvlink.transfer_seconds < pcie.transfer_seconds);
+        assert_eq!(nvlink.candidate_bytes, pcie.candidate_bytes);
+    }
+
+    #[test]
+    fn empty_and_degenerate_shards_are_safe() {
+        let cluster = ClusterSpec::pcie_node(4);
+        let est = cluster_topk_seconds(
+            &cluster,
+            &ClusterModelInput {
+                shard_rows: vec![100, 0, 0, 5],
+                k: 64,
+                item_bytes: 8,
+            },
+        );
+        // shard 3 ships only its 5 rows
+        assert_eq!(est.candidate_bytes, 5 * 8);
+        assert!(est.total_seconds().is_finite());
+        let empty = cluster_topk_seconds(
+            &cluster,
+            &ClusterModelInput {
+                shard_rows: vec![0; 4],
+                k: 64,
+                item_bytes: 8,
+            },
+        );
+        assert_eq!(empty.total_seconds(), 0.0);
+    }
+}

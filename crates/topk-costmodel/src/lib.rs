@@ -14,11 +14,13 @@
 //! simulator's measured times, reproducing Figure 17.
 
 pub mod bitonic;
+pub mod cluster;
 pub mod extended;
 pub mod planner;
 pub mod radix;
 
 pub use bitonic::{bitonic_topk_seconds, shared_traffic_factor, BitonicModelInput};
+pub use cluster::{cluster_topk_seconds, ClusterEstimate, ClusterModelInput};
 pub use extended::{bucket_select_seconds, per_thread_seconds, HeapProfile};
 pub use planner::{recommend, recommend_full, Choice, FullAlgorithm, RankedAlgorithm};
 pub use radix::{radix_select_seconds, sort_seconds, ReductionProfile};

@@ -1,0 +1,178 @@
+//! Sharded serving demo: a simulated multi-GPU node answers a query load
+//! by scatter-gather — per-shard top-k on every device, k delegate
+//! candidates shipped over the interconnect, bitonic merge on device 0.
+//!
+//! ```sh
+//! cargo run --release --example sharded_serving [-- out.json]
+//! ```
+//!
+//! Sweeps device count × partition policy, checks every completed query
+//! against the single-device oracle (results must be bit-identical — the
+//! tie-break by row id makes the merge deterministic), prints the
+//! scaling table and the sharded EXPLAIN plan, and writes the per-config
+//! JSON rows as the artifact CI uploads. Exits non-zero on any oracle
+//! mismatch.
+
+use gpu_topk::datagen::twitter::TweetTable;
+use gpu_topk::qdb::shard::{PartitionPolicy, ShardedServer, ShardedTable};
+use gpu_topk::qdb::{
+    execute_sql, explain::explain_sharded_topk, parse_sql, GpuTweetTable, ServerConfig, Strategy,
+};
+use gpu_topk::simt::topology::{Cluster, ClusterSpec};
+use gpu_topk::simt::Device;
+
+fn workload(host: &TweetTable, count: usize) -> Vec<String> {
+    (0..count)
+        .map(|i| match i % 3 {
+            0 => {
+                let cutoff = host.time_cutoff_for_selectivity(0.1 + 0.05 * (i % 6) as f64);
+                format!(
+                    "SELECT id FROM tweets WHERE tweet_time < {cutoff} \
+                     ORDER BY retweet_count DESC LIMIT {}",
+                    8 + (i % 9)
+                )
+            }
+            1 => format!(
+                "SELECT id FROM tweets ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT {}",
+                4 + (i % 13)
+            ),
+            _ => format!(
+                "SELECT id FROM tweets ORDER BY retweet_count ASC LIMIT {}",
+                3 + (i % 7)
+            ),
+        })
+        .collect()
+}
+
+fn main() {
+    let out_path = gpu_topk::artifact_path("sharded_serving_report.json");
+    let n = 1 << 14;
+    let host = TweetTable::generate(n, 4242);
+    let sqls = workload(&host, 24);
+
+    // single-device oracle: the sharded results must match bit for bit
+    let dev = Device::titan_x();
+    let gpu = GpuTweetTable::upload(&dev, &host);
+    let oracle: Vec<Vec<u32>> = sqls
+        .iter()
+        .map(|s| {
+            execute_sql(&dev, &gpu, &parse_sql(s).unwrap(), Strategy::StageBitonic)
+                .expect("fault-free oracle")
+                .ids
+        })
+        .collect();
+
+    println!(
+        "sharded serving: {} queries over {} tweets, device sweep x partition policy\n",
+        sqls.len(),
+        n
+    );
+    println!(
+        "{:<14}{:>6}{:>8}{:>8}{:>14}{:>14}{:>10}",
+        "policy", "devs", "done", "exact", "makespan(ms)", "cand-bytes", "retries"
+    );
+
+    let mut rows = Vec::new();
+    let mut mismatches = 0usize;
+    for policy in PartitionPolicy::all() {
+        for devices in [1usize, 2, 4, 8] {
+            let cluster = Cluster::new(ClusterSpec::pcie_node(devices));
+            let table = ShardedTable::partition(&cluster, &host, policy).expect("partition");
+            let mut server = ShardedServer::new(&cluster, &table, ServerConfig::default());
+            let tickets: Vec<_> = sqls
+                .iter()
+                .map(|s| server.submit(s).expect("admission"))
+                .collect();
+            let report = server.drain();
+
+            let mut exact = 0usize;
+            let mut retries = 0usize;
+            for (i, t) in tickets.iter().enumerate() {
+                let served = &report.queries[t.0];
+                retries += served.retries;
+                if !served.completed() {
+                    eprintln!(
+                        "UNEXPECTED FAILURE ({}, {} devices): {} -> {:?}",
+                        policy.name(),
+                        devices,
+                        served.sql,
+                        served.error
+                    );
+                    mismatches += 1;
+                    continue;
+                }
+                if served.ids == oracle[i] {
+                    exact += 1;
+                } else {
+                    eprintln!(
+                        "ORACLE MISMATCH ({}, {} devices): {}",
+                        policy.name(),
+                        devices,
+                        served.sql
+                    );
+                    mismatches += 1;
+                }
+            }
+            // delegate traffic for one representative query re-executed
+            // on a fresh cluster (the server's own merges share links)
+            let candidate_bytes = {
+                let probe = Cluster::new(ClusterSpec::pcie_node(devices));
+                let ptable = ShardedTable::partition(&probe, &host, policy).expect("partition");
+                let q = parse_sql(&sqls[0]).unwrap();
+                let r = gpu_topk::qdb::shard::execute_sharded(
+                    &probe,
+                    &ptable,
+                    &q,
+                    Strategy::StageBitonic,
+                    0,
+                )
+                .expect("probe query");
+                r.candidate_bytes
+            };
+
+            println!(
+                "{:<14}{:>6}{:>8}{:>8}{:>14.4}{:>14}{:>10}",
+                policy.name(),
+                devices,
+                report.resilience.completed,
+                exact,
+                report.makespan.millis(),
+                candidate_bytes,
+                retries
+            );
+            rows.push(format!(
+                "{{\"policy\":\"{}\",\"devices\":{},\"queries\":{},\"completed\":{},\
+                 \"exact\":{},\"makespan_ms\":{},\"candidate_bytes\":{},\"retries\":{}}}",
+                policy.name(),
+                devices,
+                sqls.len(),
+                report.resilience.completed,
+                exact,
+                report.makespan.millis(),
+                candidate_bytes,
+                retries
+            ));
+        }
+    }
+
+    // the sharded EXPLAIN for the 4-device hash configuration
+    let cluster = Cluster::new(ClusterSpec::pcie_node(4));
+    let table = ShardedTable::partition(&cluster, &host, PartitionPolicy::Hash).expect("partition");
+    let cutoff = host.time_cutoff_for_selectivity(0.3);
+    let plan = explain_sharded_topk(
+        cluster.spec(),
+        &table,
+        Some(&gpu_topk::qdb::FilterOp::TimeLess(cutoff)),
+        16,
+    );
+    println!("\n{}", plan.render());
+
+    let json = format!("[\n  {}\n]\n", rows.join(",\n  "));
+    std::fs::write(&out_path, json).expect("write sharded serving report");
+    println!("wrote {}", out_path.display());
+    if mismatches > 0 {
+        eprintln!("{mismatches} sharded quer(ies) diverged from the single-device oracle");
+        std::process::exit(1);
+    }
+    println!("every sharded result matched the single-device oracle bit for bit");
+}
