@@ -1,10 +1,11 @@
 //! The unified benchmark harness binary: runs the top-k figure suite,
-//! the qdb serving suite and the multi-device cluster suite, and writes
-//! machine-readable `BENCH_topk.json` / `BENCH_serve.json` /
-//! `BENCH_cluster.json` reports (see `bench::report` for the schema).
+//! the qdb serving suite, the multi-device cluster suite and the
+//! real-CPU backend suite, and writes machine-readable
+//! `BENCH_topk.json` / `BENCH_serve.json` / `BENCH_cluster.json` /
+//! `BENCH_cpu.json` reports (see `bench::report` for the schema).
 //!
 //! ```text
-//! harness [--out-dir DIR] [--only topk|serve|cluster]
+//! harness [--out-dir DIR] [--only topk|serve|cluster|cpu]
 //! ```
 //!
 //! Scale comes from `TOPK_REPRO_LOG2N` like every experiment binary:
@@ -13,7 +14,9 @@
 //! Compare the written reports against the committed baseline with
 //! `bench-diff`.
 
-use bench::harness::{run_cluster_suite, run_serve_suite, run_topk_suite, HarnessScales};
+use bench::harness::{
+    run_cluster_suite, run_cpu_suite, run_serve_suite, run_topk_suite, HarnessScales,
+};
 
 fn main() {
     let mut out_dir = std::path::PathBuf::from(".");
@@ -25,16 +28,16 @@ fn main() {
                 out_dir = args.next().expect("--out-dir needs a directory").into();
             }
             "--only" => {
-                let suite = args.next().expect("--only needs topk|serve|cluster");
+                let suite = args.next().expect("--only needs topk|serve|cluster|cpu");
                 assert!(
-                    suite == "topk" || suite == "serve" || suite == "cluster",
-                    "--only accepts topk, serve or cluster, got '{suite}'"
+                    suite == "topk" || suite == "serve" || suite == "cluster" || suite == "cpu",
+                    "--only accepts topk, serve, cluster or cpu, got '{suite}'"
                 );
                 only = Some(suite);
             }
             other => panic!(
                 "unknown argument '{other}' \
-                 (usage: harness [--out-dir DIR] [--only topk|serve|cluster])"
+                 (usage: harness [--out-dir DIR] [--only topk|serve|cluster|cpu])"
             ),
         }
     }
@@ -42,8 +45,8 @@ fn main() {
 
     let scales = HarnessScales::from_env();
     println!(
-        "== bench harness: profile '{}' (topk n=2^{}, serve n=2^{}) ==",
-        scales.profile, scales.topk_log2n, scales.serve_log2n
+        "== bench harness: profile '{}' (topk n=2^{}, serve n=2^{}, cpu n=2^{}) ==",
+        scales.profile, scales.topk_log2n, scales.serve_log2n, scales.cpu_log2n
     );
 
     let write = |name: &str, text: String, cells: usize| {
@@ -76,6 +79,16 @@ fn main() {
             report.render(),
             report.experiments.len(),
         );
+    }
+    if run("cpu") {
+        let wall = std::time::Instant::now();
+        let report = run_cpu_suite(scales.cpu_log2n, &scales.profile);
+        println!(
+            "cpu suite: {} cells in {:.1}s host wall",
+            report.experiments.len(),
+            wall.elapsed().as_secs_f64()
+        );
+        write("BENCH_cpu.json", report.render(), report.experiments.len());
     }
     if run("cluster") {
         let wall = std::time::Instant::now();

@@ -10,7 +10,7 @@
 //! for.
 
 use datagen::twitter::TweetTable;
-use qdb::{Server, ServerConfig, Strategy};
+use qdb::{Server, ServerConfig, Strategy, SubmitOptions};
 use simt::Device;
 
 fn main() {
@@ -52,7 +52,9 @@ fn main() {
 
         let mut server = Server::new(&dev, &table, ServerConfig::default());
         for i in 0..load {
-            server.submit(&sql_for(i)).expect("submit");
+            server
+                .submit(&sql_for(i), SubmitOptions::default())
+                .expect("submit");
         }
         let report = server.drain();
 

@@ -26,11 +26,11 @@ use datagen::{
     BucketKiller, Clustered, Decreasing, Distribution, Increasing, Kv, Normal, TopKItem, Uniform,
 };
 use qdb::shard::{partition_indices, sharded_topk, PartitionPolicy};
-use qdb::{GpuTweetTable, Server, ServerConfig};
+use qdb::{GpuTweetTable, Server, ServerConfig, SubmitOptions};
 use simt::topology::{Cluster, ClusterSpec};
 use simt::{Device, GpuBuffer, LaunchWindow};
 use topk::bitonic::{bitonic_topk, BitonicConfig};
-use topk::{TopKAlgorithm, TopKRequest};
+use topk::{Backend, CpuBackend, TopKAlgorithm, TopKRequest};
 use topk_costmodel::{cluster_topk_seconds, ClusterModelInput};
 
 use crate::report::{current_commit, BenchReport, Experiment, Scale};
@@ -45,6 +45,10 @@ pub struct HarnessScales {
     /// Resident-table exponent for the serving suite (default 17,
     /// capped by the top-k scale when overridden).
     pub serve_log2n: u32,
+    /// Element-count exponent for the real-CPU backend suite (default
+    /// 20 — the scale the thread-scaling claim gates at — capped by the
+    /// top-k scale when overridden).
+    pub cpu_log2n: u32,
     /// Profile name stamped into both reports.
     pub profile: String,
 }
@@ -58,6 +62,7 @@ impl HarnessScales {
         HarnessScales {
             topk_log2n,
             serve_log2n: topk_log2n.min(17),
+            cpu_log2n: topk_log2n.min(20),
             profile: Scale::profile_name(topk_log2n),
         }
     }
@@ -254,6 +259,64 @@ pub fn run_cluster_suite(log2n: u32, profile: &str) -> BenchReport {
     }
 }
 
+/// The worker-thread sweep of the CPU backend suite.
+pub const CPU_THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Fixed k for the CPU backend suite.
+pub const CPU_SUITE_K: usize = 64;
+
+/// Repetitions per CPU cell; the fastest is reported (wall-clock cells
+/// gate on the *worse* direction only, so best-of-N just trims
+/// scheduler noise).
+pub const CPU_SUITE_REPS: usize = 3;
+
+/// Runs the real-CPU backend suite through the [`topk::Backend`] trait:
+/// every algorithm across the thread sweep on `2^log2n` uniform f32
+/// keys. Cells are `cpu/<alg>/t<threads>` and carry only `host_*`
+/// metrics — there is nothing modeled here, every number is wall-clock
+/// from [`topk::ExecReport`]. The scaling claim (multi-thread beats
+/// single-thread, checked by `bench-diff`) reads the `t1` cell against
+/// the rest of the sweep.
+pub fn run_cpu_suite(log2n: u32, profile: &str) -> BenchReport {
+    let n = 1usize << log2n;
+    let data: Vec<f32> = Uniform.generate(n, 31);
+
+    let mut experiments = Vec::new();
+    for alg in TopKAlgorithm::all() {
+        for threads in CPU_THREAD_SWEEP {
+            let be = CpuBackend::with_threads(threads);
+            let input = be.upload(&data);
+            let req = TopKRequest::largest(CPU_SUITE_K).with_alg(alg);
+            let mut best: Option<topk::ExecReport> = None;
+            for _ in 0..CPU_SUITE_REPS {
+                let r = req.run_on(&be, &input).expect("cpu top-k");
+                assert_eq!(r.items.len(), CPU_SUITE_K.min(n));
+                if best
+                    .as_ref()
+                    .is_none_or(|b| r.report.host_wall < b.host_wall)
+                {
+                    best = Some(r.report);
+                }
+            }
+            let report = best.expect("at least one rep ran");
+            experiments.push(Experiment {
+                id: format!("cpu/{}/t{threads}", alg.name()),
+                metrics: report.metric_cells().into_iter().collect(),
+            });
+        }
+    }
+
+    BenchReport {
+        kind: "cpu".to_string(),
+        commit: current_commit(),
+        scale: Scale {
+            log2n,
+            profile: profile.to_string(),
+        },
+        experiments,
+    }
+}
+
 /// The offered-load sweep of the serving suite.
 pub const SERVE_LOADS: [usize; 4] = [1, 4, 16, 64];
 
@@ -278,7 +341,9 @@ pub fn run_serve_suite(log2n: u32, profile: &str) -> BenchReport {
     for load in SERVE_LOADS {
         let mut server = Server::new(&dev, &table, ServerConfig::default());
         for i in 0..load {
-            server.submit(&sql_for(i)).expect("workload sql");
+            server
+                .submit(&sql_for(i), SubmitOptions::default())
+                .expect("workload sql");
         }
         let report = server.drain();
         let metrics = [
@@ -382,6 +447,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cpu_suite_produces_a_host_only_schema_valid_report() {
+        let r = run_cpu_suite(12, "test");
+        assert_eq!(r.kind, "cpu");
+        assert_eq!(
+            r.experiments.len(),
+            TopKAlgorithm::all().len() * CPU_THREAD_SWEEP.len()
+        );
+        for e in &r.experiments {
+            // nothing modeled here: every metric is wall-clock
+            assert!(
+                e.metrics.keys().all(|m| m.starts_with("host_")),
+                "{}: {:?}",
+                e.id,
+                e.metrics.keys()
+            );
+            assert!(e.metrics["host_wall_ms"] > 0.0, "{}", e.id);
+            assert!(e.metrics["host_threads"] >= 1.0, "{}", e.id);
+        }
+        for threads in CPU_THREAD_SWEEP {
+            assert!(r.experiment(&format!("cpu/bitonic/t{threads}")).is_some());
+        }
+        Parsed::from_json(&r.render()).expect("schema-valid");
     }
 
     #[test]

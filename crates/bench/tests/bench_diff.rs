@@ -463,3 +463,77 @@ fn end_to_end_gate_on_real_harness_reports() {
     assert!(out.failed());
     assert!(fails(&out)[0].contains("vary_k/uniform/bitonic/k32"));
 }
+
+/// A claim-satisfying cpu report at the given scale: every algorithm's
+/// best multi-thread cell beats its single-thread cell.
+fn claim_clean_cpu(log2n: u32) -> BenchReport {
+    let mut exps = Vec::new();
+    for alg in topk::TopKAlgorithm::all() {
+        for (threads, ms) in [(1, 100.0), (2, 60.0), (4, 40.0), (8, 30.0)] {
+            exps.push(exp(
+                &format!("cpu/{}/t{threads}", alg.name()),
+                &[("host_wall_ms", ms), ("host_threads", threads as f64)],
+            ));
+        }
+    }
+    let mut r = report("cpu", exps);
+    r.scale = Scale::new(log2n);
+    r
+}
+
+#[test]
+fn cpu_scaling_claim_gates_at_real_scale_only() {
+    let good = claim_clean_cpu(20);
+    assert!(
+        check_claims(&good)
+            .iter()
+            .all(|f| f.severity != Severity::Fail),
+        "{:?}",
+        check_claims(&good)
+    );
+    // threads that never pay for themselves: fail at 2^20...
+    let mut bad = claim_clean_cpu(20);
+    for e in &mut bad.experiments {
+        if e.id.starts_with("cpu/sort/t") && !e.id.ends_with("/t1") {
+            e.metrics.insert("host_wall_ms".to_string(), 150.0);
+        }
+    }
+    let findings = check_claims(&bad);
+    assert!(findings
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("cpu backend scaling (sort)")));
+    // ...but only warn at the CI small scale
+    let mut small = bad.clone();
+    small.scale = Scale::new(16);
+    let findings = check_claims(&small);
+    assert!(
+        findings.iter().all(|f| f.severity != Severity::Fail),
+        "{findings:?}"
+    );
+    assert!(findings
+        .iter()
+        .any(|f| f.severity == Severity::Warn && f.message.contains("log2n >= 20")));
+    // a fast algorithm below the spawn-amortization floor only warns,
+    // even at full scale (threads cannot pay for a ~2 ms scan)
+    let mut fast = claim_clean_cpu(20);
+    for e in &mut fast.experiments {
+        if e.id.starts_with("cpu/per-thread/t") {
+            let ms = if e.id.ends_with("/t1") { 2.0 } else { 3.0 };
+            e.metrics.insert("host_wall_ms".to_string(), ms);
+        }
+    }
+    let findings = check_claims(&fast);
+    assert!(
+        findings.iter().all(|f| f.severity != Severity::Fail),
+        "{findings:?}"
+    );
+    assert!(findings
+        .iter()
+        .any(|f| f.severity == Severity::Warn && f.message.contains("floor")));
+    // a sweep with no multi-thread cells is unverifiable -> fail
+    let mut lone = claim_clean_cpu(20);
+    lone.experiments.retain(|e| e.id.ends_with("/t1"));
+    assert!(check_claims(&lone)
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("multi-thread")));
+}

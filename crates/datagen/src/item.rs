@@ -405,6 +405,42 @@ where
     }
 }
 
+// safety: Rev<T> is #[repr(transparent)] over T, and every bit pattern of
+// T is a valid Rev<T> (and vice versa) — the exact contract the marker
+// demands. Declaring it here is what lets every smallest-k call site use
+// the safe `as_rev_view`/`rev_slice` helpers instead of raw `unsafe`.
+unsafe impl<T: TopKItem> simt::TransparentWrapper<T> for Rev<T> where T::KeyBits: RadixBits {}
+
+/// Reinterprets a host slice of `T` as a slice of [`Rev<T>`] in place —
+/// the CPU-side counterpart of [`RevView::as_rev_view`]. Zero-copy: the
+/// returned slice borrows the same memory with the order reversed.
+pub fn rev_slice<T: TopKItem>(items: &[T]) -> &[Rev<T>] {
+    debug_assert_eq!(std::mem::size_of::<T>(), std::mem::size_of::<Rev<T>>());
+    debug_assert_eq!(std::mem::align_of::<T>(), std::mem::align_of::<Rev<T>>());
+    // safety: Rev<T> is repr(transparent) over T (see the
+    // TransparentWrapper impl above); length and lifetime are unchanged
+    unsafe { std::slice::from_raw_parts(items.as_ptr() as *const Rev<T>, items.len()) }
+}
+
+/// Safe smallest-k view over a device buffer.
+///
+/// `buf.as_rev_view()` reinterprets a `GpuBuffer<T>` **in place** as a
+/// buffer of the order-reversing [`Rev<T>`] wrapper — no host round-trip,
+/// no extra device memory — so largest-k kernels compute smallest-k. The
+/// storage returns to the source buffer when the view drops. This is the
+/// documented, safe replacement for open-coded
+/// `unsafe { buf.map_cast::<Rev<T>>() }` at call sites.
+pub trait RevView<T: TopKItem> {
+    /// The in-place order-reversed view of this buffer.
+    fn as_rev_view(&self) -> simt::MappedBuffer<T, Rev<T>>;
+}
+
+impl<T: TopKItem> RevView<T> for simt::GpuBuffer<T> {
+    fn as_rev_view(&self) -> simt::MappedBuffer<T, Rev<T>> {
+        self.map_view::<Rev<T>>()
+    }
+}
+
 #[cfg(test)]
 mod rev_tests {
     use super::*;
@@ -440,6 +476,30 @@ mod rev_tests {
         let r = Rev(Kv::new(7u32, 99));
         assert_eq!(r.0.value, 99);
         assert_eq!(Rev::<Kv<u32>>::SIZE_BYTES, 8);
+    }
+
+    #[test]
+    fn as_rev_view_is_in_place_and_restores() {
+        let dev = simt::Device::titan_x();
+        let buf = dev.upload(&[3.0f32, 1.0, 2.0]);
+        let bytes = dev.memory_allocated();
+        {
+            let view = buf.as_rev_view();
+            assert_eq!(view.view().len(), 3);
+            assert_eq!(dev.memory_allocated(), bytes, "no extra allocation");
+            assert!(buf.is_empty(), "storage moved into the view");
+        }
+        assert_eq!(buf.to_vec(), vec![3.0, 1.0, 2.0], "restored on drop");
+    }
+
+    #[test]
+    fn rev_slice_is_zero_copy_and_reverses() {
+        let host = [5u32, 9, 1];
+        let rev = rev_slice(&host);
+        assert_eq!(rev.len(), 3);
+        assert_eq!(rev.as_ptr() as usize, host.as_ptr() as usize);
+        assert!(rev[1].item_lt(&rev[2]), "Rev(9) sorts below Rev(1)");
+        assert_eq!(rev[0].0, 5);
     }
 
     #[test]

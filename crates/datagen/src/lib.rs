@@ -28,7 +28,7 @@ pub use dist::{
     reference_topk, BucketKiller, Clustered, Decreasing, Distribution, GenKey, Increasing, Normal,
     Uniform, Zipf,
 };
-pub use item::{Kkkv, Kkv, Kv, Rev, TopKItem};
+pub use item::{rev_slice, Kkkv, Kkv, Kv, Rev, RevView, TopKItem};
 pub use keys::{RadixBits, SortKey};
 
 /// Reads the experiment scale from the `TOPK_REPRO_LOG2N` environment

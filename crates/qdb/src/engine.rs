@@ -30,9 +30,16 @@ impl FilterOp {
 
     /// Evaluates the predicate against one row.
     pub fn matches(&self, table: &crate::table::GpuTweetTable, row: usize) -> bool {
+        self.matches_row(table.tweet_time.get(row), table.lang.get(row))
+    }
+
+    /// Evaluates the predicate against raw column values — the
+    /// backend-agnostic primitive both the device filter kernel and the
+    /// CPU engine's parallel scan share.
+    pub fn matches_row(&self, tweet_time: u32, lang: u8) -> bool {
         match self {
-            FilterOp::TimeLess(cutoff) => table.tweet_time.get(row) < *cutoff,
-            FilterOp::LangIn(langs) => langs.contains(&table.lang.get(row)),
+            FilterOp::TimeLess(cutoff) => tweet_time < *cutoff,
+            FilterOp::LangIn(langs) => langs.contains(&lang),
         }
     }
 }

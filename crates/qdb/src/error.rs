@@ -56,6 +56,15 @@ pub enum QdbError {
         /// Execution attempts made before giving up.
         attempts: usize,
     },
+    /// The query asks for a simulator-only feature on a backend that
+    /// lacks it (e.g. `EXPLAIN SANITIZE` on the CPU backend). Typed so
+    /// callers can route around it; never a silent degradation.
+    UnsupportedOnBackend {
+        /// The backend that rejected the request.
+        backend: &'static str,
+        /// The unavailable feature.
+        feature: &'static str,
+    },
 }
 
 impl QdbError {
@@ -82,6 +91,7 @@ impl QdbError {
             QdbError::Timeout { .. } => "timeout",
             QdbError::Overloaded { .. } => "overloaded",
             QdbError::DeviceFault { .. } => "device-fault",
+            QdbError::UnsupportedOnBackend { .. } => "unsupported-on-backend",
         }
     }
 }
@@ -117,6 +127,9 @@ impl std::fmt::Display for QdbError {
                     f,
                     "{class} device fault after {attempts} attempt(s): {what}"
                 )
+            }
+            QdbError::UnsupportedOnBackend { backend, feature } => {
+                write!(f, "the {backend} backend does not support {feature}")
             }
         }
     }
@@ -165,6 +178,16 @@ impl From<TopKError> for QdbError {
             TopKError::ZeroK => QdbError::InvalidK { k: 0, n: 0 },
             TopKError::EmptyInput => QdbError::EmptyTable,
             TopKError::Launch(l) => l.into(),
+            TopKError::UnsupportedOnBackend { backend, feature } => {
+                QdbError::UnsupportedOnBackend { backend, feature }
+            }
+            // a buffer routed to the wrong engine is a permanent plan
+            // defect, not something a retry can clear
+            TopKError::BackendMismatch { backend, buffer } => QdbError::DeviceFault {
+                what: format!("the {backend} backend was handed a {buffer} buffer"),
+                transient: false,
+                attempts: 1,
+            },
         }
     }
 }

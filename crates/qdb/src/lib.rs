@@ -20,6 +20,8 @@
 //! a queue of SQL queries, overlaps them on simt streams, and coalesces
 //! compatible small queries into one batched top-k launch.
 
+pub mod backend;
+pub(crate) mod cpu_engine;
 pub mod engine;
 pub mod error;
 pub mod explain;
@@ -29,13 +31,14 @@ pub mod shard;
 pub mod sql;
 pub mod table;
 
+pub use backend::{execute_on, explain_sanitize_on, BackendQueryResult};
 pub use engine::{FilterOp, TopKStrategy};
 pub use error::QdbError;
 pub use explain::{explain_filtered_topk, QueryPlan, TableStats};
 pub use queries::{QueryResult, Strategy};
 pub use server::{
     DegradeLevel, LoadReport, QueryTicket, QueryTiming, ResilienceStats, ServedQuery, Server,
-    ServerConfig,
+    ServerConfig, SubmitOptions,
 };
 pub use shard::{
     execute_sharded, partition_indices, sharded_topk, PartitionPolicy, Shard, ShardedLoadReport,
@@ -45,4 +48,4 @@ pub use sql::{
     execute as execute_sql, explain_sanitize, parse as parse_sql, parse_statement, Query,
     SanitizedQuery, SqlError, Statement,
 };
-pub use table::GpuTweetTable;
+pub use table::{BackendTable, CpuTweetTable, GpuTweetTable};

@@ -33,7 +33,7 @@
 //!   ([`ServerConfig::backoff_base`] · 2^attempt, charged as simulated
 //!   time against the query's deadline);
 //! * **cancels** — a query submitted with a deadline
-//!   ([`Server::submit_with_deadline`]) is cancelled with
+//!   ([`SubmitOptions::with_deadline`]) is cancelled with
 //!   [`QdbError::Timeout`] once its accumulated simulated time (kernel
 //!   time plus backoff penalties) exceeds it;
 //! * **degrades** — when retries are exhausted a query falls down a
@@ -108,6 +108,43 @@ impl Default for ServerConfig {
             max_retries: 2,
             backoff_base: SimTime(50e-6),
         }
+    }
+}
+
+/// Per-query submission options for [`Server::submit`], builder-style.
+///
+/// The default value inherits the server's configured strategy and
+/// deadline; each knob can be overridden independently:
+///
+/// ```
+/// # use qdb::{Strategy, SubmitOptions};
+/// # use simt::SimTime;
+/// let opts = SubmitOptions::default()
+///     .with_strategy(Strategy::StageSort)
+///     .with_deadline(SimTime(5e-3));
+/// assert_eq!(opts.strategy, Some(Strategy::StageSort));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SubmitOptions {
+    /// Execution strategy; `None` uses [`ServerConfig::default_strategy`].
+    pub strategy: Option<Strategy>,
+    /// Per-query deadline; `None` uses [`ServerConfig::default_deadline`].
+    pub deadline: Option<SimTime>,
+}
+
+impl SubmitOptions {
+    /// Overrides the execution strategy for this query.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Sets a per-query deadline: the query is cancelled with
+    /// [`QdbError::Timeout`] once its simulated execution time exceeds
+    /// it.
+    pub fn with_deadline(mut self, deadline: SimTime) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -367,13 +404,13 @@ impl Executed {
 /// ```
 /// # use simt::Device;
 /// # use datagen::twitter::TweetTable;
-/// # use qdb::{GpuTweetTable, Server, ServerConfig};
+/// # use qdb::{GpuTweetTable, Server, ServerConfig, SubmitOptions};
 /// let dev = Device::titan_x();
 /// let host = TweetTable::generate(10_000, 1);
 /// let table = GpuTweetTable::upload(&dev, &host);
 /// let mut server = Server::new(&dev, &table, ServerConfig::default());
 /// let t = server
-///     .submit("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 10")
+///     .submit("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 10", SubmitOptions::default())
 ///     .unwrap();
 /// let report = server.drain();
 /// assert_eq!(report.queries[t.0].result.ids.len(), 10);
@@ -405,29 +442,46 @@ impl<'a> Server<'a> {
         }
     }
 
-    /// Parses, validates and admits one SQL query with the default
-    /// strategy and deadline. Unsupported shapes, unusable LIMITs and a
-    /// full queue are rejected here, not at drain time.
-    pub fn submit(&mut self, sql: &str) -> Result<QueryTicket, QdbError> {
-        self.submit_full(sql, self.cfg.default_strategy, self.cfg.default_deadline)
+    /// Parses, validates and admits one SQL query. Unsupported shapes,
+    /// unusable LIMITs and a full queue are rejected here, not at drain
+    /// time. Per-query knobs travel in [`SubmitOptions`]:
+    /// `SubmitOptions::default()` uses the server's configured strategy
+    /// and deadline; `with_strategy`/`with_deadline` override them.
+    ///
+    /// An explicit deadline cancels the query with [`QdbError::Timeout`]
+    /// once its simulated execution time (kernel time plus retry
+    /// backoff) exceeds it; a deadline that is already non-positive is
+    /// rejected as [`QdbError::DeadlineExpired`].
+    pub fn submit(&mut self, sql: &str, opts: SubmitOptions) -> Result<QueryTicket, QdbError> {
+        self.submit_full(
+            sql,
+            opts.strategy.unwrap_or(self.cfg.default_strategy),
+            opts.deadline.or(self.cfg.default_deadline),
+        )
     }
 
-    /// [`Server::submit`] with an explicit execution strategy.
+    /// Deprecated spelling of
+    /// `submit(sql, SubmitOptions::default().with_strategy(strategy))`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use submit(sql, SubmitOptions::default().with_strategy(strategy))"
+    )]
     pub fn submit_with(&mut self, sql: &str, strategy: Strategy) -> Result<QueryTicket, QdbError> {
-        self.submit_full(sql, strategy, self.cfg.default_deadline)
+        self.submit(sql, SubmitOptions::default().with_strategy(strategy))
     }
 
-    /// [`Server::submit`] with an explicit per-query deadline: the query
-    /// is cancelled with [`QdbError::Timeout`] once its simulated
-    /// execution time (kernel time plus retry backoff) exceeds it. A
-    /// deadline that is already non-positive is rejected as
-    /// [`QdbError::DeadlineExpired`].
+    /// Deprecated spelling of
+    /// `submit(sql, SubmitOptions::default().with_deadline(deadline))`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use submit(sql, SubmitOptions::default().with_deadline(deadline))"
+    )]
     pub fn submit_with_deadline(
         &mut self,
         sql: &str,
         deadline: SimTime,
     ) -> Result<QueryTicket, QdbError> {
-        self.submit_full(sql, self.cfg.default_strategy, Some(deadline))
+        self.submit(sql, SubmitOptions::default().with_deadline(deadline))
     }
 
     fn submit_full(
@@ -1083,7 +1137,7 @@ mod tests {
         let mut server = Server::new(&dev, &table, ServerConfig::default());
         let tickets: Vec<QueryTicket> = sqls
             .iter()
-            .map(|s| server.submit(s).expect("submit"))
+            .map(|s| server.submit(s, SubmitOptions::default()).expect("submit"))
             .collect();
         let report = server.drain();
         assert_eq!(report.queries.len(), sqls.len());
@@ -1158,7 +1212,7 @@ mod tests {
             "SELECT uid, COUNT(*) FROM tweets GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 5".to_string(),
         ];
         for s in &sqls {
-            server.submit(s).expect("submit");
+            server.submit(s, SubmitOptions::default()).expect("submit");
         }
         let report = server.drain();
         assert_eq!(report.queries.len(), sqls.len());
@@ -1204,7 +1258,7 @@ mod tests {
                 },
             );
             for s in &sqls {
-                server.submit(s).unwrap();
+                server.submit(s, SubmitOptions::default()).unwrap();
             }
             server.drain()
         };
@@ -1232,7 +1286,7 @@ mod tests {
             server
                 .submit(&format!(
                     "SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT 16"
-                ))
+                ), SubmitOptions::default())
                 .unwrap();
         }
         let report = server.drain();
@@ -1251,9 +1305,10 @@ mod tests {
         let mut server = Server::new(&dev, &table, ServerConfig::default());
         for k in [5usize, 9, 13] {
             server
-                .submit(&format!(
-                    "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT {k}"
-                ))
+                .submit(
+                    &format!("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT {k}"),
+                    SubmitOptions::default(),
+                )
                 .unwrap();
         }
         let report = server.drain();
@@ -1271,7 +1326,10 @@ mod tests {
         let table = GpuTweetTable::upload(&dev, &host);
         let mut server = Server::new(&dev, &table, ServerConfig::default());
         let t0 = server
-            .submit("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 4")
+            .submit(
+                "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 4",
+                SubmitOptions::default(),
+            )
             .unwrap();
         let r0 = server.drain();
         assert_eq!(r0.queries.len(), 1);
@@ -1279,7 +1337,10 @@ mod tests {
         assert_eq!(server.pending_len(), 0);
 
         let t1 = server
-            .submit("SELECT id FROM tweets ORDER BY retweet_count ASC LIMIT 4")
+            .submit(
+                "SELECT id FROM tweets ORDER BY retweet_count ASC LIMIT 4",
+                SubmitOptions::default(),
+            )
             .unwrap();
         let r1 = server.drain();
         assert_eq!(r1.queries.len(), 1);
@@ -1294,12 +1355,13 @@ mod tests {
         let table = GpuTweetTable::upload(&dev, &host);
         let mut server = Server::new(&dev, &table, ServerConfig::default());
         assert!(matches!(
-            server.submit("DROP TABLE tweets"),
+            server.submit("DROP TABLE tweets", SubmitOptions::default()),
             Err(QdbError::Parse(_))
         ));
         assert!(matches!(
             server.submit(
-                "SELECT id FROM tweets ORDER BY retweet_count + 0.9 * likes_count DESC LIMIT 5"
+                "SELECT id FROM tweets ORDER BY retweet_count + 0.9 * likes_count DESC LIMIT 5",
+                SubmitOptions::default()
             ),
             Err(QdbError::Parse(SqlError::Unsupported(_)))
         ));
@@ -1313,23 +1375,59 @@ mod tests {
         let mut server = Server::new(&dev, &table, ServerConfig::default());
         // k = 0 dies in the parser, typed, no panic
         assert!(matches!(
-            server.submit("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 0"),
+            server.submit(
+                "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 0",
+                SubmitOptions::default()
+            ),
             Err(QdbError::Parse(SqlError::BadLimit(_)))
         ));
         // k > n is rejected against the resident table
         assert!(matches!(
-            server.submit("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 200"),
+            server.submit(
+                "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 200",
+                SubmitOptions::default()
+            ),
             Err(QdbError::InvalidK { k: 200, n: 100 })
         ));
         // a dead-on-arrival deadline is rejected at submission
         assert!(matches!(
-            server.submit_with_deadline(
+            server.submit(
                 "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5",
-                SimTime(0.0),
+                SubmitOptions::default().with_deadline(SimTime(0.0))
             ),
             Err(QdbError::DeadlineExpired { .. })
         ));
         assert_eq!(server.pending_len(), 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_submit_shims_delegate_to_submit_options() {
+        let (dev, host) = setup(2_000);
+        let table = GpuTweetTable::upload(&dev, &host);
+        let sql = "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 7";
+
+        let mut a = Server::new(&dev, &table, ServerConfig::default());
+        a.submit_with(sql, Strategy::StageSort).unwrap();
+        let ra = a.drain();
+        let mut b = Server::new(&dev, &table, ServerConfig::default());
+        b.submit(
+            sql,
+            SubmitOptions::default().with_strategy(Strategy::StageSort),
+        )
+        .unwrap();
+        let rb = b.drain();
+        assert_eq!(ra.queries[0].result.ids, rb.queries[0].result.ids);
+        assert_eq!(
+            ra.queries[0].result.kernel_time,
+            rb.queries[0].result.kernel_time
+        );
+
+        let mut c = Server::new(&dev, &table, ServerConfig::default());
+        c.submit_with_deadline(sql, SimTime(1.0)).unwrap();
+        let rc = c.drain();
+        assert!(rc.queries[0].completed());
+        assert_eq!(rc.queries[0].result.ids, ra.queries[0].result.ids.clone());
     }
 
     #[test]
@@ -1342,9 +1440,9 @@ mod tests {
         };
         let mut server = Server::new(&dev, &table, cfg);
         let sql = "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5";
-        server.submit(sql).unwrap();
-        server.submit(sql).unwrap();
-        let shed = server.submit(sql);
+        server.submit(sql, SubmitOptions::default()).unwrap();
+        server.submit(sql, SubmitOptions::default()).unwrap();
+        let shed = server.submit(sql, SubmitOptions::default());
         assert!(matches!(
             shed,
             Err(QdbError::Overloaded {
@@ -1356,7 +1454,7 @@ mod tests {
         assert_eq!(report.resilience.shed, 1);
         assert_eq!(report.resilience.completed, 2);
         // the shed counter resets between drains
-        server.submit(sql).unwrap();
+        server.submit(sql, SubmitOptions::default()).unwrap();
         assert_eq!(server.drain().resilience.shed, 0);
     }
 
@@ -1388,7 +1486,7 @@ mod tests {
         });
         let mut server = Server::new(&dev, &table, ServerConfig::default());
         for s in &sqls {
-            server.submit(s).unwrap();
+            server.submit(s, SubmitOptions::default()).unwrap();
         }
         let report = server.drain();
         dev.clear_fault_plan();
@@ -1443,9 +1541,9 @@ mod tests {
         });
         let mut server = Server::new(&dev, &table, ServerConfig::default());
         let t = server
-            .submit_with_deadline(
+            .submit(
                 "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5",
-                SimTime(1e-9),
+                SubmitOptions::default().with_deadline(SimTime(1e-9)),
             )
             .unwrap();
         let report = server.drain();
@@ -1467,9 +1565,9 @@ mod tests {
         let table = GpuTweetTable::upload(&dev, &host);
         let mut server = Server::new(&dev, &table, ServerConfig::default());
         let t = server
-            .submit_with_deadline(
+            .submit(
                 "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5",
-                SimTime(1.0),
+                SubmitOptions::default().with_deadline(SimTime(1.0)),
             )
             .unwrap();
         let report = server.drain();
@@ -1509,7 +1607,7 @@ mod tests {
         });
         let mut server = Server::new(&dev, &table, ServerConfig::default());
         for s in &sqls {
-            server.submit(s).unwrap();
+            server.submit(s, SubmitOptions::default()).unwrap();
         }
         let report = server.drain();
         dev.clear_fault_plan();

@@ -36,7 +36,9 @@ use topk::bitonic::{bitonic_topk, bitonic_topk_from_runs, BitonicConfig};
 use crate::engine::FilterOp;
 use crate::error::QdbError;
 use crate::queries::Strategy;
-use crate::server::{DegradeLevel, LoadReport, QueryTicket, ResilienceStats, Server, ServerConfig};
+use crate::server::{
+    DegradeLevel, LoadReport, QueryTicket, ResilienceStats, Server, ServerConfig, SubmitOptions,
+};
 use crate::sql::{execute, parse, OrderBy, Query, SqlError};
 use crate::table::GpuTweetTable;
 
@@ -781,7 +783,7 @@ impl<'a> ShardedServer<'a> {
                 continue;
             }
             let shard_sql = render_sql(&q, q.limit.min(shard_n));
-            match server.submit(&shard_sql) {
+            match server.submit(&shard_sql, SubmitOptions::default()) {
                 Ok(t) => tickets.push(Some(t)),
                 Err(e @ QdbError::Overloaded { .. }) => {
                     // already-admitted siblings will run and be discarded —

@@ -46,9 +46,111 @@ impl GpuTweetTable {
     }
 }
 
+/// The host-resident tweet table the CPU backend executes against —
+/// reference-counted so handles are as cheap to clone as [`GpuBuffer`]s.
+#[derive(Clone)]
+pub struct CpuTweetTable {
+    rows: std::rc::Rc<TweetTable>,
+}
+
+impl CpuTweetTable {
+    /// Pins a host table for CPU execution (one copy; clones share it).
+    pub fn load(t: &TweetTable) -> Self {
+        Self {
+            rows: std::rc::Rc::new(t.clone()),
+        }
+    }
+
+    /// The underlying columns.
+    pub fn rows(&self) -> &TweetTable {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A resident table on either execution backend — the table-level twin
+/// of `topk::BackendBuffer`.
+pub enum BackendTable {
+    /// Columns in simulated device memory.
+    Simt(GpuTweetTable),
+    /// Columns in host memory.
+    Cpu(CpuTweetTable),
+}
+
+impl BackendTable {
+    /// Loads a host table onto the given backend.
+    pub fn load(backend: &topk::ExecBackend<'_>, t: &TweetTable) -> Self {
+        match backend {
+            topk::ExecBackend::Simt(b) => BackendTable::Simt(GpuTweetTable::upload(b.device(), t)),
+            topk::ExecBackend::Cpu(_) => BackendTable::Cpu(CpuTweetTable::load(t)),
+        }
+    }
+
+    /// Which backend holds the columns.
+    pub fn kind(&self) -> topk::BackendKind {
+        match self {
+            BackendTable::Simt(_) => topk::BackendKind::Simt,
+            BackendTable::Cpu(_) => topk::BackendKind::Cpu,
+        }
+    }
+
+    /// The device-resident table, when on the simulator.
+    pub fn as_simt(&self) -> Option<&GpuTweetTable> {
+        match self {
+            BackendTable::Simt(t) => Some(t),
+            BackendTable::Cpu(_) => None,
+        }
+    }
+
+    /// The host-resident table, when on the CPU.
+    pub fn as_cpu(&self) -> Option<&CpuTweetTable> {
+        match self {
+            BackendTable::Cpu(t) => Some(t),
+            BackendTable::Simt(_) => None,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            BackendTable::Simt(t) => t.len(),
+            BackendTable::Cpu(t) => t.len(),
+        }
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn backend_table_loads_on_both_engines() {
+        let host = TweetTable::generate(500, 2);
+        let dev = Device::titan_x();
+        let sim = BackendTable::load(&topk::ExecBackend::simt(&dev), &host);
+        let cpu = BackendTable::load(&topk::ExecBackend::cpu(2), &host);
+        assert_eq!(sim.len(), 500);
+        assert_eq!(cpu.len(), 500);
+        assert!(sim.as_simt().is_some() && sim.as_cpu().is_none());
+        assert!(cpu.as_cpu().is_some() && cpu.as_simt().is_none());
+        assert_eq!(cpu.as_cpu().unwrap().rows().uid, host.uid);
+        assert_eq!(sim.kind(), topk::BackendKind::Simt);
+        assert!(!cpu.is_empty());
+    }
 
     #[test]
     fn upload_roundtrips() {

@@ -18,6 +18,7 @@ use datagen::twitter::TweetTable;
 use proptest::prelude::*;
 use qdb::{
     execute_sql, parse_sql, DegradeLevel, GpuTweetTable, QdbError, Server, ServerConfig, Strategy,
+    SubmitOptions,
 };
 use simt::{Device, FaultPlan, SimTime};
 
@@ -124,7 +125,7 @@ proptest! {
         let mut admitted: Vec<(usize, qdb::QueryTicket)> = Vec::new();
         let mut shed = 0usize;
         for (i, sql) in sqls.iter().enumerate() {
-            match server.submit(sql) {
+            match server.submit(sql, SubmitOptions::default()) {
                 Ok(t) => admitted.push((i, t)),
                 Err(QdbError::Overloaded { .. }) => shed += 1,
                 Err(other) => prop_assert!(false, "untyped admission failure: {other:?}"),
@@ -204,7 +205,7 @@ proptest! {
         for sql in &sqls {
             tickets.push(
                 server
-                    .submit_with_deadline(sql, SimTime(deadline_us * 1e-6))
+                    .submit(sql, SubmitOptions::default().with_deadline(SimTime(deadline_us * 1e-6)))
                     .expect("admission"),
             );
         }
@@ -246,7 +247,9 @@ fn all_zero_plan_serves_like_no_plan_at_all() {
     dev.set_fault_plan(FaultPlan::none());
     let mut server = Server::new(&dev, &table, ServerConfig::default());
     for s in &sqls {
-        server.submit(s).expect("admission");
+        server
+            .submit(s, SubmitOptions::default())
+            .expect("admission");
     }
     let report = server.drain();
     dev.clear_fault_plan();

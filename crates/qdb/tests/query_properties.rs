@@ -6,7 +6,7 @@ use datagen::twitter::TweetTable;
 use proptest::prelude::*;
 use qdb::{
     queries::{filtered_topk, group_topk, ranked_topk},
-    FilterOp, GpuTweetTable, Strategy, TopKStrategy,
+    FilterOp, GpuTweetTable, Strategy, SubmitOptions, TopKStrategy,
 };
 use simt::Device;
 
@@ -109,7 +109,7 @@ proptest! {
             let cfg = qdb::ServerConfig { coalesce, ..qdb::ServerConfig::default() };
             let mut server = qdb::Server::new(&dev, &table, cfg);
             for sql in &sqls {
-                server.submit(sql).unwrap();
+                server.submit(sql, SubmitOptions::default()).unwrap();
             }
             server.drain()
         };

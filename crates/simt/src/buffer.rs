@@ -181,6 +181,51 @@ impl<T: DeviceCopy> GpuBuffer<T> {
     }
 }
 
+/// Marker contract for zero-cost buffer reinterpretation.
+///
+/// A type `U` implementing `TransparentWrapper<T>` promises it is a
+/// `#[repr(transparent)]` wrapper around `T` (or otherwise layout- and
+/// bit-identical): same size, same alignment, and every bit pattern valid
+/// as both types. [`GpuBuffer::map_view`] uses this contract to offer the
+/// in-place reinterpretation of [`GpuBuffer::map_cast`] behind a fully
+/// safe method, so call sites (the top-k smallest-k path, backend
+/// implementations) never repeat raw `unsafe`.
+///
+/// # Safety
+/// Implementors guarantee the layout/bit compatibility described above.
+/// The canonical implementor is `datagen::item::Rev<T>`, the
+/// order-reversing `repr(transparent)` wrapper that turns largest-k
+/// kernels into smallest-k.
+pub unsafe trait TransparentWrapper<T: DeviceCopy>: DeviceCopy {}
+
+impl<T: DeviceCopy> GpuBuffer<T> {
+    /// Safely reinterprets this buffer's storage **in place** as the
+    /// layout-identical wrapper type `U` — the safe front door over
+    /// [`GpuBuffer::map_cast`] for types that have declared layout
+    /// compatibility via [`TransparentWrapper`].
+    ///
+    /// Same semantics as `map_cast`: no copy, no new device allocation,
+    /// same simulated address range; the storage returns to this buffer
+    /// (with any writes) when the [`MappedBuffer`] drops.
+    pub fn map_view<U: TransparentWrapper<T>>(&self) -> MappedBuffer<T, U> {
+        // belt-and-braces layout re-check of the TransparentWrapper
+        // contract (cast_vec hard-asserts the same in all builds)
+        debug_assert_eq!(
+            std::mem::size_of::<T>(),
+            std::mem::size_of::<U>(),
+            "TransparentWrapper impl violates the size contract"
+        );
+        debug_assert_eq!(
+            std::mem::align_of::<T>(),
+            std::mem::align_of::<U>(),
+            "TransparentWrapper impl violates the alignment contract"
+        );
+        // safety: the TransparentWrapper contract is exactly map_cast's
+        // safety requirement
+        unsafe { self.map_cast::<U>() }
+    }
+}
+
 /// Moves a `Vec`'s allocation to a layout-identical element type.
 ///
 /// # Safety
@@ -236,6 +281,25 @@ mod tests {
     #[derive(Debug, Clone, Copy, PartialEq, Default)]
     #[repr(transparent)]
     struct Wrapped(u32);
+
+    // safety: repr(transparent) over u32
+    unsafe impl super::TransparentWrapper<u32> for Wrapped {}
+
+    #[test]
+    fn map_view_matches_map_cast_without_unsafe() {
+        let dev = Device::titan_x();
+        let buf = dev.upload(&[10u32, 20, 30]);
+        let base = buf.base_addr();
+        {
+            let mapped = buf.map_view::<Wrapped>();
+            assert_eq!(mapped.view().base_addr(), base);
+            assert_eq!(
+                mapped.view().to_vec(),
+                vec![Wrapped(10), Wrapped(20), Wrapped(30)]
+            );
+        }
+        assert_eq!(buf.to_vec(), vec![10u32, 20, 30]);
+    }
 
     #[test]
     fn map_cast_is_in_place_and_restores() {

@@ -49,7 +49,7 @@ pub mod topology;
 pub mod trace;
 
 pub use block::{BlockCtx, Lane, SharedHandle};
-pub use buffer::{GpuBuffer, MappedBuffer};
+pub use buffer::{GpuBuffer, MappedBuffer, TransparentWrapper};
 pub use device::{Device, Kernel, LaunchError, LaunchReport, LaunchWindow, OutOfMemory};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use occupancy::Occupancy;

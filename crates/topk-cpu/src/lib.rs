@@ -21,9 +21,11 @@
 
 pub mod bitonic;
 pub mod heap;
+pub mod select;
 
 pub use bitonic::CpuBitonic;
 pub use heap::{HandPq, StlPq};
+pub use select::{CpuRadixSelect, CpuSort};
 
 use datagen::TopKItem;
 
@@ -62,7 +64,18 @@ pub trait CpuTopK<T: TopKItem>: Send + Sync {
             }
         });
         let mut all: Vec<T> = partials.into_iter().flatten().collect();
-        all.sort_unstable_by_key(|x| std::cmp::Reverse(x.key_bits()));
+        // merge by the full item order (key, then the row-id tie-break
+        // where the item carries one) so duplicate-heavy keys pick the
+        // same winners as the device engines
+        all.sort_unstable_by(|a, b| {
+            if a.item_lt(b) {
+                std::cmp::Ordering::Greater
+            } else if b.item_lt(a) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
         all.truncate(k);
         all
     }

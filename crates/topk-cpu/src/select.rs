@@ -1,0 +1,157 @@
+//! Selection-style CPU partition kernels: full sort-and-choose and MSD
+//! radix select.
+//!
+//! These give the CPU execution backend a counterpart for every
+//! [`TopKAlgorithm`](https://docs.rs/topk) variant: `Sort` maps to
+//! [`CpuSort`] (sort everything, take `k` — the MapD-style baseline) and
+//! the threshold-finding algorithms (`RadixSelect`, `BucketSelect`) map
+//! to [`CpuRadixSelect`], the host analog of the paper's §2.3 digit-wise
+//! selection. Both plug into [`CpuTopK`]'s partition/merge parallelism.
+
+use crate::CpuTopK;
+use datagen::{RadixBits, TopKItem};
+
+/// Sort-and-choose: sort the whole partition descending by key bits, take
+/// the first `k`. The CPU stand-in for the full-sort baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuSort;
+
+impl<T: TopKItem> CpuTopK<T> for CpuSort {
+    fn name(&self) -> &'static str {
+        "cpu-sort"
+    }
+
+    fn partition_topk(&self, data: &[T], k: usize) -> Vec<T> {
+        let k = k.min(data.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut v = data.to_vec();
+        v.sort_unstable_by_key(|x| std::cmp::Reverse(x.key_bits()));
+        v.truncate(k);
+        v
+    }
+}
+
+/// MSD radix select: finds the k-th largest key with one 256-bucket
+/// histogram pass per 8-bit digit (most significant first), then gathers
+/// the winners in a final scan — the CPU analog of the paper's radix /
+/// bucket select family (§2.3): no full sort, O(digits · n) passes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuRadixSelect;
+
+impl<T: TopKItem> CpuTopK<T> for CpuRadixSelect {
+    fn name(&self) -> &'static str {
+        "cpu-radix-select"
+    }
+
+    fn partition_topk(&self, data: &[T], k: usize) -> Vec<T> {
+        let k = k.min(data.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let digits = <T::KeyBits as RadixBits>::BITS / 8;
+        // Narrow a most-significant bit prefix until it pins down the
+        // k-th largest key exactly.
+        let mut prefix = <T::KeyBits as RadixBits>::ZERO;
+        let mut prefix_digits = 0u32;
+        let mut remaining = k;
+        for d in 0..digits {
+            let mut hist = [0usize; 256];
+            for x in data {
+                let bits = x.key_bits();
+                if matches_prefix(bits, prefix, prefix_digits) {
+                    hist[bits.msd_digit(d) as usize] += 1;
+                }
+            }
+            // walk buckets from the largest digit down
+            let mut digit = 255usize;
+            loop {
+                if hist[digit] >= remaining {
+                    break;
+                }
+                remaining -= hist[digit];
+                debug_assert!(digit > 0, "histogram must cover the remaining count");
+                digit -= 1;
+            }
+            let shift = <T::KeyBits as RadixBits>::BITS - 8 * (d + 1);
+            prefix = prefix | (<T::KeyBits as RadixBits>::from_u64(digit as u64) << shift);
+            prefix_digits = d + 1;
+        }
+        // `prefix` is now the exact k-th largest key: everything above it
+        // is a winner, plus `remaining` items equal to it.
+        let threshold = prefix;
+        let mut out = Vec::with_capacity(k);
+        let mut at_threshold = remaining;
+        for &x in data {
+            let bits = x.key_bits();
+            if bits > threshold {
+                out.push(x);
+            } else if bits == threshold && at_threshold > 0 {
+                out.push(x);
+                at_threshold -= 1;
+            }
+        }
+        out.sort_unstable_by_key(|x| std::cmp::Reverse(x.key_bits()));
+        debug_assert_eq!(out.len(), k);
+        out
+    }
+}
+
+/// True when the top `prefix_digits` 8-bit digits of `bits` equal those
+/// of `prefix`.
+#[inline]
+fn matches_prefix<B: RadixBits>(bits: B, prefix: B, prefix_digits: u32) -> bool {
+    if prefix_digits == 0 {
+        return true;
+    }
+    let shift = B::BITS - 8 * prefix_digits;
+    (bits >> shift) == (prefix >> shift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{reference_topk, Distribution, Kv, Uniform};
+
+    fn keybits<T: TopKItem>(v: &[T]) -> Vec<T::KeyBits> {
+        v.iter().map(|x| x.key_bits()).collect()
+    }
+
+    #[test]
+    fn select_kernels_match_reference() {
+        let data: Vec<f32> = Uniform.generate(50_000, 42);
+        for alg in [&CpuSort as &dyn CpuTopK<f32>, &CpuRadixSelect] {
+            for k in [1usize, 7, 64, 1000] {
+                let got = alg.topk(&data, k, 4);
+                let want = reference_topk(&data, k);
+                assert_eq!(keybits(&got), keybits(&want), "{} k={k}", alg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn radix_select_handles_duplicate_heavy_keys() {
+        // every key collides: the threshold bucket carries most of k
+        let data: Vec<Kv<u32>> = (0..10_000u32).map(|i| Kv::new(i % 7, i)).collect();
+        let got = CpuRadixSelect.topk(&data, 100, 8);
+        let mut want = data.clone();
+        want.sort_unstable_by_key(|x| std::cmp::Reverse(x.key_bits()));
+        want.truncate(100);
+        assert_eq!(keybits(&got), keybits(&want));
+    }
+
+    #[test]
+    fn radix_select_on_64_bit_keys() {
+        let data: Vec<u64> = Uniform.generate(20_000, 7);
+        let got = CpuRadixSelect.topk(&data, 33, 4);
+        assert_eq!(keybits(&got), keybits(&reference_topk(&data, 33)));
+    }
+
+    #[test]
+    fn k_at_or_past_input_length() {
+        let data = vec![4u32, 8, 2];
+        assert_eq!(CpuSort.topk(&data, 3, 2), vec![8, 4, 2]);
+        assert_eq!(CpuRadixSelect.topk(&data, 10, 2), vec![8, 4, 2]);
+    }
+}

@@ -1,0 +1,624 @@
+//! The execution-backend abstraction: one top-k surface, two engines.
+//!
+//! Everything above the kernels (the qdb engine, the bench harness, the
+//! examples) talks to a [`Backend`]: upload a slice, get a
+//! [`BackendBuffer`] handle, run a [`TopKRequest`], get the winners plus
+//! an [`ExecReport`]. Two implementations ship (the Candle idiom — a
+//! device/backend pair with per-backend storage behind one API):
+//!
+//! * [`SimtBackend`] wraps the `simt` simulator. It funnels into the same
+//!   `dispatch` every existing entry point uses, so the kernel sequence —
+//!   and therefore every `sim_*` metric, sanitizer finding, fault-plan
+//!   interaction, and stream placement — is **bit-identical** to calling
+//!   [`TopKRequest::run`] directly. Its report carries modeled `sim_*`
+//!   metrics (deterministic) alongside host wall-clock.
+//! * [`CpuBackend`] is a real engine: `std::thread::scope` parallelism
+//!   over the `topk-cpu` kernels (parallel chunked local top-k, then a
+//!   sequential merge). Its report carries `host_*` wall-clock only —
+//!   there is nothing modeled about it.
+//!
+//! Runtime backend selection goes through the enum-dispatched
+//! [`ExecBackend`] (the trait's generic methods keep it from being
+//! `dyn`-compatible, exactly like Candle's `Device` enum solves it).
+//!
+//! Simulator-only features degrade with *typed* errors, never silently:
+//! a request pinned to a simt stream returns
+//! [`TopKError::UnsupportedOnBackend`] on the CPU, and handing a backend
+//! the other backend's buffer returns [`TopKError::BackendMismatch`].
+
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use datagen::{rev_slice, TopKItem};
+use simt::{Device, GpuBuffer, LaunchReport, SimTime};
+use topk_cpu::{CpuBitonic, CpuRadixSelect, CpuSort, CpuTopK, HandPq, StlPq};
+
+use crate::{dispatch, KeyOrder, TopKAlgorithm, TopKError, TopKRequest, TopKResult};
+
+/// Which engine a backend (or a buffer) belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The `simt` simulator: modeled time, bit-exact metrics.
+    Simt,
+    /// Real multi-threaded CPU execution: wall-clock time.
+    Cpu,
+}
+
+impl BackendKind {
+    /// Stable lower-case name (`"simt"` / `"cpu"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Simt => "simt",
+            BackendKind::Cpu => "cpu",
+        }
+    }
+}
+
+/// A backend-owned input buffer: simulated device memory or pinned host
+/// memory, behind one handle (per-backend storage, Candle-style).
+/// Cloning is cheap (reference-counted) for both variants.
+#[derive(Debug, Clone)]
+pub enum BackendBuffer<T: TopKItem> {
+    /// Simulated device memory, usable by [`SimtBackend`].
+    Simt(GpuBuffer<T>),
+    /// Host memory, usable by [`CpuBackend`].
+    Cpu(Rc<Vec<T>>),
+}
+
+impl<T: TopKItem> BackendBuffer<T> {
+    /// Which backend this buffer belongs to.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            BackendBuffer::Simt(_) => BackendKind::Simt,
+            BackendBuffer::Cpu(_) => BackendKind::Cpu,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            BackendBuffer::Simt(b) => b.len(),
+            BackendBuffer::Cpu(v) => v.len(),
+        }
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the contents back to a host `Vec` (backend-agnostic).
+    pub fn to_vec(&self) -> Vec<T> {
+        match self {
+            BackendBuffer::Simt(b) => b.to_vec(),
+            BackendBuffer::Cpu(v) => v.as_ref().clone(),
+        }
+    }
+}
+
+/// The simulator half of an [`ExecReport`]: modeled kernel time plus the
+/// per-launch reports the `sim_*` metrics derive from. Deterministic and
+/// bit-exact — identical inputs produce identical numbers on every run.
+#[derive(Debug, Clone)]
+pub struct SimExec {
+    /// Total modeled device time across the launches.
+    pub time: SimTime,
+    /// Per-kernel launch reports, in launch order.
+    pub reports: Vec<LaunchReport>,
+}
+
+/// What an execution cost, in each backend's native currency.
+///
+/// Every run reports `host_wall` (real elapsed time — on the simulator
+/// this is the cost of *simulating*, not a paper claim). Simulator runs
+/// additionally report the modeled [`SimExec`]; CPU runs report the
+/// worker-thread count. Metric names follow the bench-report convention:
+/// `sim_*` metrics are bit-exact and diffed exactly, `host_*` metrics
+/// are wall-clock and diffed with direction-aware tolerances.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// The executing backend.
+    pub backend: BackendKind,
+    /// Real elapsed host time for the call.
+    pub host_wall: Duration,
+    /// Modeled metrics — `Some` exactly when `backend` is simt.
+    pub sim: Option<SimExec>,
+    /// Worker threads used — `Some` exactly when `backend` is CPU.
+    pub threads: Option<usize>,
+}
+
+impl ExecReport {
+    /// The report as `(metric name, value)` cells ready for a bench
+    /// report: `sim_*` from the modeled run, `host_*` from wall-clock.
+    pub fn metric_cells(&self) -> Vec<(String, f64)> {
+        let mut cells = Vec::new();
+        if let Some(sim) = &self.sim {
+            cells.push(("sim_time_ms".to_string(), sim.time.seconds() * 1e3));
+            let bytes: u64 = sim.reports.iter().map(|r| r.stats.global_bytes()).sum();
+            cells.push(("sim_global_bytes".to_string(), bytes as f64));
+            cells.push(("sim_launches".to_string(), sim.reports.len() as f64));
+        }
+        cells.push((
+            "host_wall_ms".to_string(),
+            self.host_wall.as_secs_f64() * 1e3,
+        ));
+        if let Some(t) = self.threads {
+            cells.push(("host_threads".to_string(), t as f64));
+        }
+        cells
+    }
+}
+
+/// A top-k outcome from any backend: the winning items plus the cost
+/// report. [`BackendTopK::into_sim_result`] recovers the classic
+/// simulator-shaped [`TopKResult`] when the run was simulated.
+#[derive(Debug, Clone)]
+pub struct BackendTopK<T> {
+    /// The `k` winners in requested key order.
+    pub items: Vec<T>,
+    /// What the run cost on the executing backend.
+    pub report: ExecReport,
+}
+
+impl<T> BackendTopK<T> {
+    /// Converts into the simulator-native [`TopKResult`] — `None` when
+    /// the run had no modeled component (i.e. it ran on the CPU).
+    pub fn into_sim_result(self) -> Option<TopKResult<T>> {
+        let sim = self.report.sim?;
+        Some(TopKResult {
+            items: self.items,
+            time: sim.time,
+            reports: sim.reports,
+        })
+    }
+}
+
+/// An execution engine for top-k requests.
+///
+/// The contract every implementation upholds:
+///
+/// * `upload`/`download` round-trip exactly (no precision or ordering
+///   changes);
+/// * `topk` validates `k >= 1` and non-empty input with the same typed
+///   errors on every backend, and returns the winners in requested key
+///   order with ties broken by row id wherever the item type carries one
+///   (`Kv` and friends) — so two backends agree on key signature;
+/// * features a backend cannot honor fail with
+///   [`TopKError::UnsupportedOnBackend`], never silently degrade;
+/// * the [`ExecReport`] prices the run in the backend's native currency
+///   (`sim_*` modeled, `host_*` wall-clock).
+///
+/// The generic methods make the trait non-`dyn`-compatible; use
+/// [`ExecBackend`] where the backend is chosen at runtime.
+pub trait Backend {
+    /// Which engine this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Stable lower-case backend name for reports and errors.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Moves host data into a backend-owned buffer.
+    fn upload<T: TopKItem>(&self, host: &[T]) -> BackendBuffer<T>;
+
+    /// Copies a backend buffer back to the host. Fails with
+    /// [`TopKError::BackendMismatch`] on the other backend's buffer.
+    fn download<T: TopKItem>(&self, buf: &BackendBuffer<T>) -> Result<Vec<T>, TopKError>;
+
+    /// Executes one top-k request against an uploaded buffer.
+    fn topk<T: TopKItem>(
+        &self,
+        req: &TopKRequest,
+        input: &BackendBuffer<T>,
+    ) -> Result<BackendTopK<T>, TopKError>;
+}
+
+/// Rejects a buffer that belongs to the other backend.
+fn expect_kind<T: TopKItem>(backend: BackendKind, buf: &BackendBuffer<T>) -> Result<(), TopKError> {
+    if buf.kind() == backend {
+        Ok(())
+    } else {
+        Err(TopKError::BackendMismatch {
+            backend: backend.name(),
+            buffer: buf.kind().name(),
+        })
+    }
+}
+
+/// The simulator backend: borrows a [`Device`] and funnels every request
+/// through the exact same dispatch path as [`TopKRequest::run`], so the
+/// modeled metrics stay bit-exact through the trait.
+#[derive(Clone, Copy)]
+pub struct SimtBackend<'d> {
+    dev: &'d Device,
+}
+
+impl<'d> SimtBackend<'d> {
+    /// A backend over the given simulated device.
+    pub fn new(dev: &'d Device) -> Self {
+        SimtBackend { dev }
+    }
+
+    /// The underlying simulated device — the escape hatch for
+    /// simulator-only machinery (sanitizer, fault plans, streams).
+    pub fn device(&self) -> &'d Device {
+        self.dev
+    }
+}
+
+impl Backend for SimtBackend<'_> {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Simt
+    }
+
+    fn upload<T: TopKItem>(&self, host: &[T]) -> BackendBuffer<T> {
+        BackendBuffer::Simt(self.dev.upload(host))
+    }
+
+    fn download<T: TopKItem>(&self, buf: &BackendBuffer<T>) -> Result<Vec<T>, TopKError> {
+        expect_kind(BackendKind::Simt, buf)?;
+        Ok(buf.to_vec())
+    }
+
+    fn topk<T: TopKItem>(
+        &self,
+        req: &TopKRequest,
+        input: &BackendBuffer<T>,
+    ) -> Result<BackendTopK<T>, TopKError> {
+        expect_kind(BackendKind::Simt, input)?;
+        let BackendBuffer::Simt(buf) = input else {
+            unreachable!("kind checked above");
+        };
+        let start = Instant::now();
+        let r = run_simt(req, self.dev, buf)?;
+        Ok(BackendTopK {
+            items: r.items,
+            report: ExecReport {
+                backend: BackendKind::Simt,
+                host_wall: start.elapsed(),
+                sim: Some(SimExec {
+                    time: r.time,
+                    reports: r.reports,
+                }),
+                threads: None,
+            },
+        })
+    }
+}
+
+/// The one simulated execution path: order handling, stream scoping, and
+/// algorithm dispatch. [`TopKRequest::run`] and [`SimtBackend::topk`]
+/// both land here, which is what keeps them bit-identical.
+pub(crate) fn run_simt<T: TopKItem>(
+    req: &TopKRequest,
+    dev: &Device,
+    input: &GpuBuffer<T>,
+) -> Result<TopKResult<T>, TopKError> {
+    use datagen::RevView;
+    let exec = || match req.order {
+        KeyOrder::Largest => dispatch(req.alg, dev, input, req.k),
+        KeyOrder::Smallest => {
+            let mapped = input.as_rev_view();
+            let r = dispatch(req.alg, dev, mapped.view(), req.k)?;
+            Ok(TopKResult {
+                items: r.items.into_iter().map(|x| x.0).collect(),
+                time: r.time,
+                reports: r.reports,
+            })
+        }
+    };
+    match req.stream {
+        Some(id) => dev.stream_scope(id, exec),
+        None => exec(),
+    }
+}
+
+/// The real-hardware backend: scoped-thread parallelism over the
+/// `topk-cpu` kernels (parallel chunked local top-k, sequential merge),
+/// priced in wall-clock.
+///
+/// Algorithm mapping — every [`TopKAlgorithm`] has a CPU counterpart, so
+/// request values are portable across backends:
+///
+/// | request | CPU kernel |
+/// |---|---|
+/// | `Sort` | [`CpuSort`] (full sort-and-choose) |
+/// | `PerThread` | [`StlPq`] (library priority queue) |
+/// | `PerThreadRegisters` | [`HandPq`] (hand-rolled flat heap) |
+/// | `RadixSelect` | [`CpuRadixSelect`] (MSD digit histograms) |
+/// | `BucketSelect` | [`CpuRadixSelect`] — the host analog of both §2.3 selection schemes; there is no meaningful CPU min/max bucketing distinct from digit selection |
+/// | `Bitonic(_)` | [`CpuBitonic`] (Appendix C SIMD port; the GPU-side `BitonicConfig` does not apply) |
+#[derive(Debug, Clone, Copy)]
+pub struct CpuBackend {
+    threads: usize,
+}
+
+impl CpuBackend {
+    /// A backend using all available cores (as reported by the OS).
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::with_threads(threads)
+    }
+
+    /// A backend with an explicit worker-thread count (minimum 1).
+    pub fn with_threads(threads: usize) -> Self {
+        CpuBackend {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker-thread count requests run with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for CpuBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Runs `alg`'s CPU counterpart over `data`.
+fn run_cpu_kernel<T: TopKItem>(alg: TopKAlgorithm, data: &[T], k: usize, threads: usize) -> Vec<T> {
+    let bitonic = CpuBitonic::default();
+    let kernel: &dyn CpuTopK<T> = match alg {
+        TopKAlgorithm::Sort => &CpuSort,
+        TopKAlgorithm::PerThread => &StlPq,
+        TopKAlgorithm::PerThreadRegisters => &HandPq,
+        TopKAlgorithm::RadixSelect | TopKAlgorithm::BucketSelect => &CpuRadixSelect,
+        TopKAlgorithm::Bitonic(_) => &bitonic,
+    };
+    kernel.topk(data, k, threads)
+}
+
+impl Backend for CpuBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Cpu
+    }
+
+    fn upload<T: TopKItem>(&self, host: &[T]) -> BackendBuffer<T> {
+        BackendBuffer::Cpu(Rc::new(host.to_vec()))
+    }
+
+    fn download<T: TopKItem>(&self, buf: &BackendBuffer<T>) -> Result<Vec<T>, TopKError> {
+        expect_kind(BackendKind::Cpu, buf)?;
+        Ok(buf.to_vec())
+    }
+
+    fn topk<T: TopKItem>(
+        &self,
+        req: &TopKRequest,
+        input: &BackendBuffer<T>,
+    ) -> Result<BackendTopK<T>, TopKError> {
+        expect_kind(BackendKind::Cpu, input)?;
+        let BackendBuffer::Cpu(data) = input else {
+            unreachable!("kind checked above");
+        };
+        if req.stream.is_some() {
+            return Err(TopKError::UnsupportedOnBackend {
+                backend: "cpu",
+                feature: "simt streams",
+            });
+        }
+        if req.k == 0 {
+            return Err(TopKError::ZeroK);
+        }
+        if data.is_empty() {
+            return Err(TopKError::EmptyInput);
+        }
+        let start = Instant::now();
+        let items = match req.order {
+            KeyOrder::Largest => run_cpu_kernel(req.alg, data, req.k, self.threads),
+            KeyOrder::Smallest => {
+                // the host twin of the device path's as_rev_view: zero-copy
+                // order reversal, then the largest-k kernels
+                run_cpu_kernel(req.alg, rev_slice(data), req.k, self.threads)
+                    .into_iter()
+                    .map(|r| r.0)
+                    .collect()
+            }
+        };
+        Ok(BackendTopK {
+            items,
+            report: ExecReport {
+                backend: BackendKind::Cpu,
+                host_wall: start.elapsed(),
+                sim: None,
+                threads: Some(self.threads),
+            },
+        })
+    }
+}
+
+/// Runtime backend selection, enum-dispatched (the Candle `Device`
+/// idiom): one value that is either engine, implementing [`Backend`] by
+/// delegation.
+pub enum ExecBackend<'d> {
+    /// The simulator engine.
+    Simt(SimtBackend<'d>),
+    /// The real CPU engine.
+    Cpu(CpuBackend),
+}
+
+impl<'d> ExecBackend<'d> {
+    /// A simulator-backed engine over `dev`.
+    pub fn simt(dev: &'d Device) -> Self {
+        ExecBackend::Simt(SimtBackend::new(dev))
+    }
+
+    /// A CPU engine with the given worker-thread count.
+    pub fn cpu(threads: usize) -> Self {
+        ExecBackend::Cpu(CpuBackend::with_threads(threads))
+    }
+
+    /// The simulator backend, when this is one.
+    pub fn as_simt(&self) -> Option<&SimtBackend<'d>> {
+        match self {
+            ExecBackend::Simt(b) => Some(b),
+            ExecBackend::Cpu(_) => None,
+        }
+    }
+
+    /// The CPU backend, when this is one.
+    pub fn as_cpu(&self) -> Option<&CpuBackend> {
+        match self {
+            ExecBackend::Cpu(b) => Some(b),
+            ExecBackend::Simt(_) => None,
+        }
+    }
+}
+
+impl Backend for ExecBackend<'_> {
+    fn kind(&self) -> BackendKind {
+        match self {
+            ExecBackend::Simt(b) => b.kind(),
+            ExecBackend::Cpu(b) => b.kind(),
+        }
+    }
+
+    fn upload<T: TopKItem>(&self, host: &[T]) -> BackendBuffer<T> {
+        match self {
+            ExecBackend::Simt(b) => b.upload(host),
+            ExecBackend::Cpu(b) => b.upload(host),
+        }
+    }
+
+    fn download<T: TopKItem>(&self, buf: &BackendBuffer<T>) -> Result<Vec<T>, TopKError> {
+        match self {
+            ExecBackend::Simt(b) => b.download(buf),
+            ExecBackend::Cpu(b) => b.download(buf),
+        }
+    }
+
+    fn topk<T: TopKItem>(
+        &self,
+        req: &TopKRequest,
+        input: &BackendBuffer<T>,
+    ) -> Result<BackendTopK<T>, TopKError> {
+        match self {
+            ExecBackend::Simt(b) => b.topk(req, input),
+            ExecBackend::Cpu(b) => b.topk(req, input),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{Distribution, Kv, Uniform};
+
+    #[test]
+    fn both_backends_agree_through_the_trait() {
+        let dev = Device::titan_x();
+        let simt = ExecBackend::simt(&dev);
+        let cpu = ExecBackend::cpu(4);
+        let data: Vec<f32> = Uniform.generate(1 << 12, 9);
+        let req = TopKRequest::largest(16);
+        let a = simt.topk(&req, &simt.upload(&data)).unwrap();
+        let b = cpu.topk(&req, &cpu.upload(&data)).unwrap();
+        let ka: Vec<u32> = a.items.iter().map(|x| x.key_bits()).collect();
+        let kb: Vec<u32> = b.items.iter().map(|x| x.key_bits()).collect();
+        assert_eq!(ka, kb);
+        assert!(a.report.sim.is_some() && a.report.threads.is_none());
+        assert!(b.report.sim.is_none() && b.report.threads == Some(4));
+    }
+
+    #[test]
+    fn metric_cells_follow_the_naming_convention() {
+        let dev = Device::titan_x();
+        let simt = SimtBackend::new(&dev);
+        let data: Vec<f32> = Uniform.generate(1 << 10, 2);
+        let out = simt
+            .topk(&TopKRequest::largest(4), &simt.upload(&data))
+            .unwrap();
+        let cells = out.report.metric_cells();
+        assert!(cells.iter().any(|(n, _)| n == "sim_time_ms"));
+        assert!(cells.iter().any(|(n, _)| n == "host_wall_ms"));
+        for (name, _) in &cells {
+            assert!(
+                name.starts_with("sim_") || name.starts_with("host_"),
+                "{name}"
+            );
+        }
+        let cpu = CpuBackend::with_threads(2);
+        let out = cpu
+            .topk(&TopKRequest::largest(4), &cpu.upload(&data))
+            .unwrap();
+        let cells = out.report.metric_cells();
+        assert!(cells.iter().all(|(n, _)| !n.starts_with("sim_")));
+        assert!(cells.iter().any(|(n, _)| n == "host_threads"));
+    }
+
+    #[test]
+    fn mismatched_buffers_are_typed_errors() {
+        let dev = Device::titan_x();
+        let simt = SimtBackend::new(&dev);
+        let cpu = CpuBackend::with_threads(1);
+        let sim_buf = simt.upload(&[1.0f32, 2.0]);
+        let cpu_buf = cpu.upload(&[1.0f32, 2.0]);
+        assert_eq!(
+            cpu.topk(&TopKRequest::largest(1), &sim_buf).unwrap_err(),
+            TopKError::BackendMismatch {
+                backend: "cpu",
+                buffer: "simt"
+            }
+        );
+        assert_eq!(
+            simt.topk(&TopKRequest::largest(1), &cpu_buf).unwrap_err(),
+            TopKError::BackendMismatch {
+                backend: "simt",
+                buffer: "cpu"
+            }
+        );
+        assert!(simt.download(&cpu_buf).is_err());
+        assert!(cpu.download(&sim_buf).is_err());
+    }
+
+    #[test]
+    fn streams_are_unsupported_on_cpu() {
+        let dev = Device::titan_x();
+        let st = dev.create_stream();
+        let cpu = CpuBackend::with_threads(2);
+        let buf = cpu.upload(&[3.0f32, 1.0, 2.0]);
+        let err = cpu
+            .topk(&TopKRequest::largest(2).on_stream(st.id()), &buf)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TopKError::UnsupportedOnBackend {
+                backend: "cpu",
+                feature: "simt streams",
+            }
+        );
+        assert!(err.to_string().contains("cpu"));
+    }
+
+    #[test]
+    fn cpu_smallest_k_and_tie_break() {
+        let cpu = CpuBackend::with_threads(3);
+        let data: Vec<Kv<u32>> = (0..4096u32).map(|i| Kv::new(i % 97, i)).collect();
+        let buf = cpu.upload(&data);
+        let low = cpu.topk(&TopKRequest::smallest(5), &buf).unwrap();
+        assert!(low.items.windows(2).all(|w| w[0].key <= w[1].key));
+        assert_eq!(low.items[0].key, 0);
+        let high = cpu.topk(&TopKRequest::largest(5), &buf).unwrap();
+        assert!(high.items.iter().all(|kv| kv.key == 96));
+    }
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let dev = Device::titan_x();
+        for be in [ExecBackend::simt(&dev), ExecBackend::cpu(2)] {
+            let data = vec![4u32, 1, 9];
+            let buf = be.upload(&data);
+            assert_eq!(buf.len(), 3);
+            assert!(!buf.is_empty());
+            assert_eq!(be.download(&buf).unwrap(), data);
+            assert_eq!(buf.to_vec(), data);
+        }
+    }
+}

@@ -42,6 +42,7 @@
 //! assert_eq!(low.items[0], 0.0);
 //! ```
 
+pub mod backend;
 pub mod batched;
 pub mod bitonic;
 pub mod bucket_select;
@@ -55,6 +56,11 @@ pub(crate) mod util;
 use datagen::TopKItem;
 use simt::{Device, GpuBuffer, LaunchError, LaunchReport, SimTime, StreamId};
 
+pub use backend::{
+    Backend, BackendBuffer, BackendKind, BackendTopK, CpuBackend, ExecBackend, ExecReport, SimExec,
+    SimtBackend,
+};
+
 /// Errors top-k execution can fail with.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TopKError {
@@ -65,6 +71,23 @@ pub enum TopKError {
     /// A kernel could not launch — e.g. per-thread top-k's shared-memory
     /// footprint exceeds the device limit for large `k` (Section 6.2).
     Launch(LaunchError),
+    /// The request asks for a feature the executing backend does not
+    /// have (e.g. simt streams or the sanitizer on the CPU backend).
+    /// Simulator-only machinery degrades loudly, never silently.
+    UnsupportedOnBackend {
+        /// The backend that rejected the request.
+        backend: &'static str,
+        /// The unavailable feature.
+        feature: &'static str,
+    },
+    /// A [`backend::BackendBuffer`] belonging to one backend was handed
+    /// to the other (e.g. a simulated device buffer to [`CpuBackend`]).
+    BackendMismatch {
+        /// The backend that was asked to execute.
+        backend: &'static str,
+        /// The backend the buffer belongs to.
+        buffer: &'static str,
+    },
 }
 
 impl From<LaunchError> for TopKError {
@@ -79,6 +102,12 @@ impl std::fmt::Display for TopKError {
             TopKError::ZeroK => write!(f, "k must be at least 1"),
             TopKError::EmptyInput => write!(f, "input is empty"),
             TopKError::Launch(e) => write!(f, "kernel launch failed: {e}"),
+            TopKError::UnsupportedOnBackend { backend, feature } => {
+                write!(f, "the {backend} backend does not support {feature}")
+            }
+            TopKError::BackendMismatch { backend, buffer } => {
+                write!(f, "the {backend} backend was handed a {buffer} buffer")
+            }
         }
     }
 }
@@ -246,39 +275,47 @@ impl TopKRequest {
         self
     }
 
-    /// Executes the request.
+    /// Executes the request on the simulator — shorthand for running on a
+    /// [`SimtBackend`] over `dev` (see [`TopKRequest::run_on`] for the
+    /// backend-generic entry point). The kernel sequence is identical
+    /// either way.
     ///
     /// Smallest-k reinterprets the input buffer **in place** as the
-    /// order-reversing [`datagen::item::Rev`] wrapper (a
-    /// `repr(transparent)` view — no host round-trip, no extra device
-    /// memory) and returns items in ascending key order.
+    /// order-reversing [`datagen::item::Rev`] wrapper (via the safe
+    /// [`datagen::RevView::as_rev_view`] — no host round-trip, no extra
+    /// device memory) and returns items in ascending key order.
     pub fn run<T: TopKItem>(
         &self,
         dev: &Device,
         input: &GpuBuffer<T>,
     ) -> Result<TopKResult<T>, TopKError> {
-        let exec = || match self.order {
-            KeyOrder::Largest => dispatch(self.alg, dev, input, self.k),
-            KeyOrder::Smallest => {
-                // safety: Rev<T> is repr(transparent) over T
-                let mapped = unsafe { input.map_cast::<datagen::item::Rev<T>>() };
-                let r = dispatch(self.alg, dev, mapped.view(), self.k)?;
-                Ok(TopKResult {
-                    items: r.items.into_iter().map(|x| x.0).collect(),
-                    time: r.time,
-                    reports: r.reports,
-                })
-            }
-        };
-        match self.stream {
-            Some(id) => dev.stream_scope(id, exec),
-            None => exec(),
-        }
+        backend::run_simt(self, dev, input)
+    }
+
+    /// Executes the request on any [`Backend`]: the simulator, the real
+    /// multi-threaded CPU engine, or the runtime-selected
+    /// [`ExecBackend`].
+    ///
+    /// ```
+    /// use topk::{Backend, CpuBackend, TopKRequest};
+    ///
+    /// let cpu = CpuBackend::with_threads(4);
+    /// let input = cpu.upload(&[5.0f32, 1.0, 9.0, 3.0]);
+    /// let top = TopKRequest::largest(2).run_on(&cpu, &input).unwrap();
+    /// assert_eq!(top.items, vec![9.0, 5.0]);
+    /// assert!(top.report.sim.is_none(), "CPU runs are wall-clock only");
+    /// ```
+    pub fn run_on<T: TopKItem, B: Backend>(
+        &self,
+        backend: &B,
+        input: &BackendBuffer<T>,
+    ) -> Result<BackendTopK<T>, TopKError> {
+        backend.topk(self, input)
     }
 }
 
 /// Single dispatch point every entry path funnels through.
-fn dispatch<T: TopKItem>(
+pub(crate) fn dispatch<T: TopKItem>(
     alg: TopKAlgorithm,
     dev: &Device,
     input: &GpuBuffer<T>,

@@ -1,0 +1,168 @@
+//! Backend conformance: the [`Backend`] trait's contract, checked on
+//! both engines.
+//!
+//! One request surface, two executors — the simulated GPU
+//! ([`SimtBackend`]) and real CPU threads ([`CpuBackend`]) — must agree
+//! on *what* the top-k is for every algorithm, size, `k`, and input
+//! distribution, including the adversarial ones. Agreement is by key
+//! signature (the multiset of selected keys): engines may break ties
+//! between equal keys differently when items carry no id, but the keys
+//! they return must be identical and correctly ordered.
+//!
+//! The suite also pins down the failure contract: simulator-only
+//! features degrade with typed [`TopKError`] values on the CPU, and a
+//! buffer from one backend handed to the other is a typed mismatch, not
+//! a panic.
+
+use datagen::{BucketKiller, Decreasing, Distribution, Increasing, Kv, Uniform};
+use simt::Device;
+use topk::{Backend, CpuBackend, ExecBackend, SimtBackend, TopKAlgorithm, TopKError, TopKRequest};
+
+/// The key signature of a result: the keys in returned order.
+fn keys(items: &[f32]) -> Vec<u32> {
+    items.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn all_algorithms_agree_across_backends_and_distributions() {
+    let dev = Device::titan_x();
+    let simt = SimtBackend::new(&dev);
+    let cpu = CpuBackend::with_threads(4);
+    let dists: [(&str, &dyn Distribution<f32>); 4] = [
+        ("uniform", &Uniform),
+        ("increasing", &Increasing),
+        ("decreasing", &Decreasing),
+        ("bucket-killer", &BucketKiller),
+    ];
+    for alg in TopKAlgorithm::all() {
+        for &(n, k) in &[(1usize << 12, 16usize), (1 << 14, 64), (3000, 8)] {
+            for (dname, dist) in &dists {
+                let data: Vec<f32> = dist.generate(n, 0xC0FFEE);
+                let req = TopKRequest::largest(k).with_alg(alg);
+                let ctx = format!("{} n={n} k={k} {dname}", alg.name());
+
+                let dbuf = simt.upload(&data);
+                let a = req
+                    .run_on(&simt, &dbuf)
+                    .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+                let hbuf = cpu.upload(&data);
+                let b = req
+                    .run_on(&cpu, &hbuf)
+                    .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+
+                assert_eq!(a.items.len(), k.min(n), "{ctx}");
+                assert_eq!(keys(&a.items), keys(&b.items), "{ctx}");
+                // reports speak each backend's native currency
+                assert!(a.report.sim.is_some() && b.report.sim.is_none(), "{ctx}");
+                assert_eq!(b.report.threads, Some(4), "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn smallest_k_agrees_across_backends() {
+    let dev = Device::titan_x();
+    let simt = SimtBackend::new(&dev);
+    let cpu = CpuBackend::with_threads(2);
+    for alg in TopKAlgorithm::all() {
+        let data: Vec<f32> = Uniform.generate(1 << 13, 99);
+        let req = TopKRequest::smallest(32).with_alg(alg);
+        let a = req.run_on(&simt, &simt.upload(&data)).unwrap();
+        let b = req.run_on(&cpu, &cpu.upload(&data)).unwrap();
+        assert_eq!(keys(&a.items), keys(&b.items), "{}", alg.name());
+    }
+}
+
+#[test]
+fn tie_breaks_agree_when_items_carry_ids() {
+    // duplicate-heavy keys: winners must match exactly (smaller row id
+    // wins on key ties), not just by key signature
+    let dev = Device::titan_x();
+    let simt = SimtBackend::new(&dev);
+    let cpu = CpuBackend::with_threads(8);
+    let data: Vec<Kv<u32>> = (0..20_000u32).map(|i| Kv::new(i % 37, i)).collect();
+    for alg in TopKAlgorithm::all() {
+        let req = TopKRequest::largest(100).with_alg(alg);
+        let a = req.run_on(&simt, &simt.upload(&data)).unwrap();
+        let b = req.run_on(&cpu, &cpu.upload(&data)).unwrap();
+        let sig = |v: &[Kv<u32>]| v.iter().map(|kv| (kv.key, kv.value)).collect::<Vec<_>>();
+        assert_eq!(sig(&a.items), sig(&b.items), "{}", alg.name());
+    }
+}
+
+#[test]
+fn upload_download_roundtrips_on_both_backends() {
+    let dev = Device::titan_x();
+    for be in [ExecBackend::simt(&dev), ExecBackend::cpu(2)] {
+        let data: Vec<u32> = Uniform.generate(4_096, 5);
+        let buf = be.upload(&data);
+        assert_eq!(buf.len(), data.len());
+        assert_eq!(be.download(&buf).unwrap(), data, "{}", be.name());
+    }
+}
+
+#[test]
+fn typed_errors_not_panics() {
+    let dev = Device::titan_x();
+    let simt = SimtBackend::new(&dev);
+    let cpu = CpuBackend::with_threads(2);
+    let data: Vec<f32> = Uniform.generate(1024, 1);
+
+    // a simt buffer handed to the cpu backend (and vice versa)
+    let dbuf = simt.upload(&data);
+    let hbuf = cpu.upload(&data);
+    let req = TopKRequest::largest(8);
+    assert!(matches!(
+        req.run_on(&cpu, &dbuf),
+        Err(TopKError::BackendMismatch {
+            backend: "cpu",
+            buffer: "simt"
+        })
+    ));
+    assert!(matches!(
+        req.run_on(&simt, &hbuf),
+        Err(TopKError::BackendMismatch {
+            backend: "simt",
+            buffer: "cpu"
+        })
+    ));
+
+    // simt streams are a simulator feature; the cpu backend says so
+    let streamed = TopKRequest::largest(8).on_stream(dev.create_stream().id());
+    assert!(matches!(
+        streamed.run_on(&cpu, &hbuf),
+        Err(TopKError::UnsupportedOnBackend {
+            backend: "cpu",
+            feature: _
+        })
+    ));
+
+    // shared validation still fires on both
+    assert!(matches!(
+        TopKRequest::largest(0).run_on(&cpu, &hbuf),
+        Err(TopKError::ZeroK)
+    ));
+    assert!(matches!(
+        TopKRequest::largest(0).run_on(&simt, &dbuf),
+        Err(TopKError::ZeroK)
+    ));
+}
+
+#[test]
+fn cpu_thread_counts_are_consistent() {
+    // any thread count returns the same selection
+    let data: Vec<f32> = Uniform.generate(1 << 15, 123);
+    let req = TopKRequest::largest(64).with_alg(TopKAlgorithm::RadixSelect);
+    let base = req
+        .run_on(
+            &CpuBackend::with_threads(1),
+            &CpuBackend::with_threads(1).upload(&data),
+        )
+        .unwrap();
+    for t in [2usize, 3, 8, 16] {
+        let be = CpuBackend::with_threads(t);
+        let got = req.run_on(&be, &be.upload(&data)).unwrap();
+        assert_eq!(keys(&base.items), keys(&got.items), "threads={t}");
+    }
+}

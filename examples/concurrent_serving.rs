@@ -11,7 +11,7 @@
 //! directory.
 
 use gpu_topk::datagen::twitter::TweetTable;
-use gpu_topk::qdb::{GpuTweetTable, Server, ServerConfig};
+use gpu_topk::qdb::{GpuTweetTable, Server, ServerConfig, SubmitOptions};
 use gpu_topk::simt::Device;
 
 fn main() {
@@ -44,7 +44,7 @@ fn main() {
 
     println!("submitting {} queries…", sqls.len());
     for sql in &sqls {
-        server.submit(sql).expect("admit");
+        server.submit(sql, SubmitOptions::default()).expect("admit");
     }
     let report = server.drain();
 

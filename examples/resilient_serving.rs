@@ -15,7 +15,7 @@
 
 use gpu_topk::datagen::twitter::TweetTable;
 use gpu_topk::qdb::{
-    execute_sql, parse_sql, GpuTweetTable, QdbError, Server, ServerConfig, Strategy,
+    execute_sql, parse_sql, GpuTweetTable, QdbError, Server, ServerConfig, Strategy, SubmitOptions,
 };
 use gpu_topk::simt::{Device, FaultPlan, SimTime};
 
@@ -122,7 +122,7 @@ fn main() {
         let mut server = Server::new(&dev, &table, cfg);
         let mut admitted = Vec::new();
         for (i, sql) in sqls.iter().enumerate() {
-            match server.submit(sql) {
+            match server.submit(sql, SubmitOptions::default()) {
                 Ok(t) => admitted.push((i, t)),
                 Err(QdbError::Overloaded { .. }) => {}
                 Err(e) => panic!("unexpected admission error: {e}"),

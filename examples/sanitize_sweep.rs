@@ -13,7 +13,7 @@
 
 use gpu_topk::datagen::twitter::TweetTable;
 use gpu_topk::datagen::{BucketKiller, Distribution, Increasing, Uniform};
-use gpu_topk::qdb::{GpuTweetTable, Server, ServerConfig};
+use gpu_topk::qdb::{GpuTweetTable, Server, ServerConfig, SubmitOptions};
 use gpu_topk::simt::sanitize::reports_to_json;
 use gpu_topk::simt::{Device, SanitizerReport};
 use gpu_topk::topk::batched::batched_bitonic_topk;
@@ -73,11 +73,14 @@ fn main() {
             server
                 .submit(&format!(
                     "SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT {k}"
-                ))
+                ), SubmitOptions::default())
                 .unwrap();
         }
         server
-            .submit("SELECT uid, COUNT(*) FROM tweets GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 10")
+            .submit(
+                "SELECT uid, COUNT(*) FROM tweets GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 10",
+                SubmitOptions::default(),
+            )
             .unwrap();
         server.drain();
         let reports = dev.take_sanitizer_reports();

@@ -130,7 +130,7 @@ fn serving_layer_coalesces_and_matches_serial() {
 
     let mut server = qdb::Server::new(&dev, &table, qdb::ServerConfig::default());
     for sql in &sqls {
-        server.submit(sql).unwrap();
+        server.submit(sql, qdb::SubmitOptions::default()).unwrap();
     }
     let report = server.drain();
 
