@@ -256,6 +256,13 @@ pub fn diff_reports(
 /// 3. **Per-thread top-k degrades gracefully under skew** (§6.3): sorted
 ///    (increasing) input costs at most 4× its uniform-input time — it
 ///    slows (every element passes the heap filter) but does not blow up.
+/// 8. **The static analyzer never drifts from the replay**: every cell
+///    must carry `sim_static_sectors_per_access` /
+///    `sim_static_conflict_degree` (i.e. every launch declared an
+///    access-spec contract) and each must be bit-identical to the
+///    dynamically measured `sim_sectors_per_access` /
+///    `sim_conflict_degree` — the cross-check that keeps `simt::lint`'s
+///    pre-launch predictions honest.
 ///
 /// Serving reports (`kind == "serve"`):
 /// 4. **Concurrent serving beats serial** at the highest offered load:
@@ -358,6 +365,26 @@ pub fn check_claims(report: &BenchReport) -> Vec<Finding> {
                         "claim violated: per-thread top-k on sorted input must stay within 4x of \
                          uniform (paper: up to ~3x), got {ratio:.2}x"
                     )));
+                }
+            }
+            // 8. static lint predictions bit-match the measured metrics
+            // in every swept cell
+            for e in &report.experiments {
+                for (stat, dynamic) in [
+                    ("sim_static_sectors_per_access", "sim_sectors_per_access"),
+                    ("sim_static_conflict_degree", "sim_conflict_degree"),
+                ] {
+                    let s = need(&e.id, stat, &mut findings);
+                    let d = need(&e.id, dynamic, &mut findings);
+                    if let (Some(s), Some(d)) = (s, d) {
+                        if s.to_bits() != d.to_bits() {
+                            findings.push(Finding::fail(format!(
+                                "claim violated: static prediction drifted from replay in \
+                                 '{}' ({stat} {s:.6} vs {dynamic} {d:.6})",
+                                e.id
+                            )));
+                        }
+                    }
                 }
             }
         }

@@ -92,6 +92,7 @@ fn run_cell(
     input: &GpuBuffer<f32>,
     k: usize,
 ) -> Option<Experiment> {
+    dev.take_lint_reports(); // bound accumulation across the sweep
     let wall = Instant::now();
     let result = TopKRequest::largest(k)
         .with_alg(*alg)
@@ -99,7 +100,7 @@ fn run_cell(
         .ok()?;
     let host_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
     let w = LaunchWindow::from_reports(&result.reports);
-    let metrics = [
+    let mut metrics = vec![
         ("sim_time_ms", result.time.millis()),
         ("sim_global_bytes", w.stats.global_bytes() as f64),
         ("sim_sectors_per_access", w.stats.sectors_per_access()),
@@ -108,6 +109,13 @@ fn run_cell(
         ("sim_launches", w.launches as f64),
         ("host_wall_ms", host_wall_ms),
     ];
+    // the static analyzer's pre-launch predictions, present whenever
+    // every launch in the window carried an access-spec contract; the
+    // diff gate requires them to bit-match the measured metrics above
+    if let Some(p) = &w.static_pred {
+        metrics.push(("sim_static_sectors_per_access", p.sectors_per_access()));
+        metrics.push(("sim_static_conflict_degree", p.avg_conflict_degree()));
+    }
     Some(Experiment {
         id: String::new(),
         metrics: metrics
@@ -125,6 +133,7 @@ pub fn run_topk_suite(log2n: u32, profile: &str) -> BenchReport {
     // vary-k on uniform f32 (the Figure 11a shape)
     {
         let dev = Device::titan_x();
+        dev.enable_lint();
         let data: Vec<f32> = Uniform.generate(1 << log2n, 11);
         let input = dev.upload(&data);
         for alg in &algs {
@@ -142,6 +151,7 @@ pub fn run_topk_suite(log2n: u32, profile: &str) -> BenchReport {
         let start = log2n.min(14);
         for x in (start..=log2n).step_by(2) {
             let dev = Device::titan_x();
+            dev.enable_lint();
             let data: Vec<f32> = Uniform.generate(1 << x, 13);
             let input = dev.upload(&data);
             for alg in &algs {
@@ -156,6 +166,7 @@ pub fn run_topk_suite(log2n: u32, profile: &str) -> BenchReport {
     // distribution robustness at k = 32 (the skew-claim cells)
     for (name, dist) in distributions() {
         let dev = Device::titan_x();
+        dev.enable_lint();
         let data: Vec<f32> = dist.generate(1 << log2n, 40);
         let input = dev.upload(&data);
         for alg in &algs {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared helpers for the experiment binaries (one binary per paper
 //! figure/table; see DESIGN.md's experiment index), plus the
 //! perf-trajectory subsystem:

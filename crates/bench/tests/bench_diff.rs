@@ -299,6 +299,18 @@ fn claim_clean_topk() -> BenchReport {
         "dist/increasing/per-thread/k32",
         &[("sim_time_ms", 0.4)],
     ));
+    // every cell must carry static predictions bit-matching the
+    // measured coalescing/conflict metrics (claim 8)
+    for e in &mut exps {
+        for (m, v) in [
+            ("sim_sectors_per_access", 0.125),
+            ("sim_static_sectors_per_access", 0.125),
+            ("sim_conflict_degree", 1.0),
+            ("sim_static_conflict_degree", 1.0),
+        ] {
+            e.metrics.insert(m.to_string(), v);
+        }
+    }
     report("topk", exps)
 }
 
@@ -307,6 +319,35 @@ fn satisfied_claims_pass() {
     let findings = check_claims(&claim_clean_topk());
     assert!(
         findings.iter().all(|f| f.severity != Severity::Fail),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn static_prediction_drift_fails_claims() {
+    // a single cell whose static prediction differs from the measured
+    // value by one ulp must fail claim 8
+    let mut r = claim_clean_topk();
+    let e = &mut r.experiments[0];
+    let drifted = f64::from_bits(0.125f64.to_bits() + 1);
+    e.metrics
+        .insert("sim_static_sectors_per_access".to_string(), drifted);
+    let findings = check_claims(&r);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.severity == Severity::Fail && f.message.contains("static prediction")),
+        "{findings:?}"
+    );
+
+    // a cell missing the static metrics entirely must also fail
+    let mut r = claim_clean_topk();
+    r.experiments[0]
+        .metrics
+        .remove("sim_static_conflict_degree");
+    let findings = check_claims(&r);
+    assert!(
+        findings.iter().any(|f| f.severity == Severity::Fail),
         "{findings:?}"
     );
 }

@@ -364,12 +364,12 @@ mod tests {
 /// the top-k of `Rev<T>` items is the bottom-k of the underlying items —
 /// how `ORDER BY … ASC LIMIT k` reuses the largest-k kernels.
 ///
-/// `repr(transparent)` guarantees `Rev<T>` has the exact memory layout of
-/// `T`, so a device buffer of `T` can be *reinterpreted* as a buffer of
-/// `Rev<T>` in place (see `GpuBuffer::map_cast` in the `simt` crate) —
-/// smallest-k needs no download/re-upload round-trip.
+/// `Rev<T>` has the exact device footprint of `T` and wraps it
+/// value-identically, so a device buffer of `T` can be *viewed* as a
+/// buffer of `Rev<T>` in place in the simulated address space (see
+/// `GpuBuffer::map_view` in the `simt` crate) — smallest-k needs no
+/// device round-trip and no extra device memory.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[repr(transparent)]
 pub struct Rev<T: TopKItem>(pub T);
 
 impl<T: TopKItem> TopKItem for Rev<T>
@@ -405,31 +405,32 @@ where
     }
 }
 
-// safety: Rev<T> is #[repr(transparent)] over T, and every bit pattern of
-// T is a valid Rev<T> (and vice versa) — the exact contract the marker
-// demands. Declaring it here is what lets every smallest-k call site use
-// the safe `as_rev_view`/`rev_slice` helpers instead of raw `unsafe`.
-unsafe impl<T: TopKItem> simt::TransparentWrapper<T> for Rev<T> where T::KeyBits: RadixBits {}
+impl<T: TopKItem> simt::TransparentWrapper<T> for Rev<T>
+where
+    T::KeyBits: RadixBits,
+{
+    fn wrap(inner: T) -> Self {
+        Rev(inner)
+    }
+    fn peel(self) -> T {
+        self.0
+    }
+}
 
-/// Reinterprets a host slice of `T` as a slice of [`Rev<T>`] in place —
-/// the CPU-side counterpart of [`RevView::as_rev_view`]. Zero-copy: the
-/// returned slice borrows the same memory with the order reversed.
-pub fn rev_slice<T: TopKItem>(items: &[T]) -> &[Rev<T>] {
-    debug_assert_eq!(std::mem::size_of::<T>(), std::mem::size_of::<Rev<T>>());
-    debug_assert_eq!(std::mem::align_of::<T>(), std::mem::align_of::<Rev<T>>());
-    // safety: Rev<T> is repr(transparent) over T (see the
-    // TransparentWrapper impl above); length and lifetime are unchanged
-    unsafe { std::slice::from_raw_parts(items.as_ptr() as *const Rev<T>, items.len()) }
+/// Wraps a host slice of `T` as owned [`Rev<T>`] items — the CPU-side
+/// counterpart of [`RevView::as_rev_view`]. The wrap is value-identical;
+/// only the ordering changes.
+pub fn rev_slice<T: TopKItem>(items: &[T]) -> Vec<Rev<T>> {
+    items.iter().map(|&x| Rev(x)).collect()
 }
 
 /// Safe smallest-k view over a device buffer.
 ///
-/// `buf.as_rev_view()` reinterprets a `GpuBuffer<T>` **in place** as a
-/// buffer of the order-reversing [`Rev<T>`] wrapper — no host round-trip,
-/// no extra device memory — so largest-k kernels compute smallest-k. The
-/// storage returns to the source buffer when the view drops. This is the
-/// documented, safe replacement for open-coded
-/// `unsafe { buf.map_cast::<Rev<T>>() }` at call sites.
+/// `buf.as_rev_view()` views a `GpuBuffer<T>` **in place in the
+/// simulated address space** as a buffer of the order-reversing
+/// [`Rev<T>`] wrapper — no device round-trip, no extra device memory —
+/// so largest-k kernels compute smallest-k. The storage returns to the
+/// source buffer when the view drops.
 pub trait RevView<T: TopKItem> {
     /// The in-place order-reversed view of this buffer.
     fn as_rev_view(&self) -> simt::MappedBuffer<T, Rev<T>>;
@@ -493,11 +494,10 @@ mod rev_tests {
     }
 
     #[test]
-    fn rev_slice_is_zero_copy_and_reverses() {
+    fn rev_slice_wraps_and_reverses() {
         let host = [5u32, 9, 1];
         let rev = rev_slice(&host);
         assert_eq!(rev.len(), 3);
-        assert_eq!(rev.as_ptr() as usize, host.as_ptr() as usize);
         assert!(rev[1].item_lt(&rev[2]), "Rev(9) sorts below Rev(1)");
         assert_eq!(rev[0].0, 5);
     }

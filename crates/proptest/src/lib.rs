@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Vendored minimal stand-in for the `proptest` crate.
 //!
 //! The build environment has no access to crates.io, so the workspace

@@ -17,7 +17,7 @@ use topk::{Backend, BackendKind, ExecBackend, TopKError};
 use crate::cpu_engine::execute_cpu;
 use crate::error::QdbError;
 use crate::queries::Strategy;
-use crate::sql::{execute, explain_sanitize, Query, SanitizedQuery};
+use crate::sql::{execute, explain_lint, explain_sanitize, LintedQuery, Query, SanitizedQuery};
 use crate::table::BackendTable;
 
 /// A query outcome from either backend: ranked ids plus the cost in the
@@ -119,6 +119,31 @@ pub fn explain_sanitize_on(
     }
 }
 
+/// `EXPLAIN LINT` on a backend: statically analyzes every launch plan on
+/// the simulator; the CPU backend launches no kernels, so there is
+/// nothing to lint and the request fails with the typed
+/// [`QdbError::UnsupportedOnBackend`].
+pub fn explain_lint_on(
+    be: &ExecBackend<'_>,
+    table: &BackendTable,
+    q: &Query,
+    strategy: Strategy,
+) -> Result<LintedQuery, QdbError> {
+    expect_table(be, table)?;
+    match be {
+        ExecBackend::Simt(b) => explain_lint(
+            b.device(),
+            table.as_simt().expect("kind checked above"),
+            q,
+            strategy,
+        ),
+        ExecBackend::Cpu(_) => Err(QdbError::UnsupportedOnBackend {
+            backend: "cpu",
+            feature: "EXPLAIN LINT (static launch-plan analysis)",
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +214,25 @@ mod tests {
         let sim_table = BackendTable::load(&simt, &host);
         let out = explain_sanitize_on(&simt, &sim_table, &q, Strategy::StageBitonic).unwrap();
         assert!(!out.reports.is_empty());
+    }
+
+    #[test]
+    fn explain_lint_is_typed_unsupported_on_cpu() {
+        let host = TweetTable::generate(2_000, 9);
+        let cpu = ExecBackend::cpu(2);
+        let table = BackendTable::load(&cpu, &host);
+        let q = parse("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5").unwrap();
+        let err = explain_lint_on(&cpu, &table, &q, Strategy::StageBitonic).unwrap_err();
+        assert_eq!(err.kind(), "unsupported-on-backend");
+        assert!(!err.is_transient());
+        assert!(err.to_string().contains("cpu"));
+        // while the simulator path still lints statically
+        let dev = Device::titan_x();
+        let simt = ExecBackend::simt(&dev);
+        let sim_table = BackendTable::load(&simt, &host);
+        let out = explain_lint_on(&simt, &sim_table, &q, Strategy::StageBitonic).unwrap();
+        assert!(!out.reports.is_empty());
+        assert!(out.is_clean(), "{}", out.render());
     }
 
     #[test]

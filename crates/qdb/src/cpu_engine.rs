@@ -156,8 +156,8 @@ pub(crate) fn execute_cpu(
             stages.push(("cpu_filter".to_string(), ms(scan)));
             let sel = Instant::now();
             let ids: Vec<u32> = if q.ascending {
-                // the zero-copy order-reversed view, same as the device path
-                strategy_topk(strategy, rev_slice(&items), q.limit, threads)
+                // the order-reversed view, same as the device path
+                strategy_topk(strategy, &rev_slice(&items), q.limit, threads)
                     .iter()
                     .map(|kv| kv.0.value)
                     .collect()

@@ -2,7 +2,7 @@
 //! fused top-k kernels of Section 5.
 
 use datagen::{Kv, TopKItem};
-use simt::{BlockCtx, Device, GpuBuffer, Kernel};
+use simt::{AccessSpec, BlockCtx, BufferDecl, BulkAccess, Device, GpuBuffer, Kernel};
 use sortnet::{host, next_pow2};
 use topk::bitonic::{bitonic_topk_from_runs, BitonicConfig};
 use topk::TopKResult;
@@ -73,6 +73,28 @@ impl Kernel for FilterKernel<'_> {
     fn grid_dim(&self) -> usize {
         1
     }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        Some(AccessSpec::bulk(
+            "filter",
+            vec![
+                BulkAccess {
+                    buf: BufferDecl::of("key_col", self.key_col),
+                    elems: self.table.len(),
+                    write: false,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("out", &self.out),
+                    elems: self.out.len(),
+                    write: true,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("out_count", &self.out_count),
+                    elems: 1,
+                    write: true,
+                },
+            ],
+        ))
+    }
     fn run_block(&self, blk: &mut BlockCtx) {
         let n = self.table.len();
         let mut matched: Vec<Kv<u32>> = Vec::new();
@@ -108,6 +130,16 @@ impl Kernel for ProjectRankKernel<'_> {
     fn grid_dim(&self) -> usize {
         1
     }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        Some(AccessSpec::bulk(
+            "project",
+            vec![BulkAccess {
+                buf: BufferDecl::of("out", &self.out),
+                elems: self.table.len(),
+                write: true,
+            }],
+        ))
+    }
     fn run_block(&self, blk: &mut BlockCtx) {
         let n = self.table.len();
         let mut out = Vec::with_capacity(n);
@@ -141,6 +173,23 @@ impl Kernel for GroupCountKernel<'_> {
     }
     fn grid_dim(&self) -> usize {
         1
+    }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        Some(AccessSpec::bulk(
+            "group",
+            vec![
+                BulkAccess {
+                    buf: BufferDecl::of("out", &self.out),
+                    elems: self.out.len(),
+                    write: true,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("out_count", &self.out_count),
+                    elems: 1,
+                    write: true,
+                },
+            ],
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let n = self.table.len();
@@ -194,6 +243,23 @@ impl<T: TopKItem> Kernel for FusedSortReducerKernel<'_, T> {
     }
     fn shared_bytes_per_block(&self) -> usize {
         Self::SEG / 16 * 17 * T::SIZE_BYTES // padded staging buffer
+    }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        Some(AccessSpec::bulk(
+            "fused",
+            vec![
+                BulkAccess {
+                    buf: BufferDecl::of("out_runs", &self.out_runs),
+                    elems: self.out_runs.len(),
+                    write: true,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("out_valid", &self.out_valid),
+                    elems: 1,
+                    write: true,
+                },
+            ],
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let k_eff = self.k_eff;

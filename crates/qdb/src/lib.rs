@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! A columnar mini query engine on the simulated GPU — the reproduction's
 //! stand-in for MapD (paper Sections 5 and 6.8).
@@ -31,7 +32,7 @@ pub mod shard;
 pub mod sql;
 pub mod table;
 
-pub use backend::{execute_on, explain_sanitize_on, BackendQueryResult};
+pub use backend::{execute_on, explain_lint_on, explain_sanitize_on, BackendQueryResult};
 pub use engine::{FilterOp, TopKStrategy};
 pub use error::QdbError;
 pub use explain::{explain_filtered_topk, QueryPlan, TableStats};
@@ -45,7 +46,7 @@ pub use shard::{
     ShardedQueryResult, ShardedServed, ShardedServer, ShardedTable, ShardedTicket, ShardedTopK,
 };
 pub use sql::{
-    execute as execute_sql, explain_sanitize, parse as parse_sql, parse_statement, Query,
-    SanitizedQuery, SqlError, Statement,
+    execute as execute_sql, explain_lint, explain_sanitize, parse as parse_sql, parse_statement,
+    LintedQuery, Query, SanitizedQuery, SqlError, Statement,
 };
 pub use table::{BackendTable, CpuTweetTable, GpuTweetTable};

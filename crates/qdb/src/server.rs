@@ -59,8 +59,8 @@ use std::collections::{HashMap, HashSet};
 
 use datagen::{Kv, Rev, TopKItem};
 use simt::{
-    chrome_trace_streams, BlockCtx, Device, GpuBuffer, Kernel, SimTime, Stream, StreamId,
-    StreamSchedule,
+    chrome_trace_streams, AccessSpec, BlockCtx, BufferDecl, BulkAccess, Device, GpuBuffer, Kernel,
+    SimTime, Stream, StreamId, StreamSchedule,
 };
 use sortnet::next_pow2;
 use topk::batched::{batched_bitonic_topk, max_single_launch_row};
@@ -331,6 +331,23 @@ impl Kernel for PackKernel {
     fn grid_dim(&self) -> usize {
         self.sources.len()
     }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let mut bulk: Vec<BulkAccess> = self
+            .sources
+            .iter()
+            .map(|(src, m)| BulkAccess {
+                buf: BufferDecl::of("source", src),
+                elems: *m,
+                write: false,
+            })
+            .collect();
+        bulk.push(BulkAccess {
+            buf: BufferDecl::of("out", &self.out),
+            elems: self.sources.len() * self.cols,
+            write: true,
+        });
+        Some(AccessSpec::bulk("pack", bulk))
+    }
     fn run_block(&self, blk: &mut BlockCtx) {
         let row = blk.block_idx;
         let (src, m) = &self.sources[row];
@@ -458,30 +475,6 @@ impl<'a> Server<'a> {
             opts.strategy.unwrap_or(self.cfg.default_strategy),
             opts.deadline.or(self.cfg.default_deadline),
         )
-    }
-
-    /// Deprecated spelling of
-    /// `submit(sql, SubmitOptions::default().with_strategy(strategy))`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use submit(sql, SubmitOptions::default().with_strategy(strategy))"
-    )]
-    pub fn submit_with(&mut self, sql: &str, strategy: Strategy) -> Result<QueryTicket, QdbError> {
-        self.submit(sql, SubmitOptions::default().with_strategy(strategy))
-    }
-
-    /// Deprecated spelling of
-    /// `submit(sql, SubmitOptions::default().with_deadline(deadline))`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use submit(sql, SubmitOptions::default().with_deadline(deadline))"
-    )]
-    pub fn submit_with_deadline(
-        &mut self,
-        sql: &str,
-        deadline: SimTime,
-    ) -> Result<QueryTicket, QdbError> {
-        self.submit(sql, SubmitOptions::default().with_deadline(deadline))
     }
 
     fn submit_full(
@@ -1398,36 +1391,6 @@ mod tests {
             Err(QdbError::DeadlineExpired { .. })
         ));
         assert_eq!(server.pending_len(), 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_submit_shims_delegate_to_submit_options() {
-        let (dev, host) = setup(2_000);
-        let table = GpuTweetTable::upload(&dev, &host);
-        let sql = "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 7";
-
-        let mut a = Server::new(&dev, &table, ServerConfig::default());
-        a.submit_with(sql, Strategy::StageSort).unwrap();
-        let ra = a.drain();
-        let mut b = Server::new(&dev, &table, ServerConfig::default());
-        b.submit(
-            sql,
-            SubmitOptions::default().with_strategy(Strategy::StageSort),
-        )
-        .unwrap();
-        let rb = b.drain();
-        assert_eq!(ra.queries[0].result.ids, rb.queries[0].result.ids);
-        assert_eq!(
-            ra.queries[0].result.kernel_time,
-            rb.queries[0].result.kernel_time
-        );
-
-        let mut c = Server::new(&dev, &table, ServerConfig::default());
-        c.submit_with_deadline(sql, SimTime(1.0)).unwrap();
-        let rc = c.drain();
-        assert!(rc.queries[0].completed());
-        assert_eq!(rc.queries[0].result.ids, ra.queries[0].result.ids.clone());
     }
 
     #[test]

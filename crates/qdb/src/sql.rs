@@ -194,10 +194,17 @@ pub enum Statement {
     /// [`explain_sanitize`]). Modeled on `EXPLAIN ANALYZE`: the query
     /// executes for real.
     ExplainSanitize(Query),
+    /// `EXPLAIN LINT SELECT …` — statically analyze every kernel launch
+    /// plan the query would make and report the `simt::lint` verdicts:
+    /// launch validity, occupancy bound, predicted coalescing and bank
+    /// behavior, bounds proofs (see [`explain_lint`]). The plans come
+    /// from a real execution (the plan shape is data-dependent), but
+    /// each verdict is computed before its launch runs a single step.
+    ExplainLint(Query),
 }
 
-/// Parses one top-level statement, including the `EXPLAIN` and
-/// `EXPLAIN SANITIZE` prefixes.
+/// Parses one top-level statement, including the `EXPLAIN`,
+/// `EXPLAIN SANITIZE` and `EXPLAIN LINT` prefixes.
 pub fn parse_statement(sql: &str) -> Result<Statement, SqlError> {
     let mut c = Cursor {
         toks: tokenize(sql)?,
@@ -206,6 +213,8 @@ pub fn parse_statement(sql: &str) -> Result<Statement, SqlError> {
     if c.eat("explain") {
         if c.eat("sanitize") {
             Ok(Statement::ExplainSanitize(parse_query(&mut c)?))
+        } else if c.eat("lint") {
+            Ok(Statement::ExplainLint(parse_query(&mut c)?))
         } else {
             Ok(Statement::Explain(parse_query(&mut c)?))
         }
@@ -510,6 +519,106 @@ pub fn explain_sanitize(
     })
 }
 
+/// The output of `EXPLAIN LINT`: the query's real result plus one
+/// static [`simt::LintReport`] per kernel launch its plan made — every
+/// verdict computed from the declared access-spec contract before the
+/// launch executed a single simulated step.
+#[derive(Debug, Clone)]
+pub struct LintedQuery {
+    /// The executed query's result (execution enumerates the
+    /// data-dependent plan; the lint itself never looks at the data).
+    pub result: QueryResult,
+    /// Static lint reports for every launch, in launch order.
+    pub reports: Vec<simt::LintReport>,
+}
+
+impl LintedQuery {
+    /// True when no launch produced any finding (waived warnings count
+    /// as clean).
+    pub fn is_clean(&self) -> bool {
+        self.reports.iter().all(|r| r.is_clean())
+    }
+
+    /// Total error-severity findings across all launches.
+    pub fn error_count(&self) -> usize {
+        self.reports.iter().map(|r| r.error_count()).sum()
+    }
+
+    /// Renders an `EXPLAIN LINT` summary: one line per clean launch
+    /// (with its static occupancy and coalescing predictions), the full
+    /// lint report for any launch with findings.
+    pub fn render(&self) -> String {
+        let warnings: usize = self.reports.iter().map(|r| r.warning_count()).sum();
+        let mut s = format!(
+            "EXPLAIN LINT: {} launch(es), {} error(s), {} warning(s)\n",
+            self.reports.len(),
+            self.error_count(),
+            warnings
+        );
+        for rep in &self.reports {
+            if rep.is_clean() {
+                let pred = rep
+                    .prediction
+                    .as_ref()
+                    .map(|p| {
+                        format!(
+                            ", predicted sectors/access {:.4}, conflict degree {:.4}",
+                            p.sectors_per_access(),
+                            p.avg_conflict_degree()
+                        )
+                    })
+                    .unwrap_or_default();
+                s.push_str(&format!(
+                    "  `{}` (grid {} x block {}): clean (occupancy {:.3}{pred})\n",
+                    rep.kernel, rep.grid_dim, rep.block_dim, rep.occupancy.occupancy
+                ));
+            } else {
+                for line in rep.render().lines() {
+                    s.push_str("  ");
+                    s.push_str(line);
+                    s.push('\n');
+                }
+            }
+        }
+        s
+    }
+
+    /// The launches' findings as a JSON array (the same schema as
+    /// [`simt::lint::reports_to_json`]).
+    pub fn to_json(&self) -> String {
+        simt::lint::reports_to_json(&self.reports)
+    }
+}
+
+/// Executes `q` with static lint capture enabled for the duration and
+/// returns the result together with per-launch lint reports — the
+/// engine's `EXPLAIN LINT` mode.
+///
+/// The device's prior lint enable/disable state is restored afterwards.
+/// The returned reports also stay in the device's own report log
+/// (`Device::lint_reports`), which is left otherwise untouched.
+pub fn explain_lint(
+    dev: &Device,
+    table: &GpuTweetTable,
+    q: &Query,
+    strategy: Strategy,
+) -> Result<LintedQuery, QdbError> {
+    let was_enabled = dev.lint_enabled();
+    if !was_enabled {
+        dev.enable_lint();
+    }
+    let before = dev.lint_reports().len();
+    let result = execute(dev, table, q, strategy);
+    let reports = dev.lint_reports().split_off(before);
+    if !was_enabled {
+        dev.disable_lint();
+    }
+    Ok(LintedQuery {
+        result: result?,
+        reports,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -692,6 +801,10 @@ mod tests {
             Statement::ExplainSanitize(q) => assert_eq!(q.limit, 5),
             other => panic!("expected ExplainSanitize, got {other:?}"),
         }
+        match parse_statement(&format!("EXPLAIN LINT {sql}")).unwrap() {
+            Statement::ExplainLint(q) => assert_eq!(q.limit, 5),
+            other => panic!("expected ExplainLint, got {other:?}"),
+        }
         // the query inside the prefix is still fully validated
         assert!(parse_statement(
             "EXPLAIN SANITIZE SELECT id FROM nope ORDER BY retweet_count DESC LIMIT 5"
@@ -731,6 +844,62 @@ mod tests {
         }
         // the temporary enable did not stick
         assert!(!dev.sanitizer_enabled());
+    }
+
+    #[test]
+    fn explain_lint_runs_clean_on_paper_queries() {
+        let host = TweetTable::generate(20_000, 127);
+        let dev = Device::titan_x();
+        let table = GpuTweetTable::upload(&dev, &host);
+        let cutoff = host.time_cutoff_for_selectivity(0.5);
+        let sqls = [
+            format!("EXPLAIN LINT SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT 50"),
+            "EXPLAIN LINT SELECT id FROM tweets ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT 20".into(),
+            "EXPLAIN LINT SELECT uid, COUNT(*) FROM tweets GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 50".into(),
+        ];
+        for sql in &sqls {
+            let q = match parse_statement(sql).unwrap() {
+                Statement::ExplainLint(q) => q,
+                other => panic!("{sql}: parsed as {other:?}"),
+            };
+            for strat in Strategy::all() {
+                let out = explain_lint(&dev, &table, &q, strat).unwrap();
+                assert!(!out.result.ids.is_empty(), "{sql} via {}", strat.name());
+                assert!(!out.reports.is_empty(), "{sql}: no launches linted");
+                assert!(
+                    out.is_clean(),
+                    "{sql} via {}:\n{}",
+                    strat.name(),
+                    out.render()
+                );
+                // every launch carried an access-spec contract
+                for rep in &out.reports {
+                    assert!(
+                        rep.prediction.is_some(),
+                        "{sql} via {}: `{}` has no declared spec",
+                        strat.name(),
+                        rep.kernel
+                    );
+                }
+                assert!(out.render().contains("clean"));
+                assert!(out.to_json().starts_with('['));
+            }
+        }
+        // the temporary enable did not stick
+        assert!(!dev.lint_enabled());
+    }
+
+    #[test]
+    fn explain_lint_restores_enabled_state() {
+        let host = TweetTable::generate(2_000, 129);
+        let dev = Device::titan_x();
+        let table = GpuTweetTable::upload(&dev, &host);
+        dev.enable_lint();
+        let q = parse("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 5").unwrap();
+        let out = explain_lint(&dev, &table, &q, Strategy::StageBitonic).unwrap();
+        assert!(dev.lint_enabled(), "caller's enable must survive");
+        // the device log retains the same launches the statement reported
+        assert!(dev.lint_reports().len() >= out.reports.len());
     }
 
     #[test]

@@ -146,27 +146,23 @@ impl<T: DeviceCopy> GpuBuffer<T> {
         std::mem::size_of::<T>()
     }
 
-    /// Reinterprets this buffer's device storage as elements of type `U`
-    /// **in place** — no copy, no new device allocation, same simulated
-    /// address range. The storage moves into the returned view; it moves
-    /// back (with any writes the view received) when the
-    /// [`MappedBuffer`] is dropped. Until then this buffer reads as
-    /// empty.
+    /// Reinterprets this buffer's device storage as the wrapper type `U`
+    /// **in place in the simulated address space**: no new device
+    /// allocation, no accounted traffic, same simulated address range.
+    /// The storage moves into the returned view; it moves back (with any
+    /// writes the view received) when the [`MappedBuffer`] is dropped.
+    /// Until then this buffer reads as empty.
     ///
     /// This is how smallest-k reuses the largest-k kernels: a buffer of
-    /// `T` is viewed as the `repr(transparent)` order-reversing wrapper
-    /// without a host round-trip.
-    ///
-    /// # Safety
-    /// `U` must be layout- and bit-compatible with `T` (same size, same
-    /// alignment, every bit pattern of `T` valid as `U` and vice versa) —
-    /// e.g. a `#[repr(transparent)]` wrapper around `T`. Size and
-    /// alignment are asserted; bit validity cannot be checked.
-    pub unsafe fn map_cast<U: DeviceCopy>(&self) -> MappedBuffer<T, U> {
+    /// `T` is viewed as the order-reversing wrapper without a device
+    /// round-trip. (The host-side `Vec` is converted element-wise via
+    /// [`TransparentWrapper::wrap`] — invisible to the device model,
+    /// which sees the same addresses and zero extra bytes.)
+    pub fn map_view<U: TransparentWrapper<T>>(&self) -> MappedBuffer<T, U> {
         let data = std::mem::take(&mut *self.inner.data.borrow_mut());
         let view = GpuBuffer {
             inner: Rc::new(BufferInner {
-                data: RefCell::new(cast_vec::<T, U>(data)),
+                data: RefCell::new(data.into_iter().map(U::wrap).collect()),
                 base_addr: self.inner.base_addr,
                 // the storage is the source buffer's; the view itself
                 // owns no device bytes
@@ -181,72 +177,33 @@ impl<T: DeviceCopy> GpuBuffer<T> {
     }
 }
 
-/// Marker contract for zero-cost buffer reinterpretation.
+/// Contract for in-place buffer reinterpretation in the simulated
+/// address space.
 ///
-/// A type `U` implementing `TransparentWrapper<T>` promises it is a
-/// `#[repr(transparent)]` wrapper around `T` (or otherwise layout- and
-/// bit-identical): same size, same alignment, and every bit pattern valid
-/// as both types. [`GpuBuffer::map_view`] uses this contract to offer the
-/// in-place reinterpretation of [`GpuBuffer::map_cast`] behind a fully
-/// safe method, so call sites (the top-k smallest-k path, backend
-/// implementations) never repeat raw `unsafe`.
+/// A type `U` implementing `TransparentWrapper<T>` is a value-identical
+/// wrapper around `T` (same device footprint): `wrap` and `peel` are
+/// exact inverses, so a device buffer of `T` can be viewed as a buffer
+/// of `U` — and restored — without changing its simulated address range
+/// or allocation accounting (see [`GpuBuffer::map_view`]).
 ///
-/// # Safety
-/// Implementors guarantee the layout/bit compatibility described above.
 /// The canonical implementor is `datagen::item::Rev<T>`, the
-/// order-reversing `repr(transparent)` wrapper that turns largest-k
-/// kernels into smallest-k.
-pub unsafe trait TransparentWrapper<T: DeviceCopy>: DeviceCopy {}
-
-impl<T: DeviceCopy> GpuBuffer<T> {
-    /// Safely reinterprets this buffer's storage **in place** as the
-    /// layout-identical wrapper type `U` — the safe front door over
-    /// [`GpuBuffer::map_cast`] for types that have declared layout
-    /// compatibility via [`TransparentWrapper`].
-    ///
-    /// Same semantics as `map_cast`: no copy, no new device allocation,
-    /// same simulated address range; the storage returns to this buffer
-    /// (with any writes) when the [`MappedBuffer`] drops.
-    pub fn map_view<U: TransparentWrapper<T>>(&self) -> MappedBuffer<T, U> {
-        // belt-and-braces layout re-check of the TransparentWrapper
-        // contract (cast_vec hard-asserts the same in all builds)
-        debug_assert_eq!(
-            std::mem::size_of::<T>(),
-            std::mem::size_of::<U>(),
-            "TransparentWrapper impl violates the size contract"
-        );
-        debug_assert_eq!(
-            std::mem::align_of::<T>(),
-            std::mem::align_of::<U>(),
-            "TransparentWrapper impl violates the alignment contract"
-        );
-        // safety: the TransparentWrapper contract is exactly map_cast's
-        // safety requirement
-        unsafe { self.map_cast::<U>() }
-    }
-}
-
-/// Moves a `Vec`'s allocation to a layout-identical element type.
-///
-/// # Safety
-/// Caller guarantees `A` and `B` are layout- and bit-compatible (checked
-/// for size/alignment, not bit validity).
-unsafe fn cast_vec<A, B>(v: Vec<A>) -> Vec<B> {
-    assert_eq!(std::mem::size_of::<A>(), std::mem::size_of::<B>());
-    assert_eq!(std::mem::align_of::<A>(), std::mem::align_of::<B>());
-    let mut v = std::mem::ManuallyDrop::new(v);
-    Vec::from_raw_parts(v.as_mut_ptr() as *mut B, v.len(), v.capacity())
+/// order-reversing wrapper that turns largest-k kernels into smallest-k.
+pub trait TransparentWrapper<T: DeviceCopy>: DeviceCopy {
+    /// Wraps one underlying element.
+    fn wrap(inner: T) -> Self;
+    /// Recovers the underlying element (exact inverse of `wrap`).
+    fn peel(self) -> T;
 }
 
 /// An in-place reinterpretation of a [`GpuBuffer`]'s storage, created by
-/// [`GpuBuffer::map_cast`]. Dropping it returns the storage to the source
-/// buffer.
-pub struct MappedBuffer<T: DeviceCopy, U: DeviceCopy> {
+/// [`GpuBuffer::map_view`]. Dropping it returns the storage to the
+/// source buffer.
+pub struct MappedBuffer<T: DeviceCopy, U: TransparentWrapper<T>> {
     view: GpuBuffer<U>,
     source: GpuBuffer<T>,
 }
 
-impl<T: DeviceCopy, U: DeviceCopy> MappedBuffer<T, U> {
+impl<T: DeviceCopy, U: TransparentWrapper<T>> MappedBuffer<T, U> {
     /// The buffer viewed as elements of `U`. Kernels launched on the view
     /// read and write the source buffer's storage.
     pub fn view(&self) -> &GpuBuffer<U> {
@@ -254,11 +211,10 @@ impl<T: DeviceCopy, U: DeviceCopy> MappedBuffer<T, U> {
     }
 }
 
-impl<T: DeviceCopy, U: DeviceCopy> Drop for MappedBuffer<T, U> {
+impl<T: DeviceCopy, U: TransparentWrapper<T>> Drop for MappedBuffer<T, U> {
     fn drop(&mut self) {
         let data = std::mem::take(&mut *self.view.inner.data.borrow_mut());
-        // safety: cast_vec::<T, U> in map_cast checked the layouts match
-        *self.source.inner.data.borrow_mut() = unsafe { cast_vec::<U, T>(data) };
+        *self.source.inner.data.borrow_mut() = data.into_iter().map(U::peel).collect();
     }
 }
 
@@ -279,14 +235,19 @@ mod tests {
     use crate::Device;
 
     #[derive(Debug, Clone, Copy, PartialEq, Default)]
-    #[repr(transparent)]
     struct Wrapped(u32);
 
-    // safety: repr(transparent) over u32
-    unsafe impl super::TransparentWrapper<u32> for Wrapped {}
+    impl super::TransparentWrapper<u32> for Wrapped {
+        fn wrap(inner: u32) -> Self {
+            Wrapped(inner)
+        }
+        fn peel(self) -> u32 {
+            self.0
+        }
+    }
 
     #[test]
-    fn map_view_matches_map_cast_without_unsafe() {
+    fn map_view_sees_wrapped_elements() {
         let dev = Device::titan_x();
         let buf = dev.upload(&[10u32, 20, 30]);
         let base = buf.base_addr();
@@ -302,13 +263,13 @@ mod tests {
     }
 
     #[test]
-    fn map_cast_is_in_place_and_restores() {
+    fn map_view_is_in_place_and_restores() {
         let dev = Device::titan_x();
         let buf = dev.upload(&[1u32, 2, 3, 4]);
         let bytes_before = dev.memory_allocated();
         let base = buf.base_addr();
         {
-            let mapped = unsafe { buf.map_cast::<Wrapped>() };
+            let mapped = buf.map_view::<Wrapped>();
             // no new device allocation, same address range
             assert_eq!(dev.memory_allocated(), bytes_before);
             assert_eq!(mapped.view().base_addr(), base);

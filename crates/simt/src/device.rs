@@ -7,6 +7,7 @@ use std::rc::Rc;
 use crate::block::BlockCtx;
 use crate::buffer::{DeviceCopy, GpuBuffer};
 use crate::fault::{attribute, EccTarget, FaultEvent, FaultKind, FaultPlan, FaultState};
+use crate::lint::{self, AccessSpec, LintConfig, LintReport, StaticPrediction};
 use crate::occupancy::Occupancy;
 use crate::sanitize::{LaunchSanitizer, SanitizeConfig, SanitizerReport};
 use crate::spec::DeviceSpec;
@@ -46,6 +47,14 @@ pub trait Kernel {
     /// for shared-memory heap capacity (Section 4.1) — return a reason;
     /// the lint is then recorded as waived instead of as a finding.
     fn low_occupancy_waiver(&self) -> Option<&'static str> {
+        None
+    }
+
+    /// The kernel's declared access contract for static analysis (see
+    /// [`crate::lint`]). `None` disables the spec-driven checks; the
+    /// lint then only validates launch geometry and occupancy and
+    /// records a `spec.missing` warning.
+    fn access_spec(&self) -> Option<AccessSpec> {
         None
     }
 
@@ -158,6 +167,10 @@ pub struct LaunchReport {
     pub t_compute: SimTime,
     /// Modeled kernel time: `max(t_global, t_shared, t_compute) + overhead`.
     pub time: SimTime,
+    /// Static counter prediction from the kernel's [`AccessSpec`],
+    /// populated only when the device's lint capture is enabled (see
+    /// [`Device::enable_lint`]) and the kernel declares a spec.
+    pub static_pred: Option<StaticPrediction>,
 }
 
 impl LaunchReport {
@@ -188,6 +201,10 @@ pub struct LaunchWindow {
     /// Occupancy averaged over launches, weighted by each launch's
     /// modeled time (0 when the window is empty).
     pub time_weighted_occupancy: f64,
+    /// Static predictions summed across the window — `Some` only when
+    /// every launch in the window carries one (lint capture was on and
+    /// every kernel declared an [`AccessSpec`]).
+    pub static_pred: Option<StaticPrediction>,
 }
 
 impl LaunchWindow {
@@ -199,13 +216,22 @@ impl LaunchWindow {
             ..LaunchWindow::default()
         };
         let mut occ_time = 0.0;
+        let mut preds = StaticPrediction::default();
+        let mut all_pred = !reports.is_empty();
         for r in reports {
             w.time += r.time;
             w.stats.merge(&r.stats);
             occ_time += r.occupancy.occupancy * r.time.seconds();
+            match &r.static_pred {
+                Some(p) => preds.merge(p),
+                None => all_pred = false,
+            }
         }
         if w.time.seconds() > 0.0 {
             w.time_weighted_occupancy = occ_time / w.time.seconds();
+        }
+        if all_pred {
+            w.static_pred = Some(preds);
         }
         w
     }
@@ -228,6 +254,11 @@ pub(crate) struct DeviceInner {
     sanitize: RefCell<Option<SanitizeConfig>>,
     /// One report per sanitized launch, in launch order.
     san_reports: RefCell<Vec<SanitizerReport>>,
+    /// When set, every launch plan is statically linted with this config
+    /// before the kernel runs (see [`crate::lint`]).
+    lint: RefCell<Option<LintConfig>>,
+    /// One report per linted launch, in launch order.
+    lint_reports: RefCell<Vec<LintReport>>,
     /// When set, launches and fallible allocations roll against this
     /// fault plan (see [`crate::fault`]).
     fault: RefCell<Option<FaultState>>,
@@ -423,6 +454,8 @@ impl Device {
                 waits: RefCell::new(Vec::new()),
                 sanitize: RefCell::new(None),
                 san_reports: RefCell::new(Vec::new()),
+                lint: RefCell::new(None),
+                lint_reports: RefCell::new(Vec::new()),
                 fault: RefCell::new(None),
                 fault_events: RefCell::new(Vec::new()),
                 ecc_targets: RefCell::new(Vec::new()),
@@ -576,6 +609,21 @@ impl Device {
             });
         }
 
+        // static analysis runs on the launch *plan*, before any block
+        // executes; it records findings + the counter prediction but
+        // never changes the launch outcome (the planner is the reject
+        // point, see crate::lint)
+        let static_pred = {
+            let lint_cfg = self.inner.lint.borrow().clone();
+            lint_cfg.map(|cfg| {
+                let rep = lint::lint_kernel(&spec, kernel, &cfg);
+                let pred = rep.prediction;
+                self.inner.lint_reports.borrow_mut().push(rep);
+                pred
+            })
+        }
+        .flatten();
+
         let san = self
             .inner
             .sanitize
@@ -606,6 +654,7 @@ impl Device {
         }
         let mut report =
             self.report_from_stats(kernel.name(), grid_dim, block_dim, stats, occupancy);
+        report.static_pred = static_pred;
         // fault rolls in a fixed order (stall, then corruption) so a plan
         // fires identically run to run
         if let Some(delay) = self.inner.inject_stall(kernel.name(), block_dim) {
@@ -764,6 +813,42 @@ impl Device {
         Ok((report, srep))
     }
 
+    /// Enables static lint capture (default [`LintConfig`]) for every
+    /// subsequent launch: each launch plan is analyzed by
+    /// [`lint::lint_kernel`] *before* its blocks run, appending a
+    /// [`LintReport`] and stamping the [`LaunchReport`] with the
+    /// kernel's static counter prediction. Analysis only — the launch
+    /// outcome is unchanged.
+    pub fn enable_lint(&self) {
+        self.enable_lint_with(LintConfig::default());
+    }
+
+    /// Enables static lint capture with an explicit config.
+    pub fn enable_lint_with(&self, cfg: LintConfig) {
+        *self.inner.lint.borrow_mut() = Some(cfg);
+    }
+
+    /// Disables static lint capture for subsequent launches. Collected
+    /// reports are kept.
+    pub fn disable_lint(&self) {
+        *self.inner.lint.borrow_mut() = None;
+    }
+
+    /// True when launch plans are currently captured by the static lint.
+    pub fn lint_enabled(&self) -> bool {
+        self.inner.lint.borrow().is_some()
+    }
+
+    /// Snapshot of all lint reports collected so far.
+    pub fn lint_reports(&self) -> Vec<LintReport> {
+        self.inner.lint_reports.borrow().clone()
+    }
+
+    /// Drains the collected lint reports.
+    pub fn take_lint_reports(&self) -> Vec<LintReport> {
+        std::mem::take(&mut *self.inner.lint_reports.borrow_mut())
+    }
+
     /// Snapshot of all sanitizer reports collected so far.
     pub fn sanitizer_reports(&self) -> Vec<SanitizerReport> {
         self.inner.san_reports.borrow().clone()
@@ -800,6 +885,7 @@ impl Device {
             t_shared: SimTime(t_shared),
             t_compute: SimTime(t_compute),
             time: SimTime(t),
+            static_pred: None,
         }
     }
 

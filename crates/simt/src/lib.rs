@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! A warp-synchronous SIMT GPU simulator.
 //!
@@ -40,6 +41,7 @@ pub mod block;
 pub mod buffer;
 pub mod device;
 pub mod fault;
+pub mod lint;
 pub mod occupancy;
 pub mod sanitize;
 pub mod spec;
@@ -52,6 +54,10 @@ pub use block::{BlockCtx, Lane, SharedHandle};
 pub use buffer::{GpuBuffer, MappedBuffer, TransparentWrapper};
 pub use device::{Device, Kernel, LaunchError, LaunchReport, LaunchWindow, OutOfMemory};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use lint::{
+    AccessSpec, BufferDecl, BulkAccess, GlobalStream, LaunchGeometry, LintConfig, LintFinding,
+    LintKind, LintReport, PhaseSpec, SharedEv, SharedStep, StaticPrediction,
+};
 pub use occupancy::Occupancy;
 pub use sanitize::{Finding, FindingKind, SanitizeConfig, SanitizerReport, Severity};
 pub use spec::DeviceSpec;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Analytic cost models for the two best-performing top-k algorithms
 //! (paper Section 7): radix select and bitonic top-k — plus the planner
@@ -22,7 +23,10 @@ pub mod radix;
 pub use bitonic::{bitonic_topk_seconds, shared_traffic_factor, BitonicModelInput};
 pub use cluster::{cluster_topk_seconds, ClusterEstimate, ClusterModelInput};
 pub use extended::{bucket_select_seconds, per_thread_seconds, HeapProfile};
-pub use planner::{recommend, recommend_full, Choice, FullAlgorithm, RankedAlgorithm};
+pub use planner::{
+    recommend, recommend_checked, recommend_full, Choice, FullAlgorithm, PlanConfig, PlanRejection,
+    RankedAlgorithm,
+};
 pub use radix::{radix_select_seconds, sort_seconds, ReductionProfile};
 
 use simt::DeviceSpec;

@@ -3,6 +3,7 @@
 
 use crate::bitonic::{bitonic_topk_seconds, BitonicModelInput};
 use crate::radix::{radix_select_seconds, ReductionProfile};
+use simt::lint::{lint_geometry, LaunchGeometry, LintConfig, LintFinding, Severity};
 use simt::DeviceSpec;
 
 /// The planner's verdict.
@@ -68,6 +69,157 @@ pub fn recommend(
             alternative_seconds: t_bitonic,
         }
     }
+}
+
+/// The launch knobs a checked recommendation would execute with. The
+/// defaults are the paper's shipped configuration (B = 16 elements per
+/// thread, 256-thread blocks); a query optimizer probing other points
+/// feeds them here and lets the static lints veto the unlaunchable ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanConfig {
+    /// Threads per block for the reduction kernels.
+    pub block_dim: usize,
+    /// Elements each thread owns in the bitonic SortReducer.
+    pub elems_per_thread: usize,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig {
+            block_dim: 256,
+            elems_per_thread: 16,
+        }
+    }
+}
+
+/// A configuration the planner refused: its launch plan fails hard
+/// static lints and would fault at launch, so no recommendation is
+/// produced. Warnings never reject — only error-severity findings do.
+#[derive(Debug, Clone)]
+pub struct PlanRejection {
+    /// The algorithm whose launch plan failed the lints.
+    pub algorithm: Algorithm,
+    /// The geometry that was analyzed.
+    pub geometry: LaunchGeometry,
+    /// The hard findings (every entry has [`Severity::Error`]).
+    pub errors: Vec<LintFinding>,
+}
+
+impl std::fmt::Display for PlanRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "plan rejected: `{}` (grid {} × block {}, {} B shared) fails {} hard lint{}",
+            self.geometry.name,
+            self.geometry.grid_dim,
+            self.geometry.block_dim,
+            self.geometry.shared_bytes_per_block,
+            self.errors.len(),
+            if self.errors.len() == 1 { "" } else { "s" },
+        )?;
+        for e in &self.errors {
+            write!(f, "\n  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PlanRejection {}
+
+/// Derives the launch geometry the simulated implementation of `alg`
+/// would use at this configuration — the same shapes the `topk` crate
+/// builds, reproduced here so the planner can lint a candidate plan
+/// without constructing any kernel.
+fn plan_geometry(alg: Algorithm, n: usize, item_bytes: usize, cfg: &PlanConfig) -> LaunchGeometry {
+    match alg {
+        Algorithm::BitonicTopK => {
+            // one segment of block_dim × elems_per_thread items lives in
+            // shared memory, padded by 1/32 to dodge bank conflicts
+            let seg = cfg.block_dim * cfg.elems_per_thread;
+            let padded = seg + seg / 32;
+            LaunchGeometry {
+                name: "bitonic_local_sort".to_string(),
+                grid_dim: n.div_ceil(seg.max(1)).max(1),
+                block_dim: cfg.block_dim,
+                shared_bytes_per_block: padded * item_bytes,
+                regs_per_thread: 32 + cfg.elems_per_thread * item_bytes.div_ceil(4),
+                low_occupancy_waiver: None,
+            }
+        }
+        Algorithm::RadixSelect => {
+            // histogram pass: 256 digit bins of u32 counts per block
+            let per_block = cfg.block_dim * cfg.elems_per_thread;
+            LaunchGeometry {
+                name: "radix_select_hist".to_string(),
+                grid_dim: n.div_ceil(per_block.max(1)).max(1),
+                block_dim: cfg.block_dim,
+                shared_bytes_per_block: 256 * 4,
+                regs_per_thread: 24,
+                low_occupancy_waiver: None,
+            }
+        }
+    }
+}
+
+/// [`recommend`], gated by the static launch-plan lints: prices both
+/// algorithms with `cfg`'s knobs, then refuses to recommend a plan whose
+/// launch geometry fails a hard lint (block over the device limit,
+/// shared memory oversubscribed, …) — returning the typed
+/// [`PlanRejection`] carrying the findings instead of an estimate the
+/// device could never honor.
+pub fn recommend_checked(
+    spec: &DeviceSpec,
+    n: usize,
+    k: usize,
+    item_bytes: usize,
+    profile: &ReductionProfile,
+    cfg: &PlanConfig,
+) -> Result<Choice, PlanRejection> {
+    let conflict_degree = if k.next_power_of_two() <= 256 {
+        1.0
+    } else {
+        1.3
+    };
+    let t_bitonic = bitonic_topk_seconds(
+        spec,
+        BitonicModelInput {
+            n,
+            k,
+            item_bytes,
+            elems_per_thread: cfg.elems_per_thread,
+            conflict_degree,
+        },
+    );
+    let t_radix = radix_select_seconds(spec, n, item_bytes, profile);
+    let choice = if t_bitonic <= t_radix {
+        Choice {
+            algorithm: Algorithm::BitonicTopK,
+            predicted_seconds: t_bitonic,
+            alternative_seconds: t_radix,
+        }
+    } else {
+        Choice {
+            algorithm: Algorithm::RadixSelect,
+            predicted_seconds: t_radix,
+            alternative_seconds: t_bitonic,
+        }
+    };
+    let geometry = plan_geometry(choice.algorithm, n, item_bytes, cfg);
+    let report = lint_geometry(spec, &geometry, &LintConfig::default());
+    if report.error_count() > 0 {
+        let errors = report
+            .findings
+            .iter()
+            .filter(|f| f.severity() == Severity::Error)
+            .cloned()
+            .collect();
+        return Err(PlanRejection {
+            algorithm: choice.algorithm,
+            geometry,
+            errors,
+        });
+    }
+    Ok(choice)
 }
 
 /// A priced algorithm in the full line-up ranking.
@@ -208,6 +360,74 @@ mod tests {
             .unwrap();
         assert!(pt.predicted_seconds.is_none(), "k=512 cannot launch");
         assert_eq!(ranked.last().unwrap().algorithm, FullAlgorithm::PerThread);
+    }
+
+    #[test]
+    fn checked_recommendation_matches_unchecked_on_sane_config() {
+        let c = recommend_checked(
+            &spec(),
+            1 << 24,
+            32,
+            4,
+            &ReductionProfile::UniformFloats,
+            &PlanConfig::default(),
+        )
+        .expect("the shipped configuration must lint clean");
+        let u = recommend(&spec(), 1 << 24, 32, 4, &ReductionProfile::UniformFloats);
+        assert_eq!(c.algorithm, u.algorithm);
+        assert_eq!(c.predicted_seconds.to_bits(), u.predicted_seconds.to_bits());
+    }
+
+    #[test]
+    fn planner_refuses_oversized_block_with_typed_error() {
+        let cfg = PlanConfig {
+            block_dim: 4096, // titan x caps threads per block at 1024
+            elems_per_thread: 16,
+        };
+        let err = recommend_checked(
+            &spec(),
+            1 << 24,
+            32,
+            4,
+            &ReductionProfile::UniformFloats,
+            &cfg,
+        )
+        .expect_err("a 4096-thread block cannot launch");
+        assert!(!err.errors.is_empty());
+        assert!(err
+            .errors
+            .iter()
+            .all(|f| f.severity() == simt::lint::Severity::Error));
+        assert!(err
+            .errors
+            .iter()
+            .any(|f| f.kind == simt::lint::LintKind::BlockTooLarge));
+        assert_eq!(err.geometry.block_dim, 4096);
+        let msg = err.to_string();
+        assert!(msg.contains("plan rejected"), "{msg}");
+        assert!(msg.contains("launch.block-too-large"), "{msg}");
+    }
+
+    #[test]
+    fn planner_refuses_shared_memory_oversubscription() {
+        let cfg = PlanConfig {
+            block_dim: 256,
+            elems_per_thread: 256, // 64 K items/segment => ~264 KB shared
+        };
+        let err = recommend_checked(
+            &spec(),
+            1 << 24,
+            32,
+            4,
+            &ReductionProfile::UniformFloats,
+            &cfg,
+        )
+        .expect_err("segment cannot fit in shared memory");
+        assert!(err
+            .errors
+            .iter()
+            .any(|f| f.kind == simt::lint::LintKind::SharedMemExceeded));
+        assert_eq!(err.algorithm, Algorithm::BitonicTopK);
     }
 
     #[test]

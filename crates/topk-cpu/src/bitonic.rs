@@ -1,3 +1,7 @@
+// the one sanctioned unsafe island in the workspace: the SSE/AVX2
+// compare-exchange intrinsics below (the CI unsafe gate allowlists
+// exactly this file)
+#![allow(unsafe_code)]
 //! Bitonic top-k on the CPU (Appendix C).
 //!
 //! Each core's partition is processed in L1-resident *vectors* (2048

@@ -1,3 +1,4 @@
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 //! CPU top-k baselines (Section 6.7) and the CPU port of bitonic top-k
 //! (Appendix C).

@@ -414,9 +414,9 @@ impl Backend for CpuBackend {
         let items = match req.order {
             KeyOrder::Largest => run_cpu_kernel(req.alg, data, req.k, self.threads),
             KeyOrder::Smallest => {
-                // the host twin of the device path's as_rev_view: zero-copy
-                // order reversal, then the largest-k kernels
-                run_cpu_kernel(req.alg, rev_slice(data), req.k, self.threads)
+                // the host twin of the device path's as_rev_view: wrap
+                // in the order reversal, then the largest-k kernels
+                run_cpu_kernel(req.alg, &rev_slice(data), req.k, self.threads)
                     .into_iter()
                     .map(|r| r.0)
                     .collect()

@@ -17,7 +17,7 @@ use crate::bitonic::{bitonic_topk, BitonicConfig};
 use crate::util::LogCapture;
 use crate::{TopKError, TopKResult};
 use datagen::TopKItem;
-use simt::{BlockCtx, Device, GpuBuffer, Kernel};
+use simt::{AccessSpec, BlockCtx, BufferDecl, BulkAccess, Device, GpuBuffer, Kernel};
 use sortnet::{host, next_pow2};
 use topk_costmodel::shared_traffic_factor;
 
@@ -45,6 +45,23 @@ impl<T: TopKItem> Kernel for BatchedRowKernel<T> {
     fn shared_bytes_per_block(&self) -> usize {
         // padded staging for the row
         self.row_pad * T::SIZE_BYTES * 33 / 32 + 4
+    }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        Some(AccessSpec::bulk(
+            "row",
+            vec![
+                BulkAccess {
+                    buf: BufferDecl::of("input", &self.input),
+                    elems: self.rows * self.cols,
+                    write: false,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("output", &self.output),
+                    elems: self.rows * self.k_eff,
+                    write: true,
+                },
+            ],
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let row = blk.block_idx;

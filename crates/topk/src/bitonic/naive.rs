@@ -3,7 +3,7 @@
 //! Section 4.3 optimization ladder).
 
 use datagen::TopKItem;
-use simt::{BlockCtx, Device, GpuBuffer, Kernel};
+use simt::{AccessSpec, BlockCtx, BufferDecl, BulkAccess, Device, GpuBuffer, Kernel};
 use sortnet::{host, local_sort_steps, rebuild_steps, Step};
 
 use crate::TopKError;
@@ -25,6 +25,24 @@ impl<T: TopKItem> Kernel for GlobalStepKernel<T> {
     }
     fn grid_dim(&self) -> usize {
         1
+    }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let data = BufferDecl::of("data", &self.data);
+        Some(AccessSpec::bulk(
+            "step",
+            vec![
+                BulkAccess {
+                    buf: data.clone(),
+                    elems: self.n,
+                    write: false,
+                },
+                BulkAccess {
+                    buf: data,
+                    elems: self.n,
+                    write: true,
+                },
+            ],
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let bytes = (self.n * T::SIZE_BYTES) as u64;
@@ -53,6 +71,24 @@ impl<T: TopKItem> Kernel for GlobalMergeKernel<T> {
     }
     fn grid_dim(&self) -> usize {
         1
+    }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let data = BufferDecl::of("data", &self.data);
+        Some(AccessSpec::bulk(
+            "merge",
+            vec![
+                BulkAccess {
+                    buf: data.clone(),
+                    elems: self.n,
+                    write: false,
+                },
+                BulkAccess {
+                    buf: data,
+                    elems: self.n / 2,
+                    write: true,
+                },
+            ],
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let bytes = (self.n * T::SIZE_BYTES) as u64;

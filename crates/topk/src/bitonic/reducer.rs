@@ -4,7 +4,10 @@
 //! measures.
 
 use datagen::TopKItem;
-use simt::{BlockCtx, GpuBuffer, Kernel, SharedHandle};
+use simt::{
+    AccessSpec, BlockCtx, BufferDecl, GlobalStream, GpuBuffer, Kernel, PhaseSpec, SharedEv,
+    SharedHandle, SharedStep,
+};
 use sortnet::{chunk_rotation, local_sort_steps, rebuild_steps, PadMap, StepGroupPlan};
 
 use super::config::BitonicConfig;
@@ -208,6 +211,107 @@ impl<T: TopKItem> ReducerKernel<T> {
             }
         });
     }
+
+    /// Shared word of element `idx` under the kernel's pad map. The
+    /// reducer's one shared allocation starts at word 0.
+    fn word_of(&self, pad: PadMap, idx: usize) -> u32 {
+        (pad.index(idx) * T::SIZE_BYTES.div_ceil(4)) as u32
+    }
+
+    /// Declares one [`Self::run_plan`] invocation: one barrier interval
+    /// per step group, with the same worker/rotation arithmetic.
+    fn plan_phase(
+        &self,
+        name: String,
+        plan: &StepGroupPlan,
+        pad: PadMap,
+        cur_len: usize,
+        active: usize,
+        ws: usize,
+    ) -> PhaseSpec {
+        let wpe = T::SIZE_BYTES.div_ceil(4) as u32;
+        let permute = self.cfg.chunk_permute();
+        let mut shared_steps = Vec::new();
+        for group in &plan.groups {
+            let m_count = group.elems_per_set();
+            let sets_total = cur_len / m_count;
+            let workers = active.min(sets_total);
+            let mut lanes: Vec<Vec<SharedEv>> = vec![Vec::new(); self.block_dim];
+            if workers > 0 {
+                let use_rot = permute
+                    && m_count > 1
+                    && Self::predict_conflicts(group, pad, workers, ws, sets_total, true)
+                        < Self::predict_conflicts(group, pad, workers, ws, sets_total, false);
+                let per = sets_total / workers;
+                for (t, lane) in lanes.iter_mut().enumerate().take(workers) {
+                    let rot = if use_rot {
+                        chunk_rotation(t % ws, m_count)
+                    } else {
+                        0
+                    };
+                    for i in 0..per {
+                        let set = t * per + i;
+                        for write in [false, true] {
+                            for j in 0..m_count {
+                                let m = (j + rot) % m_count;
+                                lane.push(SharedEv {
+                                    word: self.word_of(pad, group.element(set, m)),
+                                    words: wpe,
+                                    write,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            shared_steps.push(SharedStep { lanes });
+        }
+        PhaseSpec {
+            name,
+            shared_steps,
+            ..PhaseSpec::default()
+        }
+    }
+
+    /// Declares one [`Self::run_merge`] invocation: the read step and
+    /// the write-back step, with the same per-lane strided loops.
+    fn merge_phase(&self, name: String, pad: PadMap, cur_len: usize, active: usize) -> PhaseSpec {
+        let wpe = T::SIZE_BYTES.div_ceil(4) as u32;
+        let k = self.k;
+        let half = cur_len / 2;
+        let workers = active.min(half);
+        let mut reads: Vec<Vec<SharedEv>> = vec![Vec::new(); self.block_dim];
+        let mut writes: Vec<Vec<SharedEv>> = vec![Vec::new(); self.block_dim];
+        for t in 0..workers {
+            let mut staged = 0usize;
+            let mut p = t;
+            while p < half {
+                let w = p / k;
+                let j = p % k;
+                for idx in [2 * k * w + j, 2 * k * w + j + k] {
+                    reads[t].push(SharedEv {
+                        word: self.word_of(pad, idx),
+                        words: wpe,
+                        write: false,
+                    });
+                }
+                staged += 1;
+                p += workers;
+            }
+            for i in 0..staged {
+                writes[t].push(SharedEv {
+                    word: self.word_of(pad, t + i * workers),
+                    words: wpe,
+                    write: true,
+                });
+            }
+        }
+        PhaseSpec {
+            name,
+            shared_steps: vec![SharedStep { lanes: reads }, SharedStep { lanes: writes }],
+            ..PhaseSpec::default()
+        }
+    }
 }
 
 impl<T: TopKItem> Kernel for ReducerKernel<T> {
@@ -227,6 +331,123 @@ impl<T: TopKItem> Kernel for ReducerKernel<T> {
         // the combined-step register set plus loop state; beyond B = 16
         // this is what costs occupancy in Figure 8
         32 + self.cfg.group_budget() * T::SIZE_BYTES.div_ceil(4)
+    }
+
+    /// The contract mirrors `run_block` phase by phase with the same
+    /// integer arithmetic — load, each operator's barrier intervals,
+    /// store — so the static prediction reproduces the replay's
+    /// counters exactly. The sorting network is data-independent, which
+    /// is what makes a complete static declaration possible. Lane
+    /// rotation assumes the 32-lane warps every shipped device uses.
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let nt = self.block_dim;
+        if nt == 0 || self.grid_dim == 0 || self.seg == 0 {
+            return Some(AccessSpec::default());
+        }
+        let ws = 32usize;
+        let pad = self.pad_map();
+        let wpe = T::SIZE_BYTES.div_ceil(4) as u32;
+        let mut phases = Vec::new();
+
+        // ---- load
+        let b_elems = self.seg / nt;
+        let mut lanes: Vec<Vec<SharedEv>> = vec![Vec::with_capacity(b_elems); nt];
+        for (t, lane) in lanes.iter_mut().enumerate() {
+            for j in 0..b_elems {
+                lane.push(SharedEv {
+                    word: self.word_of(pad, t + j * nt),
+                    words: wpe,
+                    write: true,
+                });
+            }
+        }
+        phases.push(PhaseSpec {
+            name: "load".to_string(),
+            globals: vec![GlobalStream {
+                buf: BufferDecl::of("input", &self.input),
+                write: false,
+                base: 0,
+                lane_stride: 1,
+                slot_stride: nt,
+                slots: b_elems,
+                block_stride: self.seg,
+                active: nt,
+                bound: None,
+            }],
+            shared_steps: vec![SharedStep { lanes }],
+            ..PhaseSpec::default()
+        });
+
+        // ---- operator pipeline
+        let mut cur_len = self.seg;
+        for (oi, &op) in self.ops.iter().enumerate() {
+            let active = if self.cfg.reassign() {
+                (cur_len / self.cfg.elems()).clamp(1, nt)
+            } else {
+                nt.min(cur_len)
+            };
+            let avail = (cur_len / active).max(2);
+            let budget = self.cfg.group_budget().min(avail);
+            match op {
+                ReduceOp::LocalSort => {
+                    let plan = StepGroupPlan::plan(&local_sort_steps(self.k), budget);
+                    phases.push(self.plan_phase(
+                        format!("op{oi}:local-sort"),
+                        &plan,
+                        pad,
+                        cur_len,
+                        active,
+                        ws,
+                    ));
+                }
+                ReduceOp::Rebuild => {
+                    let plan = StepGroupPlan::plan(&rebuild_steps(self.k), budget);
+                    phases.push(self.plan_phase(
+                        format!("op{oi}:rebuild"),
+                        &plan,
+                        pad,
+                        cur_len,
+                        active,
+                        ws,
+                    ));
+                }
+                ReduceOp::Merge => {
+                    phases.push(self.merge_phase(format!("op{oi}:merge"), pad, cur_len, active));
+                    cur_len /= 2;
+                }
+            }
+        }
+
+        // ---- store
+        let mut lanes: Vec<Vec<SharedEv>> = vec![Vec::new(); nt];
+        for (t, lane) in lanes.iter_mut().enumerate() {
+            let mut p = t;
+            while p < cur_len {
+                lane.push(SharedEv {
+                    word: self.word_of(pad, p),
+                    words: wpe,
+                    write: false,
+                });
+                p += nt;
+            }
+        }
+        phases.push(PhaseSpec {
+            name: "store".to_string(),
+            globals: vec![GlobalStream {
+                buf: BufferDecl::of("output", &self.output),
+                write: true,
+                base: 0,
+                lane_stride: 1,
+                slot_stride: nt,
+                slots: cur_len.div_ceil(nt),
+                block_stride: cur_len,
+                active: nt,
+                bound: Some(cur_len),
+            }],
+            shared_steps: vec![SharedStep { lanes }],
+            ..PhaseSpec::default()
+        });
+        Some(AccessSpec { phases })
     }
 
     fn run_block(&self, blk: &mut BlockCtx) {

@@ -13,7 +13,7 @@
 use crate::util::{sort_desc, validate, LogCapture};
 use crate::{TopKError, TopKResult};
 use datagen::TopKItem;
-use simt::{BlockCtx, Device, GpuBuffer, Kernel};
+use simt::{AccessSpec, BlockCtx, BufferDecl, BulkAccess, Device, GpuBuffer, Kernel};
 
 const NUM_BUCKETS: usize = 16;
 
@@ -34,6 +34,23 @@ impl<T: TopKItem> Kernel for MinMaxKernel<T> {
     }
     fn grid_dim(&self) -> usize {
         1
+    }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        Some(AccessSpec::bulk(
+            "minmax",
+            vec![
+                BulkAccess {
+                    buf: BufferDecl::of("input", &self.input),
+                    elems: self.n,
+                    write: false,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("out", &self.out),
+                    elems: 2,
+                    write: true,
+                },
+            ],
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         blk.bulk_global_read((self.n * T::SIZE_BYTES) as u64);
@@ -95,6 +112,33 @@ impl<T: TopKItem> Kernel for BucketPassKernel<T> {
     }
     fn grid_dim(&self) -> usize {
         1
+    }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        Some(AccessSpec::bulk(
+            "pass",
+            vec![
+                BulkAccess {
+                    buf: BufferDecl::of("candidates", &self.candidates),
+                    elems: self.n,
+                    write: false,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("next", &self.next),
+                    elems: self.n,
+                    write: true,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("result", &self.result),
+                    elems: self.result.len(),
+                    write: true,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("out", &self.out),
+                    elems: 4,
+                    write: true,
+                },
+            ],
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let cand = self.candidates.to_vec();

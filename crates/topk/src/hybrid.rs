@@ -22,7 +22,7 @@ use crate::bitonic::{bitonic_topk, BitonicConfig};
 use crate::util::{sort_desc, validate, LogCapture};
 use crate::{TopKError, TopKResult};
 use datagen::{RadixBits, TopKItem};
-use simt::{BlockCtx, Device, GpuBuffer, Kernel, SimTime};
+use simt::{AccessSpec, BlockCtx, BufferDecl, BulkAccess, Device, GpuBuffer, Kernel, SimTime};
 
 /// Candidate-narrowing pass: histograms the top digit, keeps every item
 /// that could still be in the top-k (digit ≥ cutoff bucket), writes the
@@ -45,6 +45,28 @@ impl<T: TopKItem> Kernel for NarrowKernel<T> {
     }
     fn grid_dim(&self) -> usize {
         1
+    }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        Some(AccessSpec::bulk(
+            "narrow",
+            vec![
+                BulkAccess {
+                    buf: BufferDecl::of("input", &self.input),
+                    elems: self.n,
+                    write: false,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("survivors", &self.survivors),
+                    elems: self.n,
+                    write: true,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("out_count", &self.out_count),
+                    elems: 1,
+                    write: true,
+                },
+            ],
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let v = self.input.to_vec();

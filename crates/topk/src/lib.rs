@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! GPU top-k algorithms on the `simt` simulator — the paper's contribution.
 //!

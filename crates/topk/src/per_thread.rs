@@ -26,7 +26,7 @@
 use crate::util::{sort_desc, validate, LogCapture};
 use crate::{TopKError, TopKResult};
 use datagen::TopKItem;
-use simt::{BlockCtx, Device, GpuBuffer, Kernel, LaunchError};
+use simt::{AccessSpec, BlockCtx, BufferDecl, BulkAccess, Device, GpuBuffer, Kernel, LaunchError};
 
 /// Which per-thread structure holds the running top-k.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,6 +174,24 @@ impl<T: TopKItem> Kernel for PerThreadKernel<T> {
         Some("per-thread top-k keeps k items per thread resident; occupancy loss at large k is inherent (paper §6.2)")
     }
 
+    fn access_spec(&self) -> Option<AccessSpec> {
+        Some(AccessSpec::bulk(
+            "scan",
+            vec![
+                BulkAccess {
+                    buf: BufferDecl::of("input", &self.input),
+                    elems: self.input.len(),
+                    write: false,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("output", &self.output),
+                    elems: self.total_threads() * self.k,
+                    write: true,
+                },
+            ],
+        ))
+    }
+
     fn run_block(&self, blk: &mut BlockCtx) {
         let n = self.input.len();
         let nt = self.total_threads();
@@ -294,6 +312,24 @@ impl<T: TopKItem> Kernel for FinalReduceKernel<T> {
     }
     fn grid_dim(&self) -> usize {
         1
+    }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let cand = BufferDecl::of("candidates", &self.candidates);
+        Some(AccessSpec::bulk(
+            "reduce",
+            vec![
+                BulkAccess {
+                    buf: cand.clone(),
+                    elems: self.candidates.len(),
+                    write: false,
+                },
+                BulkAccess {
+                    buf: cand,
+                    elems: self.candidates.len(),
+                    write: true,
+                },
+            ],
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let m = self.candidates.len();

@@ -17,7 +17,7 @@
 use crate::util::{sort_desc, validate, LogCapture};
 use crate::{TopKError, TopKResult};
 use datagen::{RadixBits, TopKItem};
-use simt::{BlockCtx, Device, GpuBuffer, Kernel};
+use simt::{AccessSpec, BlockCtx, BufferDecl, BulkAccess, Device, GpuBuffer, Kernel};
 
 /// Histogram pass over the candidate set: one streaming read plus the
 /// per-thread digit-count writeback of the paper's cost model
@@ -39,6 +39,23 @@ impl<T: TopKItem> Kernel for RsHistKernel<T> {
     }
     fn grid_dim(&self) -> usize {
         1
+    }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        Some(AccessSpec::bulk(
+            "hist",
+            vec![
+                BulkAccess {
+                    buf: BufferDecl::of("candidates", &self.candidates),
+                    elems: self.n,
+                    write: false,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("hist_out", &self.hist_out),
+                    elems: self.hist_out.len(),
+                    write: true,
+                },
+            ],
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let bytes = (self.n * T::SIZE_BYTES) as u64;
@@ -74,6 +91,10 @@ impl Kernel for RsPrefixKernel {
     fn grid_dim(&self) -> usize {
         1
     }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        // operates on the per-thread count scratch, not a declared buffer
+        Some(AccessSpec::bulk("prefix", Vec::new()))
+    }
     fn run_block(&self, blk: &mut BlockCtx) {
         let threads = (self.n as u64 / 64).clamp(256, 24 * 2048);
         blk.bulk_global_read(self.bins as u64 * 4 * threads / 256);
@@ -105,6 +126,33 @@ impl<T: TopKItem> Kernel for RsScatterKernel<T> {
     }
     fn grid_dim(&self) -> usize {
         1
+    }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        Some(AccessSpec::bulk(
+            "scatter",
+            vec![
+                BulkAccess {
+                    buf: BufferDecl::of("candidates", &self.candidates),
+                    elems: self.n,
+                    write: false,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("next", &self.next),
+                    elems: self.n,
+                    write: true,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("result", &self.result),
+                    elems: self.result.len(),
+                    write: true,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("out_counts", &self.out_counts),
+                    elems: 2,
+                    write: true,
+                },
+            ],
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let cand = self.candidates.to_vec();

@@ -12,7 +12,7 @@
 use crate::util::{validate, LogCapture};
 use crate::{TopKError, TopKResult};
 use datagen::{RadixBits, TopKItem};
-use simt::{BlockCtx, Device, GpuBuffer, Kernel};
+use simt::{AccessSpec, BlockCtx, BufferDecl, BulkAccess, Device, GpuBuffer, Kernel};
 
 /// Scattered writes reach only part of peak bandwidth; LSD radix scatter
 /// has locality within digit buckets, so the penalty is mild.
@@ -35,6 +35,16 @@ impl<T: TopKItem> Kernel for RadixHistKernel<T> {
         // one block here stands in for the whole grid: traffic is charged
         // in aggregate and the counting is done functionally
         1
+    }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        Some(AccessSpec::bulk(
+            "hist",
+            vec![BulkAccess {
+                buf: BufferDecl::of("input", &self.input),
+                elems: self.n,
+                write: false,
+            }],
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         blk.bulk_global_read((self.n * T::SIZE_BYTES) as u64);
@@ -68,6 +78,23 @@ impl<T: TopKItem> Kernel for RadixScatterKernel<T> {
     }
     fn grid_dim(&self) -> usize {
         1
+    }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        Some(AccessSpec::bulk(
+            "scatter",
+            vec![
+                BulkAccess {
+                    buf: BufferDecl::of("input", &self.input),
+                    elems: self.n,
+                    write: false,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("output", &self.output),
+                    elems: self.n,
+                    write: true,
+                },
+            ],
+        ))
     }
     fn run_block(&self, blk: &mut BlockCtx) {
         let bytes = (self.n * T::SIZE_BYTES) as u64;

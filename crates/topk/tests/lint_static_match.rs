@@ -1,0 +1,144 @@
+//! Static-vs-dynamic cross-check: with lint capture enabled, every
+//! launch of every shipped algorithm must carry a static prediction
+//! that **bit-matches** the replay's measured counters — tracked
+//! kernels (the bitonic reducer family) on the raw counters, streaming
+//! kernels on the derived `sectors_per_access` / conflict-degree
+//! metrics. This is the contract that keeps `simt::lint` from silently
+//! drifting away from the simulator it models.
+
+use datagen::{BucketKiller, Distribution, Increasing, Uniform};
+use simt::Device;
+use topk::bitonic::{bitonic_topk, BitonicConfig, OptLevel};
+use topk::{TopKAlgorithm, TopKRequest};
+
+/// Asserts every captured launch has a static prediction agreeing with
+/// the measured stats, and every lint report is clean or waived. When
+/// `require_clean` is false only hard errors are rejected — deliberately
+/// unoptimized ladder levels carry genuine perf warnings (the bank
+/// conflicts that the Padding level exists to fix).
+fn assert_static_matches(dev: &Device, context: &str, require_clean: bool) {
+    let launches = dev.launch_log();
+    assert!(!launches.is_empty(), "{context}: no launches captured");
+    for r in &launches {
+        let pred = r
+            .static_pred
+            .as_ref()
+            .unwrap_or_else(|| panic!("{context}: {} has no static prediction", r.name));
+        // only per-lane tracked events produce `global_accesses`; bulk
+        // traffic feeds bytes and sectors without it, so this cleanly
+        // identifies the reducer family that predicts raw counters
+        let tracked = r.stats.global_accesses > 0;
+        if tracked {
+            assert_eq!(
+                (pred.global_sectors, pred.global_accesses),
+                (r.stats.global_sectors, r.stats.global_accesses),
+                "{context}: {} global counter mismatch",
+                r.name
+            );
+            assert_eq!(
+                (pred.global_read_bytes, pred.global_write_bytes),
+                (r.stats.global_read_bytes, r.stats.global_write_bytes),
+                "{context}: {} global byte mismatch",
+                r.name
+            );
+            assert_eq!(
+                (
+                    pred.shared_eff_bytes,
+                    pred.shared_accesses,
+                    pred.shared_conflict_groups,
+                    pred.shared_conflict_cycles
+                ),
+                (
+                    r.stats.shared_eff_bytes,
+                    r.stats.shared_accesses,
+                    r.stats.shared_conflict_groups,
+                    r.stats.shared_conflict_cycles
+                ),
+                "{context}: {} shared counter mismatch",
+                r.name
+            );
+        }
+        assert!(
+            pred.matches(&r.stats),
+            "{context}: {} derived metrics drifted (static {:.4}/{:.4} vs measured {:.4}/{:.4})",
+            r.name,
+            pred.sectors_per_access(),
+            pred.avg_conflict_degree(),
+            r.stats.sectors_per_access(),
+            r.stats.avg_conflict_degree(),
+        );
+    }
+    for rep in dev.take_lint_reports() {
+        if require_clean {
+            assert!(
+                rep.is_clean(),
+                "{context}: lint findings on {}\n{}",
+                rep.kernel,
+                rep.render()
+            );
+        } else {
+            assert_eq!(
+                rep.error_count(),
+                0,
+                "{context}: hard lint errors on {}\n{}",
+                rep.kernel,
+                rep.render()
+            );
+        }
+    }
+}
+
+#[test]
+fn static_matches_dynamic_across_bitonic_ladder() {
+    for opt in OptLevel::ladder() {
+        for &k in &[8usize, 32, 256] {
+            let data: Vec<f32> = Uniform.generate(1 << 13, 11);
+            let dev = Device::titan_x();
+            dev.enable_lint();
+            let input = dev.upload(&data);
+            let cfg = BitonicConfig::at_level(opt);
+            bitonic_topk(&dev, &input, k, cfg).unwrap_or_else(|e| panic!("{opt:?} k={k}: {e}"));
+            assert_static_matches(&dev, &format!("{opt:?} k={k}"), false);
+        }
+    }
+}
+
+#[test]
+fn static_matches_dynamic_all_algorithms() {
+    for alg in TopKAlgorithm::all() {
+        for &(n, k) in &[(1usize << 12, 16usize), (3000, 8)] {
+            let data: Vec<f32> = Uniform.generate(n, 42);
+            let dev = Device::titan_x();
+            dev.enable_lint();
+            let input = dev.upload(&data);
+            TopKRequest::largest(k)
+                .with_alg(alg)
+                .run(&dev, &input)
+                .unwrap_or_else(|e| panic!("{} n={n} k={k}: {e}", alg.name()));
+            assert_static_matches(&dev, &format!("{} n={n} k={k}", alg.name()), true);
+        }
+    }
+}
+
+#[test]
+fn static_matches_dynamic_adversarial_distributions() {
+    // data-dependent pipelines (radix select re-reads, per-thread sift
+    // divergence) must still agree: the contract covers the launches
+    // actually made, whatever the data decided
+    let cases: Vec<(&str, Vec<f32>)> = vec![
+        ("sorted", Increasing.generate(1 << 12, 7)),
+        ("bucket-killer", BucketKiller.generate(1 << 12, 7)),
+    ];
+    for alg in TopKAlgorithm::all() {
+        for (dist, data) in &cases {
+            let dev = Device::titan_x();
+            dev.enable_lint();
+            let input = dev.upload(data);
+            TopKRequest::largest(32)
+                .with_alg(alg)
+                .run(&dev, &input)
+                .unwrap_or_else(|e| panic!("{} {dist}: {e}", alg.name()));
+            assert_static_matches(&dev, &format!("{} {dist}", alg.name()), true);
+        }
+    }
+}

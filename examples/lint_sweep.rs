@@ -1,0 +1,126 @@
+//! Static lint sweep: runs every `TopKAlgorithm` variant (plus the
+//! batched row-wise kernel and the paper's qdb queries under every
+//! strategy) with `simt::lint` capture enabled, and
+//!
+//! 1. asserts every launch plan is lint-clean (or explicitly waived),
+//! 2. cross-checks every static prediction against the replay's
+//!    measured counters — a drift becomes a `spec.mismatch` finding,
+//! 3. writes all per-launch reports as JSON — the artifact the CI
+//!    lint job uploads.
+//!
+//! ```sh
+//! cargo run --release --example lint_sweep [-- out.json]
+//! ```
+//!
+//! The report lands at the first CLI argument if given, else
+//! `$GPU_TOPK_OUT_DIR/lint_report.json`, else the temp directory.
+//! Exits non-zero if any launch plan has a finding.
+
+use gpu_topk::datagen::twitter::TweetTable;
+use gpu_topk::datagen::{BucketKiller, Distribution, Increasing, Uniform};
+use gpu_topk::qdb::{execute_sql, parse_sql, GpuTweetTable, Strategy};
+use gpu_topk::simt::lint::{cross_check, reports_to_json};
+use gpu_topk::simt::{Device, LintReport};
+use gpu_topk::topk::batched::batched_bitonic_topk;
+use gpu_topk::topk::{TopKAlgorithm, TopKRequest};
+
+/// Drains a device's lint reports, pairing each with its launch to run
+/// the static-vs-dynamic cross-check; a disagreement is appended to the
+/// report as a `spec.mismatch` finding so it fails the clean gate.
+fn drain(dev: &Device, context: &str, all: &mut Vec<LintReport>) -> usize {
+    let log = dev.launch_log();
+    let mut reports = dev.take_lint_reports();
+    assert_eq!(
+        log.len(),
+        reports.len(),
+        "{context}: every launch must produce exactly one lint report"
+    );
+    for (launch, report) in log.iter().zip(reports.iter_mut()) {
+        if let Some(mismatch) = cross_check(report, &launch.stats) {
+            report.findings.push(mismatch);
+        }
+    }
+    let n = reports.len();
+    all.extend(reports);
+    n
+}
+
+fn main() {
+    let out_path = gpu_topk::artifact_path("lint_report.json");
+    let mut all: Vec<LintReport> = Vec::new();
+    let mut launches = 0usize;
+
+    // every algorithm x (n, k) x distribution
+    type Gen = Box<dyn Fn(usize) -> Vec<f32>>;
+    let dists: Vec<(&str, Gen)> = vec![
+        ("uniform", Box::new(|n| Uniform.generate(n, 42))),
+        ("sorted", Box::new(|n| Increasing.generate(n, 42))),
+        ("bucket-killer", Box::new(|n| BucketKiller.generate(n, 42))),
+    ];
+    for alg in TopKAlgorithm::all() {
+        for &(n, k) in &[(1usize << 14, 16usize), (1 << 16, 64), (3000, 8)] {
+            for (dist, gen) in &dists {
+                let dev = Device::titan_x();
+                dev.enable_lint();
+                let input = dev.upload(&gen(n));
+                TopKRequest::largest(k)
+                    .with_alg(alg)
+                    .run(&dev, &input)
+                    .unwrap_or_else(|e| panic!("{} n={n} k={k} {dist}: {e}", alg.name()));
+                launches += drain(
+                    &dev,
+                    &format!("{} n={n} k={k} {dist}", alg.name()),
+                    &mut all,
+                );
+            }
+        }
+    }
+
+    // batched row-wise top-k
+    {
+        let dev = Device::titan_x();
+        dev.enable_lint();
+        let (rows, cols) = (32usize, 1000usize);
+        let flat: Vec<f32> = Uniform.generate(rows * cols, 9);
+        let input = dev.upload(&flat);
+        batched_bitonic_topk(&dev, &input, rows, cols, 16).unwrap();
+        launches += drain(&dev, "batched", &mut all);
+    }
+
+    // the paper's qdb query shapes under every strategy
+    {
+        let host = TweetTable::generate(20_000, 5);
+        let cutoff = host.time_cutoff_for_selectivity(0.4);
+        let sqls = [
+            format!("SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT 50"),
+            "SELECT id FROM tweets ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT 20".into(),
+            "SELECT uid, COUNT(*) FROM tweets GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 10".into(),
+        ];
+        for sql in &sqls {
+            let q = parse_sql(sql).unwrap();
+            for strat in Strategy::all() {
+                let dev = Device::titan_x();
+                dev.enable_lint();
+                let table = GpuTweetTable::upload(&dev, &host);
+                execute_sql(&dev, &table, &q, strat)
+                    .unwrap_or_else(|e| panic!("{sql} via {}: {e}", strat.name()));
+                launches += drain(&dev, &format!("{sql} via {}", strat.name()), &mut all);
+            }
+        }
+    }
+
+    let dirty: Vec<&LintReport> = all.iter().filter(|r| !r.is_clean()).collect();
+    let json = reports_to_json(&all);
+    std::fs::write(&out_path, &json).expect("write report");
+    println!(
+        "lint_sweep: {launches} launch plans analyzed, {} with findings -> {}",
+        dirty.len(),
+        out_path.display()
+    );
+    for rep in &dirty {
+        print!("{}", rep.render());
+    }
+    if !dirty.is_empty() {
+        std::process::exit(1);
+    }
+}

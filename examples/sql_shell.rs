@@ -2,19 +2,22 @@
 //! through the qdb SQL front-end, printing each plan (EXPLAIN) before
 //! running it with every strategy. `EXPLAIN SANITIZE SELECT …` runs the
 //! query under the simt sanitizer and prints per-launch
-//! racecheck/memcheck/initcheck/perf findings instead.
+//! racecheck/memcheck/initcheck/perf findings; `EXPLAIN LINT SELECT …`
+//! statically analyzes every launch plan the query makes (validity,
+//! occupancy, predicted coalescing/bank behavior, bounds proofs)
+//! before it runs.
 //!
 //! ```sh
 //! cargo run --release --example sql_shell
 //! # or pass your own statement:
 //! cargo run --release --example sql_shell -- \
-//!   "EXPLAIN SANITIZE SELECT id FROM tweets WHERE lang='ja' ORDER BY retweet_count DESC LIMIT 10"
+//!   "EXPLAIN LINT SELECT id FROM tweets WHERE lang='ja' ORDER BY retweet_count DESC LIMIT 10"
 //! ```
 
 use gpu_topk::datagen::twitter::TweetTable;
 use gpu_topk::qdb::{
-    execute_sql, explain_filtered_topk, explain_sanitize, parse_statement, GpuTweetTable, Query,
-    Statement, Strategy, TableStats,
+    execute_sql, explain_filtered_topk, explain_lint, explain_sanitize, parse_statement,
+    GpuTweetTable, Query, Statement, Strategy, TableStats,
 };
 use gpu_topk::simt::Device;
 
@@ -34,6 +37,7 @@ fn main() {
         "SELECT id FROM tweets WHERE lang='en' OR lang='es' ORDER BY retweet_count DESC LIMIT 25".to_string(),
         "SELECT uid, COUNT(*) AS num_tweets FROM tweets GROUP BY uid ORDER BY num_tweets DESC LIMIT 10".to_string(),
         format!("EXPLAIN SANITIZE SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT 50"),
+        format!("EXPLAIN LINT SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT 50"),
     ];
     let queries = if args.is_empty() {
         default_queries
@@ -53,6 +57,12 @@ fn main() {
         match stmt {
             Statement::ExplainSanitize(q) => {
                 match explain_sanitize(&dev, &table, &q, Strategy::CombinedBitonic) {
+                    Ok(out) => print!("{}", out.render()),
+                    Err(e) => println!("  {e}"),
+                }
+            }
+            Statement::ExplainLint(q) => {
+                match explain_lint(&dev, &table, &q, Strategy::CombinedBitonic) {
                     Ok(out) => print!("{}", out.render()),
                     Err(e) => println!("  {e}"),
                 }
