@@ -15,7 +15,7 @@ fn main() {
     let n = 1usize << log2n;
     banner(
         "Device sweep",
-        "bitonic vs radix select across GPU generations",
+        "bitonic vs radix vs delegate select across GPU generations",
         log2n,
     );
     let data: Vec<f32> = Uniform.generate(n, 99);
@@ -33,8 +33,8 @@ fn main() {
         let dev = Device::new(spec);
         let input = dev.upload(&data);
         println!(
-            "{:>6}{:>14}{:>16}{:>14}{:>12}",
-            "k", "bitonic", "radix-select", "sim winner", "planner"
+            "{:>6}{:>14}{:>16}{:>14}{:>14}{:>12}",
+            "k", "bitonic", "radix-select", "delegate", "sim winner", "planner"
         );
         for k in K_SWEEP {
             let tb = TopKRequest::largest(k)
@@ -47,15 +47,25 @@ fn main() {
                 .run(&dev, &input)
                 .unwrap()
                 .time;
-            let sim_winner = if tb.seconds() <= tr.seconds() {
-                "bitonic"
-            } else {
-                "radix"
-            };
+            let td = TopKRequest::largest(k)
+                .with_alg(TopKAlgorithm::DelegateSelect(Default::default()))
+                .run(&dev, &input)
+                .unwrap()
+                .time;
+            let sim_winner = [
+                ("bitonic", tb.seconds()),
+                ("radix", tr.seconds()),
+                ("delegate", td.seconds()),
+            ]
+            .into_iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap()
+            .0;
             let plan = recommend(&spec, n, k, 4, &ReductionProfile::UniformFloats);
             let plan_winner = match plan.algorithm {
                 Algorithm::BitonicTopK => "bitonic",
                 Algorithm::RadixSelect => "radix",
+                Algorithm::DelegateSelect => "delegate",
             };
             let mark = if sim_winner == plan_winner {
                 ""
@@ -63,10 +73,11 @@ fn main() {
                 "  <-- disagree"
             };
             println!(
-                "{:>6}{:>12.3}ms{:>14.3}ms{:>14}{:>12}{}",
+                "{:>6}{:>12.3}ms{:>14.3}ms{:>12.3}ms{:>14}{:>12}{}",
                 k,
                 tb.millis(),
                 tr.millis(),
+                td.millis(),
                 sim_winner,
                 plan_winner,
                 mark

@@ -1,4 +1,4 @@
-//! Planner accuracy: the full five-way cost-model ranking
+//! Planner accuracy: the full six-way cost-model ranking
 //! (`recommend_full`, extending the paper's two-way planner) against the
 //! simulator's measured winner over an (n, k) grid.
 
@@ -15,13 +15,14 @@ fn alg_of(f: FullAlgorithm) -> TopKAlgorithm {
         FullAlgorithm::RadixSelect => TopKAlgorithm::RadixSelect,
         FullAlgorithm::BucketSelect => TopKAlgorithm::BucketSelect,
         FullAlgorithm::BitonicTopK => TopKAlgorithm::Bitonic(Default::default()),
+        FullAlgorithm::DelegateSelect => TopKAlgorithm::DelegateSelect(Default::default()),
     }
 }
 
 fn main() {
     banner(
         "Planner accuracy",
-        "five-way cost-model ranking vs simulated winner",
+        "six-way cost-model ranking vs simulated winner",
         22,
     );
     let mut agree = 0usize;

@@ -263,6 +263,12 @@ pub fn diff_reports(
 ///    dynamically measured `sim_sectors_per_access` /
 ///    `sim_conflict_degree` — the cross-check that keeps `simt::lint`'s
 ///    pre-launch predictions honest.
+/// 9. **Delegate select slashes global traffic at small k** (Dr. Top-k):
+///    with a warm index, its `sim_global_bytes` must be ≤ 0.25× bitonic's
+///    for every k ≤ 64 — on the uniform vary-k sweep and on every vary-n
+///    size with `n ≥ 2^20`. Below 2^20 the delegate set is too coarse to
+///    prune (at 2^16 there are only 32 subranges), so the bound is
+///    reported as a warning, not gated.
 ///
 /// Serving reports (`kind == "serve"`):
 /// 4. **Concurrent serving beats serial** at the highest offered load:
@@ -365,6 +371,67 @@ pub fn check_claims(report: &BenchReport) -> Vec<Finding> {
                         "claim violated: per-thread top-k on sorted input must stay within 4x of \
                          uniform (paper: up to ~3x), got {ratio:.2}x"
                     )));
+                }
+            }
+            // 9. delegate select's warm traffic bound vs bitonic
+            {
+                let mut worst: Option<(String, f64)> = None;
+                let track = |id: String, d: f64, b: f64, worst: &mut Option<(String, f64)>| {
+                    let ratio = d / b.max(f64::MIN_POSITIVE);
+                    if worst.as_ref().is_none_or(|(_, w)| ratio > *w) {
+                        *worst = Some((id, ratio));
+                    }
+                };
+                for k in crate::K_SWEEP.into_iter().filter(|&k| k <= 64) {
+                    let id = format!("vary_k/uniform/delegate-select/k{k}");
+                    let d = need(&id, "sim_global_bytes", &mut findings);
+                    let b = need(
+                        &format!("vary_k/uniform/bitonic/k{k}"),
+                        "sim_global_bytes",
+                        &mut findings,
+                    );
+                    if let (Some(d), Some(b)) = (d, b) {
+                        // the vary-k sweep runs at the report's scale
+                        if report.scale.log2n >= 20 {
+                            track(id, d, b, &mut worst);
+                        } else if d > 0.25 * b {
+                            findings.push(Finding::warn(format!(
+                                "delegate traffic claim ('{id}': {d:.0} B vs bitonic {b:.0} B) \
+                                 gated only at log2n >= 20; this report is at 2^{}",
+                                report.scale.log2n
+                            )));
+                        }
+                    }
+                }
+                // the vary-n sweep pins the same bound per size (k = 64)
+                for e in &report.experiments {
+                    let Some(x) =
+                        e.id.strip_prefix("vary_n/uniform/delegate-select/log2n")
+                            .and_then(|x| x.parse::<u32>().ok())
+                    else {
+                        continue;
+                    };
+                    if x < 20 {
+                        continue;
+                    }
+                    let d = need(&e.id, "sim_global_bytes", &mut findings);
+                    let b = need(
+                        &format!("vary_n/uniform/bitonic/log2n{x}"),
+                        "sim_global_bytes",
+                        &mut findings,
+                    );
+                    if let (Some(d), Some(b)) = (d, b) {
+                        track(e.id.clone(), d, b, &mut worst);
+                    }
+                }
+                if let Some((id, ratio)) = worst {
+                    if ratio > 0.25 {
+                        findings.push(Finding::fail(format!(
+                            "claim violated: warm delegate select must use <= 0.25x bitonic's \
+                             global traffic at k <= 64, n >= 2^20; worst cell '{id}' is at \
+                             {ratio:.3}x"
+                        )));
+                    }
                 }
             }
             // 8. static lint predictions bit-match the measured metrics

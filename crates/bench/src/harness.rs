@@ -25,11 +25,12 @@ use datagen::twitter::TweetTable;
 use datagen::{
     BucketKiller, Clustered, Decreasing, Distribution, Increasing, Kv, Normal, TopKItem, Uniform,
 };
-use qdb::shard::{partition_indices, sharded_topk, PartitionPolicy};
+use qdb::shard::{partition_indices, sharded_delegate_topk, sharded_topk, PartitionPolicy};
 use qdb::{GpuTweetTable, Server, ServerConfig, SubmitOptions};
 use simt::topology::{Cluster, ClusterSpec};
 use simt::{Device, GpuBuffer, LaunchWindow};
 use topk::bitonic::{bitonic_topk, BitonicConfig};
+use topk::delegate::{warm_delegate_index, DelegateConfig};
 use topk::{Backend, CpuBackend, TopKAlgorithm, TopKRequest};
 use topk_costmodel::{cluster_topk_seconds, ClusterModelInput};
 
@@ -136,6 +137,9 @@ pub fn run_topk_suite(log2n: u32, profile: &str) -> BenchReport {
         dev.enable_lint();
         let data: Vec<f32> = Uniform.generate(1 << log2n, 11);
         let input = dev.upload(&data);
+        // delegate cells measure warm queries: the index builds once per
+        // buffer (the extraction launch lands outside every cell window)
+        warm_delegate_index(&dev, &input, DelegateConfig::default()).expect("delegate index");
         for alg in &algs {
             for k in K_SWEEP {
                 if let Some(mut e) = run_cell(&dev, alg, &input, k) {
@@ -154,6 +158,7 @@ pub fn run_topk_suite(log2n: u32, profile: &str) -> BenchReport {
             dev.enable_lint();
             let data: Vec<f32> = Uniform.generate(1 << x, 13);
             let input = dev.upload(&data);
+            warm_delegate_index(&dev, &input, DelegateConfig::default()).expect("delegate index");
             for alg in &algs {
                 if let Some(mut e) = run_cell(&dev, alg, &input, VARY_N_K) {
                     e.id = format!("vary_n/uniform/{}/log2n{x}", alg.name());
@@ -169,6 +174,7 @@ pub fn run_topk_suite(log2n: u32, profile: &str) -> BenchReport {
         dev.enable_lint();
         let data: Vec<f32> = dist.generate(1 << log2n, 40);
         let input = dev.upload(&data);
+        warm_delegate_index(&dev, &input, DelegateConfig::default()).expect("delegate index");
         for alg in &algs {
             if let Some(mut e) = run_cell(&dev, alg, &input, DIST_SWEEP_K) {
                 e.id = format!("dist/{name}/{}/k{}", alg.name(), DIST_SWEEP_K);
@@ -257,6 +263,40 @@ pub fn run_cluster_suite(log2n: u32, profile: &str) -> BenchReport {
                     .collect(),
             });
         }
+    }
+
+    // delegates of delegates: shards run delegate select locally and
+    // ship their winners (one cell — round-robin across the largest
+    // device count — exercising the two-level decomposition)
+    {
+        let devices = *CLUSTER_DEVICES.last().expect("non-empty sweep");
+        let policy = PartitionPolicy::RoundRobin;
+        let wall = Instant::now();
+        let cluster = Cluster::new(ClusterSpec::pcie_node(devices));
+        let parts: Vec<Vec<Kv<f32>>> = partition_indices(n, devices, policy)
+            .into_iter()
+            .map(|rows| rows.into_iter().map(|r| items[r]).collect())
+            .collect();
+        let r = sharded_delegate_topk(&cluster, &parts, CLUSTER_K, DelegateConfig::default(), 0)
+            .expect("sharded delegate top-k");
+        let host_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        let max_local = r.local.iter().map(|t| t.seconds()).fold(0.0, f64::max);
+        let metrics = [
+            ("sim_time_ms", r.sim_time.millis()),
+            ("sim_local_ms", max_local * 1e3),
+            ("sim_transfer_done_ms", r.transfer_done.millis()),
+            ("sim_merge_ms", r.merge_time.millis()),
+            ("sim_candidate_bytes", r.candidate_bytes as f64),
+            ("sim_exact", f64::from(r.items == oracle)),
+            ("host_wall_ms", host_wall_ms),
+        ];
+        experiments.push(Experiment {
+            id: format!("cluster/delegate-{}/dev{devices}", policy.name()),
+            metrics: metrics
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        });
     }
 
     BenchReport {
@@ -430,10 +470,16 @@ mod tests {
     fn cluster_suite_is_exact_deterministic_and_schema_valid() {
         let r = run_cluster_suite(12, "test");
         assert_eq!(r.kind, "cluster");
+        // policy × device sweep plus the delegates-of-delegates cell
         assert_eq!(
             r.experiments.len(),
-            PartitionPolicy::all().len() * CLUSTER_DEVICES.len()
+            PartitionPolicy::all().len() * CLUSTER_DEVICES.len() + 1
         );
+        let dd = r
+            .experiment("cluster/delegate-round-robin/dev8")
+            .expect("delegates-of-delegates cell");
+        assert_eq!(dd.metrics["sim_exact"], 1.0);
+        assert!(dd.metrics["sim_candidate_bytes"] > 0.0);
         for policy in PartitionPolicy::all() {
             for devices in CLUSTER_DEVICES {
                 let id = format!("cluster/{}/dev{devices}", policy.name());

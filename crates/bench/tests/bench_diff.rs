@@ -281,11 +281,15 @@ fn claim_clean_topk() -> BenchReport {
     for k in bench::K_SWEEP {
         exps.push(exp(
             &format!("vary_k/uniform/bitonic/k{k}"),
-            &[("sim_time_ms", 0.1)],
+            &[("sim_time_ms", 0.1), ("sim_global_bytes", 1e6)],
         ));
         exps.push(exp(
             &format!("vary_k/uniform/sort/k{k}"),
             &[("sim_time_ms", 1.1)],
+        ));
+        exps.push(exp(
+            &format!("vary_k/uniform/delegate-select/k{k}"),
+            &[("sim_time_ms", 0.05), ("sim_global_bytes", 1e5)],
         ));
     }
     for (name, _) in bench::harness::distributions() {
@@ -348,6 +352,35 @@ fn static_prediction_drift_fails_claims() {
     let findings = check_claims(&r);
     assert!(
         findings.iter().any(|f| f.severity == Severity::Fail),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn violated_delegate_traffic_claim_fails_at_large_scale() {
+    // blow the 0.25x traffic budget at k=16; at 2^16 that only warns...
+    let mut r = claim_clean_topk();
+    for e in &mut r.experiments {
+        if e.id == "vary_k/uniform/delegate-select/k16" {
+            e.metrics.insert("sim_global_bytes".to_string(), 0.5e6);
+        }
+    }
+    let findings = check_claims(&r);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.severity == Severity::Warn && f.message.contains("delegate traffic")),
+        "{findings:?}"
+    );
+    assert!(findings.iter().all(|f| f.severity != Severity::Fail));
+
+    // ...but at 2^20 the same report fails the gate
+    r.scale = Scale::new(20);
+    let findings = check_claims(&r);
+    assert!(
+        findings.iter().any(|f| f.severity == Severity::Fail
+            && f.message.contains("delegate select")
+            && f.message.contains("k16")),
         "{findings:?}"
     );
 }

@@ -11,7 +11,8 @@
 use simt::topology::ClusterSpec;
 use simt::DeviceSpec;
 use topk_costmodel::{
-    bitonic_topk_seconds, cluster_topk_seconds, sort_seconds, BitonicModelInput, ClusterModelInput,
+    bitonic_topk_seconds, cluster_topk_seconds, delegate_select_phases, sort_seconds,
+    BitonicModelInput, ClusterModelInput, DelegatePhases, ReductionProfile,
 };
 
 use crate::engine::FilterOp;
@@ -168,6 +169,69 @@ pub fn explain_filtered_topk(
     QueryPlan {
         selectivity: sel,
         costs,
+    }
+}
+
+/// EXPLAIN output for a warm delegate-select top-k: the four pipeline
+/// phases priced with the `topk-costmodel` delegate estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct DelegatePlan {
+    /// Input length the plan prices.
+    pub n: usize,
+    /// Requested k.
+    pub k: usize,
+    /// The per-phase cost breakdown.
+    pub phases: DelegatePhases,
+}
+
+impl DelegatePlan {
+    /// Renders the delegate plan like an EXPLAIN output.
+    pub fn render(&self) -> String {
+        let p = &self.phases;
+        let mut s = format!(
+            "delegate plan (n={}, k={}, subrange {} -> {} delegates, ~{} contributing):\n",
+            self.n, self.k, p.subrange, p.num_subranges, p.contributing
+        );
+        s.push_str(&format!(
+            "  phase: threshold scan   ~{:.3} ms\n",
+            p.scan_seconds * 1e3
+        ));
+        s.push_str(&format!(
+            "  phase: delegate top-k   ~{:.3} ms\n",
+            p.delegate_topk_seconds * 1e3
+        ));
+        s.push_str(&format!(
+            "  phase: refine subranges ~{:.3} ms\n",
+            p.refine_seconds * 1e3
+        ));
+        s.push_str(&format!(
+            "  phase: merge runs       ~{:.3} ms\n",
+            p.merge_seconds * 1e3
+        ));
+        s.push_str(&format!(
+            "  total (warm index)      ~{:.3} ms\n",
+            p.total_seconds * 1e3
+        ));
+        s.push_str(
+            "  cold: +1 extraction pass over n (index cached on the buffer until it mutates)\n",
+        );
+        s
+    }
+}
+
+/// Prices a warm delegate-select `ORDER BY key DESC LIMIT k` pipeline
+/// phase by phase — the EXPLAIN view of the Dr. Top-k decomposition.
+pub fn explain_delegate_topk(
+    spec: &DeviceSpec,
+    n: usize,
+    k: usize,
+    item_bytes: usize,
+    profile: &ReductionProfile,
+) -> DelegatePlan {
+    DelegatePlan {
+        n,
+        k,
+        phases: delegate_select_phases(spec, n, k, item_bytes, profile, 16, 1.0),
     }
 }
 
@@ -397,6 +461,40 @@ mod tests {
                       \x20 total                   ~0.040 ms\n\
                       \x20 on fault: per-shard retry/degrade; a failed shard fails the query\n";
         assert_eq!(plan.render(), golden);
+    }
+
+    #[test]
+    fn delegate_plan_golden_render() {
+        // pure function of (spec, n, k): the golden string pins the
+        // phase structure and the deterministic cost model output
+        let plan = explain_delegate_topk(
+            &simt::DeviceSpec::titan_x_maxwell(),
+            1 << 22,
+            64,
+            8,
+            &ReductionProfile::UniformFloats,
+        );
+        assert_eq!(plan.phases.num_subranges, 2048);
+        assert_eq!(plan.phases.contributing, 64);
+        let golden =
+            "delegate plan (n=4194304, k=64, subrange 2048 -> 2048 delegates, ~64 contributing):\n\
+             \x20 phase: threshold scan   ~0.005 ms\n\
+             \x20 phase: delegate top-k   ~0.015 ms\n\
+             \x20 phase: refine subranges ~0.009 ms\n\
+             \x20 phase: merge runs       ~0.015 ms\n\
+             \x20 total (warm index)      ~0.045 ms\n\
+             \x20 cold: +1 extraction pass over n (index cached on the buffer until it mutates)\n";
+        assert_eq!(plan.render(), golden);
+    }
+
+    #[test]
+    fn delegate_plan_degrades_on_adversarial_profile() {
+        let spec = simt::DeviceSpec::titan_x_maxwell();
+        let uni = explain_delegate_topk(&spec, 1 << 22, 64, 8, &ReductionProfile::UniformFloats);
+        let bk = explain_delegate_topk(&spec, 1 << 22, 64, 8, &ReductionProfile::BucketKiller);
+        assert_eq!(bk.phases.contributing, bk.phases.num_subranges);
+        assert!(bk.phases.total_seconds > uni.phases.total_seconds);
+        assert!(bk.render().contains("2048 contributing"));
     }
 
     #[test]

@@ -35,15 +35,18 @@ pub mod table;
 pub use backend::{execute_on, explain_lint_on, explain_sanitize_on, BackendQueryResult};
 pub use engine::{FilterOp, TopKStrategy};
 pub use error::QdbError;
-pub use explain::{explain_filtered_topk, QueryPlan, TableStats};
+pub use explain::{
+    explain_delegate_topk, explain_filtered_topk, DelegatePlan, QueryPlan, TableStats,
+};
 pub use queries::{QueryResult, Strategy};
 pub use server::{
     DegradeLevel, LoadReport, QueryTicket, QueryTiming, ResilienceStats, ServedQuery, Server,
     ServerConfig, SubmitOptions,
 };
 pub use shard::{
-    execute_sharded, partition_indices, sharded_topk, PartitionPolicy, Shard, ShardedLoadReport,
-    ShardedQueryResult, ShardedServed, ShardedServer, ShardedTable, ShardedTicket, ShardedTopK,
+    execute_sharded, partition_indices, sharded_delegate_topk, sharded_topk, PartitionPolicy,
+    Shard, ShardedLoadReport, ShardedQueryResult, ShardedServed, ShardedServer, ShardedTable,
+    ShardedTicket, ShardedTopK,
 };
 pub use sql::{
     execute as execute_sql, explain_lint, explain_sanitize, parse as parse_sql, parse_statement,

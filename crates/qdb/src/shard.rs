@@ -32,6 +32,7 @@ use simt::topology::Cluster;
 use simt::SimTime;
 use sortnet::next_pow2;
 use topk::bitonic::{bitonic_topk, bitonic_topk_from_runs, BitonicConfig};
+use topk::delegate::{delegate_select_topk, DelegateConfig};
 
 use crate::engine::FilterOp;
 use crate::error::QdbError;
@@ -410,6 +411,69 @@ pub fn sharded_topk<T: TopKItem>(
         local.push(time);
     }
     let merged = ship_and_merge(cluster, delegates, &local, k, cfg, max_retries)?;
+    Ok(ShardedTopK {
+        items: merged.items,
+        sim_time: merged.transfer_done + merged.merge_time,
+        local,
+        transfer_done: merged.transfer_done,
+        merge_time: merged.merge_time,
+        candidate_bytes: merged.candidate_bytes,
+        retries: retries + merged.transfer_retries,
+    })
+}
+
+/// Delegates of delegates: like [`sharded_topk`], but each shard runs
+/// *delegate select* locally — per-subrange delegates, threshold over
+/// the delegate set, refinement of the contributing subranges — and
+/// ships its k local winners (themselves a delegate list) to device 0,
+/// where the same bitonic run merge produces the global result. The
+/// two-level decomposition composes: the shard-level delegate list is
+/// exact (tie-safe threshold, full item order), so the merged result is
+/// bit-identical to the single-device answer, while each shard's global
+/// traffic drops to its refinement volume once its index is warm.
+pub fn sharded_delegate_topk<T: TopKItem>(
+    cluster: &Cluster,
+    parts: &[Vec<T>],
+    k: usize,
+    cfg: DelegateConfig,
+    max_retries: usize,
+) -> Result<ShardedTopK<T>, QdbError> {
+    assert_eq!(
+        parts.len(),
+        cluster.num_devices(),
+        "one part per cluster device"
+    );
+    let mut delegates: Vec<Vec<T>> = Vec::with_capacity(parts.len());
+    let mut local = Vec::with_capacity(parts.len());
+    let mut retries = 0usize;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            delegates.push(Vec::new());
+            local.push(SimTime::ZERO);
+            continue;
+        }
+        let dev = cluster.device(i);
+        let mut attempt = 0usize;
+        let (items, time) = loop {
+            let log0 = dev.log_len();
+            let buf = dev.try_upload(part)?;
+            match delegate_select_topk(dev, &buf, k.min(part.len()), cfg) {
+                Ok(r) => break (r.items, dev.window_since(log0).time),
+                Err(e) => {
+                    let e: QdbError = e.into();
+                    if e.is_transient() && attempt < max_retries {
+                        attempt += 1;
+                        retries += 1;
+                    } else {
+                        return Err(e);
+                    }
+                }
+            }
+        };
+        delegates.push(items);
+        local.push(time);
+    }
+    let merged = ship_and_merge(cluster, delegates, &local, k, cfg.bitonic, max_retries)?;
     Ok(ShardedTopK {
         items: merged.items,
         sim_time: merged.transfer_done + merged.merge_time,
@@ -986,6 +1050,34 @@ mod tests {
                     assert!(r.candidate_bytes > 0);
                     assert!(r.transfer_done.0 > 0.0);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_delegate_topk_is_bit_identical_to_single_device() {
+        let n = 1 << 14;
+        let k = 64;
+        let items = keyed(&Uniform, n, 78);
+        let dev = Device::titan_x();
+        let buf = dev.upload(&items);
+        let oracle = bitonic_topk(&dev, &buf, k, BitonicConfig::default())
+            .unwrap()
+            .items;
+        // small subranges so the per-shard threshold actually prunes at
+        // this n
+        let cfg = DelegateConfig {
+            subrange: 256,
+            ..DelegateConfig::default()
+        };
+        for devices in [1usize, 2, 4, 8] {
+            let cluster = Cluster::new(ClusterSpec::pcie_node(devices));
+            let parts = partition_items(&items, devices, PartitionPolicy::RoundRobin);
+            let r = sharded_delegate_topk(&cluster, &parts, k, cfg, 2).unwrap();
+            assert_eq!(r.items, oracle, "{devices} devices");
+            assert!(r.sim_time.0 > 0.0);
+            if devices > 1 {
+                assert!(r.candidate_bytes > 0);
             }
         }
     }

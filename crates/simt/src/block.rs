@@ -472,6 +472,7 @@ impl<'a> Lane<'a> {
             write: true,
         });
         buf.inner.data.borrow_mut()[idx] = v;
+        buf.inner.bump_version();
     }
 
     /// Tracked shared read.

@@ -1,6 +1,7 @@
 //! Device-resident buffers.
 
-use std::cell::RefCell;
+use std::any::Any;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use crate::device::DeviceInner;
@@ -19,6 +20,20 @@ pub(crate) struct BufferInner<T> {
     pub(crate) base_addr: u64,
     bytes: usize,
     dev: Rc<DeviceInner>,
+    /// Bumped on every mutation of `data`; see
+    /// [`GpuBuffer::contents_version`].
+    pub(crate) version: Cell<u64>,
+    /// Derived-structure cache slot: `(version at attach, value)`. The
+    /// value is only handed back while the version still matches.
+    aux: RefCell<Option<(u64, Rc<dyn Any>)>>,
+}
+
+impl<T> BufferInner<T> {
+    /// Records a content mutation (and thereby invalidates any cached
+    /// aux structure attached at an older version).
+    pub(crate) fn bump_version(&self) {
+        self.version.set(self.version.get() + 1);
+    }
 }
 
 impl<T> Drop for BufferInner<T> {
@@ -55,6 +70,8 @@ impl<T: DeviceCopy> GpuBuffer<T> {
                 base_addr,
                 bytes,
                 dev,
+                version: Cell::new(0),
+                aux: RefCell::new(None),
             }),
         }
     }
@@ -88,6 +105,7 @@ impl<T: DeviceCopy> GpuBuffer<T> {
     /// Host-side element write (no traffic accounting).
     pub fn set(&self, idx: usize, v: T) {
         self.inner.data.borrow_mut()[idx] = v;
+        self.inner.bump_version();
     }
 
     /// Overwrites device contents from a host slice (like `cudaMemcpy` in;
@@ -96,6 +114,39 @@ impl<T: DeviceCopy> GpuBuffer<T> {
         let mut d = self.inner.data.borrow_mut();
         assert!(host.len() <= d.len(), "upload larger than buffer");
         d[..host.len()].copy_from_slice(host);
+        drop(d);
+        self.inner.bump_version();
+    }
+
+    /// Monotone counter of content mutations: any path that can change
+    /// this buffer's elements — host `set`/`upload`, a kernel lane's
+    /// global write, an ECC corruption, a mapped view returning its
+    /// storage — bumps it. Two reads observing the same version are
+    /// guaranteed to have seen identical contents.
+    pub fn contents_version(&self) -> u64 {
+        self.inner.version.get()
+    }
+
+    /// Attaches a derived structure (an index, a summary, …) to this
+    /// buffer, valid for the current [`Self::contents_version`]. Any
+    /// later mutation invalidates it: [`Self::aux`] returns `None` once
+    /// the version has moved on. One slot per buffer — attaching
+    /// replaces whatever was cached before.
+    pub fn attach_aux<A: 'static>(&self, value: A) {
+        *self.inner.aux.borrow_mut() =
+            Some((self.inner.version.get(), Rc::new(value) as Rc<dyn Any>));
+    }
+
+    /// The cached derived structure of type `A`, if one was attached at
+    /// the current contents version (stale or type-mismatched caches
+    /// yield `None`).
+    pub fn aux<A: 'static>(&self) -> Option<Rc<A>> {
+        let slot = self.inner.aux.borrow();
+        let (ver, value) = slot.as_ref()?;
+        if *ver != self.inner.version.get() {
+            return None;
+        }
+        value.clone().downcast::<A>().ok()
     }
 
     /// Simulated device address of element 0.
@@ -125,6 +176,8 @@ impl<T: DeviceCopy> GpuBuffer<T> {
                 }
                 let idx = (word as usize) % data.len();
                 data[idx] = T::default();
+                drop(data);
+                inner.bump_version();
                 Some(idx)
             }),
         });
@@ -160,6 +213,7 @@ impl<T: DeviceCopy> GpuBuffer<T> {
     /// which sees the same addresses and zero extra bytes.)
     pub fn map_view<U: TransparentWrapper<T>>(&self) -> MappedBuffer<T, U> {
         let data = std::mem::take(&mut *self.inner.data.borrow_mut());
+        self.inner.bump_version();
         let view = GpuBuffer {
             inner: Rc::new(BufferInner {
                 data: RefCell::new(data.into_iter().map(U::wrap).collect()),
@@ -168,6 +222,8 @@ impl<T: DeviceCopy> GpuBuffer<T> {
                 // owns no device bytes
                 bytes: 0,
                 dev: Rc::clone(&self.inner.dev),
+                version: Cell::new(0),
+                aux: RefCell::new(None),
             }),
         };
         MappedBuffer {
@@ -215,6 +271,7 @@ impl<T: DeviceCopy, U: TransparentWrapper<T>> Drop for MappedBuffer<T, U> {
     fn drop(&mut self) {
         let data = std::mem::take(&mut *self.view.inner.data.borrow_mut());
         *self.source.inner.data.borrow_mut() = data.into_iter().map(U::peel).collect();
+        self.source.inner.bump_version();
     }
 }
 
@@ -281,5 +338,91 @@ mod tests {
         // drop restored the storage, including the view's write
         assert_eq!(buf.to_vec(), vec![99u32, 2, 3, 4]);
         assert_eq!(dev.memory_allocated(), bytes_before);
+    }
+
+    #[test]
+    fn version_tracks_every_mutation_path() {
+        let dev = Device::titan_x();
+        let buf = dev.upload(&[1u32, 2, 3]);
+        let v0 = buf.contents_version();
+        buf.set(1, 9);
+        assert!(buf.contents_version() > v0, "set must bump");
+        let v1 = buf.contents_version();
+        buf.upload(&[4, 5]);
+        assert!(buf.contents_version() > v1, "upload must bump");
+        let v2 = buf.contents_version();
+        {
+            let _mapped = buf.map_view::<Wrapped>();
+            assert!(buf.contents_version() > v2, "map_view takes the storage");
+        }
+        assert!(
+            buf.contents_version() > v2,
+            "the view restoring storage must bump again"
+        );
+        // reads never bump
+        let v3 = buf.contents_version();
+        let _ = buf.to_vec();
+        let _ = buf.get(0);
+        let _ = buf.read_range(0..2);
+        assert_eq!(buf.contents_version(), v3);
+    }
+
+    #[test]
+    fn aux_cache_survives_reads_and_dies_on_writes() {
+        #[derive(Debug, PartialEq)]
+        struct Summary(u32);
+
+        let dev = Device::titan_x();
+        let buf = dev.upload(&[7u32, 8, 9]);
+        assert!(buf.aux::<Summary>().is_none(), "nothing attached yet");
+        buf.attach_aux(Summary(24));
+        assert_eq!(*buf.aux::<Summary>().unwrap(), Summary(24));
+        let _ = buf.to_vec(); // reads keep the cache valid
+        assert!(buf.aux::<Summary>().is_some());
+        // wrong type: miss without disturbing the slot
+        assert!(buf.aux::<String>().is_none());
+        assert!(buf.aux::<Summary>().is_some());
+        buf.set(0, 0); // any write invalidates
+        assert!(buf.aux::<Summary>().is_none(), "stale cache must not leak");
+        // re-attach at the new version
+        buf.attach_aux(Summary(1));
+        assert_eq!(*buf.aux::<Summary>().unwrap(), Summary(1));
+        buf.upload(&[1, 2, 3]);
+        assert!(buf.aux::<Summary>().is_none());
+    }
+
+    #[test]
+    fn kernel_global_writes_invalidate_aux() {
+        use crate::device::Kernel;
+        use crate::BlockCtx;
+
+        struct Bump(crate::GpuBuffer<u32>);
+        impl Kernel for Bump {
+            fn name(&self) -> &'static str {
+                "bump"
+            }
+            fn block_dim(&self) -> usize {
+                1
+            }
+            fn grid_dim(&self) -> usize {
+                1
+            }
+            fn run_block(&self, blk: &mut BlockCtx) {
+                blk.step(|lane| {
+                    let x = lane.gread(&self.0, 0);
+                    lane.gwrite(&self.0, 0, x + 1);
+                });
+            }
+        }
+
+        let dev = Device::titan_x();
+        let buf = dev.upload(&[5u32; 4]);
+        buf.attach_aux(41u32);
+        dev.launch(&Bump(buf.clone())).unwrap();
+        assert_eq!(buf.get(0), 6);
+        assert!(
+            buf.aux::<u32>().is_none(),
+            "a kernel's global write must invalidate the cache"
+        );
     }
 }

@@ -257,10 +257,12 @@ impl StaticPrediction {
 
     /// True when the derived metrics bit-match the dynamic measurement —
     /// the cross-check contract with [`crate::sanitize`]'s measured
-    /// counters. Counter-level equality is not required because bulk
-    /// (`bulk_*`) traffic is measured but intentionally untracked by
-    /// static analysis; bulk traffic contributes no accesses and no
-    /// conflict cycles, so the derived metrics still agree exactly.
+    /// counters. Bulk (`bulk_*`) traffic is mirrored statically with the
+    /// replay's own arithmetic (perfectly coalesced sectors, no lane
+    /// accesses, no conflict cycles), so the derived metrics agree
+    /// exactly — both per launch and when launch windows aggregate bulk
+    /// and tracked kernels together — as long as each declared
+    /// [`BulkAccess`] charges exactly the bytes it declares.
     pub fn matches(&self, stats: &KernelStats) -> bool {
         self.sectors_per_access().to_bits() == stats.sectors_per_access().to_bits()
             && self.avg_conflict_degree().to_bits() == stats.avg_conflict_degree().to_bits()
@@ -346,10 +348,13 @@ pub struct SharedStep {
     pub lanes: Vec<Vec<SharedEv>>,
 }
 
-/// Aggregate (untracked) traffic declared for bounds documentation:
-/// streaming kernels charge bulk bytes without per-lane addresses, so
-/// the only statically checkable property is the worst-case element
-/// count against the buffer length.
+/// Aggregate traffic declared without per-lane addresses: streaming
+/// kernels charge bulk bytes, so the statically checkable properties
+/// are the element count against the buffer length (bounds) and the
+/// perfectly coalesced sector/byte totals the replay will charge for
+/// the same bytes. Lane-level accesses and conflicts stay untracked —
+/// the contract is that the kernel charges exactly `elems × elem_bytes`
+/// bytes in one `bulk_global_read`/`bulk_global_write` call per entry.
 #[derive(Debug, Clone)]
 pub struct BulkAccess {
     /// The buffer accessed.
@@ -804,6 +809,17 @@ fn analyze_spec(
                         bulk.buf.len
                     ),
                 });
+            }
+            // mirror the replay's bulk arithmetic (`bulk_global_read` /
+            // `bulk_global_write`): bytes / 32 sectors per call, no lane
+            // accesses — so windows aggregating bulk and tracked
+            // launches still bit-match the measurement
+            let bytes = (bulk.elems * bulk.buf.elem_bytes) as u64;
+            pr.pred.global_sectors += bytes / 32;
+            if bulk.write {
+                pr.pred.global_write_bytes += bytes;
+            } else {
+                pr.pred.global_read_bytes += bytes;
             }
         }
         if let Some((sectors, accesses)) = pr.worst_global_group {

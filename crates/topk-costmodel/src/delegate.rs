@@ -1,0 +1,254 @@
+//! Cost model for delegate-centric top-k (Dr. Top-k) — **beyond the
+//! paper**, following the same closed-form style as the other models:
+//! bandwidth terms plus the bitonic sub-model for the two delegate-set
+//! reductions.
+//!
+//! The model prices the *warm* query — the delegate index is treated as
+//! already built and cached on the input buffer, the regime in which the
+//! algorithm is interesting (extraction is one linear pass, amortized
+//! over every query against the same buffer; a planner comparing
+//! per-query costs should not charge it to each query).
+//!
+//! Phases priced:
+//!
+//! 1. **Threshold scan** — read the `c = ⌈n/s⌉` delegates once.
+//! 2. **Delegate top-k** — the bitonic model over `c` items.
+//! 3. **Refinement** — read `contributing · s` input items, write
+//!    `contributing · k` run items. The contributing count is where the
+//!    distribution enters: at most `k` subranges can contribute under
+//!    any distribution without massive key duplication (each needs a
+//!    delegate among the k best), but the adversarial
+//!    [`ReductionProfile::BucketKiller`] collapses every delegate onto
+//!    the same key, so *every* subrange survives the threshold.
+//! 4. **Merge** — the bitonic model over the `contributing · k` run
+//!    items (the `bitonic_topk_from_runs` pass).
+
+use crate::bitonic::{bitonic_topk_seconds, BitonicModelInput};
+use crate::radix::ReductionProfile;
+use simt::DeviceSpec;
+
+/// The modeled subrange length: the implementation's default granularity,
+/// widened so a subrange always covers at least one run of `k` items.
+pub fn model_subrange(k: usize) -> usize {
+    2048usize.max(k.next_power_of_two())
+}
+
+/// Per-phase breakdown of the delegate-select prediction — the shape the
+/// query layer's EXPLAIN renders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelegatePhases {
+    /// Modeled subrange (delegate granularity) length.
+    pub subrange: usize,
+    /// Number of subranges (= delegates), `⌈n/s⌉`.
+    pub num_subranges: usize,
+    /// Expected number of subranges surviving the threshold.
+    pub contributing: usize,
+    /// Phase 1: delegate read + threshold scan.
+    pub scan_seconds: f64,
+    /// Phase 2: bitonic top-k over the delegate set.
+    pub delegate_topk_seconds: f64,
+    /// Phase 3: rescan of contributing subranges into padded runs.
+    pub refine_seconds: f64,
+    /// Phase 4: bitonic merge of the runs.
+    pub merge_seconds: f64,
+    /// Sum of all phases.
+    pub total_seconds: f64,
+}
+
+/// Prices warm delegate select phase by phase.
+///
+/// `conflict_degree` feeds the bitonic sub-model exactly as in
+/// [`bitonic_topk_seconds`]; `elems_per_thread` likewise (16 is the
+/// shipped configuration).
+pub fn delegate_select_phases(
+    spec: &DeviceSpec,
+    n: usize,
+    k: usize,
+    item_bytes: usize,
+    profile: &ReductionProfile,
+    elems_per_thread: usize,
+    conflict_degree: f64,
+) -> DelegatePhases {
+    let s = model_subrange(k);
+    let c = n.div_ceil(s).max(1);
+    let k_del = k.min(c);
+    // every contributing subrange needs its delegate among the k best;
+    // the bucket-killer distribution defeats the threshold entirely
+    let contributing = match profile {
+        ReductionProfile::BucketKiller => c,
+        _ => c.min(k),
+    };
+    let bg = spec.global_bw;
+    let ib = item_bytes as f64;
+
+    let scan_seconds = (c as f64) * ib / bg + spec.launch_overhead;
+    let delegate_topk_seconds = bitonic_topk_seconds(
+        spec,
+        BitonicModelInput {
+            n: c,
+            k: k_del,
+            item_bytes,
+            elems_per_thread,
+            conflict_degree,
+        },
+    );
+    let read = (contributing * s) as f64 * ib;
+    let write = (contributing * k) as f64 * ib;
+    let refine_seconds = (read + write) / bg + spec.launch_overhead;
+    let runs_len = (contributing * k).max(1);
+    let merge_seconds = bitonic_topk_seconds(
+        spec,
+        BitonicModelInput {
+            n: runs_len,
+            k: k.min(runs_len),
+            item_bytes,
+            elems_per_thread,
+            conflict_degree,
+        },
+    );
+    let total_seconds = scan_seconds + delegate_topk_seconds + refine_seconds + merge_seconds;
+    DelegatePhases {
+        subrange: s,
+        num_subranges: c,
+        contributing,
+        scan_seconds,
+        delegate_topk_seconds,
+        refine_seconds,
+        merge_seconds,
+        total_seconds,
+    }
+}
+
+/// Predicted warm delegate-select time — the total of
+/// [`delegate_select_phases`].
+pub fn delegate_select_seconds(
+    spec: &DeviceSpec,
+    n: usize,
+    k: usize,
+    item_bytes: usize,
+    profile: &ReductionProfile,
+    elems_per_thread: usize,
+    conflict_degree: f64,
+) -> f64 {
+    delegate_select_phases(
+        spec,
+        n,
+        k,
+        item_bytes,
+        profile,
+        elems_per_thread,
+        conflict_degree,
+    )
+    .total_seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::titan_x_maxwell()
+    }
+
+    fn warm(n: usize, k: usize, profile: &ReductionProfile) -> f64 {
+        delegate_select_seconds(&spec(), n, k, 4, profile, 16, 1.0)
+    }
+
+    #[test]
+    fn phases_sum_to_total_and_are_positive() {
+        let p = delegate_select_phases(
+            &spec(),
+            1 << 22,
+            64,
+            4,
+            &ReductionProfile::UniformFloats,
+            16,
+            1.0,
+        );
+        for t in [
+            p.scan_seconds,
+            p.delegate_topk_seconds,
+            p.refine_seconds,
+            p.merge_seconds,
+        ] {
+            assert!(t > 0.0);
+        }
+        let sum = p.scan_seconds + p.delegate_topk_seconds + p.refine_seconds + p.merge_seconds;
+        assert_eq!(sum.to_bits(), p.total_seconds.to_bits());
+        assert_eq!(p.subrange, 2048);
+        assert_eq!(p.num_subranges, (1usize << 22) / 2048);
+        assert_eq!(p.contributing, 64);
+    }
+
+    #[test]
+    fn warm_cost_beats_bitonic_at_small_k_large_n() {
+        // the regime the algorithm targets: the full-input scan dwarfs
+        // the delegate pipeline
+        let t_del = warm(1 << 22, 64, &ReductionProfile::UniformFloats);
+        let t_bit = bitonic_topk_seconds(
+            &spec(),
+            BitonicModelInput {
+                n: 1 << 22,
+                k: 64,
+                item_bytes: 4,
+                elems_per_thread: 16,
+                conflict_degree: 1.0,
+            },
+        );
+        assert!(
+            t_del < t_bit / 2.0,
+            "delegate {t_del} should win big over bitonic {t_bit}"
+        );
+    }
+
+    #[test]
+    fn launch_overheads_sink_it_at_small_n() {
+        let t_del = warm(1 << 14, 32, &ReductionProfile::UniformFloats);
+        let t_bit = bitonic_topk_seconds(
+            &spec(),
+            BitonicModelInput {
+                n: 1 << 14,
+                k: 32,
+                item_bytes: 4,
+                elems_per_thread: 16,
+                conflict_degree: 1.0,
+            },
+        );
+        assert!(
+            t_del > t_bit,
+            "fixed costs must dominate at 2^14 (delegate {t_del}, bitonic {t_bit})"
+        );
+    }
+
+    #[test]
+    fn bucket_killer_forces_full_refinement() {
+        let uni = delegate_select_phases(
+            &spec(),
+            1 << 24,
+            64,
+            4,
+            &ReductionProfile::UniformFloats,
+            16,
+            1.0,
+        );
+        let bk = delegate_select_phases(
+            &spec(),
+            1 << 24,
+            64,
+            4,
+            &ReductionProfile::BucketKiller,
+            16,
+            1.0,
+        );
+        assert_eq!(bk.contributing, bk.num_subranges);
+        assert!(bk.total_seconds > 5.0 * uni.total_seconds);
+    }
+
+    #[test]
+    fn subrange_widens_with_k() {
+        assert_eq!(model_subrange(64), 2048);
+        assert_eq!(model_subrange(2048), 2048);
+        assert_eq!(model_subrange(4096), 4096);
+        assert_eq!(model_subrange(5000), 8192);
+    }
+}

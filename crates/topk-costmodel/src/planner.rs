@@ -2,6 +2,7 @@
 //! which top-k implementation a query optimizer should pick.
 
 use crate::bitonic::{bitonic_topk_seconds, BitonicModelInput};
+use crate::delegate::{delegate_select_seconds, model_subrange};
 use crate::radix::{radix_select_seconds, ReductionProfile};
 use simt::lint::{lint_geometry, LaunchGeometry, LintConfig, LintFinding, Severity};
 use simt::DeviceSpec;
@@ -17,28 +18,30 @@ pub struct Choice {
     pub alternative_seconds: f64,
 }
 
-/// The two candidate implementations the paper models.
+/// The candidate implementations the planner prices: the paper's two
+/// models plus delegate select (Dr. Top-k).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
-    /// The paper's bitonic top-k (wins for small k).
+    /// The paper's bitonic top-k (wins for small k at moderate n).
     BitonicTopK,
     /// MSD radix select (wins for large k).
     RadixSelect,
+    /// Delegate select (wins for small k at large n, where the cached
+    /// delegate index turns the full scan into a sparse refinement).
+    DelegateSelect,
 }
 
-/// Chooses between bitonic top-k and radix select from the cost models —
-/// the paper's conclusion: bitonic for `k ≤ 256`, radix select beyond.
-///
-/// `profile` describes the expected digit distribution; use
-/// [`ReductionProfile::UniformFloats`] when unknown (a conservative
-/// choice: it favors radix select the least).
-pub fn recommend(
+/// Prices the three candidates with one shared set of knobs, so the
+/// checked and unchecked recommendation paths produce bit-identical
+/// estimates. Returned in enum order: (bitonic, radix, delegate).
+fn price_candidates(
     spec: &DeviceSpec,
     n: usize,
     k: usize,
     item_bytes: usize,
     profile: &ReductionProfile,
-) -> Choice {
+    elems_per_thread: usize,
+) -> (f64, f64, f64) {
     // conflict degree rises past the k range chunk permutation covers
     let conflict_degree = if k.next_power_of_two() <= 256 {
         1.0
@@ -51,24 +54,59 @@ pub fn recommend(
             n,
             k,
             item_bytes,
-            elems_per_thread: 16,
+            elems_per_thread,
             conflict_degree,
         },
     );
     let t_radix = radix_select_seconds(spec, n, item_bytes, profile);
-    if t_bitonic <= t_radix {
-        Choice {
-            algorithm: Algorithm::BitonicTopK,
-            predicted_seconds: t_bitonic,
-            alternative_seconds: t_radix,
-        }
-    } else {
-        Choice {
-            algorithm: Algorithm::RadixSelect,
-            predicted_seconds: t_radix,
-            alternative_seconds: t_bitonic,
-        }
+    let t_delegate = delegate_select_seconds(
+        spec,
+        n,
+        k,
+        item_bytes,
+        profile,
+        elems_per_thread,
+        conflict_degree,
+    );
+    (t_bitonic, t_radix, t_delegate)
+}
+
+/// Picks the cheapest of the priced candidates; the runner-up becomes
+/// the alternative.
+fn choose(t_bitonic: f64, t_radix: f64, t_delegate: f64) -> Choice {
+    let mut ranked = [
+        (Algorithm::BitonicTopK, t_bitonic),
+        (Algorithm::RadixSelect, t_radix),
+        (Algorithm::DelegateSelect, t_delegate),
+    ];
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"));
+    Choice {
+        algorithm: ranked[0].0,
+        predicted_seconds: ranked[0].1,
+        alternative_seconds: ranked[1].1,
     }
+}
+
+/// Chooses among bitonic top-k, radix select, and delegate select from
+/// the cost models — the paper's conclusion (bitonic for `k ≤ 256`,
+/// radix select beyond) refined by the Dr. Top-k follow-up: at small k
+/// over large inputs the delegate decomposition undercuts both.
+///
+/// `profile` describes the expected digit distribution; use
+/// [`ReductionProfile::UniformFloats`] when unknown (a conservative
+/// choice: it favors radix select the least). The adversarial
+/// [`ReductionProfile::BucketKiller`] also prices delegate select's
+/// worst case — every subrange survives the threshold — pushing the
+/// choice back to bitonic.
+pub fn recommend(
+    spec: &DeviceSpec,
+    n: usize,
+    k: usize,
+    item_bytes: usize,
+    profile: &ReductionProfile,
+) -> Choice {
+    let (t_bitonic, t_radix, t_delegate) = price_candidates(spec, n, k, item_bytes, profile, 16);
+    choose(t_bitonic, t_radix, t_delegate)
 }
 
 /// The launch knobs a checked recommendation would execute with. The
@@ -158,6 +196,22 @@ fn plan_geometry(alg: Algorithm, n: usize, item_bytes: usize, cfg: &PlanConfig) 
                 low_occupancy_waiver: None,
             }
         }
+        Algorithm::DelegateSelect => {
+            // the binding pass is the bitonic reduction over the delegate
+            // set and the refined runs — same segment shape as bitonic,
+            // over the (much smaller) delegate count
+            let seg = cfg.block_dim * cfg.elems_per_thread;
+            let padded = seg + seg / 32;
+            let c = n.div_ceil(model_subrange(1)).max(1);
+            LaunchGeometry {
+                name: "delegate_bitonic_reduce".to_string(),
+                grid_dim: c.div_ceil(seg.max(1)).max(1),
+                block_dim: cfg.block_dim,
+                shared_bytes_per_block: padded * item_bytes,
+                regs_per_thread: 32 + cfg.elems_per_thread * item_bytes.div_ceil(4),
+                low_occupancy_waiver: None,
+            }
+        }
     }
 }
 
@@ -175,35 +229,9 @@ pub fn recommend_checked(
     profile: &ReductionProfile,
     cfg: &PlanConfig,
 ) -> Result<Choice, PlanRejection> {
-    let conflict_degree = if k.next_power_of_two() <= 256 {
-        1.0
-    } else {
-        1.3
-    };
-    let t_bitonic = bitonic_topk_seconds(
-        spec,
-        BitonicModelInput {
-            n,
-            k,
-            item_bytes,
-            elems_per_thread: cfg.elems_per_thread,
-            conflict_degree,
-        },
-    );
-    let t_radix = radix_select_seconds(spec, n, item_bytes, profile);
-    let choice = if t_bitonic <= t_radix {
-        Choice {
-            algorithm: Algorithm::BitonicTopK,
-            predicted_seconds: t_bitonic,
-            alternative_seconds: t_radix,
-        }
-    } else {
-        Choice {
-            algorithm: Algorithm::RadixSelect,
-            predicted_seconds: t_radix,
-            alternative_seconds: t_bitonic,
-        }
-    };
+    let (t_bitonic, t_radix, t_delegate) =
+        price_candidates(spec, n, k, item_bytes, profile, cfg.elems_per_thread);
+    let choice = choose(t_bitonic, t_radix, t_delegate);
     let geometry = plan_geometry(choice.algorithm, n, item_bytes, cfg);
     let report = lint_geometry(spec, &geometry, &LintConfig::default());
     if report.error_count() > 0 {
@@ -244,6 +272,8 @@ pub enum FullAlgorithm {
     BucketSelect,
     /// Bitonic top-k.
     BitonicTopK,
+    /// Delegate select (warm index).
+    DelegateSelect,
 }
 
 /// Prices every algorithm (the paper's two models plus the `extended`
@@ -293,6 +323,18 @@ pub fn recommend_full(
                 },
             )),
         },
+        RankedAlgorithm {
+            algorithm: FullAlgorithm::DelegateSelect,
+            predicted_seconds: Some(delegate_select_seconds(
+                spec,
+                n,
+                k,
+                item_bytes,
+                profile,
+                16,
+                conflict_degree,
+            )),
+        },
     ];
     out.sort_by(|a, b| match (a.predicted_seconds, b.predicted_seconds) {
         (Some(x), Some(y)) => x.partial_cmp(&y).expect("finite predictions"),
@@ -312,39 +354,74 @@ mod tests {
     }
 
     #[test]
-    fn small_k_picks_bitonic() {
+    fn small_k_picks_bitonic_at_moderate_n() {
+        // below the delegate break-even the paper's conclusion stands:
+        // bitonic for small k
         for k in [1usize, 32, 128, 256] {
-            let c = recommend(&spec(), 1 << 28, k, 4, &ReductionProfile::UniformFloats);
+            let c = recommend(&spec(), 1 << 16, k, 4, &ReductionProfile::UniformFloats);
             assert_eq!(c.algorithm, Algorithm::BitonicTopK, "k={k}");
             assert!(c.predicted_seconds <= c.alternative_seconds);
         }
     }
 
     #[test]
+    fn small_k_large_n_pins_delegate_select() {
+        // the ISSUE-8 acceptance regime: k ≤ 64, n ≥ 2^20 must pick the
+        // delegate decomposition (warm index, uniform keys)
+        for log2n in [20usize, 22, 24, 28] {
+            for k in [1usize, 16, 64] {
+                let c = recommend(&spec(), 1 << log2n, k, 4, &ReductionProfile::UniformFloats);
+                assert_eq!(c.algorithm, Algorithm::DelegateSelect, "n=2^{log2n} k={k}");
+                assert!(c.predicted_seconds <= c.alternative_seconds);
+            }
+        }
+    }
+
+    #[test]
     fn crossover_exists_for_large_k() {
-        // somewhere beyond the paper's k = 256 the planner must flip
+        // somewhere beyond the paper's k = 256 the planner must flip to
+        // radix select (2^22: large enough that bitonic's shared-memory
+        // sorting hurts, small enough that the delegate set is too
+        // coarse to help at k in the thousands)
+        assert_eq!(
+            recommend(&spec(), 1 << 22, 32, 4, &ReductionProfile::UniformInts).algorithm,
+            Algorithm::DelegateSelect
+        );
         let flipped = [512usize, 1024, 2048, 4096].iter().any(|&k| {
-            recommend(&spec(), 1 << 28, k, 4, &ReductionProfile::UniformFloats).algorithm
+            recommend(&spec(), 1 << 22, k, 4, &ReductionProfile::UniformInts).algorithm
                 == Algorithm::RadixSelect
         });
         assert!(flipped, "planner never chose radix select at large k");
     }
 
     #[test]
-    fn bucket_killer_pushes_toward_bitonic() {
+    fn bucket_killer_pushes_away_from_radix() {
+        // the adversarial distribution degenerates radix select's pass
+        // reduction, and forces delegate select into full refinement —
+        // its prediction must degrade by orders of magnitude vs uniform
         let c = recommend(&spec(), 1 << 28, 1024, 4, &ReductionProfile::BucketKiller);
-        assert_eq!(
+        assert_ne!(
             c.algorithm,
-            Algorithm::BitonicTopK,
+            Algorithm::RadixSelect,
             "radix select degenerates on the adversarial input"
+        );
+        let uni = recommend(&spec(), 1 << 28, 1024, 4, &ReductionProfile::UniformFloats);
+        assert!(
+            c.predicted_seconds > 10.0 * uni.predicted_seconds,
+            "the adversary must erase the delegate shortcut ({} vs {})",
+            c.predicted_seconds,
+            uni.predicted_seconds
         );
     }
 
     #[test]
     fn full_ranking_matches_figure_11_at_k32() {
-        // bitonic < per-thread < {radix, bucket} < sort at 2^26, k = 32
+        // delegate < bitonic < per-thread < {radix, bucket} < sort at
+        // 2^26, k = 32 (Figure 11 order, with the warm delegate index
+        // undercutting everything)
         let ranked = recommend_full(&spec(), 1 << 26, 32, 4, &ReductionProfile::UniformFloats);
-        assert_eq!(ranked[0].algorithm, FullAlgorithm::BitonicTopK);
+        assert_eq!(ranked[0].algorithm, FullAlgorithm::DelegateSelect);
+        assert_eq!(ranked[1].algorithm, FullAlgorithm::BitonicTopK);
         assert_eq!(ranked.last().unwrap().algorithm, FullAlgorithm::Sort);
         // strictly ordered costs
         let costs: Vec<f64> = ranked.iter().filter_map(|r| r.predicted_seconds).collect();
@@ -427,7 +504,9 @@ mod tests {
             .errors
             .iter()
             .any(|f| f.kind == simt::lint::LintKind::SharedMemExceeded));
-        assert_eq!(err.algorithm, Algorithm::BitonicTopK);
+        // at 2^24 / k=32 the cheapest plan is delegate select, whose
+        // binding reduction kernel has the same segment-in-shared shape
+        assert_eq!(err.algorithm, Algorithm::DelegateSelect);
     }
 
     #[test]

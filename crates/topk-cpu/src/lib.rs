@@ -26,7 +26,7 @@ pub mod select;
 
 pub use bitonic::CpuBitonic;
 pub use heap::{HandPq, StlPq};
-pub use select::{CpuRadixSelect, CpuSort};
+pub use select::{CpuDelegateSelect, CpuRadixSelect, CpuSort};
 
 use datagen::TopKItem;
 

@@ -98,6 +98,80 @@ impl<T: TopKItem> CpuTopK<T> for CpuRadixSelect {
     }
 }
 
+/// Delegate select: the CPU counterpart of the device delegate
+/// decomposition (Dr. Top-k). The partition is cut into fixed-length
+/// chunks; each chunk's maximum (full item order) is its delegate. The
+/// k-th best delegate is a threshold: only chunks whose delegate key is
+/// `≥` it (ties kept) can contribute to the top-k, and only those chunks
+/// are re-examined.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuDelegateSelect {
+    /// Chunk (delegate granularity) length in items.
+    pub subrange: usize,
+}
+
+impl Default for CpuDelegateSelect {
+    fn default() -> Self {
+        // same granularity as the device algorithm's default
+        CpuDelegateSelect { subrange: 2048 }
+    }
+}
+
+impl<T: TopKItem> CpuTopK<T> for CpuDelegateSelect {
+    fn name(&self) -> &'static str {
+        "cpu-delegate-select"
+    }
+
+    fn partition_topk(&self, data: &[T], k: usize) -> Vec<T> {
+        let k = k.min(data.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let s = self.subrange.max(1);
+        let chunks: Vec<&[T]> = data.chunks(s).collect();
+        let delegates: Vec<T> = chunks
+            .iter()
+            .map(|chunk| {
+                let mut best = chunk[0];
+                for item in &chunk[1..] {
+                    if best.item_lt(item) {
+                        best = *item;
+                    }
+                }
+                best
+            })
+            .collect();
+        let gathered: Vec<T> = if delegates.len() > k {
+            // threshold = the k-th best delegate key; chunks with a
+            // strictly smaller delegate key are dominated by k better
+            // items elsewhere and cannot contribute
+            let mut keys: Vec<_> = delegates.iter().map(|d| d.key_bits()).collect();
+            keys.sort_unstable_by_key(|&b| std::cmp::Reverse(b));
+            let tau = keys[k - 1];
+            chunks
+                .iter()
+                .zip(&delegates)
+                .filter(|(_, d)| d.key_bits() >= tau)
+                .flat_map(|(chunk, _)| chunk.iter().copied())
+                .collect()
+        } else {
+            data.to_vec()
+        };
+        let mut out = gathered;
+        out.sort_unstable_by(|a, b| {
+            if a.item_lt(b) {
+                std::cmp::Ordering::Greater
+            } else if b.item_lt(a) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        out.truncate(k);
+        out
+    }
+}
+
 /// True when the top `prefix_digits` 8-bit digits of `bits` equal those
 /// of `prefix`.
 #[inline]
@@ -121,7 +195,8 @@ mod tests {
     #[test]
     fn select_kernels_match_reference() {
         let data: Vec<f32> = Uniform.generate(50_000, 42);
-        for alg in [&CpuSort as &dyn CpuTopK<f32>, &CpuRadixSelect] {
+        let delegate = CpuDelegateSelect::default();
+        for alg in [&CpuSort as &dyn CpuTopK<f32>, &CpuRadixSelect, &delegate] {
             for k in [1usize, 7, 64, 1000] {
                 let got = alg.topk(&data, k, 4);
                 let want = reference_topk(&data, k);
@@ -153,5 +228,42 @@ mod tests {
         let data = vec![4u32, 8, 2];
         assert_eq!(CpuSort.topk(&data, 3, 2), vec![8, 4, 2]);
         assert_eq!(CpuRadixSelect.topk(&data, 10, 2), vec![8, 4, 2]);
+        assert_eq!(
+            CpuDelegateSelect::default().topk(&data, 10, 2),
+            vec![8, 4, 2]
+        );
+    }
+
+    #[test]
+    fn delegate_select_ties_break_by_id_like_the_full_sort() {
+        // every chunk's delegate collides on the key — the threshold
+        // keeps them all, and the id tie-break decides the winners
+        let data: Vec<Kv<u32>> = (0..40_000u32).map(|i| Kv::new(i % 13, i)).collect();
+        let delegate = CpuDelegateSelect { subrange: 512 };
+        let got = delegate.topk(&data, 100, 4);
+        // oracle: full item order (key, then smaller row id wins) —
+        // CpuSort is key-only and does not pin the tie winners
+        let mut want = data.clone();
+        want.sort_unstable_by(|a, b| {
+            if a.item_lt(b) {
+                std::cmp::Ordering::Greater
+            } else if b.item_lt(a) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        });
+        want.truncate(100);
+        // compare full items: equal keys must pick the same row ids
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn delegate_select_with_tiny_subrange_and_skew() {
+        // descending-sorted input: only the first chunks contribute
+        let data: Vec<f32> = (0..30_000).rev().map(|i| i as f32).collect();
+        let delegate = CpuDelegateSelect { subrange: 64 };
+        let got = delegate.topk(&data, 33, 4);
+        assert_eq!(keybits(&got), keybits(&reference_topk(&data, 33)));
     }
 }

@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 
 use datagen::{rev_slice, TopKItem};
 use simt::{Device, GpuBuffer, LaunchReport, SimTime};
-use topk_cpu::{CpuBitonic, CpuRadixSelect, CpuSort, CpuTopK, HandPq, StlPq};
+use topk_cpu::{CpuBitonic, CpuDelegateSelect, CpuRadixSelect, CpuSort, CpuTopK, HandPq, StlPq};
 
 use crate::{dispatch, KeyOrder, TopKAlgorithm, TopKError, TopKRequest, TopKResult};
 
@@ -329,6 +329,7 @@ pub(crate) fn run_simt<T: TopKItem>(
 /// | `RadixSelect` | [`CpuRadixSelect`] (MSD digit histograms) |
 /// | `BucketSelect` | [`CpuRadixSelect`] — the host analog of both §2.3 selection schemes; there is no meaningful CPU min/max bucketing distinct from digit selection |
 /// | `Bitonic(_)` | [`CpuBitonic`] (Appendix C SIMD port; the GPU-side `BitonicConfig` does not apply) |
+/// | `DelegateSelect(cfg)` | [`CpuDelegateSelect`] (chunk delegates + threshold gather at the same subrange granularity) |
 #[derive(Debug, Clone, Copy)]
 pub struct CpuBackend {
     threads: usize,
@@ -371,6 +372,12 @@ fn run_cpu_kernel<T: TopKItem>(alg: TopKAlgorithm, data: &[T], k: usize, threads
         TopKAlgorithm::PerThreadRegisters => &HandPq,
         TopKAlgorithm::RadixSelect | TopKAlgorithm::BucketSelect => &CpuRadixSelect,
         TopKAlgorithm::Bitonic(_) => &bitonic,
+        TopKAlgorithm::DelegateSelect(cfg) => {
+            let delegate = CpuDelegateSelect {
+                subrange: cfg.subrange,
+            };
+            return delegate.topk(data, k, threads);
+        }
     };
     kernel.topk(data, k, threads)
 }

@@ -2,8 +2,8 @@
 #![warn(missing_docs)]
 //! GPU top-k algorithms on the `simt` simulator — the paper's contribution.
 //!
-//! Five algorithms (Section 3), all returning the largest `k` items in
-//! descending key order:
+//! Six algorithms (Section 3 plus the Dr. Top-k follow-up), all
+//! returning the largest `k` items in descending key order:
 //!
 //! | Algorithm | Module | Paper |
 //! |---|---|---|
@@ -12,6 +12,7 @@
 //! | Radix select | [`radix_select`] | §2.3/§4.2 |
 //! | Bucket select | [`bucket_select`] | §2.3/§4.2 |
 //! | **Bitonic top-k** | [`bitonic`] | §3.2/§4.3 |
+//! | Delegate select | [`delegate`] | Dr. Top-k (PAPERS.md) |
 //!
 //! Every algorithm is functionally executed on simulated device buffers —
 //! results are real and tested against a sort oracle — while the
@@ -48,6 +49,7 @@ pub mod batched;
 pub mod bitonic;
 pub mod bucket_select;
 pub mod chunked;
+pub mod delegate;
 pub mod hybrid;
 pub mod per_thread;
 pub mod radix_select;
@@ -154,6 +156,9 @@ pub enum TopKAlgorithm {
     BucketSelect,
     /// Bitonic top-k with the given optimization configuration.
     Bitonic(bitonic::BitonicConfig),
+    /// Delegate-centric top-k (Dr. Top-k): per-subrange delegates,
+    /// top-k over delegates, refinement over contributing subranges.
+    DelegateSelect(delegate::DelegateConfig),
 }
 
 impl TopKAlgorithm {
@@ -166,17 +171,20 @@ impl TopKAlgorithm {
             TopKAlgorithm::RadixSelect => "radix-select",
             TopKAlgorithm::BucketSelect => "bucket-select",
             TopKAlgorithm::Bitonic(_) => "bitonic",
+            TopKAlgorithm::DelegateSelect(_) => "delegate-select",
         }
     }
 
-    /// All six algorithms at their default configurations.
+    /// All seven algorithms at their default configurations.
     ///
     /// This is the Figure 11 line-up plus [`PerThreadRegisters`]
-    /// (Appendix A): the paper's figure omits the register variant
-    /// because it coincides with per-thread heaps at small `k`, but
-    /// sweeps and agreement tests here cover all six variants.
+    /// (Appendix A) and [`DelegateSelect`] (the Dr. Top-k follow-up):
+    /// the paper's figure omits the register variant because it
+    /// coincides with per-thread heaps at small `k`, but sweeps and
+    /// agreement tests here cover all seven variants.
     ///
     /// [`PerThreadRegisters`]: TopKAlgorithm::PerThreadRegisters
+    /// [`DelegateSelect`]: TopKAlgorithm::DelegateSelect
     pub fn all() -> Vec<TopKAlgorithm> {
         vec![
             TopKAlgorithm::Sort,
@@ -185,6 +193,7 @@ impl TopKAlgorithm {
             TopKAlgorithm::RadixSelect,
             TopKAlgorithm::BucketSelect,
             TopKAlgorithm::Bitonic(bitonic::BitonicConfig::default()),
+            TopKAlgorithm::DelegateSelect(delegate::DelegateConfig::default()),
         ]
     }
 }
@@ -333,6 +342,7 @@ pub(crate) fn dispatch<T: TopKItem>(
         TopKAlgorithm::RadixSelect => radix_select::radix_select_topk(dev, input, k),
         TopKAlgorithm::BucketSelect => bucket_select::bucket_select_topk(dev, input, k),
         TopKAlgorithm::Bitonic(cfg) => bitonic::bitonic_topk(dev, input, k, cfg),
+        TopKAlgorithm::DelegateSelect(cfg) => delegate::delegate_select_topk(dev, input, k, cfg),
     }
 }
 
@@ -347,7 +357,7 @@ mod tests {
         let data: Vec<f32> = Uniform.generate(1 << 12, 3);
         let input = dev.upload(&data);
         let expect = datagen::reference_topk(&data, 16);
-        assert_eq!(TopKAlgorithm::all().len(), 6, "all six variants");
+        assert_eq!(TopKAlgorithm::all().len(), 7, "all seven variants");
         for alg in TopKAlgorithm::all() {
             let r = TopKRequest::largest(16)
                 .with_alg(alg)

@@ -13,7 +13,7 @@
 
 use gpu_topk::datagen::{Kv, TopKItem};
 use gpu_topk::simt::Device;
-use gpu_topk::topk::{bitonic, radix_select};
+use gpu_topk::topk::{bitonic, delegate, radix_select};
 use gpu_topk::topk_costmodel::{self as costmodel, planner::Algorithm, ReductionProfile};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -55,6 +55,10 @@ fn main() {
             bitonic::bitonic_topk(&dev, &input, k, bitonic::BitonicConfig::default()).unwrap()
         }
         Algorithm::RadixSelect => radix_select::radix_select_topk(&dev, &input, k).unwrap(),
+        Algorithm::DelegateSelect => {
+            delegate::delegate_select_topk(&dev, &input, k, delegate::DelegateConfig::default())
+                .unwrap()
+        }
     };
 
     println!(

@@ -9,6 +9,7 @@
 use datagen::TopKItem;
 use simt::{Device, GpuBuffer};
 use topk::bitonic::BitonicConfig;
+use topk::delegate::DelegateConfig;
 use topk::{TopKAlgorithm, TopKError, TopKRequest, TopKResult};
 use topk_costmodel::planner::Algorithm;
 use topk_costmodel::{recommend, recommend_full, RankedAlgorithm, ReductionProfile};
@@ -43,6 +44,7 @@ pub fn auto_topk<T: TopKItem>(
     let chosen = match choice.algorithm {
         Algorithm::BitonicTopK => TopKAlgorithm::Bitonic(BitonicConfig::default()),
         Algorithm::RadixSelect => TopKAlgorithm::RadixSelect,
+        Algorithm::DelegateSelect => TopKAlgorithm::DelegateSelect(DelegateConfig::default()),
     };
     let result = TopKRequest::largest(k).with_alg(chosen).run(dev, input)?;
     Ok(AutoResult {
@@ -69,7 +71,7 @@ mod tests {
         assert!(r.predicted_seconds > 0.0);
         // the full price list comes back, cheapest first, and its winner
         // agrees with the two-way recommendation
-        assert_eq!(r.predictions.len(), 5);
+        assert_eq!(r.predictions.len(), 6);
         assert!(matches!(
             r.predictions[0].algorithm,
             topk_costmodel::FullAlgorithm::BitonicTopK
@@ -83,6 +85,23 @@ mod tests {
             priced.windows(2).all(|w| w[0] <= w[1]),
             "sorted cheapest-first"
         );
+    }
+
+    #[test]
+    fn auto_picks_delegate_for_small_k_large_n() {
+        // past the delegate break-even (k ≤ 64, n ≥ 2^20) the planner
+        // must route to the delegate decomposition — and the run must
+        // still match the oracle (cold path: builds the index inline)
+        let dev = Device::titan_x();
+        let data: Vec<f32> = Uniform.generate(1 << 20, 9);
+        let input = dev.upload(&data);
+        let r = auto_topk(&dev, &input, 64, &ReductionProfile::UniformFloats).unwrap();
+        assert!(matches!(r.chosen, TopKAlgorithm::DelegateSelect(_)));
+        assert_eq!(r.result.items, reference_topk(&data, 64));
+        assert!(matches!(
+            r.predictions[0].algorithm,
+            topk_costmodel::FullAlgorithm::DelegateSelect
+        ));
     }
 
     #[test]

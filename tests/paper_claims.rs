@@ -5,7 +5,7 @@
 use gpu_topk::datagen::{BucketKiller, Distribution, Increasing, Uniform};
 use gpu_topk::simt::Device;
 use gpu_topk::topk::bitonic::{bitonic_topk, BitonicConfig, OptLevel};
-use gpu_topk::topk::{TopKAlgorithm, TopKRequest};
+use gpu_topk::topk::{delegate, TopKAlgorithm, TopKRequest};
 use gpu_topk::topk_costmodel::{self as costmodel, planner::Algorithm, ReductionProfile};
 
 const N: usize = 1 << 20;
@@ -202,34 +202,45 @@ fn cost_model_planner_agrees_with_simulation() {
     let data: Vec<u32> = Uniform.generate(N, 8);
     let dev = Device::titan_x();
     let input = dev.upload(&data);
+    // the planner prices the *warm* delegate query (the index build is
+    // amortized across a serving window), so warm the index up front
+    delegate::warm_delegate_index(&dev, &input, delegate::DelegateConfig::default()).unwrap();
     for k in [8usize, 64, 256, 2048] {
         let choice = costmodel::recommend(dev.spec(), N, k, 4, &ReductionProfile::UniformInts);
-        let tb = TopKRequest::largest(k)
-            .with_alg(TopKAlgorithm::Bitonic(BitonicConfig::default()))
-            .run(&dev, &input)
-            .unwrap()
-            .time
-            .seconds();
-        let tr = TopKRequest::largest(k)
-            .with_alg(TopKAlgorithm::RadixSelect)
-            .run(&dev, &input)
-            .unwrap()
-            .time
-            .seconds();
-        let simulated_winner = if tb <= tr {
-            Algorithm::BitonicTopK
-        } else {
-            Algorithm::RadixSelect
+        let time = |alg: TopKAlgorithm| {
+            TopKRequest::largest(k)
+                .with_alg(alg)
+                .run(&dev, &input)
+                .unwrap()
+                .time
+                .seconds()
         };
+        let times = [
+            (
+                Algorithm::BitonicTopK,
+                time(TopKAlgorithm::Bitonic(BitonicConfig::default())),
+            ),
+            (Algorithm::RadixSelect, time(TopKAlgorithm::RadixSelect)),
+            (
+                Algorithm::DelegateSelect,
+                time(TopKAlgorithm::DelegateSelect(
+                    delegate::DelegateConfig::default(),
+                )),
+            ),
+        ];
+        let best = times.iter().map(|&(_, t)| t).fold(f64::INFINITY, f64::min);
+        let picked = times
+            .iter()
+            .find(|&&(a, _)| a == choice.algorithm)
+            .expect("planner picked an algorithm we simulate")
+            .1;
         // allow disagreement only in the near-tie band (the paper's models
         // "underestimate" but preserve the cutoff)
-        if (tb - tr).abs() / tb.min(tr) > 0.25 {
-            assert_eq!(
-                choice.algorithm, simulated_winner,
-                "k={k}: planner {:?} but simulation says {:?} (tb={tb}, tr={tr})",
-                choice.algorithm, simulated_winner
-            );
-        }
+        assert!(
+            picked <= best * 1.25,
+            "k={k}: planner picked {:?} at {picked}s but the simulated best is {best}s ({times:?})",
+            choice.algorithm
+        );
     }
 }
 

@@ -2,13 +2,17 @@
 //! the sort oracle, and the core data-structure invariants of the bitonic
 //! decomposition are checked on arbitrary data.
 
-use gpu_topk::datagen::{reference_topk, Kv, SortKey, TopKItem};
+use gpu_topk::datagen::{
+    reference_topk, BucketKiller, Clustered, Decreasing, Distribution, Increasing, Kv, Normal,
+    SortKey, TopKItem, Uniform,
+};
 use gpu_topk::simt::Device;
 use gpu_topk::sortnet::{
     self, bitonic_topk_host, is_bitonic, local_sort, merge_halve, next_pow2, rebuild,
     runs_sorted_alternating,
 };
 use gpu_topk::topk::bitonic::{bitonic_topk, BitonicConfig, OptLevel};
+use gpu_topk::topk::delegate::DelegateConfig;
 use gpu_topk::topk::{TopKAlgorithm, TopKRequest};
 use gpu_topk::topk_cpu::{CpuBitonic, CpuTopK, HandPq, StlPq};
 use proptest::prelude::*;
@@ -114,6 +118,62 @@ proptest! {
             keybits(&r.items),
             keybits(&reference_topk(&data, k.min(data.len())))
         );
+    }
+
+    /// Delegate select is key-signature-equal to the bitonic oracle on
+    /// all six benchmark distributions, over random n, k, and subrange
+    /// granularities — including shapes where the delegate set is
+    /// smaller than k, so phases 2–3 collapse to a full refine.
+    #[test]
+    fn delegate_select_matches_bitonic_on_all_distributions(
+        dist in 0usize..6,
+        n in 256usize..6000,
+        k in 1usize..300,
+        sub_log in 5u32..12,
+        seed in any::<u64>(),
+    ) {
+        let gens: [Box<dyn Distribution<f32>>; 6] = [
+            Box::new(Uniform),
+            Box::new(Normal),
+            Box::new(Increasing),
+            Box::new(Decreasing),
+            Box::new(BucketKiller),
+            Box::new(Clustered),
+        ];
+        let data: Vec<f32> = gens[dist].generate(n, seed);
+        let dev = Device::titan_x();
+        let input = dev.upload(&data);
+        let cfg = DelegateConfig { subrange: 1 << sub_log, ..DelegateConfig::default() };
+        let got = TopKRequest::largest(k)
+            .with_alg(TopKAlgorithm::DelegateSelect(cfg))
+            .run(&dev, &input)
+            .unwrap();
+        let oracle = bitonic_topk(&dev, &input, k, BitonicConfig::default()).unwrap();
+        prop_assert_eq!(keybits(&got.items), keybits(&oracle.items));
+    }
+
+    /// Adversarial skew for the delegate decomposition: heavily
+    /// duplicated keys make every subrange's delegate tie at (or above)
+    /// the threshold, so every subrange contributes — and the winners'
+    /// full (key, row-id) signature must still match the bitonic oracle
+    /// exactly, tie-breaks included.
+    #[test]
+    fn delegate_select_ties_match_bitonic_when_every_subrange_contributes(
+        n in 512usize..4096,
+        k in 1usize..128,
+        modulus in 1u32..8,
+    ) {
+        let data: Vec<Kv<u32>> = (0..n as u32).map(|i| Kv::new(i % modulus, i)).collect();
+        let dev = Device::titan_x();
+        let input = dev.upload(&data);
+        let cfg = DelegateConfig { subrange: 32, ..DelegateConfig::default() };
+        let got = TopKRequest::largest(k)
+            .with_alg(TopKAlgorithm::DelegateSelect(cfg))
+            .run(&dev, &input)
+            .unwrap();
+        let oracle = bitonic_topk(&dev, &input, k, BitonicConfig::default()).unwrap();
+        let sig = |v: &[Kv<u32>]| v.iter().map(|kv| (kv.key, kv.value)).collect::<Vec<_>>();
+        prop_assert_eq!(sig(&got.items), sig(&oracle.items));
     }
 
     /// Padding maps are injective and in-bounds for arbitrary shapes.
