@@ -283,6 +283,14 @@ pub fn diff_reports(
 ///    policy. At smaller scales launch overhead and link latency
 ///    dominate the shrunken local pass, so the speedup gate is replaced
 ///    by a warning (exactness is still enforced).
+/// 10. **Replication survives permanent device loss**: in the
+///    availability sweep (`cluster/avail/r{r}`), `r ≥ 2` with one
+///    device permanently lost mid-load must complete *every* query
+///    (`sim_completed_frac == 1`) through drain-time failover
+///    (`sim_failovers > 0`), bit-exact (the cell's `sim_exact` claim
+///    compliance is enforced by claim 5); `r = 1` must surface the
+///    loss (`sim_completed_frac < 1`) — loud typed failure, never a
+///    silently truncated result.
 ///
 /// CPU backend reports (`kind == "cpu"`):
 /// 7. **The CPU backend's threads pay for themselves** (§3.1): for every
@@ -516,6 +524,36 @@ pub fn check_claims(report: &BenchReport) -> Vec<Finding> {
                         "cluster scaling claim ({policy}: 8-dev {eight:.4} ms vs 1-dev \
                          {one:.4} ms) gated only at log2n >= 22; this report is at 2^{}",
                         report.scale.log2n
+                    )));
+                }
+            }
+            // 10. replication serves through permanent device loss
+            for r in crate::harness::AVAIL_REPLICATION {
+                let id = format!("cluster/avail/r{r}");
+                let frac = need(&id, "sim_completed_frac", &mut findings);
+                let failovers = need(&id, "sim_failovers", &mut findings);
+                let (Some(frac), Some(failovers)) = (frac, failovers) else {
+                    continue;
+                };
+                if r >= 2 {
+                    if frac < 1.0 {
+                        findings.push(Finding::fail(format!(
+                            "claim violated: r={r} must complete every query through one \
+                             permanent device loss, but '{id}' completed only \
+                             {:.1}% of the load",
+                            frac * 100.0
+                        )));
+                    }
+                    if failovers == 0.0 {
+                        findings.push(Finding::fail(format!(
+                            "claim violated: '{id}' completed without any failover — the \
+                             device-loss scenario did not exercise replicated serving"
+                        )));
+                    }
+                } else if frac >= 1.0 {
+                    findings.push(Finding::fail(format!(
+                        "claim violated: r=1 cannot absorb a permanent device loss, yet \
+                         '{id}' reports full completion — the loss was silently hidden"
                     )));
                 }
             }

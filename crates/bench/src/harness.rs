@@ -25,10 +25,15 @@ use datagen::twitter::TweetTable;
 use datagen::{
     BucketKiller, Clustered, Decreasing, Distribution, Increasing, Kv, Normal, TopKItem, Uniform,
 };
-use qdb::shard::{partition_indices, sharded_delegate_topk, sharded_topk, PartitionPolicy};
-use qdb::{GpuTweetTable, Server, ServerConfig, SubmitOptions};
+use qdb::shard::{
+    partition_indices, sharded_delegate_topk, sharded_topk, PartitionPolicy, ReplicationFactor,
+    ShardedLoadReport, ShardedServer, ShardedTable,
+};
+use qdb::{
+    execute_sql, parse_sql, GpuTweetTable, QdbError, Server, ServerConfig, Strategy, SubmitOptions,
+};
 use simt::topology::{Cluster, ClusterSpec};
-use simt::{Device, GpuBuffer, LaunchWindow};
+use simt::{Device, FaultPlan, GpuBuffer, LaunchWindow, SimTime};
 use topk::bitonic::{bitonic_topk, BitonicConfig};
 use topk::delegate::{warm_delegate_index, DelegateConfig};
 use topk::{Backend, CpuBackend, TopKAlgorithm, TopKRequest};
@@ -200,6 +205,38 @@ pub const CLUSTER_DEVICES: [usize; 4] = [1, 2, 4, 8];
 /// Fixed k for the cluster sweep (matches the scaling claim).
 pub const CLUSTER_K: usize = 64;
 
+/// Replication factors the availability sweep serves at.
+pub const AVAIL_REPLICATION: [usize; 3] = [1, 2, 3];
+
+/// Devices in the availability sweep's cluster.
+pub const AVAIL_DEVICES: usize = 4;
+
+/// Queries per batch in the availability sweep (>= the breaker
+/// threshold, so a loss trips the lost device's breaker).
+pub const AVAIL_QUERIES: usize = 5;
+
+/// Availability workload: the sharded-servable query shapes.
+fn avail_sql(host: &TweetTable, i: usize) -> String {
+    match i % 3 {
+        0 => {
+            let cutoff = host.time_cutoff_for_selectivity(0.1 + 0.05 * (i % 4) as f64);
+            format!(
+                "SELECT id FROM tweets WHERE tweet_time < {cutoff} \
+                 ORDER BY retweet_count DESC LIMIT {}",
+                6 + i
+            )
+        }
+        1 => format!(
+            "SELECT id FROM tweets ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT {}",
+            4 + i
+        ),
+        _ => format!(
+            "SELECT id FROM tweets ORDER BY retweet_count ASC LIMIT {}",
+            3 + i
+        ),
+    }
+}
+
 /// Runs the multi-device sharded top-k suite: device count × partition
 /// policy over uniform keyed items, with the single-device bitonic
 /// result as the exactness oracle (`sim_exact`) and the
@@ -297,6 +334,102 @@ pub fn run_cluster_suite(log2n: u32, profile: &str) -> BenchReport {
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
         });
+    }
+
+    // availability under permanent device loss: a replicated sharded
+    // server at r ∈ {1,2,3} serves three batches — healthy, one device
+    // lost with the batch already admitted, and post-rebuild recovery.
+    // `sim_exact` encodes the availability claim: completed queries are
+    // bit-exact at every r; r >= 2 completes every query through the
+    // loss; r = 1 fails loudly with typed device faults, never a
+    // truncated result.
+    {
+        let avail_log2n = log2n.min(16);
+        let host_table = TweetTable::generate(1usize << avail_log2n, 2018);
+        let dev = Device::titan_x();
+        let gpu = GpuTweetTable::upload(&dev, &host_table);
+        let sqls: Vec<String> = (0..AVAIL_QUERIES)
+            .map(|i| avail_sql(&host_table, i))
+            .collect();
+        let oracle: Vec<Vec<u32>> = sqls
+            .iter()
+            .map(|s| {
+                execute_sql(&dev, &gpu, &parse_sql(s).unwrap(), Strategy::StageBitonic)
+                    .expect("fault-free oracle")
+                    .ids
+            })
+            .collect();
+        let exact = |rep: &ShardedLoadReport| {
+            rep.queries
+                .iter()
+                .enumerate()
+                .all(|(i, sq)| !sq.completed() || sq.ids == oracle[i])
+        };
+        for r_factor in AVAIL_REPLICATION {
+            let wall = Instant::now();
+            let cluster = Cluster::new(ClusterSpec::pcie_node(AVAIL_DEVICES));
+            let table = ShardedTable::partition_replicated(
+                &cluster,
+                &host_table,
+                PartitionPolicy::Hash,
+                ReplicationFactor(r_factor),
+            )
+            .expect("replicated partition");
+            let mut server = ShardedServer::new(&cluster, &table, ServerConfig::default());
+            // batch A: the healthy baseline
+            for s in &sqls {
+                server.submit(s).expect("healthy admission");
+            }
+            let a = server.drain();
+            // batch B admitted, then device 1 dies permanently under it
+            for s in &sqls {
+                server.submit(s).expect("admission before loss");
+            }
+            cluster
+                .device(1)
+                .set_fault_plan(FaultPlan::down_at(SimTime::ZERO));
+            let b = server.drain();
+            // batch C: service after online rebuild
+            for s in &sqls {
+                server.submit(s).expect("post-rebuild admission");
+            }
+            let c = server.drain();
+            let host_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+            let loud = b.queries.iter().all(|sq| match &sq.error {
+                None => true,
+                Some(QdbError::DeviceFault { transient, .. }) => {
+                    !transient && sq.ids.is_empty()
+                }
+                Some(_) => false,
+            });
+            let full = sqls.len();
+            let compliant = exact(&a)
+                && exact(&b)
+                && exact(&c)
+                && a.resilience.completed == full
+                && c.resilience.completed == full
+                && loud
+                && (r_factor < 2 || b.resilience.completed == full);
+            let completed =
+                a.resilience.completed + b.resilience.completed + c.resilience.completed;
+            let metrics = [
+                ("sim_exact", f64::from(compliant)),
+                ("sim_completed_frac", completed as f64 / (3 * full) as f64),
+                ("sim_failovers", b.resilience.failovers as f64),
+                ("sim_rebuilds", b.resilience.rebuilds as f64),
+                ("sim_breaker_trips", b.resilience.breaker_trips as f64),
+                ("sim_loss_makespan_ms", b.makespan.millis()),
+                ("host_wall_ms", host_wall_ms),
+            ];
+            experiments.push(Experiment {
+                id: format!("cluster/avail/r{r_factor}"),
+                metrics: metrics
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect(),
+            });
+        }
     }
 
     BenchReport {
@@ -470,11 +603,26 @@ mod tests {
     fn cluster_suite_is_exact_deterministic_and_schema_valid() {
         let r = run_cluster_suite(12, "test");
         assert_eq!(r.kind, "cluster");
-        // policy × device sweep plus the delegates-of-delegates cell
+        // policy × device sweep, the delegates-of-delegates cell, and
+        // the availability sweep
         assert_eq!(
             r.experiments.len(),
-            PartitionPolicy::all().len() * CLUSTER_DEVICES.len() + 1
+            PartitionPolicy::all().len() * CLUSTER_DEVICES.len() + 1 + AVAIL_REPLICATION.len()
         );
+        // availability: r >= 2 rides through the loss at full
+        // completion; r = 1 is loud but compliant (typed, untruncated)
+        for r_factor in AVAIL_REPLICATION {
+            let id = format!("cluster/avail/r{r_factor}");
+            let e = r.experiment(&id).expect("availability cell");
+            assert_eq!(e.metrics["sim_exact"], 1.0, "{id} claim compliance");
+            assert!(e.metrics["sim_rebuilds"] > 0.0, "{id}");
+            if r_factor >= 2 {
+                assert_eq!(e.metrics["sim_completed_frac"], 1.0, "{id}");
+                assert!(e.metrics["sim_failovers"] > 0.0, "{id}");
+            } else {
+                assert!(e.metrics["sim_completed_frac"] < 1.0, "{id}");
+            }
+        }
         let dd = r
             .experiment("cluster/delegate-round-robin/dev8")
             .expect("delegates-of-delegates cell");

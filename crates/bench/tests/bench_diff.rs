@@ -450,7 +450,9 @@ fn serve_claim_gates_speedup_at_top_load() {
 }
 
 /// A claim-satisfying cluster report at the given scale: exact cells
-/// with 8 devices well under half the single-device time.
+/// with 8 devices well under half the single-device time, plus a
+/// compliant availability sweep (r >= 2 completes everything over
+/// failovers, r = 1 surfaces the loss).
 fn claim_clean_cluster(log2n: u32) -> BenchReport {
     let mut exps = Vec::new();
     for policy in ["range", "hash", "round-robin"] {
@@ -461,9 +463,68 @@ fn claim_clean_cluster(log2n: u32) -> BenchReport {
             ));
         }
     }
+    for (r_factor, frac, failovers) in [(1, 2.0 / 3.0, 0.0), (2, 1.0, 5.0), (3, 1.0, 5.0)] {
+        exps.push(exp(
+            &format!("cluster/avail/r{r_factor}"),
+            &[
+                ("sim_exact", 1.0),
+                ("sim_completed_frac", frac),
+                ("sim_failovers", failovers),
+            ],
+        ));
+    }
     let mut r = report("cluster", exps);
     r.scale = Scale::new(log2n);
     r
+}
+
+#[test]
+fn cluster_availability_claim_gates_completion_and_loudness() {
+    let good = claim_clean_cluster(22);
+    assert!(
+        check_claims(&good)
+            .iter()
+            .all(|f| f.severity != Severity::Fail),
+        "{:?}",
+        check_claims(&good)
+    );
+    // r >= 2 losing even one query to the device loss: fail
+    let mut dropped = claim_clean_cluster(22);
+    for e in &mut dropped.experiments {
+        if e.id == "cluster/avail/r2" {
+            e.metrics.insert("sim_completed_frac".to_string(), 0.9);
+        }
+    }
+    assert!(check_claims(&dropped)
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("permanent device loss")));
+    // r >= 2 completing without any failover means the scenario never
+    // exercised replicated serving: fail
+    let mut idle = claim_clean_cluster(22);
+    for e in &mut idle.experiments {
+        if e.id == "cluster/avail/r3" {
+            e.metrics.insert("sim_failovers".to_string(), 0.0);
+        }
+    }
+    assert!(check_claims(&idle)
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("failover")));
+    // r = 1 reporting full completion hides the loss: fail
+    let mut hidden = claim_clean_cluster(22);
+    for e in &mut hidden.experiments {
+        if e.id == "cluster/avail/r1" {
+            e.metrics.insert("sim_completed_frac".to_string(), 1.0);
+        }
+    }
+    assert!(check_claims(&hidden)
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("silently hidden")));
+    // a missing availability cell is unverifiable: fail
+    let mut missing = claim_clean_cluster(22);
+    missing.experiments.retain(|e| e.id != "cluster/avail/r2");
+    assert!(check_claims(&missing)
+        .iter()
+        .any(|f| f.severity == Severity::Fail && f.message.contains("cluster/avail/r2")));
 }
 
 #[test]

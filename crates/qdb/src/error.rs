@@ -55,6 +55,17 @@ pub enum QdbError {
         transient: bool,
         /// Execution attempts made before giving up.
         attempts: usize,
+        /// Cluster index of the faulting device, when known (sharded
+        /// paths attribute the shard's serving device; the single-device
+        /// server has no cluster index).
+        device: Option<usize>,
+    },
+    /// An internal invariant was violated — a bug in this library, not
+    /// in the query or the device. Typed (instead of a panic) so the
+    /// no-panics contract holds on every serving path.
+    Internal {
+        /// The violated invariant.
+        what: String,
     },
     /// The query asks for a simulator-only feature on a backend that
     /// lacks it (e.g. `EXPLAIN SANITIZE` on the CPU backend). Typed so
@@ -91,6 +102,7 @@ impl QdbError {
             QdbError::Timeout { .. } => "timeout",
             QdbError::Overloaded { .. } => "overloaded",
             QdbError::DeviceFault { .. } => "device-fault",
+            QdbError::Internal { .. } => "internal",
             QdbError::UnsupportedOnBackend { .. } => "unsupported-on-backend",
         }
     }
@@ -121,12 +133,17 @@ impl std::fmt::Display for QdbError {
                 what,
                 transient,
                 attempts,
+                device,
             } => {
                 let class = if *transient { "transient" } else { "fatal" };
-                write!(
-                    f,
-                    "{class} device fault after {attempts} attempt(s): {what}"
-                )
+                write!(f, "{class} device fault")?;
+                if let Some(d) = device {
+                    write!(f, " on dev{d}")?;
+                }
+                write!(f, " after {attempts} attempt(s): {what}")
+            }
+            QdbError::Internal { what } => {
+                write!(f, "internal invariant violated: {what}")
             }
             QdbError::UnsupportedOnBackend { backend, feature } => {
                 write!(f, "the {backend} backend does not support {feature}")
@@ -156,6 +173,7 @@ impl From<LaunchError> for QdbError {
             transient: e.is_transient(),
             what: e.to_string(),
             attempts: 1,
+            device: None,
         }
     }
 }
@@ -168,6 +186,7 @@ impl From<OutOfMemory> for QdbError {
             what: e.to_string(),
             transient: true,
             attempts: 1,
+            device: None,
         }
     }
 }
@@ -187,6 +206,7 @@ impl From<TopKError> for QdbError {
                 what: format!("the {backend} backend was handed a {buffer} buffer"),
                 transient: false,
                 attempts: 1,
+                device: None,
             },
         }
     }
@@ -202,6 +222,13 @@ mod tests {
         assert!(injected.is_transient());
         let shape: QdbError = LaunchError::EmptyLaunch.into();
         assert!(!shape.is_transient());
+        // a down device is final: the conversion must classify it fatal
+        let down: QdbError = LaunchError::DeviceDown { kernel: "k" }.into();
+        assert!(!down.is_transient());
+        assert!(!QdbError::Internal {
+            what: "x".to_string()
+        }
+        .is_transient());
         let oom: QdbError = OutOfMemory {
             requested: 1,
             in_use: 0,
@@ -228,5 +255,18 @@ mod tests {
         let e = QdbError::InvalidK { k: 0, n: 100 };
         assert_eq!(e.kind(), "invalid-k");
         assert!(e.to_string().contains("LIMIT 0"));
+        let e = QdbError::Internal {
+            what: "delegate id 7 missing from its shard".to_string(),
+        };
+        assert_eq!(e.kind(), "internal");
+        assert!(e.to_string().contains("invariant"));
+        // attributed device faults name the device in the rendering
+        let e = QdbError::DeviceFault {
+            what: "boom".to_string(),
+            transient: false,
+            attempts: 2,
+            device: Some(3),
+        };
+        assert!(e.to_string().contains("on dev3"));
     }
 }

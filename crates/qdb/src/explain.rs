@@ -261,6 +261,8 @@ pub struct ShardPlan {
     pub merge_seconds: f64,
     /// Whether the cluster has peer links (affects the gather row).
     pub peer_links: bool,
+    /// Copies of each partition ([`crate::ReplicationFactor`], clamped).
+    pub replication: usize,
 }
 
 impl ShardPlan {
@@ -315,6 +317,15 @@ impl ShardPlan {
             "  total                   ~{:.3} ms\n",
             self.total_seconds() * 1e3
         ));
+        // the replication line only appears when replication exists, so
+        // unreplicated plans render byte-identical to previous releases
+        if self.replication > 1 {
+            s.push_str(&format!(
+                "  replication: r={} — reads fail over to any healthy replica; \
+                 breaker + rebuild on device loss\n",
+                self.replication
+            ));
+        }
         s.push_str("  on fault: per-shard retry/degrade; a failed shard fails the query\n");
         s
     }
@@ -340,7 +351,7 @@ pub fn explain_sharded_topk(
             continue;
         }
         let sel = match op {
-            Some(op) => TableStats::gather(&table.shard(i).gpu).selectivity(op),
+            Some(op) => TableStats::gather(table.shard(i).primary_gpu()).selectivity(op),
             None => 1.0,
         };
         sel_sum += sel;
@@ -386,6 +397,7 @@ pub fn explain_sharded_topk(
         transfer_seconds: est.transfer_seconds,
         merge_seconds: est.merge_seconds,
         peer_links: cluster.peer_link.is_some(),
+        replication: table.replication(),
     }
 }
 

@@ -44,9 +44,9 @@ pub use server::{
     ServerConfig, SubmitOptions,
 };
 pub use shard::{
-    execute_sharded, partition_indices, sharded_delegate_topk, sharded_topk, PartitionPolicy,
-    Shard, ShardedLoadReport, ShardedQueryResult, ShardedServed, ShardedServer, ShardedTable,
-    ShardedTicket, ShardedTopK,
+    execute_sharded, partition_indices, sharded_delegate_topk, sharded_topk, BreakerState,
+    DeviceHealth, PartitionPolicy, Replica, ReplicationFactor, Shard, ShardedLoadReport,
+    ShardedQueryResult, ShardedServed, ShardedServer, ShardedTable, ShardedTicket, ShardedTopK,
 };
 pub use sql::{
     execute as execute_sql, explain_lint, explain_sanitize, parse as parse_sql, parse_statement,

@@ -241,12 +241,22 @@ pub struct ResilienceStats {
     pub degraded_cpu: usize,
     /// Faults the device injected during the drain.
     pub faults_injected: usize,
+    /// Per-shard executions served by a non-primary replica after the
+    /// routed device failed (sharded serving only; always 0 on a
+    /// single-device [`Server`]).
+    pub failovers: usize,
+    /// Lost partitions re-materialized onto a surviving device (sharded
+    /// serving only).
+    pub rebuilds: usize,
+    /// Circuit-breaker transitions to the open state (sharded serving
+    /// only).
+    pub breaker_trips: usize,
 }
 
 impl ResilienceStats {
     /// One-line summary for logs and examples.
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "completed {} | shed {} | timed-out {} | failed {} | retries {} | degraded serial {} / cpu {} | faults {}",
             self.completed,
             self.shed,
@@ -256,7 +266,16 @@ impl ResilienceStats {
             self.degraded_serial,
             self.degraded_cpu,
             self.faults_injected
-        )
+        );
+        // replication counters only appear where replication exists, so
+        // single-device renders stay byte-identical to previous releases
+        if self.failovers + self.rebuilds + self.breaker_trips > 0 {
+            line.push_str(&format!(
+                " | failovers {} | rebuilds {} | breaker trips {}",
+                self.failovers, self.rebuilds, self.breaker_trips
+            ));
+        }
+        line
     }
 }
 
@@ -568,12 +587,16 @@ impl<'a> Server<'a> {
                     *spent += backoff;
                 }
                 Err(QdbError::DeviceFault {
-                    what, transient, ..
+                    what,
+                    transient,
+                    device,
+                    ..
                 }) => {
                     return Err(QdbError::DeviceFault {
                         what,
                         transient,
                         attempts: attempt + 1,
+                        device,
                     })
                 }
                 Err(e) => return Err(e),
@@ -1054,6 +1077,11 @@ impl<'a> Server<'a> {
                 .filter(|q| q.degrade == DegradeLevel::CpuHeap)
                 .count(),
             faults_injected: dev.fault_events_len() - fault_start,
+            // replication machinery lives in the sharded layer; one
+            // server bound to one device can never fail over or rebuild
+            failovers: 0,
+            rebuilds: 0,
+            breaker_trips: 0,
         };
 
         let makespan = schedule.makespan;

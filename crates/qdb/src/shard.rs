@@ -23,6 +23,15 @@
 //! Failures are never silently truncated: a shard whose local pass or
 //! delegate transfer is defeated (after bounded retries) fails the whole
 //! query with a typed [`QdbError`].
+//!
+//! Permanent loss is survived by replication ([`ReplicationFactor`]):
+//! each partition is placed on `r` devices (ring placement, replica
+//! loads charged on the interconnect), every read path serves from the
+//! first *healthy* replica, and the serving layer adds a per-device
+//! circuit breaker ([`BreakerState`]), query-time failover and online
+//! shard rebuild from the pristine host copy — see DESIGN.md §4.5.
+//! Because the merged result is a pure function of the delegate sets,
+//! which replica serves never changes a single bit of the answer.
 
 use std::collections::HashMap;
 
@@ -97,19 +106,70 @@ pub fn partition_indices(n: usize, shards: usize, policy: PartitionPolicy) -> Ve
     parts
 }
 
+/// How many devices hold a copy of each partition.
+///
+/// `r = 1` is the unreplicated behavior (and the default); `r >= 2`
+/// survives permanent device loss — reads fail over to any healthy
+/// replica, and the answer stays bit-identical regardless of which copy
+/// serves. Values above the device count are clamped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationFactor(pub usize);
+
+impl ReplicationFactor {
+    /// The unreplicated default.
+    pub const ONE: ReplicationFactor = ReplicationFactor(1);
+
+    /// The factor actually used on a `devices`-wide cluster.
+    pub fn effective(self, devices: usize) -> usize {
+        self.0.clamp(1, devices.max(1))
+    }
+}
+
+impl Default for ReplicationFactor {
+    fn default() -> Self {
+        ReplicationFactor::ONE
+    }
+}
+
+/// One device-resident copy of a shard.
+pub struct Replica {
+    /// Cluster index of the device holding this copy.
+    pub device: usize,
+    /// The copy itself.
+    pub gpu: GpuTweetTable,
+}
+
 /// One shard: the host-side sub-table (global row ids preserved) and its
-/// device-resident upload.
+/// device-resident replicas (the first is the primary).
 pub struct Shard {
     /// Host columns of this shard's rows; `host.id` holds *global* row
-    /// ids, strictly increasing.
+    /// ids, strictly increasing. This copy is pristine — device loss
+    /// never touches it, which is what makes online rebuild possible.
     pub host: TweetTable,
-    /// The shard uploaded to its device.
-    pub gpu: GpuTweetTable,
+    replicas: Vec<Replica>,
+}
+
+impl Shard {
+    /// The device the shard's primary copy lives on.
+    pub fn primary_device(&self) -> usize {
+        self.replicas[0].device
+    }
+
+    /// The primary device-resident copy.
+    pub fn primary_gpu(&self) -> &GpuTweetTable {
+        &self.replicas[0].gpu
+    }
+
+    /// All device-resident copies, primary first.
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
 }
 
 /// A tweet table partitioned across a cluster's devices.
 pub struct ShardedTable {
     policy: PartitionPolicy,
+    replication: usize,
     shards: Vec<Shard>,
 }
 
@@ -119,13 +179,35 @@ const ROW_BYTES: usize = 4 * 5 + 1;
 impl ShardedTable {
     /// Partitions `host` across the cluster's devices under `policy`,
     /// uploading each shard to its device and charging the host→device
-    /// load transfers on the interconnect.
+    /// load transfers on the interconnect. Unreplicated — identical to
+    /// [`ShardedTable::partition_replicated`] with
+    /// [`ReplicationFactor::ONE`].
     pub fn partition(
         cluster: &Cluster,
         host: &TweetTable,
         policy: PartitionPolicy,
     ) -> Result<Self, QdbError> {
+        Self::partition_replicated(cluster, host, policy, ReplicationFactor::ONE)
+    }
+
+    /// Partitions `host` across the cluster's devices under `policy`,
+    /// placing each partition on `r` devices.
+    ///
+    /// Shard `i`'s primary lands on device `i` and is charged the real
+    /// host→device load transfer; replica `j` lands on device
+    /// `(i + j) mod d` (ring placement: load stays even and no two
+    /// copies of a shard share a device) and is charged a device→device
+    /// copy from the primary — over the peer link when the cluster has
+    /// one, staged through host otherwise, so replication cost follows
+    /// the topology.
+    pub fn partition_replicated(
+        cluster: &Cluster,
+        host: &TweetTable,
+        policy: PartitionPolicy,
+        r: ReplicationFactor,
+    ) -> Result<Self, QdbError> {
         let d = cluster.num_devices();
+        let r = r.effective(d);
         let parts = partition_indices(host.len(), d, policy);
         let mut shards = Vec::with_capacity(d);
         for (i, rows) in parts.iter().enumerate() {
@@ -137,26 +219,41 @@ impl ShardedTable {
                 lang: rows.iter().map(|&r| host.lang[r]).collect(),
                 uid: rows.iter().map(|&r| host.uid[r]).collect(),
             };
+            let bytes = rows.len() * ROW_BYTES;
             let dev = cluster.device(i);
             let gpu = GpuTweetTable::upload(dev, &sub);
             let label = format!("load:shard{i}");
-            retry_transfer(
-                cluster,
-                usize::MAX,
-                i,
-                rows.len() * ROW_BYTES,
-                &label,
-                3,
-                &mut 0,
-            )?;
-            shards.push(Shard { host: sub, gpu });
+            retry_transfer(cluster, usize::MAX, i, bytes, &label, 3, &mut 0)?;
+            let mut replicas = Vec::with_capacity(r);
+            replicas.push(Replica { device: i, gpu });
+            for j in 1..r {
+                let target = (i + j) % d;
+                let gpu = GpuTweetTable::upload(cluster.device(target), &sub);
+                let label = format!("replicate:shard{i}->dev{target}");
+                retry_transfer(cluster, i, target, bytes, &label, 3, &mut 0)?;
+                replicas.push(Replica {
+                    device: target,
+                    gpu,
+                });
+            }
+            shards.push(Shard { host: sub, replicas });
         }
-        Ok(ShardedTable { policy, shards })
+        Ok(ShardedTable {
+            policy,
+            replication: r,
+            shards,
+        })
     }
 
     /// The partition policy the table was built with.
     pub fn policy(&self) -> PartitionPolicy {
         self.policy
+    }
+
+    /// The replication factor the table was built with (clamped to the
+    /// device count).
+    pub fn replication(&self) -> usize {
+        self.replication
     }
 
     /// Number of shards (== cluster devices).
@@ -228,18 +325,60 @@ fn retry_transfer_at(
         };
         match r {
             Ok(t) => return Ok(t),
-            Err(_) if attempt < max_retries => {
+            Err(e) if !e.permanent && attempt < max_retries => {
                 attempt += 1;
                 *retries += 1;
             }
             Err(e) => {
+                // a permanently down endpoint can never be retried; in
+                // both cases name the device so ledgers attribute the
+                // fault to hardware, not to the query
                 return Err(QdbError::DeviceFault {
                     what: e.to_string(),
-                    transient: true,
+                    transient: !e.permanent,
                     attempts: attempt + 1,
-                })
+                    device: Some(e.device),
+                });
             }
         }
+    }
+}
+
+/// First device at or after `start` (ring order) that is not permanently
+/// down; `None` when the whole cluster is lost.
+fn first_healthy_from(cluster: &Cluster, start: usize) -> Option<usize> {
+    let d = cluster.num_devices();
+    (0..d)
+        .map(|o| (start + o) % d)
+        .find(|&i| !cluster.device(i).is_down())
+}
+
+/// The typed error for a cluster with no healthy device left.
+fn all_devices_down(device: usize) -> QdbError {
+    QdbError::DeviceFault {
+        what: "every device in the cluster is permanently down".to_string(),
+        transient: false,
+        attempts: 1,
+        device: Some(device),
+    }
+}
+
+/// Stamps `device` into an unattributed device fault so sharded ledger
+/// entries name the hardware that failed, not just the kernel.
+fn attribute_device(e: QdbError, device: usize) -> QdbError {
+    match e {
+        QdbError::DeviceFault {
+            what,
+            transient,
+            attempts,
+            device: None,
+        } => QdbError::DeviceFault {
+            what,
+            transient,
+            attempts,
+            device: Some(device),
+        },
+        other => other,
     }
 }
 
@@ -252,21 +391,34 @@ struct Merged<T> {
     transfer_retries: usize,
 }
 
-/// Ships each shard's delegates (descending-sorted, ≤ k items) to device
-/// 0 and merges them with the bitonic run reducer. `local[i]` is shard
-/// `i`'s local completion time — the earliest its delegates can hit the
+/// Ships each shard's delegates (descending-sorted, ≤ k items) from its
+/// serving device to `merge_dev` and merges them with the bitonic run
+/// reducer. `local[i]` is shard `i`'s local completion time — the
+/// earliest its delegates can hit the wire; `serving[i]` is the device
+/// that produced them (with replication, whichever healthy replica
+/// served). Delegates already resident on the merge device skip the
 /// wire.
+#[allow(clippy::too_many_arguments)]
 fn ship_and_merge<T: TopKItem>(
     cluster: &Cluster,
     delegates: Vec<Vec<T>>,
     local: &[SimTime],
+    serving: &[usize],
+    merge_dev: usize,
     k: usize,
     cfg: BitonicConfig,
     max_retries: usize,
 ) -> Result<Merged<T>, QdbError> {
-    let dev0 = cluster.device(0);
+    let mdev = cluster.device(merge_dev);
     let total: usize = delegates.iter().map(|d| d.len()).sum();
-    let mut transfer_done = local.first().copied().unwrap_or(SimTime::ZERO);
+    // merge-resident shards never cross the wire: start the clock at
+    // their local completion
+    let mut transfer_done = SimTime::ZERO;
+    for (i, &l) in local.iter().enumerate() {
+        if serving[i] == merge_dev && l.0 > transfer_done.0 {
+            transfer_done = l;
+        }
+    }
     if total == 0 {
         for &l in local {
             if l.0 > transfer_done.0 {
@@ -285,11 +437,11 @@ fn ship_and_merge<T: TopKItem>(
     let k_eff = next_pow2(k_req);
 
     // scatter-gather: every non-resident shard ships its delegates to
-    // device 0; transfers sharing the host→dev0 channel serialize there
+    // the merge device; transfers sharing a channel serialize there
     let mut candidate_bytes = 0usize;
     let mut transfer_retries = 0usize;
     for (i, d) in delegates.iter().enumerate() {
-        if i == 0 || d.is_empty() {
+        if serving[i] == merge_dev || d.is_empty() {
             continue;
         }
         let bytes = d.len() * T::SIZE_BYTES;
@@ -297,8 +449,8 @@ fn ship_and_merge<T: TopKItem>(
         let label = format!("delegates:shard{i}");
         let t = retry_transfer_at(
             cluster,
-            i,
-            0,
+            serving[i],
+            merge_dev,
             bytes,
             &label,
             local[i],
@@ -311,7 +463,8 @@ fn ship_and_merge<T: TopKItem>(
     }
 
     // pad each delegate list into a whole k_eff run (a descending run
-    // with MIN-sentinel tail is a valid bitonic run) and reduce on dev 0
+    // with MIN-sentinel tail is a valid bitonic run) and reduce on the
+    // merge device
     let mut runs: Vec<T> = Vec::with_capacity(delegates.len() * k_eff);
     for mut d in delegates {
         debug_assert!(d.len() <= k_eff, "delegate list exceeds its run");
@@ -321,17 +474,19 @@ fn ship_and_merge<T: TopKItem>(
     let valid = runs.len();
     let mut attempt = 0usize;
     let (items, merge_time) = loop {
-        let buf = dev0.try_upload(&runs)?;
-        let log0 = dev0.log_len();
-        match bitonic_topk_from_runs(dev0, &buf, valid, k_req, cfg) {
-            Ok(r) => break (r.items, dev0.window_since(log0).time),
+        let buf = mdev
+            .try_upload(&runs)
+            .map_err(|e| attribute_device(e.into(), merge_dev))?;
+        let log0 = mdev.log_len();
+        match bitonic_topk_from_runs(mdev, &buf, valid, k_req, cfg) {
+            Ok(r) => break (r.items, mdev.window_since(log0).time),
             Err(e) => {
                 let e: QdbError = e.into();
                 if e.is_transient() && attempt < max_retries {
                     attempt += 1;
                     transfer_retries += 1;
                 } else {
-                    return Err(e);
+                    return Err(attribute_device(e, merge_dev));
                 }
             }
         }
@@ -380,20 +535,30 @@ pub fn sharded_topk<T: TopKItem>(
         cluster.num_devices(),
         "one part per cluster device"
     );
+    let Some(merge_dev) = first_healthy_from(cluster, 0) else {
+        return Err(all_devices_down(0));
+    };
     let mut delegates: Vec<Vec<T>> = Vec::with_capacity(parts.len());
     let mut local = Vec::with_capacity(parts.len());
+    let mut serving = Vec::with_capacity(parts.len());
     let mut retries = 0usize;
     for (i, part) in parts.iter().enumerate() {
         if part.is_empty() {
             delegates.push(Vec::new());
             local.push(SimTime::ZERO);
+            serving.push(merge_dev);
             continue;
         }
-        let dev = cluster.device(i);
+        // a part whose home device is down runs on the next healthy one
+        let home = first_healthy_from(cluster, i).unwrap_or(merge_dev);
+        let dev = cluster.device(home);
+        serving.push(home);
         let mut attempt = 0usize;
         let (items, time) = loop {
             let log0 = dev.log_len();
-            let buf = dev.try_upload(part)?;
+            let buf = dev
+                .try_upload(part)
+                .map_err(|e| attribute_device(e.into(), home))?;
             match bitonic_topk(dev, &buf, k.min(part.len()), cfg) {
                 Ok(r) => break (r.items, dev.window_since(log0).time),
                 Err(e) => {
@@ -402,7 +567,7 @@ pub fn sharded_topk<T: TopKItem>(
                         attempt += 1;
                         retries += 1;
                     } else {
-                        return Err(e);
+                        return Err(attribute_device(e, home));
                     }
                 }
             }
@@ -410,7 +575,16 @@ pub fn sharded_topk<T: TopKItem>(
         delegates.push(items);
         local.push(time);
     }
-    let merged = ship_and_merge(cluster, delegates, &local, k, cfg, max_retries)?;
+    let merged = ship_and_merge(
+        cluster,
+        delegates,
+        &local,
+        &serving,
+        merge_dev,
+        k,
+        cfg,
+        max_retries,
+    )?;
     Ok(ShardedTopK {
         items: merged.items,
         sim_time: merged.transfer_done + merged.merge_time,
@@ -443,20 +617,30 @@ pub fn sharded_delegate_topk<T: TopKItem>(
         cluster.num_devices(),
         "one part per cluster device"
     );
+    let Some(merge_dev) = first_healthy_from(cluster, 0) else {
+        return Err(all_devices_down(0));
+    };
     let mut delegates: Vec<Vec<T>> = Vec::with_capacity(parts.len());
     let mut local = Vec::with_capacity(parts.len());
+    let mut serving = Vec::with_capacity(parts.len());
     let mut retries = 0usize;
     for (i, part) in parts.iter().enumerate() {
         if part.is_empty() {
             delegates.push(Vec::new());
             local.push(SimTime::ZERO);
+            serving.push(merge_dev);
             continue;
         }
-        let dev = cluster.device(i);
+        // a part whose home device is down runs on the next healthy one
+        let home = first_healthy_from(cluster, i).unwrap_or(merge_dev);
+        let dev = cluster.device(home);
+        serving.push(home);
         let mut attempt = 0usize;
         let (items, time) = loop {
             let log0 = dev.log_len();
-            let buf = dev.try_upload(part)?;
+            let buf = dev
+                .try_upload(part)
+                .map_err(|e| attribute_device(e.into(), home))?;
             match delegate_select_topk(dev, &buf, k.min(part.len()), cfg) {
                 Ok(r) => break (r.items, dev.window_since(log0).time),
                 Err(e) => {
@@ -465,7 +649,7 @@ pub fn sharded_delegate_topk<T: TopKItem>(
                         attempt += 1;
                         retries += 1;
                     } else {
-                        return Err(e);
+                        return Err(attribute_device(e, home));
                     }
                 }
             }
@@ -473,7 +657,16 @@ pub fn sharded_delegate_topk<T: TopKItem>(
         delegates.push(items);
         local.push(time);
     }
-    let merged = ship_and_merge(cluster, delegates, &local, k, cfg.bitonic, max_retries)?;
+    let merged = ship_and_merge(
+        cluster,
+        delegates,
+        &local,
+        &serving,
+        merge_dev,
+        k,
+        cfg.bitonic,
+        max_retries,
+    )?;
     Ok(ShardedTopK {
         items: merged.items,
         sim_time: merged.transfer_done + merged.merge_time,
@@ -506,11 +699,13 @@ pub struct ShardedQueryResult {
 }
 
 /// Finds the shard-local row of a global id (shard id columns are
-/// strictly increasing by construction).
-fn shard_row(shard: &TweetTable, id: u32) -> usize {
-    shard
-        .host_row(id)
-        .expect("delegate id must belong to its shard")
+/// strictly increasing by construction). A miss is a bug in the gather
+/// path, reported as a typed [`QdbError::Internal`] — never a panic, so
+/// the no-panics contract holds on the delegate gather path too.
+fn shard_row(shard: &TweetTable, id: u32) -> Result<usize, QdbError> {
+    shard.host_row(id).ok_or_else(|| QdbError::Internal {
+        what: format!("delegate id {id} does not belong to its shard"),
+    })
 }
 
 trait HostRow {
@@ -561,37 +756,66 @@ pub fn execute_sharded(
         });
     }
 
+    let Some(merge_dev) = first_healthy_from(cluster, 0) else {
+        return Err(all_devices_down(0));
+    };
     let mut per_shard: Vec<Vec<u32>> = Vec::with_capacity(table.num_shards());
     let mut local = Vec::with_capacity(table.num_shards());
+    let mut serving = Vec::with_capacity(table.num_shards());
     let mut retries = 0usize;
     for i in 0..table.num_shards() {
         let shard = table.shard(i);
         if shard.host.is_empty() {
             per_shard.push(Vec::new());
             local.push(SimTime::ZERO);
+            serving.push(merge_dev);
             continue;
         }
-        let dev = cluster.device(i);
+        // read any healthy replica, primary first — which copy serves
+        // cannot change the answer, only where the delegates start
+        let Some(rep) = shard
+            .replicas()
+            .iter()
+            .find(|rep| !cluster.device(rep.device).is_down())
+        else {
+            return Err(QdbError::DeviceFault {
+                what: format!("shard {i}: every replica device is permanently down"),
+                transient: false,
+                attempts: 1,
+                device: Some(shard.primary_device()),
+            });
+        };
+        let dev = cluster.device(rep.device);
+        serving.push(rep.device);
         let shard_q = Query {
             limit: q.limit.min(shard.host.len()),
             ..q.clone()
         };
         let mut attempt = 0usize;
         let r = loop {
-            match execute(dev, &shard.gpu, &shard_q, strategy) {
+            match execute(dev, &rep.gpu, &shard_q, strategy) {
                 Ok(r) => break r,
                 Err(e) if e.is_transient() && attempt < max_retries => {
                     attempt += 1;
                     retries += 1;
                 }
-                Err(e) => return Err(e),
+                Err(e) => return Err(attribute_device(e, rep.device)),
             }
         };
         local.push(r.kernel_time);
         per_shard.push(r.ids);
     }
 
-    let merged = merge_shard_ids(cluster, table, q, per_shard, &local, max_retries)?;
+    let merged = merge_shard_ids(
+        cluster,
+        table,
+        q,
+        per_shard,
+        &local,
+        &serving,
+        merge_dev,
+        max_retries,
+    )?;
     Ok(ShardedQueryResult {
         ids: merged.0,
         sim_time: merged.1.transfer_done + merged.1.merge_time,
@@ -613,29 +837,48 @@ struct MergedIds {
     transfer_retries: usize,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn merge_shard_ids(
     cluster: &Cluster,
     table: &ShardedTable,
     q: &Query,
     per_shard: Vec<Vec<u32>>,
     local: &[SimTime],
+    serving: &[usize],
+    merge_dev: usize,
     max_retries: usize,
 ) -> Result<(Vec<u32>, MergedIds), QdbError> {
     let cfg = BitonicConfig::default();
     let k = q.limit;
+    // rebuild each shard's delegate (key, id) pairs from its host
+    // columns, fallibly: a missing id is a typed internal error
+    fn delegates_of<T, F>(
+        table: &ShardedTable,
+        per_shard: &[Vec<u32>],
+        mut make: F,
+    ) -> Result<Vec<Vec<T>>, QdbError>
+    where
+        F: FnMut(&TweetTable, usize, u32) -> T,
+    {
+        let mut delegates = Vec::with_capacity(per_shard.len());
+        for (i, ids) in per_shard.iter().enumerate() {
+            let h = &table.shard(i).host;
+            let mut d = Vec::with_capacity(ids.len());
+            for &id in ids {
+                d.push(make(h, shard_row(h, id)?, id));
+            }
+            delegates.push(d);
+        }
+        Ok(delegates)
+    }
     match (&q.order_by, q.ascending) {
         (OrderBy::RetweetCount, false) => {
-            let delegates: Vec<Vec<Kv<u32>>> = per_shard
-                .iter()
-                .enumerate()
-                .map(|(i, ids)| {
-                    let h = &table.shard(i).host;
-                    ids.iter()
-                        .map(|&id| Kv::new(h.retweet_count[shard_row(h, id)], id))
-                        .collect()
-                })
-                .collect();
-            let m = ship_and_merge(cluster, delegates, local, k, cfg, max_retries)?;
+            let delegates = delegates_of(table, &per_shard, |h, row, id| {
+                Kv::new(h.retweet_count[row], id)
+            })?;
+            let m = ship_and_merge(
+                cluster, delegates, local, serving, merge_dev, k, cfg, max_retries,
+            )?;
             Ok((
                 m.items.iter().map(|kv| kv.value).collect(),
                 MergedIds {
@@ -647,17 +890,12 @@ fn merge_shard_ids(
             ))
         }
         (OrderBy::RetweetCount, true) => {
-            let delegates: Vec<Vec<Rev<Kv<u32>>>> = per_shard
-                .iter()
-                .enumerate()
-                .map(|(i, ids)| {
-                    let h = &table.shard(i).host;
-                    ids.iter()
-                        .map(|&id| Rev(Kv::new(h.retweet_count[shard_row(h, id)], id)))
-                        .collect()
-                })
-                .collect();
-            let m = ship_and_merge(cluster, delegates, local, k, cfg, max_retries)?;
+            let delegates = delegates_of(table, &per_shard, |h, row, id| {
+                Rev(Kv::new(h.retweet_count[row], id))
+            })?;
+            let m = ship_and_merge(
+                cluster, delegates, local, serving, merge_dev, k, cfg, max_retries,
+            )?;
             Ok((
                 m.items.iter().map(|kv| kv.0.value).collect(),
                 MergedIds {
@@ -669,17 +907,11 @@ fn merge_shard_ids(
             ))
         }
         (OrderBy::Rank { .. }, _) => {
-            let delegates: Vec<Vec<Kv<f32>>> = per_shard
-                .iter()
-                .enumerate()
-                .map(|(i, ids)| {
-                    let h = &table.shard(i).host;
-                    ids.iter()
-                        .map(|&id| Kv::new(rank_key(h, shard_row(h, id)), id))
-                        .collect()
-                })
-                .collect();
-            let m = ship_and_merge(cluster, delegates, local, k, cfg, max_retries)?;
+            let delegates =
+                delegates_of(table, &per_shard, |h, row, id| Kv::new(rank_key(h, row), id))?;
+            let m = ship_and_merge(
+                cluster, delegates, local, serving, merge_dev, k, cfg, max_retries,
+            )?;
             Ok((
                 m.items.iter().map(|kv| kv.value).collect(),
                 MergedIds {
@@ -760,6 +992,9 @@ pub struct ShardedServed {
     /// The transfer/merge share of `retries` (the shard share is already
     /// in the per-device ledgers).
     pub transfer_retries: usize,
+    /// Per-shard executions this query served from a non-routed replica
+    /// after the routed device failed.
+    pub failovers: usize,
 }
 
 impl ShardedServed {
@@ -777,42 +1012,208 @@ pub struct ShardedLoadReport {
     /// Aggregated resilience ledger: per-shard server ledgers summed,
     /// with completion/failure counted at the sharded-query level.
     pub resilience: ResilienceStats,
-    /// Per-device drain reports (admission queues, ladders, traces).
+    /// Per-replica-server drain reports, shard-major then replica order
+    /// (with `r = 1` this is exactly one report per shard).
     pub shard_reports: Vec<LoadReport>,
     /// Completion time of the slowest query (0 when none completed).
     pub makespan: SimTime,
+    /// Per-device health snapshot after this drain (breaker states,
+    /// consecutive failures, trip counts).
+    pub health: Vec<DeviceHealth>,
 }
 
-/// A serving front-end over a sharded table: one [`Server`] per device,
-/// each with its own admission queue, retry budget and degradation
-/// ladder; queries scatter to every shard at submission and gather-merge
-/// at drain.
+/// Breaker trip threshold: consecutive failed sub-queries attributed to
+/// one device before its breaker opens.
+const BREAKER_THRESHOLD: usize = 3;
+
+/// Simulated cooldown an open breaker waits before admitting a
+/// half-open probe.
+const BREAKER_COOLDOWN: SimTime = SimTime(1e-3);
+
+/// Circuit-breaker state of one device on the sharded serving path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BreakerState {
+    /// Healthy: queries route here normally.
+    Closed,
+    /// Tripped: no queries route here until the cooldown elapses.
+    Open {
+        /// Simulated time at which a half-open probe is admitted.
+        until: SimTime,
+    },
+    /// Cooldown elapsed: the next routed query is a probe — success
+    /// recloses the breaker, failure re-opens it.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable name for ledgers and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Per-device serving health the sharded server tracks across drains.
+#[derive(Debug, Clone)]
+pub struct DeviceHealth {
+    /// Consecutive failed sub-queries attributed to this device.
+    pub consecutive_failures: usize,
+    /// The breaker's current state.
+    pub state: BreakerState,
+    /// Times the breaker has tripped open.
+    pub trips: usize,
+    /// Whether the device was seen permanently down at routing time.
+    pub down: bool,
+}
+
+/// Where one shard's sub-query was routed at submission.
+enum ShardRoute {
+    /// Queued on `servers[shard][replica]`.
+    Queued { replica: usize, ticket: QueryTicket },
+    /// No live replica server was routable; the query runs directly on
+    /// a rebuilt copy at drain.
+    Direct { device: usize },
+    /// The shard is empty: contributes nothing.
+    Empty,
+    /// No healthy copy exists anywhere: fails loudly at drain.
+    Dead { device: usize },
+}
+
+/// One admitted sharded query awaiting drain.
+struct PendingQuery {
+    ticket: ShardedTicket,
+    sql: String,
+    q: Query,
+    routes: Vec<ShardRoute>,
+}
+
+/// A serving front-end over a sharded table: one [`Server`] per
+/// (shard, replica), each with its own admission queue, retry budget and
+/// degradation ladder; queries scatter to every shard at submission
+/// (routed to the first healthy replica) and gather-merge at drain.
+///
+/// Permanent device loss is survived, not retried: a per-device
+/// consecutive-failure circuit breaker steers routing away from a
+/// failing device, drain-time failover re-serves a failed sub-query
+/// from any healthy replica, and lost partitions are rebuilt from their
+/// pristine host copies onto surviving devices for subsequent
+/// submissions. All of it is ledgered ([`ResilienceStats::failovers`],
+/// [`ResilienceStats::rebuilds`], [`ResilienceStats::breaker_trips`],
+/// [`ShardedLoadReport::health`]).
 pub struct ShardedServer<'a> {
     cluster: &'a Cluster,
     table: &'a ShardedTable,
-    servers: Vec<Server<'a>>,
+    /// `servers[shard][replica]` mirrors `table.shard(shard).replicas()`.
+    servers: Vec<Vec<Server<'a>>>,
+    /// Rebuilt copies per shard: `(device, re-materialized table)`.
+    /// Owned here (not by the table), served directly at drain.
+    rebuilt: Vec<Vec<(usize, GpuTweetTable)>>,
+    health: Vec<DeviceHealth>,
+    /// Simulated clock the breaker runs on; advances by each drain's
+    /// makespan.
+    sim_now: SimTime,
+    strategy: Strategy,
     max_retries: usize,
-    pending: Vec<(ShardedTicket, String, Query, Vec<Option<QueryTicket>>)>,
+    pending: Vec<PendingQuery>,
     next_ticket: usize,
     shed: usize,
 }
 
 impl<'a> ShardedServer<'a> {
-    /// Creates one per-device server over each shard.
+    /// Creates one server per (shard, replica) pair.
     pub fn new(cluster: &'a Cluster, table: &'a ShardedTable, cfg: ServerConfig) -> Self {
         assert_eq!(cluster.num_devices(), table.num_shards());
         let max_retries = cfg.max_retries;
-        let servers = (0..table.num_shards())
-            .map(|i| Server::new(cluster.device(i), &table.shard(i).gpu, cfg.clone()))
+        let strategy = cfg.default_strategy;
+        let servers: Vec<Vec<Server<'a>>> = (0..table.num_shards())
+            .map(|i| {
+                table
+                    .shard(i)
+                    .replicas()
+                    .iter()
+                    .map(|rep| Server::new(cluster.device(rep.device), &rep.gpu, cfg.clone()))
+                    .collect()
+            })
+            .collect();
+        let health = (0..cluster.num_devices())
+            .map(|_| DeviceHealth {
+                consecutive_failures: 0,
+                state: BreakerState::Closed,
+                trips: 0,
+                down: false,
+            })
             .collect();
         ShardedServer {
             cluster,
             table,
             servers,
+            rebuilt: (0..table.num_shards()).map(|_| Vec::new()).collect(),
+            health,
+            sim_now: SimTime::ZERO,
+            strategy,
             max_retries,
             pending: Vec::new(),
             next_ticket: 0,
             shed: 0,
+        }
+    }
+
+    /// Per-device health (breaker state, consecutive failures, trips).
+    pub fn health(&self) -> &[DeviceHealth] {
+        &self.health
+    }
+
+    /// Whether queries may route to `device` right now: not permanently
+    /// down, breaker not open (an elapsed cooldown moves the breaker to
+    /// half-open and admits the probe).
+    fn device_routable(&mut self, device: usize) -> bool {
+        if self.cluster.device(device).is_down() {
+            self.health[device].down = true;
+            return false;
+        }
+        match self.health[device].state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { until } => {
+                if self.sim_now.0 >= until.0 {
+                    self.health[device].state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a failed sub-query on `device`: trips the breaker after
+    /// [`BREAKER_THRESHOLD`] consecutive failures; a failed half-open
+    /// probe re-opens immediately.
+    fn note_failure(&mut self, device: usize) {
+        let reopen = self.sim_now + BREAKER_COOLDOWN;
+        let h = &mut self.health[device];
+        h.consecutive_failures += 1;
+        match h.state {
+            BreakerState::HalfOpen => {
+                h.state = BreakerState::Open { until: reopen };
+                h.trips += 1;
+            }
+            BreakerState::Closed if h.consecutive_failures >= BREAKER_THRESHOLD => {
+                h.state = BreakerState::Open { until: reopen };
+                h.trips += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Records a served sub-query on `device`: resets the failure streak
+    /// and recloses a half-open breaker.
+    fn note_success(&mut self, device: usize) {
+        let h = &mut self.health[device];
+        h.consecutive_failures = 0;
+        if matches!(h.state, BreakerState::HalfOpen) {
+            h.state = BreakerState::Closed;
         }
     }
 
@@ -839,29 +1240,195 @@ impl<'a> ShardedServer<'a> {
         if q.limit > n {
             return Err(QdbError::InvalidK { k: q.limit, n });
         }
-        let mut tickets = Vec::with_capacity(self.servers.len());
-        for (i, server) in self.servers.iter_mut().enumerate() {
+        let mut routes = Vec::with_capacity(self.table.num_shards());
+        for i in 0..self.table.num_shards() {
             let shard_n = self.table.shard(i).host.len();
             if shard_n == 0 {
-                tickets.push(None);
+                routes.push(ShardRoute::Empty);
                 continue;
             }
-            let shard_sql = render_sql(&q, q.limit.min(shard_n));
-            match server.submit(&shard_sql, SubmitOptions::default()) {
-                Ok(t) => tickets.push(Some(t)),
-                Err(e @ QdbError::Overloaded { .. }) => {
-                    // already-admitted siblings will run and be discarded —
-                    // the price of decentralized admission
-                    self.shed += 1;
-                    return Err(e);
+            // first routable replica takes the shard (primary first, so
+            // the all-healthy path is identical to the unreplicated one)
+            let devices: Vec<usize> = self
+                .table
+                .shard(i)
+                .replicas()
+                .iter()
+                .map(|rep| rep.device)
+                .collect();
+            if let Some(j) = devices.iter().position(|&d| self.device_routable(d)) {
+                let shard_sql = render_sql(&q, q.limit.min(shard_n));
+                match self.servers[i][j].submit(&shard_sql, SubmitOptions::default()) {
+                    Ok(t) => routes.push(ShardRoute::Queued { replica: j, ticket: t }),
+                    Err(e @ QdbError::Overloaded { .. }) => {
+                        // already-admitted siblings will run and be
+                        // discarded — the price of decentralized admission
+                        self.shed += 1;
+                        return Err(e);
+                    }
+                    Err(e) => return Err(e),
                 }
-                Err(e) => return Err(e),
+                continue;
+            }
+            // no live replica server: a rebuilt copy on a routable
+            // device can still serve directly at drain
+            let rebuilt: Vec<usize> = self.rebuilt[i].iter().map(|&(d, _)| d).collect();
+            match rebuilt.into_iter().find(|&d| self.device_routable(d)) {
+                Some(d) => routes.push(ShardRoute::Direct { device: d }),
+                None => routes.push(ShardRoute::Dead {
+                    device: self.table.shard(i).primary_device(),
+                }),
             }
         }
         let ticket = ShardedTicket(self.next_ticket);
         self.next_ticket += 1;
-        self.pending.push((ticket, sql.to_string(), q, tickets));
+        self.pending.push(PendingQuery {
+            ticket,
+            sql: sql.to_string(),
+            q,
+            routes,
+        });
         Ok(ticket)
+    }
+
+    /// Runs shard `i`'s sub-query directly on `device` (a rebuilt copy,
+    /// or a replica outside its server queue during failover), with
+    /// bounded transient retries. Returns (ids, kernel time, retries).
+    fn direct_execute(
+        &self,
+        i: usize,
+        device: usize,
+        q: &Query,
+    ) -> Result<(Vec<u32>, SimTime, usize), QdbError> {
+        if self.cluster.device(device).is_down() {
+            return Err(QdbError::DeviceFault {
+                what: format!("shard {i}: dev{device} is permanently down"),
+                transient: false,
+                attempts: 1,
+                device: Some(device),
+            });
+        }
+        let shard = self.table.shard(i);
+        let gpu = shard
+            .replicas()
+            .iter()
+            .find(|rep| rep.device == device)
+            .map(|rep| &rep.gpu)
+            .or_else(|| {
+                self.rebuilt[i]
+                    .iter()
+                    .find(|&&(d, _)| d == device)
+                    .map(|(_, gpu)| gpu)
+            })
+            .ok_or_else(|| QdbError::Internal {
+                what: format!("shard {i} has no copy on dev{device}"),
+            })?;
+        let shard_q = Query {
+            limit: q.limit.min(shard.host.len()),
+            ..q.clone()
+        };
+        let dev = self.cluster.device(device);
+        let mut attempt = 0usize;
+        loop {
+            match execute(dev, gpu, &shard_q, self.strategy) {
+                Ok(r) => return Ok((r.ids, r.kernel_time, attempt)),
+                Err(e) if e.is_transient() && attempt < self.max_retries => attempt += 1,
+                Err(e) => return Err(attribute_device(e, device)),
+            }
+        }
+    }
+
+    /// Serves shard `i` from any healthy copy whose device is not in
+    /// `exclude`. Returns (ids, time, serving device, retries).
+    fn failover(
+        &mut self,
+        i: usize,
+        q: &Query,
+        exclude: &[usize],
+    ) -> Result<(Vec<u32>, SimTime, usize, usize), QdbError> {
+        let candidates: Vec<usize> = self
+            .table
+            .shard(i)
+            .replicas()
+            .iter()
+            .map(|rep| rep.device)
+            .chain(self.rebuilt[i].iter().map(|&(d, _)| d))
+            .filter(|d| !exclude.contains(d))
+            .collect();
+        let mut last: Option<QdbError> = None;
+        for device in candidates {
+            if self.cluster.device(device).is_down() {
+                self.health[device].down = true;
+                continue;
+            }
+            match self.direct_execute(i, device, q) {
+                Ok((ids, time, spent)) => {
+                    self.note_success(device);
+                    return Ok((ids, time, device, spent));
+                }
+                Err(e) => {
+                    self.note_failure(device);
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| QdbError::DeviceFault {
+            what: format!("shard {i}: no healthy replica to fail over to"),
+            transient: false,
+            attempts: 1,
+            device: Some(self.table.shard(i).primary_device()),
+        }))
+    }
+
+    /// Restores each shard's replication after device loss: a shard with
+    /// fewer live copies than the table's replication factor is
+    /// re-materialized from its pristine host columns onto the next
+    /// healthy device not already holding a copy, charged as a real
+    /// host→device bulk transfer. Rebuilt copies serve *subsequent*
+    /// submissions and failovers — queries already resolved this drain
+    /// are not retroactively saved, which is what keeps an `r = 1` loss
+    /// loud instead of silently absorbed.
+    fn rebuild_lost_shards(&mut self) -> usize {
+        let d = self.cluster.num_devices();
+        let mut rebuilds = 0usize;
+        for i in 0..self.table.num_shards() {
+            let shard = self.table.shard(i);
+            if shard.host.is_empty() {
+                continue;
+            }
+            let mut live: Vec<usize> = shard
+                .replicas()
+                .iter()
+                .map(|rep| rep.device)
+                .chain(self.rebuilt[i].iter().map(|&(dv, _)| dv))
+                .filter(|&dv| !self.cluster.device(dv).is_down())
+                .collect();
+            while live.len() < self.table.replication() {
+                let target = (0..d)
+                    .map(|o| (i + o) % d)
+                    .find(|&dv| !self.cluster.device(dv).is_down() && !live.contains(&dv));
+                let Some(target) = target else { break };
+                let gpu = GpuTweetTable::upload(self.cluster.device(target), &shard.host);
+                let label = format!("rebuild:shard{i}");
+                if retry_transfer(
+                    self.cluster,
+                    usize::MAX,
+                    target,
+                    shard.host.len() * ROW_BYTES,
+                    &label,
+                    self.max_retries,
+                    &mut 0,
+                )
+                .is_err()
+                {
+                    break;
+                }
+                self.rebuilt[i].push((target, gpu));
+                rebuilds += 1;
+                live.push(target);
+            }
+        }
+        rebuilds
     }
 
     /// Number of queries admitted and not yet drained.
@@ -869,63 +1436,170 @@ impl<'a> ShardedServer<'a> {
         self.pending.len()
     }
 
-    /// Drains every per-device server, gathers each query's delegates
-    /// over the interconnect, merges on device 0 and reports.
+    /// Drains every replica server, resolves each query's per-shard
+    /// outcome — failing over to a healthy replica where the routed
+    /// device failed or died mid-drain — gathers delegates over the
+    /// interconnect, merges on the first healthy device, updates the
+    /// breaker ledger and rebuilds lost partitions for subsequent
+    /// submissions.
     pub fn drain(&mut self) -> ShardedLoadReport {
-        let shard_reports: Vec<LoadReport> = self.servers.iter_mut().map(|s| s.drain()).collect();
-        let by_ticket: Vec<HashMap<usize, usize>> = shard_reports
+        let replica_reports: Vec<Vec<LoadReport>> = self
+            .servers
+            .iter_mut()
+            .map(|reps| reps.iter_mut().map(|s| s.drain()).collect())
+            .collect();
+        let by_ticket: Vec<Vec<HashMap<usize, usize>>> = replica_reports
             .iter()
-            .map(|r| {
-                r.queries
-                    .iter()
-                    .enumerate()
-                    .map(|(idx, sq)| (sq.ticket.0, idx))
+            .map(|reps| {
+                reps.iter()
+                    .map(|r| {
+                        r.queries
+                            .iter()
+                            .enumerate()
+                            .map(|(idx, sq)| (sq.ticket.0, idx))
+                            .collect()
+                    })
                     .collect()
             })
             .collect();
 
+        let trips_before: usize = self.health.iter().map(|h| h.trips).sum();
+        let merge_dev = first_healthy_from(self.cluster, 0);
+        let fallback_dev = merge_dev.unwrap_or(0);
+        let mut failovers_total = 0usize;
         let pending = std::mem::take(&mut self.pending);
         let mut queries = Vec::with_capacity(pending.len());
-        for (ticket, sql, q, tickets) in pending {
-            let mut per_shard: Vec<Vec<u32>> = Vec::with_capacity(tickets.len());
-            let mut local = Vec::with_capacity(tickets.len());
+        for PendingQuery {
+            ticket,
+            sql,
+            q,
+            routes,
+        } in pending
+        {
+            let mut per_shard: Vec<Vec<u32>> = Vec::with_capacity(routes.len());
+            let mut local = Vec::with_capacity(routes.len());
+            let mut serving = Vec::with_capacity(routes.len());
             let mut error: Option<QdbError> = None;
             let mut degrade = DegradeLevel::None;
             let mut retries = 0usize;
             let mut transfer_retries = 0usize;
-            for (i, t) in tickets.iter().enumerate() {
-                let Some(t) = t else {
-                    per_shard.push(Vec::new());
-                    local.push(SimTime::ZERO);
-                    continue;
+            let mut failovers = 0usize;
+            // resolve each shard; a helper closure shape keeps the three
+            // failure paths (queued error, stranded result, direct miss)
+            // funneling through the same failover
+            for (i, route) in routes.iter().enumerate() {
+                let mut push_shard = |ids: Vec<u32>, time: SimTime, dev: usize| {
+                    per_shard.push(ids);
+                    local.push(time);
+                    serving.push(dev);
                 };
-                let served = &shard_reports[i].queries[by_ticket[i][&t.0]];
-                retries += served.retries;
-                degrade = degrade.max(served.degrade);
-                if let Some(e) = &served.error {
-                    // a failed shard fails the whole query: no silent
-                    // truncation to the surviving shards
-                    error.get_or_insert_with(|| e.clone());
+                match route {
+                    ShardRoute::Empty => push_shard(Vec::new(), SimTime::ZERO, fallback_dev),
+                    ShardRoute::Dead { device } => {
+                        error.get_or_insert_with(|| QdbError::DeviceFault {
+                            what: format!("shard {i}: no healthy replica to serve from"),
+                            transient: false,
+                            attempts: 1,
+                            device: Some(*device),
+                        });
+                        push_shard(Vec::new(), SimTime::ZERO, fallback_dev);
+                    }
+                    ShardRoute::Direct { device } => match self.direct_execute(i, *device, &q) {
+                        Ok((ids, time, spent)) => {
+                            retries += spent;
+                            push_shard(ids, time, *device);
+                            self.note_success(*device);
+                        }
+                        Err(e) => {
+                            self.note_failure(*device);
+                            match self.failover(i, &q, &[*device]) {
+                                Ok((ids, time, dev, spent)) => {
+                                    failovers += 1;
+                                    retries += spent;
+                                    push_shard(ids, time, dev);
+                                }
+                                Err(_) => {
+                                    error.get_or_insert(e);
+                                    push_shard(Vec::new(), SimTime::ZERO, fallback_dev);
+                                }
+                            }
+                        }
+                    },
+                    ShardRoute::Queued { replica, ticket: t } => {
+                        let device = self.table.shard(i).replicas()[*replica].device;
+                        let served =
+                            &replica_reports[i][*replica].queries[by_ticket[i][*replica][&t.0]];
+                        retries += served.retries;
+                        degrade = degrade.max(served.degrade);
+                        let stranded = served.error.is_none() && self.cluster.device(device).is_down();
+                        if let Some(e) = &served.error {
+                            let e = attribute_device(e.clone(), device);
+                            self.note_failure(device);
+                            // a deadline miss is final — re-running it
+                            // elsewhere would answer after the deadline
+                            let worth = matches!(e, QdbError::DeviceFault { .. });
+                            let rescued = worth
+                                .then(|| self.failover(i, &q, &[device]).ok())
+                                .flatten();
+                            match rescued {
+                                Some((ids, time, dev, spent)) => {
+                                    failovers += 1;
+                                    retries += spent;
+                                    push_shard(ids, time, dev);
+                                }
+                                None => {
+                                    // a failed shard with no healthy copy
+                                    // fails the whole query: no silent
+                                    // truncation to the surviving shards
+                                    error.get_or_insert(e);
+                                    push_shard(Vec::new(), SimTime::ZERO, fallback_dev);
+                                }
+                            }
+                        } else if stranded {
+                            // the device answered but died before its
+                            // delegates could ship: the result is lost
+                            // with it — re-serve from a healthy replica
+                            self.note_failure(device);
+                            match self.failover(i, &q, &[device]) {
+                                Ok((ids, time, dev, spent)) => {
+                                    failovers += 1;
+                                    retries += spent;
+                                    push_shard(ids, time, dev);
+                                }
+                                Err(e) => {
+                                    error.get_or_insert(e);
+                                    push_shard(Vec::new(), SimTime::ZERO, fallback_dev);
+                                }
+                            }
+                        } else {
+                            push_shard(served.result.ids.clone(), served.timing.total, device);
+                            self.note_success(device);
+                        }
+                    }
                 }
-                per_shard.push(served.result.ids.clone());
-                local.push(served.timing.total);
             }
+            failovers_total += failovers;
             let (ids, latency, err) = if let Some(e) = error {
                 (Vec::new(), SimTime::ZERO, Some(e))
             } else {
-                match merge_shard_ids(
-                    self.cluster,
-                    self.table,
-                    &q,
-                    per_shard,
-                    &local,
-                    self.max_retries,
-                ) {
-                    Ok((ids, m)) => {
-                        transfer_retries += m.transfer_retries;
-                        (ids, m.transfer_done + m.merge_time, None)
-                    }
-                    Err(e) => (Vec::new(), SimTime::ZERO, Some(e)),
+                match merge_dev {
+                    None => (Vec::new(), SimTime::ZERO, Some(all_devices_down(0))),
+                    Some(md) => match merge_shard_ids(
+                        self.cluster,
+                        self.table,
+                        &q,
+                        per_shard,
+                        &local,
+                        &serving,
+                        md,
+                        self.max_retries,
+                    ) {
+                        Ok((ids, m)) => {
+                            transfer_retries += m.transfer_retries;
+                            (ids, m.transfer_done + m.merge_time, None)
+                        }
+                        Err(e) => (Vec::new(), SimTime::ZERO, Some(e)),
+                    },
                 }
             };
             queries.push(ShardedServed {
@@ -937,15 +1611,17 @@ impl<'a> ShardedServer<'a> {
                 degrade,
                 retries: retries + transfer_retries,
                 transfer_retries,
+                failovers,
             });
         }
 
         let mut resilience = ResilienceStats::default();
-        for r in &shard_reports {
+        for r in replica_reports.iter().flatten() {
             resilience.retries += r.resilience.retries;
             resilience.faults_injected += r.resilience.faults_injected;
         }
         resilience.shed = std::mem::take(&mut self.shed);
+        resilience.failovers = failovers_total;
         for sq in &queries {
             if sq.completed() {
                 resilience.completed += 1;
@@ -968,11 +1644,36 @@ impl<'a> ShardedServer<'a> {
             .filter(|q| q.completed())
             .map(|q| q.latency)
             .fold(SimTime::ZERO, |a, b| if b.0 > a.0 { b } else { a });
+
+        // advance the simulated clock the breaker cooldown runs on: the
+        // slowest of the per-replica drains and this drain's merges
+        let mut advance = makespan;
+        for r in replica_reports.iter().flatten() {
+            if r.makespan.0 > advance.0 {
+                advance = r.makespan;
+            }
+        }
+        self.sim_now = self.sim_now + advance;
+
+        // restore replication for what this drain revealed as lost
+        resilience.rebuilds = self.rebuild_lost_shards();
+        resilience.breaker_trips =
+            self.health.iter().map(|h| h.trips).sum::<usize>() - trips_before;
+        // the report's health snapshot reflects losses this drain saw,
+        // not just the ones the next submission would discover
+        for (d, h) in self.health.iter_mut().enumerate() {
+            if self.cluster.device(d).is_down() {
+                h.down = true;
+            }
+        }
+
+        let shard_reports: Vec<LoadReport> = replica_reports.into_iter().flatten().collect();
         ShardedLoadReport {
             queries,
             resilience,
             shard_reports,
             makespan,
+            health: self.health.clone(),
         }
     }
 }
@@ -1222,6 +1923,252 @@ mod tests {
         assert_eq!(report.resilience.retries, 0);
         assert!(report.makespan.0 > 0.0);
         assert_eq!(report.shard_reports.len(), 4);
+    }
+
+    #[test]
+    fn replicated_partition_places_ring_copies_and_stays_bit_identical() {
+        let host = TweetTable::generate(8_000, 31);
+        let q = parse("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 12").unwrap();
+        let oracle = {
+            let cluster = Cluster::new(ClusterSpec::pcie_node(4));
+            let table = ShardedTable::partition(&cluster, &host, PartitionPolicy::Hash).unwrap();
+            execute_sharded(&cluster, &table, &q, Strategy::StageBitonic, 2)
+                .unwrap()
+                .ids
+        };
+        let cluster = Cluster::new(ClusterSpec::pcie_node(4));
+        let table = ShardedTable::partition_replicated(
+            &cluster,
+            &host,
+            PartitionPolicy::Hash,
+            ReplicationFactor(2),
+        )
+        .unwrap();
+        assert_eq!(table.replication(), 2);
+        for i in 0..4 {
+            let devs: Vec<usize> = table.shard(i).replicas().iter().map(|r| r.device).collect();
+            assert_eq!(devs, vec![i, (i + 1) % 4], "ring placement for shard {i}");
+        }
+        // replica copies are charged as real device-to-device transfers
+        let labels: Vec<String> = cluster.transfers().iter().map(|t| t.label.clone()).collect();
+        assert!(
+            labels.iter().any(|l| l == "replicate:shard0->dev1"),
+            "{labels:?}"
+        );
+        // the healthy read path serves from primaries: bit-identical to r=1
+        let r = execute_sharded(&cluster, &table, &q, Strategy::StageBitonic, 2).unwrap();
+        assert_eq!(r.ids, oracle);
+        // the factor clamps to the cluster size and never goes below one
+        assert_eq!(ReplicationFactor(9).effective(4), 4);
+        assert_eq!(ReplicationFactor(0).effective(4), 1);
+    }
+
+    #[test]
+    fn replicated_reads_survive_permanent_device_loss() {
+        let host = TweetTable::generate(8_000, 33);
+        let q = parse("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 10").unwrap();
+        let oracle = {
+            let cluster = Cluster::new(ClusterSpec::pcie_node(4));
+            let table = ShardedTable::partition(&cluster, &host, PartitionPolicy::Range).unwrap();
+            execute_sharded(&cluster, &table, &q, Strategy::StageBitonic, 2)
+                .unwrap()
+                .ids
+        };
+        // r = 2: losing a device leaves every shard a healthy copy
+        let cluster = Cluster::new(ClusterSpec::pcie_node(4));
+        let table = ShardedTable::partition_replicated(
+            &cluster,
+            &host,
+            PartitionPolicy::Range,
+            ReplicationFactor(2),
+        )
+        .unwrap();
+        cluster.device(1).mark_down();
+        let r = execute_sharded(&cluster, &table, &q, Strategy::StageBitonic, 2).unwrap();
+        assert_eq!(r.ids, oracle, "failover reads are bit-identical");
+        // r = 1: the loss is loud, typed and attributed — never truncated
+        let cluster = Cluster::new(ClusterSpec::pcie_node(4));
+        let table = ShardedTable::partition(&cluster, &host, PartitionPolicy::Range).unwrap();
+        cluster.device(1).mark_down();
+        let err = execute_sharded(&cluster, &table, &q, Strategy::StageBitonic, 2).unwrap_err();
+        match err {
+            QdbError::DeviceFault {
+                transient, device, ..
+            } => {
+                assert!(!transient, "device loss must not be retried");
+                assert_eq!(device, Some(1));
+            }
+            other => panic!("expected a typed device fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn breaker_state_machine_trips_probes_and_recloses() {
+        let host = TweetTable::generate(1_000, 3);
+        let cluster = Cluster::new(ClusterSpec::pcie_node(2));
+        let table = ShardedTable::partition(&cluster, &host, PartitionPolicy::Range).unwrap();
+        let mut server = ShardedServer::new(&cluster, &table, ServerConfig::default());
+        assert!(server.device_routable(1));
+        for _ in 0..BREAKER_THRESHOLD {
+            server.note_failure(1);
+        }
+        assert!(matches!(server.health()[1].state, BreakerState::Open { .. }));
+        assert_eq!(server.health()[1].trips, 1);
+        assert!(!server.device_routable(1), "open breaker refuses routing");
+        // the cooldown elapses on the simulated clock: the next routing
+        // check admits a half-open probe
+        server.sim_now = server.sim_now + BREAKER_COOLDOWN;
+        assert!(server.device_routable(1));
+        assert_eq!(server.health()[1].state.name(), "half-open");
+        // a failed probe re-opens immediately; a served one recloses
+        server.note_failure(1);
+        assert!(matches!(server.health()[1].state, BreakerState::Open { .. }));
+        assert_eq!(server.health()[1].trips, 2);
+        server.sim_now = server.sim_now + BREAKER_COOLDOWN;
+        assert!(server.device_routable(1));
+        server.note_success(1);
+        assert_eq!(server.health()[1].state.name(), "closed");
+        assert_eq!(server.health()[1].consecutive_failures, 0);
+    }
+
+    #[test]
+    fn sharded_server_fails_over_and_rebuilds_after_mid_load_device_loss() {
+        let host = TweetTable::generate(12_000, 17);
+        let dev = Device::titan_x();
+        let gpu = GpuTweetTable::upload(&dev, &host);
+        let cutoff = host.time_cutoff_for_selectivity(0.3);
+        let sqls = [
+            format!(
+                "SELECT id FROM tweets WHERE tweet_time < {cutoff} \
+                 ORDER BY retweet_count DESC LIMIT 9"
+            ),
+            "SELECT id FROM tweets ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT 7"
+                .to_string(),
+            "SELECT id FROM tweets ORDER BY retweet_count ASC LIMIT 5".to_string(),
+        ];
+        let oracle: Vec<Vec<u32>> = sqls
+            .iter()
+            .map(|s| {
+                execute(&dev, &gpu, &parse(s).unwrap(), Strategy::StageBitonic)
+                    .unwrap()
+                    .ids
+            })
+            .collect();
+        let cluster = Cluster::new(ClusterSpec::pcie_node(4));
+        let table = ShardedTable::partition_replicated(
+            &cluster,
+            &host,
+            PartitionPolicy::Hash,
+            ReplicationFactor(2),
+        )
+        .unwrap();
+        let mut server = ShardedServer::new(&cluster, &table, ServerConfig::default());
+        // batch A: the healthy baseline
+        for s in &sqls {
+            server.submit(s).unwrap();
+        }
+        let a = server.drain();
+        assert_eq!(a.resilience.completed, sqls.len());
+        assert_eq!(a.resilience.failovers, 0);
+        for (i, sq) in a.queries.iter().enumerate() {
+            assert_eq!(sq.ids, oracle[i], "{}", sq.sql);
+        }
+        // device 1 dies with batch B already admitted: every query still
+        // completes bit-exact by failing over to surviving replicas
+        for s in &sqls {
+            server.submit(s).unwrap();
+        }
+        cluster.device(1).mark_down();
+        let b = server.drain();
+        assert_eq!(
+            b.resilience.completed,
+            sqls.len(),
+            "r=2 + one permanent loss: every query completes"
+        );
+        for (i, sq) in b.queries.iter().enumerate() {
+            assert_eq!(sq.ids, oracle[i], "{}", sq.sql);
+        }
+        assert!(b.resilience.failovers > 0, "mid-load loss forces failovers");
+        assert!(b.resilience.rebuilds > 0, "lost copies re-materialize");
+        assert!(b.health[1].down);
+        assert!(cluster
+            .transfers()
+            .iter()
+            .any(|t| t.label.starts_with("rebuild:shard")));
+        // batch C routes around the dead device and onto rebuilt copies
+        for s in &sqls {
+            server.submit(s).unwrap();
+        }
+        let c = server.drain();
+        assert_eq!(c.resilience.completed, sqls.len());
+        for (i, sq) in c.queries.iter().enumerate() {
+            assert_eq!(sq.ids, oracle[i], "{}", sq.sql);
+        }
+        assert_eq!(c.resilience.failovers, 0, "routing avoids the dead device");
+    }
+
+    #[test]
+    fn r1_loss_is_loud_typed_and_rebuilt_copies_serve_later_queries() {
+        let host = TweetTable::generate(10_000, 23);
+        let dev = Device::titan_x();
+        let gpu = GpuTweetTable::upload(&dev, &host);
+        let cutoff = host.time_cutoff_for_selectivity(0.25);
+        let sqls = [
+            format!(
+                "SELECT id FROM tweets WHERE tweet_time < {cutoff} \
+                 ORDER BY retweet_count DESC LIMIT 8"
+            ),
+            "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 6".to_string(),
+            "SELECT id FROM tweets ORDER BY retweet_count ASC LIMIT 4".to_string(),
+            "SELECT id FROM tweets WHERE lang='en' ORDER BY retweet_count DESC LIMIT 5".to_string(),
+        ];
+        let oracle: Vec<Vec<u32>> = sqls
+            .iter()
+            .map(|s| {
+                execute(&dev, &gpu, &parse(s).unwrap(), Strategy::StageBitonic)
+                    .unwrap()
+                    .ids
+            })
+            .collect();
+        let cluster = Cluster::new(ClusterSpec::pcie_node(4));
+        let table = ShardedTable::partition(&cluster, &host, PartitionPolicy::Range).unwrap();
+        let mut server = ShardedServer::new(&cluster, &table, ServerConfig::default());
+        for s in &sqls {
+            server.submit(s).unwrap();
+        }
+        cluster.device(1).mark_down();
+        let b = server.drain();
+        // every query touches the lost shard: all fail loudly — typed,
+        // attributed, never truncated to the surviving shards
+        assert_eq!(b.resilience.completed, 0);
+        assert_eq!(b.resilience.failed, sqls.len());
+        for sq in &b.queries {
+            assert!(sq.ids.is_empty(), "results are never truncated");
+            match &sq.error {
+                Some(QdbError::DeviceFault {
+                    transient, device, ..
+                }) => {
+                    assert!(!transient);
+                    assert_eq!(*device, Some(1));
+                }
+                other => panic!("expected a typed device fault, got {other:?}"),
+            }
+        }
+        // the consecutive failures tripped device 1's breaker, and the
+        // lost partition was rebuilt from its pristine host copy
+        assert!(b.health[1].down);
+        assert!(matches!(b.health[1].state, BreakerState::Open { .. }));
+        assert_eq!(b.resilience.breaker_trips, 1);
+        assert_eq!(b.resilience.rebuilds, 1);
+        // subsequent queries serve from the rebuilt copy, bit-exact
+        for s in &sqls {
+            server.submit(s).unwrap();
+        }
+        let c = server.drain();
+        assert_eq!(c.resilience.completed, sqls.len());
+        for (i, sq) in c.queries.iter().enumerate() {
+            assert_eq!(sq.ids, oracle[i], "{}", sq.sql);
+        }
     }
 
     #[test]

@@ -114,6 +114,7 @@ proptest! {
             stall_delay: SimTime(100e-6),
             oom_rate,
             max_faults,
+            ..FaultPlan::none()
         });
 
         // concurrency 32 with a queue bound that sheds the rest

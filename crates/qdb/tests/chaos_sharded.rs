@@ -230,6 +230,117 @@ proptest! {
             admitted.len()
         );
     }
+
+    /// Replicated serving under a random permanent device-down plan
+    /// armed mid-load: at `r >= 2` every query still completes
+    /// bit-exact (drain-time failover); at `r = 1` the loss is loud and
+    /// typed, never a truncated result; rebuilt copies serve the next
+    /// batch either way, and the resilience ledger stays consistent.
+    #[test]
+    fn chaotic_device_down_plans_fail_over_or_fail_loud(
+        seed in any::<u64>(),
+        replication in 1usize..=3,
+        down_device in 0usize..4,
+        budget_trigger in any::<bool>(),
+    ) {
+        let host = TweetTable::generate(5_000, seed);
+        let dev = Device::titan_x();
+        let gpu = GpuTweetTable::upload(&dev, &host);
+        let sqls = workload(&host, 8);
+        let oracle: Vec<Vec<u32>> = sqls
+            .iter()
+            .map(|s| {
+                execute_sql(&dev, &gpu, &parse_sql(s).unwrap(), Strategy::StageBitonic)
+                    .expect("fault-free oracle")
+                    .ids
+            })
+            .collect();
+
+        let cluster = Cluster::new(ClusterSpec::pcie_node(4));
+        let table = ShardedTable::partition_replicated(
+            &cluster,
+            &host,
+            PartitionPolicy::Hash,
+            qdb::ReplicationFactor(replication),
+        )
+        .expect("partition before faults");
+        let mut server = ShardedServer::new(&cluster, &table, ServerConfig::default());
+
+        // batch A: healthy baseline
+        for s in &sqls {
+            server.submit(s).expect("healthy admission");
+        }
+        let a = server.drain();
+        prop_assert_eq!(a.resilience.completed, sqls.len());
+        for (i, sq) in a.queries.iter().enumerate() {
+            prop_assert_eq!(&sq.ids, &oracle[i], "batch A: {}", sq.sql);
+        }
+
+        // batch B admitted, then the device dies under it: both plan
+        // triggers fire before the next launch touches the device
+        for s in &sqls {
+            server.submit(s).expect("admission before loss");
+        }
+        let plan = if budget_trigger {
+            FaultPlan {
+                down_after_faults: Some(0),
+                ..FaultPlan::none()
+            }
+        } else {
+            FaultPlan::down_at(SimTime::ZERO)
+        };
+        cluster.device(down_device).set_fault_plan(plan);
+        let b = server.drain();
+
+        prop_assert_eq!(b.queries.len(), sqls.len());
+        let mut completed = 0usize;
+        for (i, sq) in b.queries.iter().enumerate() {
+            match &sq.error {
+                None => {
+                    completed += 1;
+                    // failover must be invisible in the result
+                    prop_assert_eq!(&sq.ids, &oracle[i], "batch B: {}", sq.sql);
+                }
+                Some(QdbError::DeviceFault { transient, .. }) => {
+                    // loud, typed, final — and never truncated
+                    prop_assert!(!transient, "device loss must be terminal");
+                    prop_assert!(sq.ids.is_empty(), "no truncated results");
+                }
+                Some(other) => prop_assert!(false, "untyped loss error: {other:?}"),
+            }
+        }
+        if replication >= 2 {
+            prop_assert_eq!(
+                completed,
+                sqls.len(),
+                "r={} survives one permanent loss",
+                replication
+            );
+        } else {
+            // r = 1: every query scatters over the lost shard and fails
+            prop_assert_eq!(completed, 0, "r=1 loss cannot be absorbed");
+        }
+        // ledger consistency and an honest health snapshot
+        prop_assert_eq!(b.resilience.completed, completed);
+        prop_assert_eq!(
+            b.resilience.completed + b.resilience.failed + b.resilience.timed_out,
+            sqls.len()
+        );
+        let per_query: usize = b.queries.iter().map(|q| q.failovers).sum();
+        prop_assert_eq!(b.resilience.failovers, per_query);
+        prop_assert!(b.health[down_device].down, "loss recorded in health");
+        prop_assert!(b.resilience.rebuilds > 0, "lost copies re-materialize");
+
+        // batch C: rebuilt copies restore service at every r
+        for s in &sqls {
+            server.submit(s).expect("post-rebuild admission");
+        }
+        let c = server.drain();
+        prop_assert_eq!(c.resilience.completed, sqls.len());
+        for (i, sq) in c.queries.iter().enumerate() {
+            prop_assert_eq!(&sq.ids, &oracle[i], "batch C: {}", sq.sql);
+        }
+    }
 }
 
 #[test]

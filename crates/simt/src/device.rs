@@ -113,11 +113,20 @@ pub enum LaunchError {
         /// Kernel whose launch was failed.
         kernel: &'static str,
     },
+    /// The device is permanently down (see [`crate::fault`]'s device-down
+    /// failure domain and [`Device::mark_down`]): every launch on it is
+    /// rejected and will keep being rejected. Non-transient — retrying
+    /// cannot succeed; callers must fail over to another device.
+    DeviceDown {
+        /// Kernel whose launch was rejected.
+        kernel: &'static str,
+    },
 }
 
 impl LaunchError {
     /// True for faults a caller may sensibly retry ([`LaunchError::DeviceFault`]);
-    /// the configuration errors are permanent for a given launch shape.
+    /// the configuration errors are permanent for a given launch shape,
+    /// and [`LaunchError::DeviceDown`] is permanent for the device itself.
     pub fn is_transient(&self) -> bool {
         matches!(self, LaunchError::DeviceFault { .. })
     }
@@ -136,6 +145,9 @@ impl std::fmt::Display for LaunchError {
             LaunchError::EmptyLaunch => write!(f, "grid and block dims must be nonzero"),
             LaunchError::DeviceFault { kernel } => {
                 write!(f, "injected device fault failed launch of `{kernel}`")
+            }
+            LaunchError::DeviceDown { kernel } => {
+                write!(f, "device is permanently down; launch of `{kernel}` rejected")
             }
         }
     }
@@ -266,6 +278,9 @@ pub(crate) struct DeviceInner {
     fault_events: RefCell<Vec<FaultEvent>>,
     /// Buffers opted in to ECC-corruption injection.
     ecc_targets: RefCell<Vec<EccTarget>>,
+    /// Permanent device-down latch: set by a fault plan's down trigger
+    /// or [`Device::mark_down`], never cleared (device loss is final).
+    down: Cell<bool>,
 }
 
 impl DeviceInner {
@@ -459,6 +474,7 @@ impl Device {
                 fault: RefCell::new(None),
                 fault_events: RefCell::new(Vec::new()),
                 ecc_targets: RefCell::new(Vec::new()),
+                down: Cell::new(false),
             }),
         }
     }
@@ -584,6 +600,11 @@ impl Device {
 
     /// Launches a kernel, executing every block and deriving modeled time.
     pub fn launch<K: Kernel>(&self, kernel: &K) -> Result<LaunchReport, LaunchError> {
+        if self.is_down() {
+            return Err(LaunchError::DeviceDown {
+                kernel: kernel.name(),
+            });
+        }
         let spec = self.inner.spec;
         let block_dim = kernel.block_dim();
         let grid_dim = kernel.grid_dim();
@@ -688,6 +709,54 @@ impl Device {
             .borrow()
             .as_ref()
             .is_some_and(|st| !st.plan.is_zero())
+    }
+
+    /// True when this device is permanently down — killed directly via
+    /// [`Device::mark_down`] or lost to its fault plan's down trigger,
+    /// which is evaluated here against the accumulated modeled launch
+    /// time (no RNG words are drawn). The first call that observes a
+    /// plan trigger records one [`FaultKind::DeviceDown`] event; the
+    /// state never clears — device loss is final.
+    pub fn is_down(&self) -> bool {
+        if self.inner.down.get() {
+            return true;
+        }
+        let due = self
+            .inner
+            .fault
+            .borrow()
+            .as_ref()
+            .is_some_and(|st| st.down_due(self.total_time()));
+        if due {
+            self.transition_down("fault-plan down trigger fired");
+        }
+        due
+    }
+
+    /// Permanently kills this device: every subsequent launch fails with
+    /// [`LaunchError::DeviceDown`] and interconnect transfers touching it
+    /// are rejected at the link layer. The host-driven, deterministic
+    /// counterpart of a fault plan's down trigger; irreversible.
+    pub fn mark_down(&self) {
+        self.transition_down("marked down by the host");
+    }
+
+    /// Latches the down state and records the one-time transition event.
+    fn transition_down(&self, why: &str) {
+        if self.inner.down.get() {
+            return;
+        }
+        self.inner.down.set(true);
+        self.inner.fault_events.borrow_mut().push(FaultEvent {
+            kind: FaultKind::DeviceDown,
+            kernel: "device".to_string(),
+            launch_index: self.inner.log_len(),
+            stream: self.inner.cur_stream.get(),
+            step: 0,
+            lane: 0,
+            target: None,
+            detail: why.to_string(),
+        });
     }
 
     /// Snapshot of every injected fault so far, in firing order.

@@ -9,7 +9,7 @@
 //! every run — chaos tests stay reproducible and an all-zero plan is
 //! bit-identical to no plan at all.
 //!
-//! Four fault kinds are modeled, each attributed like sanitizer findings
+//! Five fault kinds are modeled, each attributed like sanitizer findings
 //! (kernel, launch index, stream, and a simulated step/lane coordinate):
 //!
 //! * **launch failure** — the launch returns
@@ -29,10 +29,22 @@
 //!   allocation paths are *not* injected: code that declared
 //!   infallibility cannot report a transient fault, and chaos runs must
 //!   never panic inside the simulator.
+//! * **device down** — the *permanent* failure domain: once the plan's
+//!   deterministic trigger fires ([`FaultPlan::down_at`] in modeled time,
+//!   or [`FaultPlan::down_after_faults`] once the transient budget is
+//!   spent), the device is lost for good. Every subsequent launch fails
+//!   with the non-transient [`crate::LaunchError::DeviceDown`], every
+//!   fallible allocation fails, and topology transfers touching the
+//!   device are rejected at the link layer. There is no recovery path —
+//!   this models ECC retirement / driver wedge / link death, where the
+//!   serving layer must fail over, not retry. [`crate::Device::mark_down`]
+//!   kills a device directly without a plan.
 //!
 //! Fault decisions consume random words only for kinds with a nonzero
 //! rate, so enabling one kind does not reshuffle another kind's draws
-//! relative to a plan where the first is off.
+//! relative to a plan where the first is off. The device-down triggers
+//! are threshold comparisons and draw **no** random words at all, so a
+//! plan whose down fields are unset stays bit-identical to no plan.
 
 use crate::stats::SimTime;
 
@@ -47,6 +59,9 @@ pub enum FaultKind {
     StreamStall,
     /// A fallible allocation was failed with [`crate::OutOfMemory`].
     AllocOom,
+    /// The device entered the permanent down state (recorded once, at
+    /// the transition).
+    DeviceDown,
 }
 
 impl FaultKind {
@@ -57,6 +72,7 @@ impl FaultKind {
             FaultKind::MemoryCorruption => "memory-corruption",
             FaultKind::StreamStall => "stream-stall",
             FaultKind::AllocOom => "alloc-oom",
+            FaultKind::DeviceDown => "device-down",
         }
     }
 }
@@ -87,6 +103,18 @@ pub struct FaultPlan {
     /// Hard cap on injected faults (stalls included); `usize::MAX` means
     /// unlimited.
     pub max_faults: usize,
+    /// Modeled time at which the device goes permanently down: the first
+    /// launch, allocation or transfer attempted once the device's
+    /// accumulated launch time has reached this threshold is rejected
+    /// with [`crate::LaunchError::DeviceDown`] (or a permanent
+    /// [`crate::topology::TransferError`]), and so is everything after.
+    /// `None` (the default) never triggers and draws no RNG words.
+    pub down_at: Option<SimTime>,
+    /// Fault budget that, once exhausted, takes the device permanently
+    /// down: after this many injected faults have fired, the next fault
+    /// check transitions the device to the down state instead of rolling
+    /// another transient. `None` (the default) never triggers.
+    pub down_after_faults: Option<usize>,
 }
 
 impl Default for FaultPlan {
@@ -106,6 +134,17 @@ impl FaultPlan {
             stall_delay: SimTime(100e-6),
             oom_rate: 0.0,
             max_faults: usize::MAX,
+            down_at: None,
+            down_after_faults: None,
+        }
+    }
+
+    /// A plan whose only effect is taking the device permanently down
+    /// once its modeled launch clock reaches `at`.
+    pub fn down_at(at: SimTime) -> Self {
+        FaultPlan {
+            down_at: Some(at),
+            ..FaultPlan::none()
         }
     }
 
@@ -135,6 +174,8 @@ impl FaultPlan {
             && self.corruption_rate <= 0.0
             && self.stall_rate <= 0.0
             && self.oom_rate <= 0.0
+            && self.down_at.is_none()
+            && self.down_after_faults.is_none()
     }
 }
 
@@ -221,6 +262,24 @@ impl FaultState {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         z ^ (z >> 31)
+    }
+
+    /// Whether the plan's permanent down trigger has fired, given the
+    /// device's accumulated modeled launch time. Pure threshold checks —
+    /// no RNG words are drawn, so plans without down triggers stay
+    /// bit-identical to no plan.
+    pub(crate) fn down_due(&self, elapsed: SimTime) -> bool {
+        if let Some(at) = self.plan.down_at {
+            if elapsed.0 >= at.0 {
+                return true;
+            }
+        }
+        if let Some(budget) = self.plan.down_after_faults {
+            if self.fired >= budget {
+                return true;
+            }
+        }
+        false
     }
 
     /// Draws a fault decision for one kind; consumes a random word only

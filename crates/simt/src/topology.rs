@@ -76,8 +76,11 @@ impl fmt::Display for Endpoint {
     }
 }
 
-/// A transfer dropped by an endpoint device's fault plan. The link was
-/// never occupied; the caller may retry (each retry re-rolls the plan).
+/// A transfer rejected at the link layer. The link was never occupied.
+/// Transient drops (an endpoint's fault plan fired) may be retried —
+/// each retry re-rolls the plan — while `permanent` rejections name a
+/// device that is down for good: retrying the same endpoints can never
+/// succeed and the caller must fail over.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransferError {
     /// Label the transfer was submitted under.
@@ -86,17 +89,30 @@ pub struct TransferError {
     pub src: Endpoint,
     /// Transfer destination.
     pub dst: Endpoint,
-    /// Cluster index of the device whose fault plan fired.
+    /// Cluster index of the device that dropped the transfer (fault
+    /// plan fired) or is permanently down.
     pub device: usize,
+    /// True when the named device is permanently down (see
+    /// [`crate::Device::is_down`]); false for a transient fault-plan
+    /// drop.
+    pub permanent: bool,
 }
 
 impl fmt::Display for TransferError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "transfer '{}' {} -> {} dropped by dev{}'s fault plan",
-            self.label, self.src, self.dst, self.device
-        )
+        if self.permanent {
+            write!(
+                f,
+                "transfer '{}' {} -> {} rejected: dev{} is permanently down",
+                self.label, self.src, self.dst, self.device
+            )
+        } else {
+            write!(
+                f,
+                "transfer '{}' {} -> {} dropped by dev{}'s fault plan",
+                self.label, self.src, self.dst, self.device
+            )
+        }
     }
 }
 
@@ -289,10 +305,13 @@ impl Cluster {
     /// transfers out of `dev0` do serialize.
     ///
     /// Fault interaction, in a fixed roll order (src endpoint first, then
-    /// dst): an endpoint device whose plan fires its *launch-failure*
-    /// rate drops the transfer before it occupies any link
-    /// ([`TransferError`]); a *stall* hit lets the transfer complete but
-    /// inflates it by the plan's stall delay. Both push a
+    /// dst): a permanently down endpoint (see [`crate::Device::is_down`])
+    /// rejects the transfer outright with a `permanent`
+    /// [`TransferError`] naming it — no RNG words are drawn; otherwise an
+    /// endpoint device whose plan fires its *launch-failure* rate drops
+    /// the transfer before it occupies any link ([`TransferError`]); a
+    /// *stall* hit lets the transfer complete but inflates it by the
+    /// plan's stall delay. Drops and stalls push a
     /// [`FaultEvent`](crate::FaultEvent) on the responsible device with
     /// the transfer label in the kernel slot.
     pub fn transfer(
@@ -310,6 +329,21 @@ impl Cluster {
             assert!(i < self.devices.len(), "dst device {i} out of range");
         }
 
+        // A permanently down endpoint rejects the transfer before any
+        // fault roll: a dead device has no DMA engine to gamble on.
+        for ep in [src, dst] {
+            let Endpoint::Device(i) = ep else { continue };
+            if self.devices[i].is_down() {
+                return Err(TransferError {
+                    label: label.to_string(),
+                    src,
+                    dst,
+                    device: i,
+                    permanent: true,
+                });
+            }
+        }
+
         // Fault plans reach the wire: either endpoint can drop the DMA.
         let mut stall = SimTime::ZERO;
         for ep in [src, dst] {
@@ -321,6 +355,7 @@ impl Cluster {
                     src,
                     dst,
                     device: i,
+                    permanent: false,
                 });
             }
             if let Some(delay) = dev.inject_transfer_stall(label) {

@@ -273,6 +273,85 @@ fn clear_fault_plan_stops_injection_and_keeps_events() {
 }
 
 #[test]
+fn fault_plan_down_at_kills_the_device_permanently() {
+    let dev = Device::titan_x();
+    let data = input(&dev, 1024);
+    dev.set_fault_plan(FaultPlan::down_at(SimTime::ZERO));
+    assert!(dev.is_down(), "down-at zero fires before any launch");
+    let err = dev
+        .launch(&DoubleKernel { data: data.clone() })
+        .unwrap_err();
+    assert_eq!(err, LaunchError::DeviceDown { kernel: "double" });
+    assert!(!err.is_transient(), "device loss must not be retried");
+    // the loss is latched: repeated launches keep failing but the
+    // transition records exactly one event
+    assert!(dev.launch(&DoubleKernel { data }).is_err());
+    let events = dev.fault_events();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].kind, FaultKind::DeviceDown);
+    assert!(events[0].render().contains("device-down"));
+}
+
+#[test]
+fn fault_budget_downs_the_device_after_the_transient_allowance() {
+    let dev = Device::titan_x();
+    let data = input(&dev, 1024);
+    dev.set_fault_plan(FaultPlan {
+        launch_failure_rate: 1.0,
+        down_after_faults: Some(2),
+        ..FaultPlan::with_seed(11)
+    });
+    // the first two failures are transient launch drops
+    for _ in 0..2 {
+        let err = dev
+            .launch(&DoubleKernel { data: data.clone() })
+            .unwrap_err();
+        assert!(err.is_transient());
+    }
+    // the budget is spent: the device is permanently down
+    assert!(dev.is_down());
+    let err = dev.launch(&DoubleKernel { data }).unwrap_err();
+    assert_eq!(err, LaunchError::DeviceDown { kernel: "double" });
+    let kinds: Vec<_> = dev.fault_events().iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            FaultKind::LaunchFailure,
+            FaultKind::LaunchFailure,
+            FaultKind::DeviceDown
+        ]
+    );
+}
+
+#[test]
+fn transfers_touching_a_downed_device_fault_permanently() {
+    use simt::topology::{Cluster, ClusterSpec};
+    let cluster = Cluster::new(ClusterSpec::pcie_node(2));
+    cluster.device(1).mark_down();
+    assert!(cluster.device(1).is_down());
+
+    // both directions into the dead device reject with attribution
+    let err = cluster
+        .host_to_device(1, 4096, "load", SimTime::ZERO)
+        .unwrap_err();
+    assert!(err.permanent);
+    assert_eq!(err.device, 1);
+    assert!(err.to_string().contains("permanently down"));
+    let err = cluster
+        .device_to_device(0, 1, 4096, "replicate", SimTime::ZERO)
+        .unwrap_err();
+    assert!(err.permanent);
+    assert_eq!(err.device, 1);
+
+    // the healthy device keeps serving; no RNG words were drawn for the
+    // rejections, so its fault stream stays empty
+    assert!(cluster
+        .host_to_device(0, 4096, "load", SimTime::ZERO)
+        .is_ok());
+    assert!(cluster.device(0).fault_events().is_empty());
+}
+
+#[test]
 fn stream_fault_events_filter_by_stream() {
     let dev = Device::titan_x();
     let data = input(&dev, 1024);

@@ -113,6 +113,7 @@ fn main() {
             stall_delay: SimTime(150e-6),
             oom_rate: *rate * 0.25,
             max_faults: usize::MAX,
+            ..FaultPlan::none()
         });
         let cfg = ServerConfig {
             max_queue: 32,
