@@ -2,10 +2,11 @@
 //! the qdb serving suite, the multi-device cluster suite and the
 //! real-CPU backend suite, and writes machine-readable
 //! `BENCH_topk.json` / `BENCH_serve.json` / `BENCH_cluster.json` /
-//! `BENCH_cpu.json` reports (see `bench::report` for the schema).
+//! `BENCH_cpu.json` / `BENCH_stream.json` reports (see `bench::report`
+//! for the schema).
 //!
 //! ```text
-//! harness [--out-dir DIR] [--only topk|serve|cluster|cpu]
+//! harness [--out-dir DIR] [--only topk|serve|cluster|cpu|stream]
 //! ```
 //!
 //! Scale comes from `TOPK_REPRO_LOG2N` like every experiment binary:
@@ -15,7 +16,8 @@
 //! `bench-diff`.
 
 use bench::harness::{
-    run_cluster_suite, run_cpu_suite, run_serve_suite, run_topk_suite, HarnessScales,
+    run_cluster_suite, run_cpu_suite, run_serve_suite, run_stream_suite, run_topk_suite,
+    HarnessScales,
 };
 
 fn main() {
@@ -28,16 +30,22 @@ fn main() {
                 out_dir = args.next().expect("--out-dir needs a directory").into();
             }
             "--only" => {
-                let suite = args.next().expect("--only needs topk|serve|cluster|cpu");
+                let suite = args
+                    .next()
+                    .expect("--only needs topk|serve|cluster|cpu|stream");
                 assert!(
-                    suite == "topk" || suite == "serve" || suite == "cluster" || suite == "cpu",
-                    "--only accepts topk, serve, cluster or cpu, got '{suite}'"
+                    suite == "topk"
+                        || suite == "serve"
+                        || suite == "cluster"
+                        || suite == "cpu"
+                        || suite == "stream",
+                    "--only accepts topk, serve, cluster, cpu or stream, got '{suite}'"
                 );
                 only = Some(suite);
             }
             other => panic!(
                 "unknown argument '{other}' \
-                 (usage: harness [--out-dir DIR] [--only topk|serve|cluster|cpu])"
+                 (usage: harness [--out-dir DIR] [--only topk|serve|cluster|cpu|stream])"
             ),
         }
     }
@@ -45,8 +53,12 @@ fn main() {
 
     let scales = HarnessScales::from_env();
     println!(
-        "== bench harness: profile '{}' (topk n=2^{}, serve n=2^{}, cpu n=2^{}) ==",
-        scales.profile, scales.topk_log2n, scales.serve_log2n, scales.cpu_log2n
+        "== bench harness: profile '{}' (topk n=2^{}, serve n=2^{}, cpu n=2^{}, stream n=2^{}) ==",
+        scales.profile,
+        scales.topk_log2n,
+        scales.serve_log2n,
+        scales.cpu_log2n,
+        scales.stream_log2n
     );
 
     let write = |name: &str, text: String, cells: usize| {
@@ -89,6 +101,20 @@ fn main() {
             wall.elapsed().as_secs_f64()
         );
         write("BENCH_cpu.json", report.render(), report.experiments.len());
+    }
+    if run("stream") {
+        let wall = std::time::Instant::now();
+        let report = run_stream_suite(scales.stream_log2n, &scales.profile);
+        println!(
+            "stream suite: {} cells in {:.1}s host wall",
+            report.experiments.len(),
+            wall.elapsed().as_secs_f64()
+        );
+        write(
+            "BENCH_stream.json",
+            report.render(),
+            report.experiments.len(),
+        );
     }
     if run("cluster") {
         let wall = std::time::Instant::now();

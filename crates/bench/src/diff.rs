@@ -292,6 +292,17 @@ pub fn diff_reports(
 ///    loss (`sim_completed_frac < 1`) — loud typed failure, never a
 ///    silently truncated result.
 ///
+/// Streaming reports (`kind == "stream"`):
+/// 11. **Delta maintenance beats rescans on ingest**: every
+///    `stream/view/*` and `stream/mix/*` cell must be bit-exact
+///    (`sim_exact == 1` — maintained views equal a from-scratch rescan;
+///    cached reads equal a same-epoch serial execution), and at delta
+///    fractions ≤ 1/64 a view refresh must move ≤ 0.25× the
+///    global-memory bytes of the rescan it replaces. The traffic bound
+///    gates (`Fail`) at `log2n ≥ 20` and warns below — at the CI small
+///    profile the merge's fixed k-sized traffic is a visible share of a
+///    tiny delta scan.
+///
 /// CPU backend reports (`kind == "cpu"`):
 /// 7. **The CPU backend's threads pay for themselves** (§3.1): for every
 ///    algorithm, the fastest multi-thread cell must beat the same
@@ -554,6 +565,51 @@ pub fn check_claims(report: &BenchReport) -> Vec<Finding> {
                     findings.push(Finding::fail(format!(
                         "claim violated: r=1 cannot absorb a permanent device loss, yet \
                          '{id}' reports full completion — the loss was silently hidden"
+                    )));
+                }
+            }
+        }
+        "stream" => {
+            // 11a. exactness everywhere: maintained views and cached
+            // reads are bit-identical to from-scratch execution
+            for exp in &report.experiments {
+                match exp.metrics.get("sim_exact") {
+                    Some(&1.0) => {}
+                    Some(&v) => findings.push(Finding::fail(format!(
+                        "claim violated: '{}' must be bit-identical to from-scratch \
+                         execution (sim_exact {v}, expected 1)",
+                        exp.id
+                    ))),
+                    None => findings.push(Finding::fail(format!(
+                        "claim check needs '{}/sim_exact' but the cell lacks it",
+                        exp.id
+                    ))),
+                }
+            }
+            // 11b. small deltas must be cheap: maintenance traffic at
+            // delta fraction <= 1/64 stays under 0.25x a rescan
+            for denom in crate::harness::STREAM_FRACS {
+                if denom < 64 {
+                    continue;
+                }
+                let id = format!("stream/view/frac{denom}");
+                let d = need(&id, "sim_global_bytes", &mut findings);
+                let r = need(&id, "sim_rescan_bytes", &mut findings);
+                let (Some(d), Some(r)) = (d, r) else { continue };
+                let ratio = d / r.max(f64::MIN_POSITIVE);
+                if ratio <= 0.25 {
+                    continue;
+                }
+                let msg = format!(
+                    "delta maintenance traffic ('{id}': {d:.0} B vs rescan {r:.0} B, \
+                     {ratio:.3}x) exceeds the 0.25x bound"
+                );
+                if report.scale.log2n >= 20 {
+                    findings.push(Finding::fail(format!("claim violated: {msg}")));
+                } else {
+                    findings.push(Finding::warn(format!(
+                        "{msg} — gated only at log2n >= 20; this report is at 2^{}",
+                        report.scale.log2n
                     )));
                 }
             }

@@ -55,6 +55,10 @@ pub struct HarnessScales {
     /// 20 — the scale the thread-scaling claim gates at — capped by the
     /// top-k scale when overridden).
     pub cpu_log2n: u32,
+    /// Resident-table exponent for the streaming-ingest suite (default
+    /// 20 — the scale the delta-maintenance traffic claim gates at —
+    /// capped by the top-k scale when overridden).
+    pub stream_log2n: u32,
     /// Profile name stamped into both reports.
     pub profile: String,
 }
@@ -69,6 +73,7 @@ impl HarnessScales {
             topk_log2n,
             serve_log2n: topk_log2n.min(17),
             cpu_log2n: topk_log2n.min(20),
+            stream_log2n: topk_log2n.min(20),
             profile: Scale::profile_name(topk_log2n),
         }
     }
@@ -398,9 +403,7 @@ pub fn run_cluster_suite(log2n: u32, profile: &str) -> BenchReport {
 
             let loud = b.queries.iter().all(|sq| match &sq.error {
                 None => true,
-                Some(QdbError::DeviceFault { transient, .. }) => {
-                    !transient && sq.ids.is_empty()
-                }
+                Some(QdbError::DeviceFault { transient, .. }) => !transient && sq.ids.is_empty(),
                 Some(_) => false,
             });
             let full = sqls.len();
@@ -560,6 +563,177 @@ pub fn run_serve_suite(log2n: u32, profile: &str) -> BenchReport {
     }
 }
 
+/// Delta denominators the streaming view suite sweeps: each cell appends
+/// `n / denom` rows and refreshes a standing view over them.
+pub const STREAM_FRACS: [usize; 4] = [256, 64, 16, 4];
+
+/// Fixed k for the streaming view suite.
+pub const STREAM_K: usize = 32;
+
+/// Distinct queries per batch in the read/write serving mix.
+pub const STREAM_MIX_PERIODS: [usize; 2] = [2, 8];
+
+/// Append/query rounds per read/write-mix cell.
+pub const STREAM_MIX_ROUNDS: usize = 5;
+
+/// Runs the streaming-ingest suite over a `2^log2n`-row resident table.
+///
+/// Two cell families:
+///
+/// * `stream/view/frac{d}` — a standing [`qdb::TopKView`] absorbs an
+///   appended delta of `n/d` rows. The cell records the maintenance
+///   refresh's traffic (`sim_global_bytes`) next to a from-scratch
+///   rescan of the grown table (`sim_rescan_bytes`) — the pair behind
+///   the delta-maintenance traffic claim — plus `sim_exact`: the
+///   maintained result must be bit-identical to the rescan.
+/// * `stream/mix/period{p}` — the serving layer under a read/write mix
+///   with the epoch-tagged result cache on: each round submits `p`
+///   distinct queries, re-submits them (all must come back as cache
+///   hits), then appends a batch (invalidating every entry). Every
+///   completed read, cached or computed, must match a same-epoch serial
+///   execution bit for bit.
+pub fn run_stream_suite(log2n: u32, profile: &str) -> BenchReport {
+    use qdb::{TopKView, ViewConfig, ViewMode};
+
+    let n = 1usize << log2n;
+    let sql = format!("SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT {STREAM_K}");
+    let mut experiments = Vec::new();
+
+    for denom in STREAM_FRACS {
+        let delta = (n / denom).max(1);
+        let wall = Instant::now();
+        let dev = Device::titan_x();
+        let host = TweetTable::generate(n, 7);
+        let gpu = GpuTweetTable::upload_with_capacity(&dev, &host, n + delta);
+        let view = TopKView::register(&sql, Strategy::StageBitonic, ViewConfig::default())
+            .expect("supported view shape");
+        view.refresh(&dev, &gpu).expect("initial build");
+
+        let batch = TweetTable::generate_at(delta, 77, n as u32);
+        gpu.append_batch(&dev, &batch).expect("headroom");
+        let log0 = dev.log_len();
+        let r = view.refresh(&dev, &gpu).expect("maintenance refresh");
+        assert_eq!(r.mode, ViewMode::DeltaMerge, "fraction below the crossover");
+        let w = dev.window_since(log0);
+
+        // the from-scratch baseline at the same (grown) table size
+        let log1 = dev.log_len();
+        let rescan = execute_sql(
+            &dev,
+            &gpu,
+            &parse_sql(&sql).expect("view sql"),
+            Strategy::StageBitonic,
+        )
+        .expect("rescan oracle");
+        let rw = dev.window_since(log1);
+        let host_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+        let metrics = [
+            ("sim_time_ms", r.kernel_time.millis()),
+            ("sim_global_bytes", w.stats.global_bytes() as f64),
+            ("sim_launches", w.launches as f64),
+            ("sim_rescan_ms", rescan.kernel_time.millis()),
+            ("sim_rescan_bytes", rw.stats.global_bytes() as f64),
+            ("sim_exact", f64::from(r.ids == rescan.ids)),
+            ("host_wall_ms", host_wall_ms),
+        ];
+        experiments.push(Experiment {
+            id: format!("stream/view/frac{denom}"),
+            metrics: metrics
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        });
+    }
+
+    for period in STREAM_MIX_PERIODS {
+        let delta = (n / 64).max(1);
+        let wall = Instant::now();
+        let dev = Device::titan_x();
+        let host = TweetTable::generate(n, 2018);
+        let gpu = GpuTweetTable::upload_with_capacity(&dev, &host, n + STREAM_MIX_ROUNDS * delta);
+        // coalescing off so every read is comparable to a serial
+        // execution by ids, not just by key sequence
+        let mut server = Server::new(
+            &dev,
+            &gpu,
+            ServerConfig {
+                result_cache: true,
+                coalesce: false,
+                ..ServerConfig::default()
+            },
+        );
+        let sqls: Vec<String> = (0..period).map(|i| avail_sql(&host, i)).collect();
+
+        let mut exact = true;
+        let mut makespan = SimTime::ZERO;
+        let mut cache_hits = 0usize;
+        let mut cache_refreshes = 0usize;
+        let mut completed = 0usize;
+        let mut next_id = n as u32;
+        for round in 0..STREAM_MIX_ROUNDS {
+            // two drains at the same epoch: the first computes (or
+            // refreshes stale entries), the second must hit for every
+            // query
+            for pass in 0..2 {
+                for s in &sqls {
+                    server.submit(s, SubmitOptions::default()).expect("submit");
+                }
+                let rep = server.drain();
+                makespan += rep.makespan;
+                cache_hits += rep.resilience.cache_hits;
+                cache_refreshes += rep.resilience.cache_refreshes;
+                completed += rep.resilience.completed;
+                if pass == 1 && rep.resilience.cache_hits != sqls.len() {
+                    exact = false;
+                }
+                for q in &rep.queries {
+                    let oracle = execute_sql(
+                        &dev,
+                        &gpu,
+                        &parse_sql(&q.sql).expect("mix sql"),
+                        Strategy::StageBitonic,
+                    )
+                    .expect("mix oracle");
+                    if q.result.ids != oracle.ids {
+                        exact = false;
+                    }
+                }
+            }
+            let batch = TweetTable::generate_at(delta, 3000 + round as u64, next_id);
+            gpu.append_batch(&dev, &batch).expect("headroom");
+            next_id += delta as u32;
+        }
+        let host_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        let total_queries = 2 * period * STREAM_MIX_ROUNDS;
+        let metrics = [
+            ("sim_exact", f64::from(exact && completed == total_queries)),
+            ("sim_qps", total_queries as f64 / makespan.seconds()),
+            ("sim_makespan_ms", makespan.millis()),
+            ("sim_cache_hits", cache_hits as f64),
+            ("sim_cache_refreshes", cache_refreshes as f64),
+            ("host_wall_ms", host_wall_ms),
+        ];
+        experiments.push(Experiment {
+            id: format!("stream/mix/period{period}"),
+            metrics: metrics
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        });
+    }
+
+    BenchReport {
+        kind: "stream".to_string(),
+        commit: current_commit(),
+        scale: Scale {
+            log2n,
+            profile: profile.to_string(),
+        },
+        experiments,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -677,6 +851,62 @@ mod tests {
             assert!(r.experiment(&format!("cpu/bitonic/t{threads}")).is_some());
         }
         Parsed::from_json(&r.render()).expect("schema-valid");
+    }
+
+    #[test]
+    fn stream_suite_is_exact_deterministic_and_schema_valid() {
+        let r = run_stream_suite(12, "test");
+        assert_eq!(r.kind, "stream");
+        assert_eq!(
+            r.experiments.len(),
+            STREAM_FRACS.len() + STREAM_MIX_PERIODS.len()
+        );
+        for denom in STREAM_FRACS {
+            let id = format!("stream/view/frac{denom}");
+            let e = r.experiment(&id).expect("view cell");
+            assert_eq!(e.metrics["sim_exact"], 1.0, "{id} must match the rescan");
+            assert!(
+                e.metrics["sim_global_bytes"] < e.metrics["sim_rescan_bytes"],
+                "{id}: delta maintenance must move less than a rescan"
+            );
+        }
+        // smaller deltas cost less maintenance traffic
+        let bytes_at = |d: usize| {
+            r.metric(&format!("stream/view/frac{d}"), "sim_global_bytes")
+                .unwrap()
+        };
+        assert!(bytes_at(256) < bytes_at(64));
+        assert!(bytes_at(64) < bytes_at(4));
+        for period in STREAM_MIX_PERIODS {
+            let id = format!("stream/mix/period{period}");
+            let e = r.experiment(&id).expect("mix cell");
+            assert_eq!(e.metrics["sim_exact"], 1.0, "{id}");
+            // every re-submitted round hits: period queries per round
+            assert_eq!(
+                e.metrics["sim_cache_hits"],
+                (period * STREAM_MIX_ROUNDS) as f64,
+                "{id}"
+            );
+            // appends invalidate: rounds after the first must refresh
+            assert_eq!(
+                e.metrics["sim_cache_refreshes"],
+                (period * (STREAM_MIX_ROUNDS - 1)) as f64,
+                "{id}"
+            );
+            assert!(e.metrics["sim_qps"] > 0.0);
+        }
+        Parsed::from_json(&r.render()).expect("schema-valid");
+
+        // deterministic across runs, bit for bit
+        let r2 = run_stream_suite(12, "test");
+        for (a, b) in r.experiments.iter().zip(&r2.experiments) {
+            assert_eq!(a.id, b.id);
+            for (name, v) in &a.metrics {
+                if name.starts_with("sim_") {
+                    assert_eq!(v.to_bits(), b.metrics[name].to_bits(), "{}/{name}", a.id);
+                }
+            }
+        }
     }
 
     #[test]

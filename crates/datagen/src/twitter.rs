@@ -118,6 +118,31 @@ impl TweetTable {
     pub fn time_cutoff_for_selectivity(&self, selectivity: f64) -> u32 {
         (MONTH_SECONDS as f64 * selectivity.clamp(0.0, 1.0)) as u32
     }
+
+    /// Generates an arrival batch of `n` tweets whose ids continue a
+    /// stream at `first_id` (ids `first_id..first_id + n`). The batch
+    /// has the same marginal distributions as [`TweetTable::generate`],
+    /// so appending batches models the steady arrival process the
+    /// streaming ingest path serves.
+    pub fn generate_at(n: usize, seed: u64, first_id: u32) -> Self {
+        let mut t = Self::generate(n, seed);
+        for id in &mut t.id {
+            *id += first_id;
+        }
+        t
+    }
+
+    /// Appends every row of `batch` to this table (columns extend
+    /// in arrival order; the caller keeps ids monotone by generating
+    /// batches with [`TweetTable::generate_at`]).
+    pub fn extend_from(&mut self, batch: &TweetTable) {
+        self.id.extend_from_slice(&batch.id);
+        self.tweet_time.extend_from_slice(&batch.tweet_time);
+        self.retweet_count.extend_from_slice(&batch.retweet_count);
+        self.likes_count.extend_from_slice(&batch.likes_count);
+        self.lang.extend_from_slice(&batch.lang);
+        self.uid.extend_from_slice(&batch.uid);
+    }
 }
 
 #[cfg(test)]

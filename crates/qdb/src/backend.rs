@@ -82,7 +82,7 @@ pub fn execute_on(
         }
         ExecBackend::Cpu(b) => {
             let t = table.as_cpu().expect("kind checked above");
-            let out = execute_cpu(t.rows(), q, strategy, b.threads())?;
+            let out = execute_cpu(&t.rows(), q, strategy, b.threads())?;
             Ok(BackendQueryResult {
                 ids: out.ids,
                 backend: BackendKind::Cpu,

@@ -57,7 +57,7 @@ fn par_chunks<R: Send>(
 /// The top-k operator for a strategy: full sort for `StageSort` (the
 /// MapD-style baseline), the Appendix C bitonic port otherwise — the CPU
 /// counterparts of the simulated engine's `TopKStrategy` mapping.
-fn strategy_topk<T: datagen::TopKItem>(
+pub(crate) fn strategy_topk<T: datagen::TopKItem>(
     strategy: Strategy,
     items: &[T],
     k: usize,

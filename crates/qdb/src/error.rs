@@ -67,6 +67,17 @@ pub enum QdbError {
         /// The violated invariant.
         what: String,
     },
+    /// An append would overflow the rows the table's device columns
+    /// were allocated for (see `GpuTweetTable::upload_with_capacity`).
+    /// Device buffers have fixed extents, so growth headroom is a
+    /// provisioning decision made at load time — running out is a typed,
+    /// recoverable condition, not a panic.
+    CapacityExceeded {
+        /// Rows the table would hold after the append.
+        needed: usize,
+        /// Rows the device columns were allocated for.
+        cap: usize,
+    },
     /// The query asks for a simulator-only feature on a backend that
     /// lacks it (e.g. `EXPLAIN SANITIZE` on the CPU backend). Typed so
     /// callers can route around it; never a silent degradation.
@@ -103,6 +114,7 @@ impl QdbError {
             QdbError::Overloaded { .. } => "overloaded",
             QdbError::DeviceFault { .. } => "device-fault",
             QdbError::Internal { .. } => "internal",
+            QdbError::CapacityExceeded { .. } => "capacity-exceeded",
             QdbError::UnsupportedOnBackend { .. } => "unsupported-on-backend",
         }
     }
@@ -144,6 +156,13 @@ impl std::fmt::Display for QdbError {
             }
             QdbError::Internal { what } => {
                 write!(f, "internal invariant violated: {what}")
+            }
+            QdbError::CapacityExceeded { needed, cap } => {
+                write!(
+                    f,
+                    "append needs {needed} rows but the device columns were \
+                     allocated for {cap}"
+                )
             }
             QdbError::UnsupportedOnBackend { backend, feature } => {
                 write!(f, "the {backend} backend does not support {feature}")

@@ -37,10 +37,13 @@ impl TableStats {
     /// bounds, sampled language histogram — cheap and good enough for
     /// planning).
     pub fn gather(table: &GpuTweetTable) -> Self {
-        let times = table.tweet_time.to_vec();
+        // read only the logical prefix: columns allocated with append
+        // headroom hold default-initialized slack that would skew the
+        // statistics (time_min pinned to 0, lang 0 overcounted)
+        let times = table.tweet_time.read_range(0..table.len());
         let time_min = times.iter().copied().min().unwrap_or(0);
         let time_max = times.iter().copied().max().unwrap_or(0);
-        let langs = table.lang.to_vec();
+        let langs = table.lang.read_range(0..table.len());
         let sample = 4096.min(langs.len()).max(1);
         let stride = (langs.len() / sample).max(1);
         let mut counts = [0usize; 8];
@@ -401,6 +404,103 @@ pub fn explain_sharded_topk(
     }
 }
 
+/// EXPLAIN output for a materialized top-k view: the maintenance
+/// decision ([`crate::stream::TopKView::plan_mode`], plus the serving
+/// layer's cache) rendered with the watermarks that drove it.
+#[derive(Debug, Clone)]
+pub struct ViewPlan {
+    /// The registered SQL.
+    pub sql: String,
+    /// Requested k.
+    pub k: usize,
+    /// The maintenance mode a refresh would take: `cache-hit` when the
+    /// serving layer already holds this epoch's result, otherwise one of
+    /// [`crate::stream::ViewMode`]'s names.
+    pub mode: &'static str,
+    /// Rows the standing result covers.
+    pub rows_done: usize,
+    /// Rows in the table now.
+    pub table_rows: usize,
+    /// Epoch the standing result covers.
+    pub epoch_done: u64,
+    /// The table's epoch now.
+    pub table_epoch: u64,
+    /// The view's delta/rescan crossover fraction.
+    pub refresh_fraction: f64,
+}
+
+impl ViewPlan {
+    /// Appended rows not yet folded into the standing result.
+    pub fn delta_rows(&self) -> usize {
+        self.table_rows.saturating_sub(self.rows_done)
+    }
+
+    /// Renders the view plan like an EXPLAIN output.
+    pub fn render(&self) -> String {
+        let mut s = format!("view plan (k={}):\n", self.k);
+        s.push_str(&format!("  query:    {}\n", self.sql));
+        s.push_str(&format!(
+            "  standing: {} rows folded @ epoch {}\n",
+            self.rows_done, self.epoch_done
+        ));
+        if self.rows_done == 0 {
+            s.push_str(&format!(
+                "  table:    {} rows @ epoch {} (no standing result yet; rescan above {:.1}%)\n",
+                self.table_rows,
+                self.table_epoch,
+                self.refresh_fraction * 100.0
+            ));
+        } else {
+            let pct = self.delta_rows() as f64 / self.rows_done as f64 * 100.0;
+            s.push_str(&format!(
+                "  table:    {} rows @ epoch {} (delta {} rows, {:.1}% of folded; rescan above {:.1}%)\n",
+                self.table_rows,
+                self.table_epoch,
+                self.delta_rows(),
+                pct,
+                self.refresh_fraction * 100.0
+            ));
+        }
+        s.push_str(&format!("  -> {}", self.mode));
+        s.push_str(match self.mode {
+            "cache-hit" => ": serve the epoch-tagged cached result, zero launches\n",
+            "current" => ": standing result already covers this epoch, zero launches\n",
+            "delta-merge" => {
+                ": top-k over the delta slice + bitonic run-merge into the standing run\n"
+            }
+            "rescan" => ": re-execute over the full table and replace the standing result\n",
+            _ => "\n",
+        });
+        s
+    }
+}
+
+/// EXPLAIN for a materialized view against a table watermark. Pass the
+/// serving layer's cached epoch (if it holds one for this SQL) so the
+/// plan can report a cache hit above the view's own maintenance modes.
+pub fn explain_view(
+    view: &crate::stream::TopKView,
+    table_rows: usize,
+    table_epoch: u64,
+    cached_epoch: Option<u64>,
+) -> ViewPlan {
+    let mode = if cached_epoch == Some(table_epoch) {
+        "cache-hit"
+    } else {
+        view.plan_mode(table_rows, table_epoch).name()
+    };
+    ViewPlan {
+        sql: view.sql().to_string(),
+        k: view.query().limit,
+        mode,
+        rows_done: view.rows_done(),
+        table_rows,
+        epoch_done: view.epoch(),
+        table_epoch,
+        refresh_fraction: view.refresh_fraction(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,6 +573,48 @@ mod tests {
                       \x20 total                   ~0.040 ms\n\
                       \x20 on fault: per-shard retry/degrade; a failed shard fails the query\n";
         assert_eq!(plan.render(), golden);
+    }
+
+    #[test]
+    fn view_plan_golden_render() {
+        use crate::stream::{TopKView, ViewConfig};
+        use crate::Strategy;
+        // deterministic watermarks: build over 2048 rows at epoch 0, then
+        // explain against a table that grew to 2304 rows at epoch 1
+        let dev = Device::titan_x();
+        let host = TweetTable::generate(2048, 7);
+        let gpu = GpuTweetTable::upload_with_capacity(&dev, &host, 4096);
+        let sql = "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 12";
+        let view = TopKView::register(sql, Strategy::StageBitonic, ViewConfig::default()).unwrap();
+        view.refresh(&dev, &gpu).unwrap();
+        let batch = TweetTable::generate_at(256, 9, 2048);
+        gpu.append_batch(&dev, &batch).unwrap();
+
+        let plan = explain_view(&view, gpu.len(), gpu.epoch(), None);
+        let golden = "view plan (k=12):\n\
+                      \x20 query:    SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 12\n\
+                      \x20 standing: 2048 rows folded @ epoch 0\n\
+                      \x20 table:    2304 rows @ epoch 1 (delta 256 rows, 12.5% of folded; \
+                      rescan above 50.0%)\n\
+                      \x20 -> delta-merge: top-k over the delta slice + bitonic run-merge \
+                      into the standing run\n";
+        assert_eq!(plan.render(), golden);
+
+        // a serving-layer cache entry at the current epoch outranks the
+        // view's own maintenance decision
+        let hit = explain_view(&view, gpu.len(), gpu.epoch(), Some(gpu.epoch()));
+        assert_eq!(hit.mode, "cache-hit");
+        assert!(hit
+            .render()
+            .contains("-> cache-hit: serve the epoch-tagged cached result, zero launches"));
+        let stale = explain_view(&view, gpu.len(), gpu.epoch(), Some(0));
+        assert_eq!(stale.mode, "delta-merge");
+
+        // after the refresh the plan reports currency
+        view.refresh(&dev, &gpu).unwrap();
+        let cur = explain_view(&view, gpu.len(), gpu.epoch(), None);
+        assert_eq!(cur.mode, "current");
+        assert_eq!(cur.delta_rows(), 0);
     }
 
     #[test]

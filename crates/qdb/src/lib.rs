@@ -30,13 +30,15 @@ pub mod queries;
 pub mod server;
 pub mod shard;
 pub mod sql;
+pub mod stream;
 pub mod table;
 
 pub use backend::{execute_on, explain_lint_on, explain_sanitize_on, BackendQueryResult};
 pub use engine::{FilterOp, TopKStrategy};
 pub use error::QdbError;
 pub use explain::{
-    explain_delegate_topk, explain_filtered_topk, DelegatePlan, QueryPlan, TableStats,
+    explain_delegate_topk, explain_filtered_topk, explain_view, DelegatePlan, QueryPlan,
+    TableStats, ViewPlan,
 };
 pub use queries::{QueryResult, Strategy};
 pub use server::{
@@ -45,11 +47,13 @@ pub use server::{
 };
 pub use shard::{
     execute_sharded, partition_indices, sharded_delegate_topk, sharded_topk, BreakerState,
-    DeviceHealth, PartitionPolicy, Replica, ReplicationFactor, Shard, ShardedLoadReport,
-    ShardedQueryResult, ShardedServed, ShardedServer, ShardedTable, ShardedTicket, ShardedTopK,
+    DeviceHealth, PartitionPolicy, Replica, ReplicationFactor, Shard, ShardedAppendReceipt,
+    ShardedLoadReport, ShardedQueryResult, ShardedServed, ShardedServer, ShardedTable,
+    ShardedTicket, ShardedTopK,
 };
 pub use sql::{
     execute as execute_sql, explain_lint, explain_sanitize, parse as parse_sql, parse_statement,
     LintedQuery, Query, SanitizedQuery, SqlError, Statement,
 };
-pub use table::{BackendTable, CpuTweetTable, GpuTweetTable};
+pub use stream::{TopKView, ViewConfig, ViewMode, ViewRefresh, ViewStats};
+pub use table::{AppendReceipt, BackendTable, CpuTweetTable, GpuTweetTable, ROW_BYTES};

@@ -94,6 +94,12 @@ pub struct ServerConfig {
     /// First retry's backoff; doubles every subsequent retry. Charged as
     /// simulated time against the query's deadline.
     pub backoff_base: SimTime,
+    /// Serve repeated identical SQL from an epoch-tagged result cache:
+    /// a hit returns the stored ids with zero device work, and any
+    /// append invalidates every entry by bumping the table epoch.
+    /// Off by default so existing replay workloads keep their exact
+    /// launch sequences.
+    pub result_cache: bool,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +113,7 @@ impl Default for ServerConfig {
             default_deadline: None,
             max_retries: 2,
             backoff_base: SimTime(50e-6),
+            result_cache: false,
         }
     }
 }
@@ -211,6 +218,10 @@ pub struct ServedQuery {
     pub retries: usize,
     /// The degradation rung the query's final answer came from.
     pub degrade: DegradeLevel,
+    /// True when the answer came from the epoch-tagged result cache
+    /// (zero device work; the stored ids were computed at the same
+    /// table epoch, so they are bit-identical to a re-execution).
+    pub cached: bool,
 }
 
 impl ServedQuery {
@@ -251,6 +262,15 @@ pub struct ResilienceStats {
     /// Circuit-breaker transitions to the open state (sharded serving
     /// only).
     pub breaker_trips: usize,
+    /// Queries served from the epoch-tagged result cache (zero device
+    /// work). Only counted when [`ServerConfig::result_cache`] is on.
+    pub cache_hits: usize,
+    /// Cache lookups that found no entry for the SQL text.
+    pub cache_misses: usize,
+    /// Cache lookups that found an entry invalidated by an append (the
+    /// stored epoch no longer matches the table's) — the query
+    /// re-executes and refreshes the entry.
+    pub cache_refreshes: usize,
 }
 
 impl ResilienceStats {
@@ -273,6 +293,14 @@ impl ResilienceStats {
             line.push_str(&format!(
                 " | failovers {} | rebuilds {} | breaker trips {}",
                 self.failovers, self.rebuilds, self.breaker_trips
+            ));
+        }
+        // cache counters only appear where the result cache is on, so
+        // cache-less renders stay byte-identical to previous releases
+        if self.cache_hits + self.cache_misses + self.cache_refreshes > 0 {
+            line.push_str(&format!(
+                " | cache hits {} / misses {} / refreshes {}",
+                self.cache_hits, self.cache_misses, self.cache_refreshes
             ));
         }
         line
@@ -387,6 +415,9 @@ struct Pending {
     query: Query,
     strategy: Strategy,
     deadline: Option<SimTime>,
+    /// Ids resolved from the result cache at submission (same SQL, same
+    /// table epoch); the drain serves them without touching the device.
+    cached: Option<Vec<u32>>,
 }
 
 /// What a pending query turned into while draining.
@@ -405,6 +436,8 @@ struct Executed {
     error: Option<QdbError>,
     retries: usize,
     degrade: DegradeLevel,
+    /// True when the ids came from the result cache.
+    from_cache: bool,
     /// Accumulated backoff penalty, added to the query's latency.
     penalty: SimTime,
     /// Simulated time charged against the deadline so far.
@@ -428,6 +461,7 @@ impl Executed {
             error: None,
             retries: 0,
             degrade: DegradeLevel::None,
+            from_cache: false,
             penalty: SimTime::ZERO,
             spent: SimTime::ZERO,
             labels: Vec::new(),
@@ -459,6 +493,12 @@ pub struct Server<'a> {
     pending: Vec<Pending>,
     next_ticket: usize,
     shed: usize,
+    /// SQL text → (table epoch at insertion, result ids). Entries whose
+    /// epoch no longer matches the table's are stale by definition.
+    cache: HashMap<String, (u64, Vec<u32>)>,
+    cache_hits: usize,
+    cache_misses: usize,
+    cache_refreshes: usize,
 }
 
 impl<'a> Server<'a> {
@@ -475,6 +515,10 @@ impl<'a> Server<'a> {
             pending: Vec::new(),
             next_ticket: 0,
             shed: 0,
+            cache: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_refreshes: 0,
         }
     }
 
@@ -523,6 +567,24 @@ impl<'a> Server<'a> {
                 return Err(QdbError::DeadlineExpired { deadline: d });
             }
         }
+        let cached = if self.cfg.result_cache {
+            match self.cache.get(sql) {
+                Some((epoch, ids)) if *epoch == self.table.epoch() => {
+                    self.cache_hits += 1;
+                    Some(ids.clone())
+                }
+                Some(_) => {
+                    self.cache_refreshes += 1;
+                    None
+                }
+                None => {
+                    self.cache_misses += 1;
+                    None
+                }
+            }
+        } else {
+            None
+        };
         let ticket = QueryTicket(self.next_ticket);
         self.next_ticket += 1;
         self.pending.push(Pending {
@@ -531,6 +593,7 @@ impl<'a> Server<'a> {
             query,
             strategy,
             deadline,
+            cached,
         });
         Ok(ticket)
     }
@@ -747,7 +810,16 @@ impl<'a> Server<'a> {
         // Executed; candidates, matched-count, executed-slot)
         let mut filtered: Vec<(GpuBuffer<Kv<u32>>, usize, usize)> = Vec::new();
 
-        for (i, p) in pending.into_iter().enumerate() {
+        for (i, mut p) in pending.into_iter().enumerate() {
+            if let Some(ids) = p.cached.take() {
+                // resolved at submission from the epoch-tagged cache:
+                // zero launches, zero simulated latency
+                let mut e = Executed::new(p);
+                e.ids = ids;
+                e.from_cache = true;
+                executed.push(e);
+                continue;
+            }
             let stream_id = self.streams[i % self.streams.len()].id();
             let coalesce = self.coalescable(&p);
             let mut e = Executed::new(p);
@@ -1037,10 +1109,23 @@ impl<'a> Server<'a> {
                     error: e.error,
                     retries: e.retries,
                     degrade: e.degrade,
+                    cached: e.from_cache,
                 }
             })
             .collect();
         queries.sort_by_key(|q| q.ticket.0);
+
+        // every freshly computed result is valid exactly at the current
+        // epoch; the next append invalidates all of them at once
+        if self.cfg.result_cache {
+            let epoch = self.table.epoch();
+            for q in &queries {
+                if q.completed() && !q.cached {
+                    self.cache
+                        .insert(q.sql.clone(), (epoch, q.result.ids.clone()));
+                }
+            }
+        }
 
         let mut totals: Vec<f64> = queries
             .iter()
@@ -1082,6 +1167,9 @@ impl<'a> Server<'a> {
             failovers: 0,
             rebuilds: 0,
             breaker_trips: 0,
+            cache_hits: std::mem::take(&mut self.cache_hits),
+            cache_misses: std::mem::take(&mut self.cache_misses),
+            cache_refreshes: std::mem::take(&mut self.cache_refreshes),
         };
 
         let makespan = schedule.makespan;
@@ -1140,6 +1228,58 @@ mod tests {
         ids.iter()
             .map(|&id| host.retweet_count[id as usize])
             .collect()
+    }
+
+    /// The epoch-tagged result cache: warm hits are bit-identical and
+    /// free (zero launches, zero simulated time), appends invalidate at
+    /// the epoch granularity, and the counters/render track all of it.
+    #[test]
+    fn result_cache_serves_hits_and_appends_invalidate() {
+        let (dev, host) = setup(8_000);
+        let table = GpuTweetTable::upload_with_capacity(&dev, &host, 10_000);
+        let sql = "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 10";
+        let mut server = Server::new(
+            &dev,
+            &table,
+            ServerConfig {
+                result_cache: true,
+                ..ServerConfig::default()
+            },
+        );
+        server.submit(sql, SubmitOptions::default()).unwrap();
+        let a = server.drain();
+        assert!(!a.queries[0].cached, "cold submission computes");
+        assert_eq!(a.resilience.cache_misses, 1);
+
+        let log0 = dev.log_len();
+        server.submit(sql, SubmitOptions::default()).unwrap();
+        let b = server.drain();
+        assert!(b.queries[0].cached);
+        assert_eq!(b.queries[0].result.ids, a.queries[0].result.ids);
+        assert_eq!(b.queries[0].result.kernel_time, SimTime::ZERO);
+        assert_eq!(b.resilience.cache_hits, 1);
+        assert_eq!(dev.log_len(), log0, "a cache hit launches nothing");
+        assert!(b.resilience.render().contains("cache hits 1"));
+
+        // an append bumps the epoch: the stale entry refreshes and the
+        // recomputed result matches a from-scratch execution
+        let batch = TweetTable::generate_at(500, 5, host.len() as u32);
+        table.append_batch(&dev, &batch).unwrap();
+        server.submit(sql, SubmitOptions::default()).unwrap();
+        let c = server.drain();
+        assert!(!c.queries[0].cached);
+        assert_eq!(c.resilience.cache_refreshes, 1);
+        let oracle = execute(&dev, &table, &parse(sql).unwrap(), Strategy::StageBitonic).unwrap();
+        assert_eq!(c.queries[0].result.ids, oracle.ids);
+        // the refreshed entry serves the new epoch
+        server.submit(sql, SubmitOptions::default()).unwrap();
+        assert_eq!(server.drain().resilience.cache_hits, 1);
+        // cache off (the default): counters stay zero and the render is
+        // byte-identical to previous releases
+        let mut plain = Server::new(&dev, &table, ServerConfig::default());
+        plain.submit(sql, SubmitOptions::default()).unwrap();
+        let p = plain.drain();
+        assert!(!p.resilience.render().contains("cache"));
     }
 
     #[test]

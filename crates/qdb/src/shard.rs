@@ -33,6 +33,7 @@
 //! Because the merged result is a pure function of the delegate sets,
 //! which replica serves never changes a single bit of the answer.
 
+use std::cell::{Cell, Ref, RefCell};
 use std::collections::HashMap;
 
 use datagen::twitter::TweetTable;
@@ -50,7 +51,7 @@ use crate::server::{
     DegradeLevel, LoadReport, QueryTicket, ResilienceStats, Server, ServerConfig, SubmitOptions,
 };
 use crate::sql::{execute, parse, OrderBy, Query, SqlError};
-use crate::table::GpuTweetTable;
+use crate::table::{GpuTweetTable, ROW_BYTES};
 
 /// How rows are distributed across devices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,13 +144,28 @@ pub struct Replica {
 /// device-resident replicas (the first is the primary).
 pub struct Shard {
     /// Host columns of this shard's rows; `host.id` holds *global* row
-    /// ids, strictly increasing. This copy is pristine — device loss
-    /// never touches it, which is what makes online rebuild possible.
-    pub host: TweetTable,
+    /// ids, strictly increasing. Device loss never touches this copy
+    /// (appends extend it, but only with rows every replica also
+    /// receives), which is what makes online rebuild possible.
+    host: RefCell<TweetTable>,
+    /// Rows this shard's device columns were allocated for.
+    cap_rows: usize,
     replicas: Vec<Replica>,
 }
 
 impl Shard {
+    /// The shard's host-side rows (shared-borrow: appends extend the
+    /// same columns through a `&ShardedTable`).
+    pub fn host(&self) -> Ref<'_, TweetTable> {
+        self.host.borrow()
+    }
+
+    /// Rows this shard's device columns can hold (append headroom is
+    /// `capacity() - host().len()`).
+    pub fn capacity(&self) -> usize {
+        self.cap_rows
+    }
+
     /// The device the shard's primary copy lives on.
     pub fn primary_device(&self) -> usize {
         self.replicas[0].device
@@ -166,15 +182,36 @@ impl Shard {
     }
 }
 
+/// The outcome of one sharded append: what landed where, what the
+/// replica fan-out cost on the interconnect, and the table epoch after
+/// the splice (the sharded twin of [`AppendReceipt`]).
+///
+/// [`AppendReceipt`]: crate::table::AppendReceipt
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedAppendReceipt {
+    /// Rows appended (across all shards).
+    pub rows: usize,
+    /// Payload bytes charged on the interconnect, summed over every
+    /// live replica splice.
+    pub bytes: usize,
+    /// When the last replica splice landed.
+    pub transfer_done: SimTime,
+    /// The table epoch after this append.
+    pub epoch: u64,
+    /// Transfer retries consumed against fault plans.
+    pub transfer_retries: usize,
+    /// Replica copies skipped because their device is permanently down
+    /// (rebuild restores them from the extended host columns).
+    pub skipped_replicas: usize,
+}
+
 /// A tweet table partitioned across a cluster's devices.
 pub struct ShardedTable {
     policy: PartitionPolicy,
     replication: usize,
+    epoch: Cell<u64>,
     shards: Vec<Shard>,
 }
-
-/// Bytes one tweet row occupies on the wire (five u32 columns + lang).
-const ROW_BYTES: usize = 4 * 5 + 1;
 
 impl ShardedTable {
     /// Partitions `host` across the cluster's devices under `policy`,
@@ -206,8 +243,28 @@ impl ShardedTable {
         policy: PartitionPolicy,
         r: ReplicationFactor,
     ) -> Result<Self, QdbError> {
+        Self::partition_replicated_with_capacity(cluster, host, policy, r, host.len())
+    }
+
+    /// Like [`ShardedTable::partition_replicated`], but allocates every
+    /// shard's device columns with enough headroom that the table as a
+    /// whole can grow to `cap_total` rows via
+    /// [`ShardedTable::append_batch`]. The headroom is provisioned *per
+    /// shard* (a skewed policy may route an entire arrival batch to one
+    /// shard), so each shard's capacity is its initial rows plus the
+    /// full table-level headroom. Kernels scan only the logical prefix,
+    /// so the no-headroom path (`cap_total == host.len()`) is
+    /// bit-identical to the frozen-table loader.
+    pub fn partition_replicated_with_capacity(
+        cluster: &Cluster,
+        host: &TweetTable,
+        policy: PartitionPolicy,
+        r: ReplicationFactor,
+        cap_total: usize,
+    ) -> Result<Self, QdbError> {
         let d = cluster.num_devices();
         let r = r.effective(d);
+        let headroom = cap_total.saturating_sub(host.len());
         let parts = partition_indices(host.len(), d, policy);
         let mut shards = Vec::with_capacity(d);
         for (i, rows) in parts.iter().enumerate() {
@@ -219,16 +276,18 @@ impl ShardedTable {
                 lang: rows.iter().map(|&r| host.lang[r]).collect(),
                 uid: rows.iter().map(|&r| host.uid[r]).collect(),
             };
+            let cap_rows = sub.len() + headroom;
             let bytes = rows.len() * ROW_BYTES;
             let dev = cluster.device(i);
-            let gpu = GpuTweetTable::upload(dev, &sub);
+            let gpu = GpuTweetTable::upload_with_capacity(dev, &sub, cap_rows);
             let label = format!("load:shard{i}");
             retry_transfer(cluster, usize::MAX, i, bytes, &label, 3, &mut 0)?;
             let mut replicas = Vec::with_capacity(r);
             replicas.push(Replica { device: i, gpu });
             for j in 1..r {
                 let target = (i + j) % d;
-                let gpu = GpuTweetTable::upload(cluster.device(target), &sub);
+                let gpu =
+                    GpuTweetTable::upload_with_capacity(cluster.device(target), &sub, cap_rows);
                 let label = format!("replicate:shard{i}->dev{target}");
                 retry_transfer(cluster, i, target, bytes, &label, 3, &mut 0)?;
                 replicas.push(Replica {
@@ -236,13 +295,132 @@ impl ShardedTable {
                     gpu,
                 });
             }
-            shards.push(Shard { host: sub, replicas });
+            shards.push(Shard {
+                host: RefCell::new(sub),
+                cap_rows,
+                replicas,
+            });
         }
         Ok(ShardedTable {
             policy,
             replication: r,
+            epoch: Cell::new(0),
             shards,
         })
+    }
+
+    /// Routes an arrival batch through the table's partition policy and
+    /// splices each sub-batch into its shard — host columns first (the
+    /// pristine copy rebuilds draw from), then every *live* replica's
+    /// device columns, each charged as a real host→device transfer on
+    /// the interconnect. A replica on a permanently down device is
+    /// skipped and counted in the receipt: the data is safe on the host
+    /// and on the surviving replicas, and the next drain's rebuild
+    /// re-materializes full replication from the (now extended) host
+    /// columns.
+    ///
+    /// Batch ids must continue the table's global row numbering
+    /// (`len()..len() + batch.len()`, see
+    /// [`datagen::twitter::TweetTable::generate_at`]) — the delegate
+    /// gather path resolves global ids by binary search over each
+    /// shard's strictly increasing id column, so a gap or permutation
+    /// would corrupt results. Violations are a typed
+    /// [`QdbError::Internal`]. Capacity is checked on every shard before
+    /// anything splices, so a [`QdbError::CapacityExceeded`] append
+    /// changes nothing.
+    pub fn append_batch(
+        &self,
+        cluster: &Cluster,
+        batch: &TweetTable,
+    ) -> Result<ShardedAppendReceipt, QdbError> {
+        let old_total = self.len();
+        let new_total = old_total + batch.len();
+        for (j, &id) in batch.id.iter().enumerate() {
+            if id as usize != old_total + j {
+                return Err(QdbError::Internal {
+                    what: format!(
+                        "append batch id {id} at offset {j} breaks the global row \
+                         numbering (expected {})",
+                        old_total + j
+                    ),
+                });
+            }
+        }
+        let d = self.shards.len();
+        // route rows, then capacity-check every shard before any splice
+        let mut routed: Vec<Vec<usize>> = vec![Vec::new(); d];
+        for (j, &id) in batch.id.iter().enumerate() {
+            routed[self.policy.assign(id as usize, new_total, d)].push(j);
+        }
+        for (i, rows) in routed.iter().enumerate() {
+            let shard = &self.shards[i];
+            let needed = shard.host().len() + rows.len();
+            if needed > shard.cap_rows {
+                return Err(QdbError::CapacityExceeded {
+                    needed,
+                    cap: shard.cap_rows,
+                });
+            }
+        }
+        let epoch = self.epoch.get() + 1;
+        let mut transfer_done = SimTime::ZERO;
+        let mut bytes_total = 0usize;
+        let mut retries = 0usize;
+        let mut skipped_replicas = 0usize;
+        for (i, rows) in routed.iter().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            let sub = TweetTable {
+                id: rows.iter().map(|&r| batch.id[r]).collect(),
+                tweet_time: rows.iter().map(|&r| batch.tweet_time[r]).collect(),
+                retweet_count: rows.iter().map(|&r| batch.retweet_count[r]).collect(),
+                likes_count: rows.iter().map(|&r| batch.likes_count[r]).collect(),
+                lang: rows.iter().map(|&r| batch.lang[r]).collect(),
+                uid: rows.iter().map(|&r| batch.uid[r]).collect(),
+            };
+            let bytes = sub.len() * ROW_BYTES;
+            let shard = &self.shards[i];
+            shard.host.borrow_mut().extend_from(&sub);
+            for rep in &shard.replicas {
+                if cluster.device(rep.device).is_down() {
+                    skipped_replicas += 1;
+                    continue;
+                }
+                // capacity was pre-checked against the same per-shard
+                // allocation every replica shares, so this cannot fail
+                rep.gpu.splice_rows(&sub)?;
+                let label = format!("append:shard{i}->dev{}:epoch{epoch}", rep.device);
+                let t = retry_transfer(
+                    cluster,
+                    usize::MAX,
+                    rep.device,
+                    bytes,
+                    &label,
+                    3,
+                    &mut retries,
+                )?;
+                bytes_total += bytes;
+                if t.end.0 > transfer_done.0 {
+                    transfer_done = t.end;
+                }
+            }
+        }
+        self.epoch.set(epoch);
+        Ok(ShardedAppendReceipt {
+            rows: batch.len(),
+            bytes: bytes_total,
+            transfer_done,
+            epoch,
+            transfer_retries: retries,
+            skipped_replicas,
+        })
+    }
+
+    /// Monotonic data epoch: 0 at partition time, +1 per completed
+    /// append. Serving layers key their caches and rebuilt copies on it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
     }
 
     /// The partition policy the table was built with.
@@ -268,12 +446,12 @@ impl ShardedTable {
 
     /// Rows per shard, in device order.
     pub fn shard_rows(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.host.len()).collect()
+        self.shards.iter().map(|s| s.host().len()).collect()
     }
 
     /// Total rows across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.host.len()).sum()
+        self.shards.iter().map(|s| s.host().len()).sum()
     }
 
     /// True when every shard is empty.
@@ -346,7 +524,7 @@ fn retry_transfer_at(
 
 /// First device at or after `start` (ring order) that is not permanently
 /// down; `None` when the whole cluster is lost.
-fn first_healthy_from(cluster: &Cluster, start: usize) -> Option<usize> {
+pub(crate) fn first_healthy_from(cluster: &Cluster, start: usize) -> Option<usize> {
     let d = cluster.num_devices();
     (0..d)
         .map(|o| (start + o) % d)
@@ -354,7 +532,7 @@ fn first_healthy_from(cluster: &Cluster, start: usize) -> Option<usize> {
 }
 
 /// The typed error for a cluster with no healthy device left.
-fn all_devices_down(device: usize) -> QdbError {
+pub(crate) fn all_devices_down(device: usize) -> QdbError {
     QdbError::DeviceFault {
         what: "every device in the cluster is permanently down".to_string(),
         transient: false,
@@ -365,7 +543,7 @@ fn all_devices_down(device: usize) -> QdbError {
 
 /// Stamps `device` into an unattributed device fault so sharded ledger
 /// entries name the hardware that failed, not just the kernel.
-fn attribute_device(e: QdbError, device: usize) -> QdbError {
+pub(crate) fn attribute_device(e: QdbError, device: usize) -> QdbError {
     match e {
         QdbError::DeviceFault {
             what,
@@ -383,12 +561,12 @@ fn attribute_device(e: QdbError, device: usize) -> QdbError {
 }
 
 /// Gather-and-merge outcome shared by every sharded path.
-struct Merged<T> {
-    items: Vec<T>,
-    transfer_done: SimTime,
-    merge_time: SimTime,
-    candidate_bytes: usize,
-    transfer_retries: usize,
+pub(crate) struct Merged<T> {
+    pub(crate) items: Vec<T>,
+    pub(crate) transfer_done: SimTime,
+    pub(crate) merge_time: SimTime,
+    pub(crate) candidate_bytes: usize,
+    pub(crate) transfer_retries: usize,
 }
 
 /// Ships each shard's delegates (descending-sorted, ≤ k items) from its
@@ -399,7 +577,7 @@ struct Merged<T> {
 /// served). Delegates already resident on the merge device skip the
 /// wire.
 #[allow(clippy::too_many_arguments)]
-fn ship_and_merge<T: TopKItem>(
+pub(crate) fn ship_and_merge<T: TopKItem>(
     cluster: &Cluster,
     delegates: Vec<Vec<T>>,
     local: &[SimTime],
@@ -702,7 +880,7 @@ pub struct ShardedQueryResult {
 /// strictly increasing by construction). A miss is a bug in the gather
 /// path, reported as a typed [`QdbError::Internal`] — never a panic, so
 /// the no-panics contract holds on the delegate gather path too.
-fn shard_row(shard: &TweetTable, id: u32) -> Result<usize, QdbError> {
+pub(crate) fn shard_row(shard: &TweetTable, id: u32) -> Result<usize, QdbError> {
     shard.host_row(id).ok_or_else(|| QdbError::Internal {
         what: format!("delegate id {id} does not belong to its shard"),
     })
@@ -719,7 +897,7 @@ impl HostRow for TweetTable {
 }
 
 /// The f32 rank the engine's ranking kernels compute for a row.
-fn rank_key(t: &TweetTable, row: usize) -> f32 {
+pub(crate) fn rank_key(t: &TweetTable, row: usize) -> f32 {
     t.retweet_count[row] as f32 + 0.5 * t.likes_count[row] as f32
 }
 
@@ -765,7 +943,7 @@ pub fn execute_sharded(
     let mut retries = 0usize;
     for i in 0..table.num_shards() {
         let shard = table.shard(i);
-        if shard.host.is_empty() {
+        if shard.host().is_empty() {
             per_shard.push(Vec::new());
             local.push(SimTime::ZERO);
             serving.push(merge_dev);
@@ -788,7 +966,7 @@ pub fn execute_sharded(
         let dev = cluster.device(rep.device);
         serving.push(rep.device);
         let shard_q = Query {
-            limit: q.limit.min(shard.host.len()),
+            limit: q.limit.min(shard.host().len()),
             ..q.clone()
         };
         let mut attempt = 0usize;
@@ -862,10 +1040,10 @@ fn merge_shard_ids(
     {
         let mut delegates = Vec::with_capacity(per_shard.len());
         for (i, ids) in per_shard.iter().enumerate() {
-            let h = &table.shard(i).host;
+            let h = table.shard(i).host();
             let mut d = Vec::with_capacity(ids.len());
             for &id in ids {
-                d.push(make(h, shard_row(h, id)?, id));
+                d.push(make(&h, shard_row(&h, id)?, id));
             }
             delegates.push(d);
         }
@@ -877,7 +1055,14 @@ fn merge_shard_ids(
                 Kv::new(h.retweet_count[row], id)
             })?;
             let m = ship_and_merge(
-                cluster, delegates, local, serving, merge_dev, k, cfg, max_retries,
+                cluster,
+                delegates,
+                local,
+                serving,
+                merge_dev,
+                k,
+                cfg,
+                max_retries,
             )?;
             Ok((
                 m.items.iter().map(|kv| kv.value).collect(),
@@ -894,7 +1079,14 @@ fn merge_shard_ids(
                 Rev(Kv::new(h.retweet_count[row], id))
             })?;
             let m = ship_and_merge(
-                cluster, delegates, local, serving, merge_dev, k, cfg, max_retries,
+                cluster,
+                delegates,
+                local,
+                serving,
+                merge_dev,
+                k,
+                cfg,
+                max_retries,
             )?;
             Ok((
                 m.items.iter().map(|kv| kv.0.value).collect(),
@@ -907,10 +1099,18 @@ fn merge_shard_ids(
             ))
         }
         (OrderBy::Rank { .. }, _) => {
-            let delegates =
-                delegates_of(table, &per_shard, |h, row, id| Kv::new(rank_key(h, row), id))?;
+            let delegates = delegates_of(table, &per_shard, |h, row, id| {
+                Kv::new(rank_key(h, row), id)
+            })?;
             let m = ship_and_merge(
-                cluster, delegates, local, serving, merge_dev, k, cfg, max_retries,
+                cluster,
+                delegates,
+                local,
+                serving,
+                merge_dev,
+                k,
+                cfg,
+                max_retries,
             )?;
             Ok((
                 m.items.iter().map(|kv| kv.value).collect(),
@@ -995,6 +1195,9 @@ pub struct ShardedServed {
     /// Per-shard executions this query served from a non-routed replica
     /// after the routed device failed.
     pub failovers: usize,
+    /// True when the merged result came from the epoch-tagged cache —
+    /// no sub-query touched a shard (zero device work, zero latency).
+    pub cached: bool,
 }
 
 impl ShardedServed {
@@ -1088,6 +1291,9 @@ struct PendingQuery {
     sql: String,
     q: Query,
     routes: Vec<ShardRoute>,
+    /// Ids resolved from the result cache at submission (same SQL, same
+    /// table epoch); the drain serves them without routing anything.
+    cached: Option<Vec<u32>>,
 }
 
 /// A serving front-end over a sharded table: one [`Server`] per
@@ -1111,6 +1317,11 @@ pub struct ShardedServer<'a> {
     /// Rebuilt copies per shard: `(device, re-materialized table)`.
     /// Owned here (not by the table), served directly at drain.
     rebuilt: Vec<Vec<(usize, GpuTweetTable)>>,
+    /// Table epoch the rebuilt copies were materialized at. An append
+    /// bumps the table past this; the next submission discards every
+    /// rebuilt copy rather than serve pre-append rows (replicas held by
+    /// the table itself are spliced in place and never go stale).
+    rebuilt_epoch: u64,
     health: Vec<DeviceHealth>,
     /// Simulated clock the breaker runs on; advances by each drain's
     /// makespan.
@@ -1120,6 +1331,14 @@ pub struct ShardedServer<'a> {
     pending: Vec<PendingQuery>,
     next_ticket: usize,
     shed: usize,
+    /// Whole-query result cache ([`ServerConfig::result_cache`]): SQL
+    /// text → (table epoch at insertion, merged ids). Caching happens
+    /// here, above the scatter, so a hit skips every shard.
+    result_cache: bool,
+    cache: HashMap<String, (u64, Vec<u32>)>,
+    cache_hits: usize,
+    cache_misses: usize,
+    cache_refreshes: usize,
 }
 
 impl<'a> ShardedServer<'a> {
@@ -1128,6 +1347,13 @@ impl<'a> ShardedServer<'a> {
         assert_eq!(cluster.num_devices(), table.num_shards());
         let max_retries = cfg.max_retries;
         let strategy = cfg.default_strategy;
+        let result_cache = cfg.result_cache;
+        // caching lives at the sharded layer (whole merged queries);
+        // per-shard servers always re-execute their sub-queries
+        let cfg = ServerConfig {
+            result_cache: false,
+            ..cfg
+        };
         let servers: Vec<Vec<Server<'a>>> = (0..table.num_shards())
             .map(|i| {
                 table
@@ -1151,6 +1377,7 @@ impl<'a> ShardedServer<'a> {
             table,
             servers,
             rebuilt: (0..table.num_shards()).map(|_| Vec::new()).collect(),
+            rebuilt_epoch: table.epoch(),
             health,
             sim_now: SimTime::ZERO,
             strategy,
@@ -1158,12 +1385,31 @@ impl<'a> ShardedServer<'a> {
             pending: Vec::new(),
             next_ticket: 0,
             shed: 0,
+            result_cache,
+            cache: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_refreshes: 0,
         }
     }
 
     /// Per-device health (breaker state, consecutive failures, trips).
     pub fn health(&self) -> &[DeviceHealth] {
         &self.health
+    }
+
+    /// Discards rebuilt copies materialized before the last append:
+    /// they froze the pre-append rows, and serving them would break
+    /// bit-identity with the extended table. Replication is restored
+    /// from the current host columns at the next drain.
+    fn discard_stale_rebuilds(&mut self) {
+        let epoch = self.table.epoch();
+        if epoch != self.rebuilt_epoch {
+            for r in &mut self.rebuilt {
+                r.clear();
+            }
+            self.rebuilt_epoch = epoch;
+        }
     }
 
     /// Whether queries may route to `device` right now: not permanently
@@ -1221,6 +1467,7 @@ impl<'a> ShardedServer<'a> {
     /// admission queue. A shard that sheds ([`QdbError::Overloaded`])
     /// sheds the whole query.
     pub fn submit(&mut self, sql: &str) -> Result<ShardedTicket, QdbError> {
+        self.discard_stale_rebuilds();
         let q = parse(sql)?;
         if q.group_by_uid {
             return Err(SqlError::Unsupported("GROUP BY on a sharded table").into());
@@ -1240,9 +1487,39 @@ impl<'a> ShardedServer<'a> {
         if q.limit > n {
             return Err(QdbError::InvalidK { k: q.limit, n });
         }
+        if self.result_cache {
+            let hit = match self.cache.get(sql) {
+                Some((epoch, ids)) if *epoch == self.table.epoch() => {
+                    self.cache_hits += 1;
+                    Some(ids.clone())
+                }
+                Some(_) => {
+                    self.cache_refreshes += 1;
+                    None
+                }
+                None => {
+                    self.cache_misses += 1;
+                    None
+                }
+            };
+            if let Some(ids) = hit {
+                // a hit skips the scatter entirely: no sub-queries, no
+                // breaker traffic, nothing to drain from the shards
+                let ticket = ShardedTicket(self.next_ticket);
+                self.next_ticket += 1;
+                self.pending.push(PendingQuery {
+                    ticket,
+                    sql: sql.to_string(),
+                    q,
+                    routes: Vec::new(),
+                    cached: Some(ids),
+                });
+                return Ok(ticket);
+            }
+        }
         let mut routes = Vec::with_capacity(self.table.num_shards());
         for i in 0..self.table.num_shards() {
-            let shard_n = self.table.shard(i).host.len();
+            let shard_n = self.table.shard(i).host().len();
             if shard_n == 0 {
                 routes.push(ShardRoute::Empty);
                 continue;
@@ -1259,7 +1536,10 @@ impl<'a> ShardedServer<'a> {
             if let Some(j) = devices.iter().position(|&d| self.device_routable(d)) {
                 let shard_sql = render_sql(&q, q.limit.min(shard_n));
                 match self.servers[i][j].submit(&shard_sql, SubmitOptions::default()) {
-                    Ok(t) => routes.push(ShardRoute::Queued { replica: j, ticket: t }),
+                    Ok(t) => routes.push(ShardRoute::Queued {
+                        replica: j,
+                        ticket: t,
+                    }),
                     Err(e @ QdbError::Overloaded { .. }) => {
                         // already-admitted siblings will run and be
                         // discarded — the price of decentralized admission
@@ -1287,6 +1567,7 @@ impl<'a> ShardedServer<'a> {
             sql: sql.to_string(),
             q,
             routes,
+            cached: None,
         });
         Ok(ticket)
     }
@@ -1324,7 +1605,7 @@ impl<'a> ShardedServer<'a> {
                 what: format!("shard {i} has no copy on dev{device}"),
             })?;
         let shard_q = Query {
-            limit: q.limit.min(shard.host.len()),
+            limit: q.limit.min(shard.host().len()),
             ..q.clone()
         };
         let dev = self.cluster.device(device);
@@ -1393,7 +1674,7 @@ impl<'a> ShardedServer<'a> {
         let mut rebuilds = 0usize;
         for i in 0..self.table.num_shards() {
             let shard = self.table.shard(i);
-            if shard.host.is_empty() {
+            if shard.host().is_empty() {
                 continue;
             }
             let mut live: Vec<usize> = shard
@@ -1408,13 +1689,17 @@ impl<'a> ShardedServer<'a> {
                     .map(|o| (i + o) % d)
                     .find(|&dv| !self.cluster.device(dv).is_down() && !live.contains(&dv));
                 let Some(target) = target else { break };
-                let gpu = GpuTweetTable::upload(self.cluster.device(target), &shard.host);
+                let gpu = GpuTweetTable::upload_with_capacity(
+                    self.cluster.device(target),
+                    &shard.host(),
+                    shard.cap_rows,
+                );
                 let label = format!("rebuild:shard{i}");
                 if retry_transfer(
                     self.cluster,
                     usize::MAX,
                     target,
-                    shard.host.len() * ROW_BYTES,
+                    shard.host().len() * ROW_BYTES,
                     &label,
                     self.max_retries,
                     &mut 0,
@@ -1443,6 +1728,7 @@ impl<'a> ShardedServer<'a> {
     /// breaker ledger and rebuilds lost partitions for subsequent
     /// submissions.
     pub fn drain(&mut self) -> ShardedLoadReport {
+        self.discard_stale_rebuilds();
         let replica_reports: Vec<Vec<LoadReport>> = self
             .servers
             .iter_mut()
@@ -1474,8 +1760,26 @@ impl<'a> ShardedServer<'a> {
             sql,
             q,
             routes,
+            cached,
         } in pending
         {
+            if let Some(ids) = cached {
+                // resolved from the epoch-tagged cache at submission:
+                // no sub-queries ran, nothing shipped, zero latency
+                queries.push(ShardedServed {
+                    ticket,
+                    sql,
+                    ids,
+                    latency: SimTime::ZERO,
+                    error: None,
+                    degrade: DegradeLevel::None,
+                    retries: 0,
+                    transfer_retries: 0,
+                    failovers: 0,
+                    cached: true,
+                });
+                continue;
+            }
             let mut per_shard: Vec<Vec<u32>> = Vec::with_capacity(routes.len());
             let mut local = Vec::with_capacity(routes.len());
             let mut serving = Vec::with_capacity(routes.len());
@@ -1531,7 +1835,8 @@ impl<'a> ShardedServer<'a> {
                             &replica_reports[i][*replica].queries[by_ticket[i][*replica][&t.0]];
                         retries += served.retries;
                         degrade = degrade.max(served.degrade);
-                        let stranded = served.error.is_none() && self.cluster.device(device).is_down();
+                        let stranded =
+                            served.error.is_none() && self.cluster.device(device).is_down();
                         if let Some(e) = &served.error {
                             let e = attribute_device(e.clone(), device);
                             self.note_failure(device);
@@ -1612,7 +1917,19 @@ impl<'a> ShardedServer<'a> {
                 retries: retries + transfer_retries,
                 transfer_retries,
                 failovers,
+                cached: false,
             });
+        }
+
+        // every freshly merged result is valid exactly at the current
+        // epoch; the next append invalidates all of them at once
+        if self.result_cache {
+            let epoch = self.table.epoch();
+            for sq in &queries {
+                if sq.completed() && !sq.cached {
+                    self.cache.insert(sq.sql.clone(), (epoch, sq.ids.clone()));
+                }
+            }
         }
 
         let mut resilience = ResilienceStats::default();
@@ -1622,6 +1939,9 @@ impl<'a> ShardedServer<'a> {
         }
         resilience.shed = std::mem::take(&mut self.shed);
         resilience.failovers = failovers_total;
+        resilience.cache_hits = std::mem::take(&mut self.cache_hits);
+        resilience.cache_misses = std::mem::take(&mut self.cache_misses);
+        resilience.cache_refreshes = std::mem::take(&mut self.cache_refreshes);
         for sq in &queries {
             if sq.completed() {
                 resilience.completed += 1;
@@ -1653,7 +1973,7 @@ impl<'a> ShardedServer<'a> {
                 advance = r.makespan;
             }
         }
-        self.sim_now = self.sim_now + advance;
+        self.sim_now += advance;
 
         // restore replication for what this drain revealed as lost
         resilience.rebuilds = self.rebuild_lost_shards();
@@ -1950,7 +2270,11 @@ mod tests {
             assert_eq!(devs, vec![i, (i + 1) % 4], "ring placement for shard {i}");
         }
         // replica copies are charged as real device-to-device transfers
-        let labels: Vec<String> = cluster.transfers().iter().map(|t| t.label.clone()).collect();
+        let labels: Vec<String> = cluster
+            .transfers()
+            .iter()
+            .map(|t| t.label.clone())
+            .collect();
         assert!(
             labels.iter().any(|l| l == "replicate:shard0->dev1"),
             "{labels:?}"
@@ -2012,19 +2336,25 @@ mod tests {
         for _ in 0..BREAKER_THRESHOLD {
             server.note_failure(1);
         }
-        assert!(matches!(server.health()[1].state, BreakerState::Open { .. }));
+        assert!(matches!(
+            server.health()[1].state,
+            BreakerState::Open { .. }
+        ));
         assert_eq!(server.health()[1].trips, 1);
         assert!(!server.device_routable(1), "open breaker refuses routing");
         // the cooldown elapses on the simulated clock: the next routing
         // check admits a half-open probe
-        server.sim_now = server.sim_now + BREAKER_COOLDOWN;
+        server.sim_now += BREAKER_COOLDOWN;
         assert!(server.device_routable(1));
         assert_eq!(server.health()[1].state.name(), "half-open");
         // a failed probe re-opens immediately; a served one recloses
         server.note_failure(1);
-        assert!(matches!(server.health()[1].state, BreakerState::Open { .. }));
+        assert!(matches!(
+            server.health()[1].state,
+            BreakerState::Open { .. }
+        ));
         assert_eq!(server.health()[1].trips, 2);
-        server.sim_now = server.sim_now + BREAKER_COOLDOWN;
+        server.sim_now += BREAKER_COOLDOWN;
         assert!(server.device_routable(1));
         server.note_success(1);
         assert_eq!(server.health()[1].state.name(), "closed");
@@ -2105,6 +2435,66 @@ mod tests {
             assert_eq!(sq.ids, oracle[i], "{}", sq.sql);
         }
         assert_eq!(c.resilience.failovers, 0, "routing avoids the dead device");
+    }
+
+    /// The sharded result cache sits above the scatter: a warm hit
+    /// launches nothing on any device in the cluster, and an append
+    /// (which bumps the sharded table's epoch) invalidates it.
+    #[test]
+    fn sharded_cache_hits_skip_the_scatter_and_appends_invalidate() {
+        let host = TweetTable::generate(12_000, 13);
+        let cluster = Cluster::new(ClusterSpec::pcie_node(4));
+        let table = ShardedTable::partition_replicated_with_capacity(
+            &cluster,
+            &host,
+            PartitionPolicy::Hash,
+            ReplicationFactor(2),
+            18_000,
+        )
+        .unwrap();
+        let sql = "SELECT id FROM tweets ORDER BY retweet_count DESC LIMIT 9";
+        let mut server = ShardedServer::new(
+            &cluster,
+            &table,
+            ServerConfig {
+                result_cache: true,
+                ..ServerConfig::default()
+            },
+        );
+        server.submit(sql).unwrap();
+        let a = server.drain();
+        assert!(a.queries[0].completed() && !a.queries[0].cached);
+        assert_eq!(a.resilience.cache_misses, 1);
+
+        let logs: Vec<usize> = (0..4).map(|i| cluster.device(i).log_len()).collect();
+        server.submit(sql).unwrap();
+        let b = server.drain();
+        assert!(b.queries[0].cached);
+        assert_eq!(b.queries[0].ids, a.queries[0].ids);
+        assert_eq!(b.resilience.cache_hits, 1);
+        for (i, &l) in logs.iter().enumerate() {
+            assert_eq!(
+                cluster.device(i).log_len(),
+                l,
+                "hit launches nothing on device {i}"
+            );
+        }
+
+        let batch = TweetTable::generate_at(700, 3, host.len() as u32);
+        table.append_batch(&cluster, &batch).unwrap();
+        server.submit(sql).unwrap();
+        let c = server.drain();
+        assert!(!c.queries[0].cached, "the append invalidated the entry");
+        assert_eq!(c.resilience.cache_refreshes, 1);
+        let oracle = execute_sharded(
+            &cluster,
+            &table,
+            &parse(sql).unwrap(),
+            Strategy::StageBitonic,
+            2,
+        )
+        .unwrap();
+        assert_eq!(c.queries[0].ids, oracle.ids);
     }
 
     #[test]

@@ -1,0 +1,984 @@
+//! Materialized top-k views over streaming ingest.
+//!
+//! A [`TopKView`] is registered for one SQL query and keeps its standing
+//! result current as [`GpuTweetTable::append_batch`] splices arrival
+//! batches into the table. Maintenance exploits the decomposability of
+//! top-k: the winners over `old ∪ delta` are the winners over
+//! `top-k(old) ∪ top-k(delta)`, so a refresh only has to scan the rows
+//! that arrived since the last refresh (`O(delta)` traffic) and
+//! run-merge the two candidate lists with the same bitonic reducer the
+//! sharded layer uses — the standing result and the delta top-k are
+//! both descending runs, padded with sentinels to a power-of-two run
+//! length. The merged result is **bit-identical to a from-scratch
+//! rescan** for the full-item-order strategies (`StageBitonic`,
+//! `CombinedBitonic`), including row-id tie-breaks; `StageSort` carries
+//! the same duplicate-key caveat as [`crate::shard::execute_sharded`].
+//!
+//! When the accumulated delta grows past the view's refresh fraction the
+//! incremental path stops winning (the merge is cheap, but delta scans
+//! approach a full scan) and the view falls back to a rescan — the
+//! crossover DESIGN.md §4.6 derives. Views are backend-generic
+//! ([`TopKView::refresh_on`] serves the CPU engine too) and sharded
+//! ([`TopKView::refresh_sharded`]): per-shard delta scans run on any
+//! healthy replica, so a standing view survives permanent device loss
+//! whenever the table was partitioned with `ReplicationFactor ≥ 2`.
+
+use std::cell::{Cell, RefCell};
+
+use datagen::twitter::TweetTable;
+use datagen::{rev_slice, Kv, Rev, TopKItem};
+use simt::topology::Cluster;
+use simt::{Device, SimTime};
+use topk::bitonic::{bitonic_topk_from_runs, BitonicConfig};
+use topk::ExecBackend;
+use topk::{Backend as _, TopKError};
+
+use crate::cpu_engine::{execute_cpu, strategy_topk};
+use crate::error::QdbError;
+use crate::queries::Strategy;
+use crate::shard::{
+    all_devices_down, execute_sharded, first_healthy_from, rank_key, ship_and_merge, ShardedTable,
+};
+use crate::sql::{execute, parse, OrderBy, Query, SqlError};
+use crate::table::{BackendTable, CpuTweetTable, GpuTweetTable};
+
+/// How a view refresh will (or did) bring the standing result current.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewMode {
+    /// The standing result already covers the table's epoch — nothing
+    /// launches.
+    Current,
+    /// Scan only the appended rows and bitonic-run-merge their top-k
+    /// into the standing result.
+    DeltaMerge,
+    /// Re-execute the query over the whole table (first build, or the
+    /// accumulated delta crossed the refresh threshold).
+    Rescan,
+}
+
+impl ViewMode {
+    /// Name used in EXPLAIN renders and ledgers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ViewMode::Current => "current",
+            ViewMode::DeltaMerge => "delta-merge",
+            ViewMode::Rescan => "rescan",
+        }
+    }
+}
+
+/// Tuning for a materialized view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViewConfig {
+    /// Rescan instead of delta-merging once the accumulated delta
+    /// exceeds this fraction of the rows already folded in. The merge
+    /// itself is O(k), so the incremental path wins while the delta scan
+    /// is small against a full scan; past roughly half the table the
+    /// bookkeeping stops paying for itself.
+    pub refresh_fraction: f64,
+}
+
+impl Default for ViewConfig {
+    fn default() -> Self {
+        ViewConfig {
+            refresh_fraction: 0.5,
+        }
+    }
+}
+
+/// Maintenance counters for one view — the ledger the serving loop and
+/// the bench harness report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ViewStats {
+    /// Refreshes that found the standing result already current.
+    pub current_hits: usize,
+    /// Incremental delta-merge refreshes.
+    pub delta_merges: usize,
+    /// Full rescans (including the first build).
+    pub rescans: usize,
+    /// Total appended rows folded in via delta merges.
+    pub delta_rows_folded: usize,
+}
+
+/// The outcome of one [`TopKView`] refresh.
+#[derive(Debug, Clone)]
+pub struct ViewRefresh {
+    /// How the result was brought current.
+    pub mode: ViewMode,
+    /// The table epoch the standing result now covers.
+    pub epoch: u64,
+    /// Rows newly folded in by this refresh (0 for `Current`).
+    pub delta_rows: usize,
+    /// Modeled device time of the refresh (`ZERO` on the CPU backend
+    /// and for `Current`).
+    pub kernel_time: SimTime,
+    /// The standing result after the refresh, ranked.
+    pub ids: Vec<u32>,
+}
+
+/// A materialized top-k view: one registered SQL query plus its standing
+/// result and the epoch/row watermark the result covers.
+pub struct TopKView {
+    sql: String,
+    query: Query,
+    strategy: Strategy,
+    refresh_fraction: f64,
+    standing: RefCell<Vec<u32>>,
+    rows_done: Cell<usize>,
+    epoch_done: Cell<u64>,
+    /// Per-shard row watermarks (sharded tables only).
+    shard_done: RefCell<Vec<usize>>,
+    current_hits: Cell<usize>,
+    delta_merges: Cell<usize>,
+    rescans: Cell<usize>,
+    delta_rows_folded: Cell<usize>,
+}
+
+impl TopKView {
+    /// Registers a view for one SQL query. The query is parsed and
+    /// validated up front: `GROUP BY` is rejected (a delta cannot
+    /// maintain group counts — appended rows change existing groups),
+    /// and the ranking-function restrictions mirror
+    /// [`crate::sql::execute`] so a registered view can never fail
+    /// validation at refresh time.
+    pub fn register(sql: &str, strategy: Strategy, cfg: ViewConfig) -> Result<Self, QdbError> {
+        let query = parse(sql)?;
+        if query.group_by_uid {
+            return Err(SqlError::Unsupported(
+                "GROUP BY in a materialized top-k view (appends change existing group counts)",
+            )
+            .into());
+        }
+        if let OrderBy::Rank { likes_weight } = query.order_by {
+            if (likes_weight - 0.5).abs() > 1e-9 {
+                return Err(SqlError::Unsupported("ranking weight other than 0.5").into());
+            }
+            if query.filter.is_some() {
+                return Err(SqlError::Unsupported("WHERE combined with a ranking function").into());
+            }
+        }
+        Ok(TopKView {
+            sql: sql.to_string(),
+            query,
+            strategy,
+            refresh_fraction: cfg.refresh_fraction.max(0.0),
+            standing: RefCell::new(Vec::new()),
+            rows_done: Cell::new(0),
+            epoch_done: Cell::new(0),
+            shard_done: RefCell::new(Vec::new()),
+            current_hits: Cell::new(0),
+            delta_merges: Cell::new(0),
+            rescans: Cell::new(0),
+            delta_rows_folded: Cell::new(0),
+        })
+    }
+
+    /// The SQL the view was registered for.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The parsed query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The strategy delta scans and rescans run with.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The refresh fraction the delta/rescan crossover uses.
+    pub fn refresh_fraction(&self) -> f64 {
+        self.refresh_fraction
+    }
+
+    /// The current standing result (without refreshing).
+    pub fn ids(&self) -> Vec<u32> {
+        self.standing.borrow().clone()
+    }
+
+    /// Rows the standing result covers.
+    pub fn rows_done(&self) -> usize {
+        self.rows_done.get()
+    }
+
+    /// The table epoch the standing result covers.
+    pub fn epoch(&self) -> u64 {
+        self.epoch_done.get()
+    }
+
+    /// Maintenance counters.
+    pub fn stats(&self) -> ViewStats {
+        ViewStats {
+            current_hits: self.current_hits.get(),
+            delta_merges: self.delta_merges.get(),
+            rescans: self.rescans.get(),
+            delta_rows_folded: self.delta_rows_folded.get(),
+        }
+    }
+
+    /// The maintenance mode a refresh against a table with `table_rows`
+    /// rows at `table_epoch` would take — the pure decision EXPLAIN
+    /// renders without running anything.
+    pub fn plan_mode(&self, table_rows: usize, table_epoch: u64) -> ViewMode {
+        let done = self.rows_done.get();
+        if table_epoch == self.epoch_done.get() && table_rows == done {
+            return ViewMode::Current;
+        }
+        let delta = table_rows.saturating_sub(done);
+        if done == 0
+            || table_rows < done
+            || delta == 0
+            || (delta as f64) > self.refresh_fraction * done as f64
+        {
+            ViewMode::Rescan
+        } else {
+            ViewMode::DeltaMerge
+        }
+    }
+
+    fn commit(&self, ids: Vec<u32>, rows: usize, epoch: u64) -> Vec<u32> {
+        *self.standing.borrow_mut() = ids.clone();
+        self.rows_done.set(rows);
+        self.epoch_done.set(epoch);
+        ids
+    }
+
+    /// Brings the standing result current against a device-resident
+    /// table and returns it. `Current` launches nothing; `DeltaMerge`
+    /// scans only `[rows_done, len)` and run-merges; `Rescan`
+    /// re-executes the registered query.
+    pub fn refresh(&self, dev: &Device, table: &GpuTweetTable) -> Result<ViewRefresh, QdbError> {
+        let rows = table.len();
+        let epoch = table.epoch();
+        match self.plan_mode(rows, epoch) {
+            ViewMode::Current => {
+                self.current_hits.set(self.current_hits.get() + 1);
+                Ok(ViewRefresh {
+                    mode: ViewMode::Current,
+                    epoch,
+                    delta_rows: 0,
+                    kernel_time: SimTime::ZERO,
+                    ids: self.ids(),
+                })
+            }
+            ViewMode::Rescan => {
+                let log0 = dev.log_len();
+                let r = execute(dev, table, &self.query, self.strategy)?;
+                self.rescans.set(self.rescans.get() + 1);
+                Ok(ViewRefresh {
+                    mode: ViewMode::Rescan,
+                    epoch,
+                    delta_rows: rows - self.rows_done.get().min(rows),
+                    kernel_time: dev.window_since(log0).time,
+                    ids: self.commit(r.ids, rows, epoch),
+                })
+            }
+            ViewMode::DeltaMerge => {
+                let done = self.rows_done.get();
+                let delta_rows = rows - done;
+                let log0 = dev.log_len();
+                let delta_tab = table.device_slice(dev, done, rows);
+                let dq = Query {
+                    limit: self.query.limit.min(delta_rows),
+                    ..self.query.clone()
+                };
+                let delta = execute(dev, &delta_tab, &dq, self.strategy)?;
+                let standing = self.standing.borrow().clone();
+                let merged = self.merge_on_device(dev, table, &standing, &delta.ids)?;
+                self.delta_merges.set(self.delta_merges.get() + 1);
+                self.delta_rows_folded
+                    .set(self.delta_rows_folded.get() + delta_rows);
+                Ok(ViewRefresh {
+                    mode: ViewMode::DeltaMerge,
+                    epoch,
+                    delta_rows,
+                    kernel_time: dev.window_since(log0).time,
+                    ids: self.commit(merged, rows, epoch),
+                })
+            }
+        }
+    }
+
+    /// Run-merges the standing result with a delta top-k on the device:
+    /// both lists become descending sentinel-padded `k_eff` runs and the
+    /// bitonic run reducer selects the union's top-k — the same merge
+    /// the sharded gather uses, so ties resolve by the full item order.
+    fn merge_on_device(
+        &self,
+        dev: &Device,
+        table: &GpuTweetTable,
+        standing: &[u32],
+        delta: &[u32],
+    ) -> Result<Vec<u32>, QdbError> {
+        let id_col = table.id.read_range(0..table.len());
+        let row_of = |id: u32| -> Result<usize, QdbError> {
+            id_col.binary_search(&id).map_err(|_| QdbError::Internal {
+                what: format!("view id {id} is not in the table's id column"),
+            })
+        };
+        let k = self.query.limit;
+        match (&self.query.order_by, self.query.ascending) {
+            (OrderBy::RetweetCount, false) => {
+                let make = |id: &u32| -> Result<Kv<u32>, QdbError> {
+                    Ok(Kv::new(table.retweet_count.get(row_of(*id)?), *id))
+                };
+                let s: Vec<_> = standing.iter().map(make).collect::<Result<_, _>>()?;
+                let d: Vec<_> = delta.iter().map(make).collect::<Result<_, _>>()?;
+                let top = merge_runs(dev, s, d, k)?;
+                Ok(top.iter().map(|kv| kv.value).collect())
+            }
+            (OrderBy::RetweetCount, true) => {
+                let make = |id: &u32| -> Result<Rev<Kv<u32>>, QdbError> {
+                    Ok(Rev(Kv::new(table.retweet_count.get(row_of(*id)?), *id)))
+                };
+                let s: Vec<_> = standing.iter().map(make).collect::<Result<_, _>>()?;
+                let d: Vec<_> = delta.iter().map(make).collect::<Result<_, _>>()?;
+                let top = merge_runs(dev, s, d, k)?;
+                Ok(top.iter().map(|kv| kv.0.value).collect())
+            }
+            (OrderBy::Rank { .. }, _) => {
+                let make = |id: &u32| -> Result<Kv<f32>, QdbError> {
+                    let row = row_of(*id)?;
+                    let rank = table.retweet_count.get(row) as f32
+                        + 0.5 * table.likes_count.get(row) as f32;
+                    Ok(Kv::new(rank, *id))
+                };
+                let s: Vec<_> = standing.iter().map(make).collect::<Result<_, _>>()?;
+                let d: Vec<_> = delta.iter().map(make).collect::<Result<_, _>>()?;
+                let top = merge_runs(dev, s, d, k)?;
+                Ok(top.iter().map(|kv| kv.value).collect())
+            }
+            (OrderBy::Count, _) => {
+                unreachable!("group queries are rejected at registration")
+            }
+        }
+    }
+
+    /// Backend-generic refresh: the simulator path through
+    /// [`TopKView::refresh`], the CPU engine's twin otherwise. Both
+    /// return the same winners — the conformance contract of
+    /// [`crate::backend::execute_on`] extends to view maintenance.
+    pub fn refresh_on(
+        &self,
+        be: &ExecBackend<'_>,
+        table: &BackendTable,
+    ) -> Result<ViewRefresh, QdbError> {
+        if be.kind() != table.kind() {
+            return Err(TopKError::BackendMismatch {
+                backend: be.kind().name(),
+                buffer: table.kind().name(),
+            }
+            .into());
+        }
+        match be {
+            ExecBackend::Simt(b) => {
+                self.refresh(b.device(), table.as_simt().expect("kind checked above"))
+            }
+            ExecBackend::Cpu(b) => {
+                self.refresh_cpu(table.as_cpu().expect("kind checked above"), b.threads())
+            }
+        }
+    }
+
+    /// The CPU engine's refresh: same modes, same winners, wall-clock
+    /// instead of modeled time (reported as `SimTime::ZERO`).
+    fn refresh_cpu(&self, table: &CpuTweetTable, threads: usize) -> Result<ViewRefresh, QdbError> {
+        let rows = table.len();
+        let epoch = table.epoch();
+        match self.plan_mode(rows, epoch) {
+            ViewMode::Current => {
+                self.current_hits.set(self.current_hits.get() + 1);
+                Ok(ViewRefresh {
+                    mode: ViewMode::Current,
+                    epoch,
+                    delta_rows: 0,
+                    kernel_time: SimTime::ZERO,
+                    ids: self.ids(),
+                })
+            }
+            ViewMode::Rescan => {
+                let out = execute_cpu(&table.rows(), &self.query, self.strategy, threads)?;
+                self.rescans.set(self.rescans.get() + 1);
+                Ok(ViewRefresh {
+                    mode: ViewMode::Rescan,
+                    epoch,
+                    delta_rows: rows - self.rows_done.get().min(rows),
+                    kernel_time: SimTime::ZERO,
+                    ids: self.commit(out.ids, rows, epoch),
+                })
+            }
+            ViewMode::DeltaMerge => {
+                let done = self.rows_done.get();
+                let delta_rows = rows - done;
+                let standing = self.standing.borrow().clone();
+                let merged = self.merge_on_host(&table.rows(), &standing, done, rows, threads)?;
+                self.delta_merges.set(self.delta_merges.get() + 1);
+                self.delta_rows_folded
+                    .set(self.delta_rows_folded.get() + delta_rows);
+                Ok(ViewRefresh {
+                    mode: ViewMode::DeltaMerge,
+                    epoch,
+                    delta_rows,
+                    kernel_time: SimTime::ZERO,
+                    ids: self.commit(merged, rows, epoch),
+                })
+            }
+        }
+    }
+
+    /// Host-side delta merge: the standing pairs plus every matching
+    /// delta row feed the strategy's CPU top-k operator in one pass —
+    /// the host-memory shape of the same `top-k(old) ∪ delta` identity.
+    fn merge_on_host(
+        &self,
+        t: &TweetTable,
+        standing: &[u32],
+        done: usize,
+        rows: usize,
+        threads: usize,
+    ) -> Result<Vec<u32>, QdbError> {
+        let row_of = |id: u32| -> Result<usize, QdbError> {
+            t.id.binary_search(&id).map_err(|_| QdbError::Internal {
+                what: format!("view id {id} is not in the table's id column"),
+            })
+        };
+        let k = self.query.limit;
+        match &self.query.order_by {
+            OrderBy::RetweetCount => {
+                let op = self
+                    .query
+                    .filter
+                    .clone()
+                    .unwrap_or(crate::engine::FilterOp::TimeLess(u32::MAX));
+                let mut cand: Vec<Kv<u32>> = Vec::with_capacity(standing.len());
+                for &id in standing {
+                    cand.push(Kv::new(t.retweet_count[row_of(id)?], id));
+                }
+                for row in done..rows {
+                    if op.matches_row(t.tweet_time[row], t.lang[row]) {
+                        cand.push(Kv::new(t.retweet_count[row], t.id[row]));
+                    }
+                }
+                if self.query.ascending {
+                    Ok(strategy_topk(self.strategy, &rev_slice(&cand), k, threads)
+                        .iter()
+                        .map(|kv| kv.0.value)
+                        .collect())
+                } else {
+                    Ok(strategy_topk(self.strategy, &cand, k, threads)
+                        .iter()
+                        .map(|kv| kv.value)
+                        .collect())
+                }
+            }
+            OrderBy::Rank { .. } => {
+                let mut cand: Vec<Kv<f32>> = Vec::with_capacity(standing.len());
+                let rank =
+                    |row: usize| t.retweet_count[row] as f32 + 0.5 * t.likes_count[row] as f32;
+                for &id in standing {
+                    let row = row_of(id)?;
+                    cand.push(Kv::new(rank(row), id));
+                }
+                for row in done..rows {
+                    cand.push(Kv::new(rank(row), t.id[row]));
+                }
+                Ok(strategy_topk(self.strategy, &cand, k, threads)
+                    .iter()
+                    .map(|kv| kv.value)
+                    .collect())
+            }
+            OrderBy::Count => unreachable!("group queries are rejected at registration"),
+        }
+    }
+
+    /// Sharded refresh: per-shard delta scans run on any healthy replica
+    /// (the table's replication is what lets a standing view survive
+    /// permanent device loss), then the per-shard delta top-ks and the
+    /// standing result merge on the first healthy device with the same
+    /// scatter-gather the sharded query path uses.
+    pub fn refresh_sharded(
+        &self,
+        cluster: &Cluster,
+        table: &ShardedTable,
+        max_retries: usize,
+    ) -> Result<ViewRefresh, QdbError> {
+        let rows = table.len();
+        let epoch = table.epoch();
+        let mut mode = self.plan_mode(rows, epoch);
+        if mode == ViewMode::DeltaMerge && self.shard_done.borrow().len() != table.num_shards() {
+            // the standing result was not built against this sharding
+            mode = ViewMode::Rescan;
+        }
+        match mode {
+            ViewMode::Current => {
+                self.current_hits.set(self.current_hits.get() + 1);
+                Ok(ViewRefresh {
+                    mode: ViewMode::Current,
+                    epoch,
+                    delta_rows: 0,
+                    kernel_time: SimTime::ZERO,
+                    ids: self.ids(),
+                })
+            }
+            ViewMode::Rescan => {
+                let r = execute_sharded(cluster, table, &self.query, self.strategy, max_retries)?;
+                self.rescans.set(self.rescans.get() + 1);
+                *self.shard_done.borrow_mut() = table.shard_rows();
+                Ok(ViewRefresh {
+                    mode: ViewMode::Rescan,
+                    epoch,
+                    delta_rows: rows - self.rows_done.get().min(rows),
+                    kernel_time: r.sim_time,
+                    ids: self.commit(r.ids, rows, epoch),
+                })
+            }
+            ViewMode::DeltaMerge => {
+                let delta_rows = rows - self.rows_done.get();
+                let (ids, time) = self.sharded_delta_merge(cluster, table, max_retries)?;
+                self.delta_merges.set(self.delta_merges.get() + 1);
+                self.delta_rows_folded
+                    .set(self.delta_rows_folded.get() + delta_rows);
+                *self.shard_done.borrow_mut() = table.shard_rows();
+                Ok(ViewRefresh {
+                    mode: ViewMode::DeltaMerge,
+                    epoch,
+                    delta_rows,
+                    kernel_time: time,
+                    ids: self.commit(ids, rows, epoch),
+                })
+            }
+        }
+    }
+
+    /// Per-shard delta scans + the standing run, shipped and merged.
+    fn sharded_delta_merge(
+        &self,
+        cluster: &Cluster,
+        table: &ShardedTable,
+        max_retries: usize,
+    ) -> Result<(Vec<u32>, SimTime), QdbError> {
+        let Some(merge_dev) = first_healthy_from(cluster, 0) else {
+            return Err(all_devices_down(0));
+        };
+        let done = self.shard_done.borrow().clone();
+        let mut per_shard: Vec<Vec<u32>> = Vec::with_capacity(table.num_shards());
+        let mut local = Vec::with_capacity(table.num_shards() + 1);
+        let mut serving = Vec::with_capacity(table.num_shards() + 1);
+        for (i, &done_i) in done.iter().enumerate() {
+            let shard = table.shard(i);
+            let len_i = shard.host().len();
+            let delta_i = len_i - done_i;
+            if delta_i == 0 {
+                per_shard.push(Vec::new());
+                local.push(SimTime::ZERO);
+                serving.push(merge_dev);
+                continue;
+            }
+            // read any healthy replica, primary first — same failover
+            // rule as the sharded query path
+            let Some(rep) = shard
+                .replicas()
+                .iter()
+                .find(|rep| !cluster.device(rep.device).is_down())
+            else {
+                return Err(QdbError::DeviceFault {
+                    what: format!("shard {i}: every replica device is permanently down"),
+                    transient: false,
+                    attempts: 1,
+                    device: Some(shard.primary_device()),
+                });
+            };
+            let dev = cluster.device(rep.device);
+            serving.push(rep.device);
+            let dq = Query {
+                limit: self.query.limit.min(delta_i),
+                ..self.query.clone()
+            };
+            let mut attempt = 0usize;
+            let r = loop {
+                let log0 = dev.log_len();
+                let delta_tab = rep.gpu.device_slice(dev, done_i, len_i);
+                match execute(dev, &delta_tab, &dq, self.strategy) {
+                    Ok(r) => break (r.ids, dev.window_since(log0).time),
+                    Err(e) if e.is_transient() && attempt < max_retries => attempt += 1,
+                    Err(e) => return Err(crate::shard::attribute_device(e, rep.device)),
+                }
+            };
+            per_shard.push(r.0);
+            local.push(r.1);
+        }
+        let standing = self.standing.borrow().clone();
+        let k = self.query.limit;
+        match (&self.query.order_by, self.query.ascending) {
+            (OrderBy::RetweetCount, false) => merge_sharded(
+                cluster,
+                table,
+                &standing,
+                per_shard,
+                local,
+                serving,
+                merge_dev,
+                k,
+                max_retries,
+                |h, row, id| Kv::new(h.retweet_count[row], id),
+                |kv: &Kv<u32>| kv.value,
+            ),
+            (OrderBy::RetweetCount, true) => merge_sharded(
+                cluster,
+                table,
+                &standing,
+                per_shard,
+                local,
+                serving,
+                merge_dev,
+                k,
+                max_retries,
+                |h, row, id| Rev(Kv::new(h.retweet_count[row], id)),
+                |kv: &Rev<Kv<u32>>| kv.0.value,
+            ),
+            (OrderBy::Rank { .. }, _) => merge_sharded(
+                cluster,
+                table,
+                &standing,
+                per_shard,
+                local,
+                serving,
+                merge_dev,
+                k,
+                max_retries,
+                |h, row, id| Kv::new(rank_key(h, row), id),
+                |kv: &Kv<f32>| kv.value,
+            ),
+            (OrderBy::Count, _) => unreachable!("group queries are rejected at registration"),
+        }
+    }
+}
+
+/// Pads `standing` and `delta` (both descending, each at most
+/// `min(k, |standing| + |delta|)` long) into two sentinel-backed
+/// `k_eff` runs and reduces them on the device.
+fn merge_runs<T: TopKItem>(
+    dev: &Device,
+    standing: Vec<T>,
+    delta: Vec<T>,
+    k: usize,
+) -> Result<Vec<T>, QdbError> {
+    let total = standing.len() + delta.len();
+    if total == 0 {
+        return Ok(Vec::new());
+    }
+    let k_req = k.min(total);
+    let k_eff = k_req.next_power_of_two();
+    let mut runs: Vec<T> = Vec::with_capacity(2 * k_eff);
+    for mut run in [standing, delta] {
+        debug_assert!(run.len() <= k_eff, "candidate list exceeds its run");
+        run.resize(k_eff, T::min_sentinel());
+        runs.extend(run);
+    }
+    let buf = dev.try_upload(&runs)?;
+    let r = bitonic_topk_from_runs(dev, &buf, runs.len(), k_req, BitonicConfig::default())?;
+    Ok(r.items)
+}
+
+/// Locates a standing id's shard and host row (shard id columns are
+/// strictly increasing, so each probe is one binary search).
+fn locate(table: &ShardedTable, id: u32) -> Result<(usize, usize), QdbError> {
+    for i in 0..table.num_shards() {
+        if let Ok(row) = table.shard(i).host().id.binary_search(&id) {
+            return Ok((i, row));
+        }
+    }
+    Err(QdbError::Internal {
+        what: format!("view id {id} is not resident in any shard"),
+    })
+}
+
+/// Builds the typed delegate lists (per-shard delta top-ks + the
+/// standing run, resident on the merge device) and ships/merges them.
+#[allow(clippy::too_many_arguments)]
+fn merge_sharded<T: TopKItem>(
+    cluster: &Cluster,
+    table: &ShardedTable,
+    standing: &[u32],
+    per_shard: Vec<Vec<u32>>,
+    mut local: Vec<SimTime>,
+    mut serving: Vec<usize>,
+    merge_dev: usize,
+    k: usize,
+    max_retries: usize,
+    mut make: impl FnMut(&TweetTable, usize, u32) -> T,
+    value: impl Fn(&T) -> u32,
+) -> Result<(Vec<u32>, SimTime), QdbError> {
+    let mut delegates: Vec<Vec<T>> = Vec::with_capacity(per_shard.len() + 1);
+    for (i, ids) in per_shard.iter().enumerate() {
+        let h = table.shard(i).host();
+        let mut d = Vec::with_capacity(ids.len());
+        for &id in ids {
+            d.push(make(&h, crate::shard::shard_row(&h, id)?, id));
+        }
+        delegates.push(d);
+    }
+    // the standing result rides along as one more run, already resident
+    // on the merge device (it is host state, not device state)
+    let mut s = Vec::with_capacity(standing.len());
+    for &id in standing {
+        let (shard, row) = locate(table, id)?;
+        s.push(make(&table.shard(shard).host(), row, id));
+    }
+    delegates.push(s);
+    local.push(SimTime::ZERO);
+    serving.push(merge_dev);
+    let m = ship_and_merge(
+        cluster,
+        delegates,
+        &local,
+        &serving,
+        merge_dev,
+        k,
+        BitonicConfig::default(),
+        max_retries,
+    )?;
+    Ok((
+        m.items.iter().map(&value).collect(),
+        m.transfer_done + m.merge_time,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::{PartitionPolicy, ReplicationFactor};
+    use simt::topology::ClusterSpec;
+
+    const SHAPES: [&str; 3] = [
+        "SELECT id FROM tweets WHERE tweet_time < 1500000 \
+         ORDER BY retweet_count DESC LIMIT 12",
+        "SELECT id FROM tweets ORDER BY retweet_count ASC LIMIT 9",
+        "SELECT id FROM tweets ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT 7",
+    ];
+
+    #[test]
+    fn register_rejects_what_maintenance_cannot_hold() {
+        for sql in [
+            "SELECT uid, COUNT(*) FROM tweets GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 5",
+            "SELECT id FROM tweets ORDER BY retweet_count + 0.9 * likes_count DESC LIMIT 5",
+            "SELECT id FROM tweets WHERE lang='en' \
+             ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT 5",
+        ] {
+            assert!(
+                matches!(
+                    TopKView::register(sql, Strategy::StageBitonic, ViewConfig::default()),
+                    Err(QdbError::Parse(SqlError::Unsupported(_)))
+                ),
+                "{sql}"
+            );
+        }
+    }
+
+    /// The core contract: after any append sequence the maintained view
+    /// equals a from-scratch rescan bit for bit, for every supported
+    /// query shape, and the maintenance ledger records the mode walk
+    /// (build rescan, then delta merges, then cached currency).
+    #[test]
+    fn maintained_view_is_bit_identical_to_rescan_across_appends() {
+        for sql in SHAPES {
+            let dev = Device::titan_x();
+            let mut host = TweetTable::generate(20_000, 41);
+            let gpu = GpuTweetTable::upload_with_capacity(&dev, &host, 28_000);
+            let view = TopKView::register(sql, Strategy::StageBitonic, ViewConfig::default())
+                .expect("supported shape");
+            let first = view.refresh(&dev, &gpu).unwrap();
+            assert_eq!(first.mode, ViewMode::Rescan, "first build is a rescan");
+
+            for (i, batch_rows) in [1500usize, 700, 2300].into_iter().enumerate() {
+                let batch = TweetTable::generate_at(batch_rows, 100 + i as u64, host.len() as u32);
+                gpu.append_batch(&dev, &batch).expect("headroom");
+                host.extend_from(&batch);
+                let r = view.refresh(&dev, &gpu).unwrap();
+                assert_eq!(
+                    r.mode,
+                    ViewMode::DeltaMerge,
+                    "small delta stays incremental"
+                );
+                assert_eq!(r.delta_rows, batch_rows);
+                let oracle = execute(&dev, &gpu, view.query(), Strategy::StageBitonic).unwrap();
+                assert_eq!(r.ids, oracle.ids, "{sql} after append {i}");
+                assert_eq!(view.ids(), oracle.ids);
+            }
+            let again = view.refresh(&dev, &gpu).unwrap();
+            assert_eq!(again.mode, ViewMode::Current);
+            let s = view.stats();
+            assert_eq!(
+                (s.rescans, s.delta_merges, s.current_hits),
+                (1, 3, 1),
+                "{sql}"
+            );
+            assert_eq!(s.delta_rows_folded, 4500);
+        }
+    }
+
+    #[test]
+    fn current_refresh_launches_nothing() {
+        let dev = Device::titan_x();
+        let host = TweetTable::generate(4_000, 5);
+        let gpu = GpuTweetTable::upload(&dev, &host);
+        let view =
+            TopKView::register(SHAPES[0], Strategy::StageBitonic, ViewConfig::default()).unwrap();
+        let built = view.refresh(&dev, &gpu).unwrap();
+        let log0 = dev.log_len();
+        let hit = view.refresh(&dev, &gpu).unwrap();
+        assert_eq!(hit.mode, ViewMode::Current);
+        assert_eq!(hit.ids, built.ids);
+        assert_eq!(hit.kernel_time, SimTime::ZERO);
+        assert_eq!(dev.log_len(), log0, "a current view launches no kernels");
+    }
+
+    #[test]
+    fn oversized_delta_crosses_over_to_rescan() {
+        let dev = Device::titan_x();
+        let host = TweetTable::generate(2_000, 9);
+        let gpu = GpuTweetTable::upload_with_capacity(&dev, &host, 8_000);
+        let view = TopKView::register(
+            SHAPES[0],
+            Strategy::StageBitonic,
+            ViewConfig {
+                refresh_fraction: 0.25,
+            },
+        )
+        .unwrap();
+        view.refresh(&dev, &gpu).unwrap();
+        // 600 > 0.25 * 2000: the incremental path stops winning
+        let batch = TweetTable::generate_at(600, 77, 2_000);
+        gpu.append_batch(&dev, &batch).unwrap();
+        let r = view.refresh(&dev, &gpu).unwrap();
+        assert_eq!(r.mode, ViewMode::Rescan);
+        let oracle = execute(&dev, &gpu, view.query(), Strategy::StageBitonic).unwrap();
+        assert_eq!(r.ids, oracle.ids);
+        assert_eq!(view.stats().rescans, 2);
+        // a small follow-up delta goes back to merging
+        let batch = TweetTable::generate_at(200, 78, 2_600);
+        gpu.append_batch(&dev, &batch).unwrap();
+        assert_eq!(view.refresh(&dev, &gpu).unwrap().mode, ViewMode::DeltaMerge);
+    }
+
+    /// The Backend conformance contract extends to views: both engines
+    /// walk the same modes and return the same winners after appends.
+    #[test]
+    fn view_maintenance_conforms_across_backends() {
+        let host = TweetTable::generate(12_000, 17);
+        let dev = Device::titan_x();
+        let sim_be = ExecBackend::simt(&dev);
+        let cpu_be = ExecBackend::cpu(4);
+        let sim = BackendTable::load_with_capacity(&sim_be, &host, 16_000);
+        let cpu = BackendTable::load(&cpu_be, &host);
+        for sql in SHAPES {
+            let vs =
+                TopKView::register(sql, Strategy::StageBitonic, ViewConfig::default()).unwrap();
+            let vc =
+                TopKView::register(sql, Strategy::StageBitonic, ViewConfig::default()).unwrap();
+            assert_eq!(
+                vs.refresh_on(&sim_be, &sim).unwrap().ids,
+                vc.refresh_on(&cpu_be, &cpu).unwrap().ids,
+                "{sql} (build)"
+            );
+            assert!(matches!(
+                vs.refresh_on(&cpu_be, &sim),
+                Err(QdbError::DeviceFault { .. })
+            ));
+        }
+        // appends land on both backends; maintained results stay equal
+        let vs =
+            TopKView::register(SHAPES[0], Strategy::StageBitonic, ViewConfig::default()).unwrap();
+        let vc =
+            TopKView::register(SHAPES[0], Strategy::StageBitonic, ViewConfig::default()).unwrap();
+        vs.refresh_on(&sim_be, &sim).unwrap();
+        vc.refresh_on(&cpu_be, &cpu).unwrap();
+        let mut next_id = host.len() as u32;
+        for rows in [900usize, 1300] {
+            let batch = TweetTable::generate_at(rows, u64::from(next_id), next_id);
+            sim.append_batch(&sim_be, &batch).unwrap();
+            cpu.append_batch(&cpu_be, &batch).unwrap();
+            next_id += rows as u32;
+            let rs = vs.refresh_on(&sim_be, &sim).unwrap();
+            let rc = vc.refresh_on(&cpu_be, &cpu).unwrap();
+            assert_eq!(rs.mode, ViewMode::DeltaMerge);
+            assert_eq!(rc.mode, ViewMode::DeltaMerge);
+            assert_eq!(rs.ids, rc.ids, "after +{rows}");
+        }
+    }
+
+    /// The point of the incremental path: a delta merge moves a small
+    /// fraction of the global-memory bytes a rescan moves.
+    #[test]
+    fn delta_merge_reads_only_the_delta() {
+        let dev = Device::titan_x();
+        let mut host = TweetTable::generate(65_536, 3);
+        let gpu = GpuTweetTable::upload_with_capacity(&dev, &host, 66_560);
+        let view =
+            TopKView::register(SHAPES[0], Strategy::StageBitonic, ViewConfig::default()).unwrap();
+        let log0 = dev.log_len();
+        view.refresh(&dev, &gpu).unwrap();
+        let rescan_bytes = dev.window_since(log0).stats.global_bytes();
+
+        let batch = TweetTable::generate_at(1024, 51, host.len() as u32);
+        gpu.append_batch(&dev, &batch).unwrap();
+        host.extend_from(&batch);
+        let log1 = dev.log_len();
+        let r = view.refresh(&dev, &gpu).unwrap();
+        assert_eq!(r.mode, ViewMode::DeltaMerge);
+        let delta_bytes = dev.window_since(log1).stats.global_bytes();
+        assert!(
+            (delta_bytes as f64) < 0.1 * rescan_bytes as f64,
+            "delta maintenance should move a small fraction of a rescan: \
+             {delta_bytes} vs {rescan_bytes}"
+        );
+    }
+
+    /// A replicated sharded view keeps serving bit-exact results through
+    /// appends and a permanent device loss: delta scans fail over to the
+    /// surviving replica of each shard.
+    #[test]
+    fn sharded_view_survives_permanent_device_loss() {
+        let cluster = Cluster::new(ClusterSpec::pcie_node(4));
+        let mut host = TweetTable::generate(16_000, 29);
+        let table = ShardedTable::partition_replicated_with_capacity(
+            &cluster,
+            &host,
+            PartitionPolicy::Range,
+            ReplicationFactor(2),
+            24_000,
+        )
+        .unwrap();
+        let view =
+            TopKView::register(SHAPES[0], Strategy::StageBitonic, ViewConfig::default()).unwrap();
+        let built = view.refresh_sharded(&cluster, &table, 2).unwrap();
+        assert_eq!(built.mode, ViewMode::Rescan);
+
+        let batch = TweetTable::generate_at(1200, 61, host.len() as u32);
+        table.append_batch(&cluster, &batch).unwrap();
+        host.extend_from(&batch);
+        let r = view.refresh_sharded(&cluster, &table, 2).unwrap();
+        assert_eq!(r.mode, ViewMode::DeltaMerge);
+        let oracle =
+            execute_sharded(&cluster, &table, view.query(), Strategy::StageBitonic, 2).unwrap();
+        assert_eq!(r.ids, oracle.ids, "healthy delta merge matches the oracle");
+
+        // device 0 dies for good; the next append skips its replicas and
+        // the view's delta scans route to survivors
+        cluster.device(0).mark_down();
+        let batch = TweetTable::generate_at(900, 62, host.len() as u32);
+        let receipt = table.append_batch(&cluster, &batch).unwrap();
+        assert!(receipt.skipped_replicas > 0, "dead copies are skipped");
+        host.extend_from(&batch);
+        let r = view.refresh_sharded(&cluster, &table, 2).unwrap();
+        assert_eq!(r.mode, ViewMode::DeltaMerge);
+        let oracle =
+            execute_sharded(&cluster, &table, view.query(), Strategy::StageBitonic, 2).unwrap();
+        assert_eq!(r.ids, oracle.ids, "view survives permanent loss at r=2");
+        assert_eq!(view.stats().delta_merges, 2);
+        let hit = view.refresh_sharded(&cluster, &table, 2).unwrap();
+        assert_eq!(hit.mode, ViewMode::Current);
+    }
+}

@@ -1,7 +1,39 @@
 //! Device-resident tweet table.
+//!
+//! Tables are append-only streams: columns are allocated once (with
+//! optional growth headroom), and [`GpuTweetTable::append_batch`] splices
+//! arrival batches into the tail, charging the host→device transfer in
+//! simulated time and bumping a monotonic **epoch**. Every derived
+//! structure that must notice data arrival — materialized views, the
+//! server result cache, delegate indexes attached via `attach_aux` —
+//! keys its validity on that epoch (or on the buffers' contents
+//! version, which every append also bumps).
+
+use std::cell::Cell;
 
 use datagen::twitter::TweetTable;
-use simt::{Device, GpuBuffer};
+use simt::{Device, GpuBuffer, SimTime};
+use topk::Backend as _;
+
+use crate::error::QdbError;
+
+/// Bytes per row on the wire: four u32 key columns, one u8 lang column,
+/// and the u32 uid column (the same row size the sharded loader charges).
+pub const ROW_BYTES: usize = 4 * 5 + 1;
+
+/// The outcome of one append: what landed, what it cost on the wire,
+/// and the table epoch after the splice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppendReceipt {
+    /// Rows appended.
+    pub rows: usize,
+    /// Payload bytes charged to the host→device link.
+    pub bytes: usize,
+    /// Modeled transfer time charged in `simt`.
+    pub transfer_time: SimTime,
+    /// The table epoch after this append.
+    pub epoch: u64,
+}
 
 /// The Twitter table of Section 6.8, uploaded column-by-column to the
 /// simulated device.
@@ -18,62 +50,221 @@ pub struct GpuTweetTable {
     pub lang: GpuBuffer<u8>,
     /// Author ids.
     pub uid: GpuBuffer<u32>,
-    len: usize,
+    len: Cell<usize>,
+    cap: usize,
+    epoch: Cell<u64>,
 }
 
 impl GpuTweetTable {
-    /// Uploads a host-side table.
+    /// Uploads a host-side table with zero growth headroom (columns
+    /// sized exactly to the rows) — the frozen-table regime every
+    /// one-shot query path uses.
     pub fn upload(dev: &Device, t: &TweetTable) -> Self {
+        Self::upload_with_capacity(dev, t, t.len())
+    }
+
+    /// Uploads a host-side table into columns allocated for `cap_rows`
+    /// rows, leaving `cap_rows - t.len()` rows of headroom for
+    /// [`GpuTweetTable::append_batch`]. Kernels scan only the logical
+    /// prefix, so the slack is invisible until an append claims it.
+    pub fn upload_with_capacity(dev: &Device, t: &TweetTable, cap_rows: usize) -> Self {
+        let cap = cap_rows.max(t.len());
+        fn padded<T: simt::DeviceCopy>(dev: &Device, col: &[T], cap: usize) -> GpuBuffer<T> {
+            let buf = dev.alloc::<T>(cap);
+            buf.upload(col);
+            buf
+        }
         Self {
-            id: dev.upload(&t.id),
-            tweet_time: dev.upload(&t.tweet_time),
-            retweet_count: dev.upload(&t.retweet_count),
-            likes_count: dev.upload(&t.likes_count),
-            lang: dev.upload(&t.lang),
-            uid: dev.upload(&t.uid),
-            len: t.len(),
+            id: padded(dev, &t.id, cap),
+            tweet_time: padded(dev, &t.tweet_time, cap),
+            retweet_count: padded(dev, &t.retweet_count, cap),
+            likes_count: padded(dev, &t.likes_count, cap),
+            lang: padded(dev, &t.lang, cap),
+            uid: padded(dev, &t.uid, cap),
+            len: Cell::new(t.len()),
+            cap,
+            epoch: Cell::new(0),
         }
     }
 
-    /// Number of rows.
+    /// Splices an arrival batch into the column tails, charges the
+    /// host→device transfer against `dev`'s ingest ledger, and bumps
+    /// the epoch. Shared-reference on purpose: servers and views hold
+    /// `&GpuTweetTable` while data keeps arriving.
+    ///
+    /// Appends are the one mutation a resident table permits, and they
+    /// bump every column's contents version — aux structures like the
+    /// delegate index invalidate automatically (or are re-extended
+    /// incrementally via `topk::delegate::extend_delegate_index`).
+    pub fn append_batch(
+        &self,
+        dev: &Device,
+        batch: &TweetTable,
+    ) -> Result<AppendReceipt, QdbError> {
+        if dev.is_down() {
+            return Err(QdbError::DeviceFault {
+                what: "append to a permanently lost device".to_string(),
+                transient: false,
+                attempts: 1,
+                device: None,
+            });
+        }
+        self.splice_rows(batch)?;
+        let epoch = self.epoch.get();
+        let bytes = batch.len() * ROW_BYTES;
+        let transfer_time = dev.ingest_transfer(bytes, format!("append:epoch{epoch}"));
+        Ok(AppendReceipt {
+            rows: batch.len(),
+            bytes,
+            transfer_time,
+            epoch,
+        })
+    }
+
+    /// The splice without the ingest accounting: capacity-checks,
+    /// overwrites the column tails, bumps the length and the epoch.
+    /// The sharded append path charges its transfers on the cluster's
+    /// interconnect instead of the single-device ingest ledger, so the
+    /// data movement and its pricing are separated here.
+    pub(crate) fn splice_rows(&self, batch: &TweetTable) -> Result<(), QdbError> {
+        let old = self.len.get();
+        let needed = old + batch.len();
+        if needed > self.cap {
+            return Err(QdbError::CapacityExceeded {
+                needed,
+                cap: self.cap,
+            });
+        }
+        fn splice<T: simt::DeviceCopy>(buf: &GpuBuffer<T>, at: usize, tail: &[T]) {
+            let mut col = buf.to_vec();
+            col[at..at + tail.len()].copy_from_slice(tail);
+            buf.upload(&col);
+        }
+        splice(&self.id, old, &batch.id);
+        splice(&self.tweet_time, old, &batch.tweet_time);
+        splice(&self.retweet_count, old, &batch.retweet_count);
+        splice(&self.likes_count, old, &batch.likes_count);
+        splice(&self.lang, old, &batch.lang);
+        splice(&self.uid, old, &batch.uid);
+        self.len.set(needed);
+        self.epoch.set(self.epoch.get() + 1);
+        Ok(())
+    }
+
+    /// Materializes rows `lo..hi` as a standalone, exactly-sized device
+    /// table on `dev` — the delta sub-table streaming view maintenance
+    /// scans. The rows are already resident, so the copy itself is
+    /// functional-only (no wire charge); kernels over the slice then
+    /// charge exactly the slice's rows, which is what makes delta
+    /// maintenance `O(delta)` instead of `O(n)`.
+    pub fn device_slice(&self, dev: &Device, lo: usize, hi: usize) -> GpuTweetTable {
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice out of the logical prefix"
+        );
+        fn col<T: simt::DeviceCopy>(
+            dev: &Device,
+            buf: &GpuBuffer<T>,
+            lo: usize,
+            hi: usize,
+        ) -> GpuBuffer<T> {
+            let out = dev.alloc::<T>(hi - lo);
+            out.upload(&buf.read_range(lo..hi));
+            out
+        }
+        GpuTweetTable {
+            id: col(dev, &self.id, lo, hi),
+            tweet_time: col(dev, &self.tweet_time, lo, hi),
+            retweet_count: col(dev, &self.retweet_count, lo, hi),
+            likes_count: col(dev, &self.likes_count, lo, hi),
+            lang: col(dev, &self.lang, lo, hi),
+            uid: col(dev, &self.uid, lo, hi),
+            len: Cell::new(hi - lo),
+            cap: hi - lo,
+            epoch: Cell::new(0),
+        }
+    }
+
+    /// Number of rows (the logical prefix kernels scan).
     pub fn len(&self) -> usize {
-        self.len
+        self.len.get()
     }
 
     /// True when the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len.get() == 0
     }
+
+    /// Rows the device columns were allocated for (append headroom is
+    /// `capacity() - len()`).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Monotonic data epoch: 0 at load, +1 per completed append. Any
+    /// result derived at epoch `e` is valid exactly while the table is
+    /// still at `e`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+}
+
+struct CpuTableInner {
+    rows: std::cell::RefCell<TweetTable>,
+    epoch: Cell<u64>,
 }
 
 /// The host-resident tweet table the CPU backend executes against —
 /// reference-counted so handles are as cheap to clone as [`GpuBuffer`]s.
 #[derive(Clone)]
 pub struct CpuTweetTable {
-    rows: std::rc::Rc<TweetTable>,
+    inner: std::rc::Rc<CpuTableInner>,
 }
 
 impl CpuTweetTable {
     /// Pins a host table for CPU execution (one copy; clones share it).
     pub fn load(t: &TweetTable) -> Self {
         Self {
-            rows: std::rc::Rc::new(t.clone()),
+            inner: std::rc::Rc::new(CpuTableInner {
+                rows: std::cell::RefCell::new(t.clone()),
+                epoch: Cell::new(0),
+            }),
         }
     }
 
     /// The underlying columns.
-    pub fn rows(&self) -> &TweetTable {
-        &self.rows
+    pub fn rows(&self) -> std::cell::Ref<'_, TweetTable> {
+        self.inner.rows.borrow()
+    }
+
+    /// Appends an arrival batch. The CPU backend's twin of
+    /// [`GpuTweetTable::append_batch`]: same epoch semantics, but host
+    /// memory has no modeled wire so the transfer time is zero.
+    pub fn append_batch(&self, batch: &TweetTable) -> AppendReceipt {
+        self.inner.rows.borrow_mut().extend_from(batch);
+        let epoch = self.inner.epoch.get() + 1;
+        self.inner.epoch.set(epoch);
+        AppendReceipt {
+            rows: batch.len(),
+            bytes: batch.len() * ROW_BYTES,
+            transfer_time: SimTime::ZERO,
+            epoch,
+        }
+    }
+
+    /// Monotonic data epoch (see [`GpuTweetTable::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.get()
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.inner.rows.borrow().len()
     }
 
     /// True when the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 }
 
@@ -89,9 +280,50 @@ pub enum BackendTable {
 impl BackendTable {
     /// Loads a host table onto the given backend.
     pub fn load(backend: &topk::ExecBackend<'_>, t: &TweetTable) -> Self {
+        Self::load_with_capacity(backend, t, t.len())
+    }
+
+    /// Loads a host table with append headroom on the simulator backend
+    /// (the CPU backend's host vectors grow freely, so `cap_rows` only
+    /// matters for device columns).
+    pub fn load_with_capacity(
+        backend: &topk::ExecBackend<'_>,
+        t: &TweetTable,
+        cap_rows: usize,
+    ) -> Self {
         match backend {
-            topk::ExecBackend::Simt(b) => BackendTable::Simt(GpuTweetTable::upload(b.device(), t)),
+            topk::ExecBackend::Simt(b) => {
+                BackendTable::Simt(GpuTweetTable::upload_with_capacity(b.device(), t, cap_rows))
+            }
             topk::ExecBackend::Cpu(_) => BackendTable::Cpu(CpuTweetTable::load(t)),
+        }
+    }
+
+    /// Appends an arrival batch on whichever backend holds the columns.
+    /// The backend must match the one the table was loaded on.
+    pub fn append_batch(
+        &self,
+        backend: &topk::ExecBackend<'_>,
+        batch: &TweetTable,
+    ) -> Result<AppendReceipt, QdbError> {
+        match (self, backend) {
+            (BackendTable::Simt(t), topk::ExecBackend::Simt(b)) => {
+                t.append_batch(b.device(), batch)
+            }
+            (BackendTable::Cpu(t), topk::ExecBackend::Cpu(_)) => Ok(t.append_batch(batch)),
+            (t, _) => Err(topk::TopKError::BackendMismatch {
+                backend: backend.kind().name(),
+                buffer: t.kind().name(),
+            }
+            .into()),
+        }
+    }
+
+    /// Monotonic data epoch (see [`GpuTweetTable::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        match self {
+            BackendTable::Simt(t) => t.epoch(),
+            BackendTable::Cpu(t) => t.epoch(),
         }
     }
 
@@ -159,7 +391,64 @@ mod tests {
         let gpu = GpuTweetTable::upload(&dev, &host);
         assert_eq!(gpu.len(), 1000);
         assert!(!gpu.is_empty());
+        assert_eq!(gpu.capacity(), 1000);
+        assert_eq!(gpu.epoch(), 0);
         assert_eq!(gpu.retweet_count.to_vec(), host.retweet_count);
         assert_eq!(gpu.lang.to_vec(), host.lang);
+    }
+
+    #[test]
+    fn append_splices_bumps_epoch_and_charges_the_wire() {
+        let dev = Device::titan_x();
+        let mut host = TweetTable::generate(1000, 1);
+        let gpu = GpuTweetTable::upload_with_capacity(&dev, &host, 1500);
+        assert_eq!(gpu.capacity(), 1500);
+
+        let batch = TweetTable::generate_at(300, 7, host.len() as u32);
+        let ingests_before = dev.ingest_len();
+        let r = gpu.append_batch(&dev, &batch).expect("headroom available");
+        assert_eq!(r.rows, 300);
+        assert_eq!(r.bytes, 300 * ROW_BYTES);
+        assert_eq!(r.epoch, 1);
+        assert!(r.transfer_time > SimTime::ZERO);
+        assert_eq!(dev.ingest_len(), ingests_before + 1);
+        assert_eq!(gpu.len(), 1300);
+        assert_eq!(gpu.epoch(), 1);
+
+        // the device columns now match the concatenated host table
+        host.extend_from(&batch);
+        assert_eq!(gpu.retweet_count.read_range(0..1300), host.retweet_count);
+        assert_eq!(gpu.id.read_range(0..1300), host.id);
+
+        // overflow is a typed error and changes nothing
+        let big = TweetTable::generate_at(500, 9, host.len() as u32);
+        match gpu.append_batch(&dev, &big) {
+            Err(QdbError::CapacityExceeded { needed, cap }) => {
+                assert_eq!((needed, cap), (1800, 1500));
+            }
+            other => panic!("expected CapacityExceeded, got {other:?}"),
+        }
+        assert_eq!(gpu.len(), 1300);
+        assert_eq!(gpu.epoch(), 1);
+    }
+
+    #[test]
+    fn appends_work_on_both_backends_and_track_epochs() {
+        let host = TweetTable::generate(400, 3);
+        let batch = TweetTable::generate_at(100, 4, 400);
+        let dev = Device::titan_x();
+        let sim_be = topk::ExecBackend::simt(&dev);
+        let cpu_be = topk::ExecBackend::cpu(2);
+        let sim = BackendTable::load_with_capacity(&sim_be, &host, 600);
+        let cpu = BackendTable::load(&cpu_be, &host);
+        assert_eq!((sim.epoch(), cpu.epoch()), (0, 0));
+        sim.append_batch(&sim_be, &batch).expect("simt append");
+        cpu.append_batch(&cpu_be, &batch).expect("cpu append");
+        assert_eq!((sim.epoch(), cpu.epoch()), (1, 1));
+        assert_eq!(sim.len(), 500);
+        assert_eq!(cpu.len(), 500);
+        assert_eq!(cpu.as_cpu().unwrap().rows().id[499], 499);
+        // a backend mismatch is typed, not a panic
+        assert!(sim.append_batch(&cpu_be, &batch).is_err());
     }
 }

@@ -1,0 +1,270 @@
+//! Chaos suite for the streaming layer: random appends interleaved with
+//! standing-view refreshes and result-cached serving, under transient
+//! fault plans and permanent device loss.
+//!
+//! The invariants extend `chaos_serving`/`chaos_sharded` to moving data:
+//!
+//! * (a) **no panic ever escapes** — appends, refreshes and drains
+//!   return typed results no matter what the devices inject;
+//! * (b) **a completed refresh is oracle-exact** — whatever mix of
+//!   delta-merges and rescans maintenance chose, the standing result is
+//!   bit-identical to a from-scratch rescan of the current table on a
+//!   fault-free device;
+//! * (c) **failure never corrupts the view** — after a refresh fails,
+//!   the next successful refresh still matches the oracle (the standing
+//!   run only advances on commit);
+//! * (d) **ledgers stay consistent** — view mode counters equal the
+//!   number of successful refreshes, and the server's cache counters
+//!   partition every admitted query into hit/miss/refresh.
+
+use datagen::twitter::TweetTable;
+use proptest::prelude::*;
+use qdb::shard::{PartitionPolicy, ShardedTable};
+use qdb::{
+    execute_sql, parse_sql, GpuTweetTable, QdbError, ReplicationFactor, Server, ServerConfig,
+    Strategy, SubmitOptions, TopKView, ViewConfig,
+};
+use simt::topology::{Cluster, ClusterSpec};
+use simt::{Device, FaultPlan, SimTime};
+
+/// The three maintainable view shapes (GROUP BY is rejected at
+/// registration by design).
+fn view_sql(shape: usize) -> &'static str {
+    match shape % 3 {
+        0 => {
+            "SELECT id FROM tweets WHERE tweet_time < 1500000 \
+             ORDER BY retweet_count DESC LIMIT 12"
+        }
+        1 => "SELECT id FROM tweets ORDER BY retweet_count ASC LIMIT 9",
+        _ => "SELECT id FROM tweets ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT 7",
+    }
+}
+
+/// Fault-free rescan of the current host table on a fresh device — the
+/// oracle every completed streamed read must match bit-for-bit.
+fn oracle(host: &TweetTable, sql: &str) -> Vec<u32> {
+    let dev = Device::titan_x();
+    let gpu = GpuTweetTable::upload(&dev, host);
+    execute_sql(&dev, &gpu, &parse_sql(sql).unwrap(), Strategy::StageBitonic)
+        .expect("fault-free oracle")
+        .ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Single-device maintenance under launch-failure/stall/oom chaos:
+    /// every refresh over a randomly growing table either returns the
+    /// bit-exact rescan result or fails typed, and a failed refresh
+    /// never poisons the standing run.
+    #[test]
+    fn chaotic_view_refresh_is_exact_or_loud(
+        seed in any::<u64>(),
+        shape in 0usize..3,
+        launch_failure_rate in 0.0f64..0.4,
+        stall_rate in 0.0f64..0.3,
+        oom_rate in 0.0f64..0.2,
+        max_faults in 1usize..64,
+        batches in prop::collection::vec(0usize..900, 4..8),
+    ) {
+        let mut host = TweetTable::generate(4_000, seed);
+        let cap = host.len() + batches.iter().sum::<usize>();
+        let dev = Device::titan_x();
+        let gpu = GpuTweetTable::upload_with_capacity(&dev, &host, cap);
+        let sql = view_sql(shape);
+        let view = TopKView::register(sql, Strategy::StageBitonic, ViewConfig::default())
+            .expect("view registers");
+
+        dev.set_fault_plan(FaultPlan {
+            seed: seed.wrapping_add(1),
+            launch_failure_rate,
+            stall_rate,
+            stall_delay: SimTime(100e-6),
+            oom_rate,
+            max_faults,
+            ..FaultPlan::none()
+        });
+
+        let mut ok_refreshes = 0usize;
+        for (i, &rows) in batches.iter().enumerate() {
+            if rows > 0 {
+                // appends splice resident columns; transient kernel chaos
+                // cannot defeat them, so host and device stay in lockstep
+                let batch = TweetTable::generate_at(rows, seed ^ (i as u64 + 1), host.len() as u32);
+                gpu.append_batch(&dev, &batch).expect("append within capacity");
+                host.extend_from(&batch);
+            }
+            match view.refresh(&dev, &gpu) {
+                Ok(r) => {
+                    ok_refreshes += 1;
+                    prop_assert_eq!(r.epoch, gpu.epoch());
+                    // (b) bit-exact against a fault-free rescan
+                    prop_assert_eq!(&r.ids, &oracle(&host, sql), "step {}: {}", i, sql);
+                }
+                Err(e) => {
+                    // (a)+(c) typed failure, view untouched
+                    prop_assert!(
+                        matches!(e, QdbError::DeviceFault { .. }),
+                        "step {i}: untyped chaos error {e:?}"
+                    );
+                }
+            }
+        }
+
+        dev.clear_fault_plan();
+        // (c) the view recovers: one clean refresh lands on the oracle
+        let r = view.refresh(&dev, &gpu).expect("clean refresh");
+        prop_assert_eq!(&r.ids, &oracle(&host, sql), "post-chaos {}", sql);
+        // (d) mode counters account for every successful refresh
+        let stats = view.stats();
+        prop_assert_eq!(
+            stats.current_hits + stats.delta_merges + stats.rescans,
+            ok_refreshes + 1
+        );
+    }
+
+    /// Replicated maintenance across a permanent device loss at a random
+    /// point in the append stream: with `r = 2` every refresh after the
+    /// loss still completes bit-exact (delta scans fail over to the
+    /// surviving replica), and appends keep landing on the healthy
+    /// copies.
+    #[test]
+    fn chaotic_replicated_view_survives_device_loss(
+        seed in any::<u64>(),
+        shape in 0usize..3,
+        down_device in 0usize..4,
+        down_step in 0usize..4,
+        policy_idx in 0usize..3,
+        batches in prop::collection::vec(8usize..700, 4..6),
+    ) {
+        let mut host = TweetTable::generate(5_000, seed);
+        let cap = host.len() + batches.iter().sum::<usize>();
+        let sql = view_sql(shape);
+        let view = TopKView::register(sql, Strategy::StageBitonic, ViewConfig::default())
+            .expect("view registers");
+
+        let cluster = Cluster::new(ClusterSpec::pcie_node(4));
+        let table = ShardedTable::partition_replicated_with_capacity(
+            &cluster,
+            &host,
+            PartitionPolicy::all()[policy_idx],
+            ReplicationFactor(2),
+            cap,
+        )
+        .expect("replicated partition");
+
+        // a healthy baseline refresh so the loss hits a live view
+        let r0 = view.refresh_sharded(&cluster, &table, 2).expect("baseline refresh");
+        prop_assert_eq!(&r0.ids, &oracle(&host, sql), "baseline {}", sql);
+
+        let mut lost = false;
+        let mut skipped = 0usize;
+        for (i, &rows) in batches.iter().enumerate() {
+            if i == down_step {
+                cluster.device(down_device).mark_down();
+                lost = true;
+            }
+            let batch = TweetTable::generate_at(rows, seed ^ (i as u64 + 1), host.len() as u32);
+            let receipt = table.append_batch(&cluster, &batch).expect("replicated append");
+            host.extend_from(&batch);
+            skipped += receipt.skipped_replicas;
+            // (b) r=2 absorbs one permanent loss: refresh must complete
+            let r = view.refresh_sharded(&cluster, &table, 2).expect("refresh under loss");
+            prop_assert_eq!(&r.ids, &oracle(&host, sql), "step {}: {}", i, sql);
+        }
+        // hash routing spreads every batch over all shards, so appends
+        // after the loss must have skipped the dead device's copies
+        // (range/round-robin may legitimately route around it)
+        if lost && PartitionPolicy::all()[policy_idx] == PartitionPolicy::Hash {
+            prop_assert!(skipped > 0, "down device's replicas were never skipped");
+        }
+
+        // (d) every refresh completed, so the counters cover them all
+        let stats = view.stats();
+        prop_assert_eq!(
+            stats.current_hits + stats.delta_merges + stats.rescans,
+            batches.len() + 1
+        );
+    }
+
+    /// Result-cached serving over a randomly appending table under
+    /// transient chaos: completed queries are oracle-exact at their
+    /// epoch, cache hits never fail (they launch nothing), and each
+    /// drain's cache counters partition exactly the queries it admitted.
+    #[test]
+    fn chaotic_cached_serving_over_a_stream_is_exact(
+        seed in any::<u64>(),
+        launch_failure_rate in 0.0f64..0.3,
+        stall_rate in 0.0f64..0.2,
+        max_faults in 1usize..48,
+        batches in prop::collection::vec(0usize..600, 3..6),
+    ) {
+        let mut host = TweetTable::generate(4_000, seed);
+        let cap = host.len() + batches.iter().sum::<usize>();
+        let dev = Device::titan_x();
+        let gpu = GpuTweetTable::upload_with_capacity(&dev, &host, cap);
+        let sqls: Vec<&str> = (0..3).map(view_sql).collect();
+        let mut server = Server::new(
+            &dev,
+            &gpu,
+            ServerConfig {
+                result_cache: true,
+                coalesce: false,
+                ..ServerConfig::default()
+            },
+        );
+
+        dev.set_fault_plan(FaultPlan {
+            seed: seed.wrapping_add(2),
+            launch_failure_rate,
+            stall_rate,
+            stall_delay: SimTime(100e-6),
+            max_faults,
+            ..FaultPlan::none()
+        });
+
+        for (i, &rows) in batches.iter().enumerate() {
+            if rows > 0 {
+                let batch = TweetTable::generate_at(rows, seed ^ (i as u64 + 7), host.len() as u32);
+                gpu.append_batch(&dev, &batch).expect("append within capacity");
+                host.extend_from(&batch);
+            }
+            let mut admitted = 0usize;
+            for sql in &sqls {
+                match server.submit(sql, SubmitOptions::default()) {
+                    Ok(_) => admitted += 1,
+                    Err(QdbError::Overloaded { .. }) => {}
+                    Err(other) => prop_assert!(false, "untyped admission failure: {other:?}"),
+                }
+            }
+            let report = server.drain();
+            prop_assert_eq!(report.queries.len(), admitted);
+            for served in &report.queries {
+                match &served.error {
+                    None => {
+                        // (b) completed answers match the fault-free
+                        // rescan of the table as it stands this epoch
+                        prop_assert_eq!(
+                            &served.result.ids,
+                            &oracle(&host, &served.sql),
+                            "epoch {}: {}",
+                            gpu.epoch(),
+                            served.sql
+                        );
+                    }
+                    Some(QdbError::DeviceFault { .. }) | Some(QdbError::Timeout { .. }) => {
+                        // a cache hit launches nothing, so it cannot fail
+                        prop_assert!(!served.cached, "cache hit failed: {}", served.sql);
+                    }
+                    Some(other) => prop_assert!(false, "untyped drain error: {other:?}"),
+                }
+            }
+            // (d) submit-time classification partitions the admitted set
+            let res = &report.resilience;
+            prop_assert_eq!(
+                res.cache_hits + res.cache_misses + res.cache_refreshes,
+                admitted
+            );
+        }
+    }
+}

@@ -147,7 +147,10 @@ impl std::fmt::Display for LaunchError {
                 write!(f, "injected device fault failed launch of `{kernel}`")
             }
             LaunchError::DeviceDown { kernel } => {
-                write!(f, "device is permanently down; launch of `{kernel}` rejected")
+                write!(
+                    f,
+                    "device is permanently down; launch of `{kernel}` rejected"
+                )
             }
         }
     }
@@ -281,6 +284,24 @@ pub(crate) struct DeviceInner {
     /// Permanent device-down latch: set by a fault plan's down trigger
     /// or [`Device::mark_down`], never cleared (device loss is final).
     down: Cell<bool>,
+    /// Host→device ingest transfers charged via [`Device::ingest_transfer`]
+    /// (streaming appends), in charge order.
+    ingests: RefCell<Vec<IngestRecord>>,
+}
+
+/// One host→device ingest transfer charged against this device by a
+/// streaming append (see [`Device::ingest_transfer`]). Single-device
+/// tables have no [`crate::topology::Cluster`] to route transfers
+/// through, so the device itself keeps this ledger; clustered appends
+/// charge real [`crate::topology::Cluster::transfer`]s instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestRecord {
+    /// What was appended (e.g. `append:batch3`).
+    pub label: String,
+    /// Payload size on the wire.
+    pub bytes: usize,
+    /// Modeled PCIe 3.0 x16 transfer time for the payload.
+    pub time: SimTime,
 }
 
 impl DeviceInner {
@@ -475,6 +496,7 @@ impl Device {
                 fault_events: RefCell::new(Vec::new()),
                 ecc_targets: RefCell::new(Vec::new()),
                 down: Cell::new(false),
+                ingests: RefCell::new(Vec::new()),
             }),
         }
     }
@@ -956,6 +978,40 @@ impl Device {
             time: SimTime(t),
             static_pred: None,
         }
+    }
+
+    /// Charges one host→device ingest transfer of `bytes` against this
+    /// device and records it in the ingest ledger. The modeled time uses
+    /// the same PCIe 3.0 x16 link model the cluster topology prices
+    /// host-staged hops with, so a single-device append costs exactly
+    /// what the equivalent `Cluster::host_to_device` leg would.
+    ///
+    /// Streaming appends are the caller: uploading a delta of rows is
+    /// real wire traffic even though buffer writes themselves are
+    /// functional (untimed) in the simulator.
+    pub fn ingest_transfer(&self, bytes: usize, label: impl Into<String>) -> SimTime {
+        let time = SimTime(crate::topology::LinkSpec::pcie3_x16().seconds(bytes));
+        self.inner.ingests.borrow_mut().push(IngestRecord {
+            label: label.into(),
+            bytes,
+            time,
+        });
+        time
+    }
+
+    /// Snapshot of the ingest ledger, in charge order.
+    pub fn ingest_log(&self) -> Vec<IngestRecord> {
+        self.inner.ingests.borrow().clone()
+    }
+
+    /// Number of ingest transfers charged so far.
+    pub fn ingest_len(&self) -> usize {
+        self.inner.ingests.borrow().len()
+    }
+
+    /// Total modeled time of every charged ingest transfer.
+    pub fn total_ingest_time(&self) -> SimTime {
+        self.inner.ingests.borrow().iter().map(|r| r.time).sum()
     }
 
     /// Total modeled time of all launches since the last reset.

@@ -51,8 +51,10 @@ pub mod topology;
 pub mod trace;
 
 pub use block::{BlockCtx, Lane, SharedHandle};
-pub use buffer::{GpuBuffer, MappedBuffer, TransparentWrapper};
-pub use device::{Device, Kernel, LaunchError, LaunchReport, LaunchWindow, OutOfMemory};
+pub use buffer::{DeviceCopy, GpuBuffer, MappedBuffer, TransparentWrapper};
+pub use device::{
+    Device, IngestRecord, Kernel, LaunchError, LaunchReport, LaunchWindow, OutOfMemory,
+};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use lint::{
     AccessSpec, BufferDecl, BulkAccess, GlobalStream, LaunchGeometry, LintConfig, LintFinding,

@@ -72,6 +72,16 @@ impl<T: TopKItem> DelegateIndex<T> {
     pub fn num_subranges(&self) -> usize {
         self.delegates.len()
     }
+
+    /// Number of input rows the index covers.
+    pub fn rows(&self) -> usize {
+        self.n
+    }
+
+    /// Subrange (delegate granularity) length the index was built at.
+    pub fn subrange(&self) -> usize {
+        self.subrange
+    }
 }
 
 /// Extraction pass: reads the whole input once, writes one delegate per
@@ -130,6 +140,76 @@ impl<T: TopKItem> Kernel for DelegateExtractKernel<T> {
                 best
             })
             .collect();
+        self.delegates.upload(&dels);
+    }
+}
+
+/// Incremental extension pass: copies the still-valid full-subrange
+/// delegates from the prior index and rescans only the straddling
+/// subrange (the one the old tail row fell inside, if partial) plus the
+/// purely-new tail — the append-path twin of [`DelegateExtractKernel`]
+/// that reads `O(delta)` instead of `O(n)`.
+struct DelegateExtendKernel<T: TopKItem> {
+    input: GpuBuffer<T>,
+    old: GpuBuffer<T>,
+    /// Number of prior delegates whose subranges are untouched by the
+    /// append (full subranges entirely below the old row count).
+    keep: usize,
+    subrange: usize,
+    n: usize,
+    delegates: GpuBuffer<T>,
+}
+
+impl<T: TopKItem> Kernel for DelegateExtendKernel<T> {
+    fn name(&self) -> &'static str {
+        "delegate_extend"
+    }
+    fn block_dim(&self) -> usize {
+        256
+    }
+    fn grid_dim(&self) -> usize {
+        1
+    }
+    fn access_spec(&self) -> Option<AccessSpec> {
+        let tail_lo = self.keep * self.subrange;
+        Some(AccessSpec::bulk(
+            "extend",
+            vec![
+                BulkAccess {
+                    buf: BufferDecl::of("input", &self.input),
+                    elems: self.n - tail_lo,
+                    write: false,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("old_delegates", &self.old),
+                    elems: self.keep,
+                    write: false,
+                },
+                BulkAccess {
+                    buf: BufferDecl::of("delegates", &self.delegates),
+                    elems: self.delegates.len(),
+                    write: true,
+                },
+            ],
+        ))
+    }
+    fn run_block(&self, blk: &mut BlockCtx) {
+        let tail_lo = self.keep * self.subrange;
+        let tail = self.n - tail_lo;
+        blk.bulk_global_read((tail * T::SIZE_BYTES) as u64);
+        blk.bulk_global_read((self.keep * T::SIZE_BYTES) as u64);
+        blk.bulk_global_write((self.delegates.len() * T::SIZE_BYTES) as u64);
+        blk.bulk_ops(tail as u64);
+        let mut dels = self.old.read_range(0..self.keep);
+        for chunk in self.input.read_range(tail_lo..self.n).chunks(self.subrange) {
+            let mut best = chunk[0];
+            for item in &chunk[1..] {
+                if best.item_lt(item) {
+                    best = *item;
+                }
+            }
+            dels.push(best);
+        }
         self.delegates.upload(&dels);
     }
 }
@@ -333,6 +413,61 @@ pub fn warm_delegate_index<T: TopKItem>(
     obtain_index(dev, input, &cfg).map(|_| ())
 }
 
+/// Re-attaches a delegate index to `input` after an append, touching
+/// only the appended region: the caller asserts that the first
+/// [`DelegateIndex::rows`] elements of `input` are exactly the data the
+/// `prior` index was built over, with everything after them new. Full
+/// subranges entirely below the old row count keep their cached
+/// delegates; the straddling subrange (if the old row count was not a
+/// subrange multiple) and the new tail are rescanned — `O(delta)`
+/// traffic instead of the `O(n)` full extraction.
+///
+/// The result is bit-identical to a cold rebuild: a maximum over an
+/// untouched subrange cannot change, and every subrange an append can
+/// touch is recomputed from the live input. An incompatible prior
+/// (different granularity, or covering more rows than `input` holds)
+/// falls back to [`warm_delegate_index`]'s full extraction.
+pub fn extend_delegate_index<T: TopKItem>(
+    dev: &Device,
+    input: &GpuBuffer<T>,
+    prior: &DelegateIndex<T>,
+    cfg: DelegateConfig,
+) -> Result<(), TopKError> {
+    if input.is_empty() {
+        return Err(TopKError::EmptyInput);
+    }
+    let n = input.len();
+    if prior.subrange != cfg.subrange || prior.n > n {
+        return warm_delegate_index(dev, input, cfg);
+    }
+    if prior.n == n {
+        // nothing appended: the prior delegates are the index
+        input.attach_aux(DelegateIndex {
+            delegates: prior.delegates.clone(),
+            subrange: prior.subrange,
+            n,
+        });
+        return Ok(());
+    }
+    let keep = prior.n / cfg.subrange;
+    let c = n.div_ceil(cfg.subrange);
+    let delegates = dev.alloc_filled::<T>(c, T::min_sentinel());
+    dev.launch(&DelegateExtendKernel {
+        input: input.clone(),
+        old: prior.delegates.clone(),
+        keep,
+        subrange: cfg.subrange,
+        n,
+        delegates: delegates.clone(),
+    })?;
+    input.attach_aux(DelegateIndex {
+        delegates,
+        subrange: cfg.subrange,
+        n,
+    });
+    Ok(())
+}
+
 /// Top-k via delegate select.
 pub fn delegate_select_topk<T: TopKItem>(
     dev: &Device,
@@ -503,6 +638,110 @@ mod tests {
         assert_eq!(dev.log_len(), before + 1, "one extraction launch");
         warm_delegate_index(&dev, &input, DelegateConfig::default()).unwrap();
         assert_eq!(dev.log_len(), before + 1, "second warm launches nothing");
+    }
+
+    fn sig<K: datagen::SortKey>(v: &[Kv<K>]) -> Vec<(K, u32)> {
+        v.iter().map(|kv| (kv.key, kv.value)).collect()
+    }
+
+    #[test]
+    fn extended_index_matches_cold_rebuild_bit_for_bit() {
+        // duplicate-heavy keys with a non-multiple old row count, so the
+        // straddling subrange and the id tie-breaks are both exercised
+        let dev = Device::titan_x();
+        let s = DEFAULT_SUBRANGE;
+        let n0 = 5 * s + 731;
+        let delta = 2 * s + 17;
+        let data: Vec<Kv<u32>> = (0..(n0 + delta) as u32)
+            .map(|i| Kv::new(i % 97, i))
+            .collect();
+
+        // prior index over the first n0 rows
+        let old_input = dev.upload(&data[..n0]);
+        warm_delegate_index(&dev, &old_input, DelegateConfig::default()).unwrap();
+        let prior = old_input.aux::<DelegateIndex<Kv<u32>>>().unwrap();
+
+        // the appended buffer: same prefix, delta new rows
+        let input = dev.upload(&data);
+        let before = dev.log_len();
+        extend_delegate_index(&dev, &input, &prior, DelegateConfig::default()).unwrap();
+        let reports = dev.log_since(before);
+        assert!(reports.iter().any(|r| r.name == "delegate_extend"));
+        assert!(reports.iter().all(|r| r.name != "delegate_extract"));
+
+        // bit-identical to a cold rebuild (keys AND row ids)
+        let cold_input = dev.upload(&data);
+        warm_delegate_index(&dev, &cold_input, DelegateConfig::default()).unwrap();
+        let cold = cold_input.aux::<DelegateIndex<Kv<u32>>>().unwrap();
+        let warm = input.aux::<DelegateIndex<Kv<u32>>>().unwrap();
+        assert_eq!(warm.n, cold.n);
+        assert_eq!(sig(&warm.delegates.to_vec()), sig(&cold.delegates.to_vec()));
+
+        // and the extended index serves queries identically to the oracle
+        let r = delegate_select_topk(&dev, &input, 64, DelegateConfig::default()).unwrap();
+        assert!(r.reports.iter().all(|r| r.name != "delegate_extract"));
+        let oracle = bitonic_topk(&dev, &input, 64, BitonicConfig::default()).unwrap();
+        assert_eq!(sig(&r.items), sig(&oracle.items));
+    }
+
+    #[test]
+    fn extension_reads_only_the_delta() {
+        let dev = Device::titan_x();
+        let n0 = 1usize << 18;
+        let delta = 1usize << 12;
+        let data: Vec<f32> = Uniform.generate(n0 + delta, 33);
+
+        let old_input = dev.upload(&data[..n0]);
+        let before = dev.log_len();
+        warm_delegate_index(&dev, &old_input, DelegateConfig::default()).unwrap();
+        let cold_bytes = LaunchWindow::from_reports(&dev.log_since(before))
+            .stats
+            .global_bytes();
+        let prior = old_input.aux::<DelegateIndex<f32>>().unwrap();
+
+        let input = dev.upload(&data);
+        let before = dev.log_len();
+        extend_delegate_index(&dev, &input, &prior, DelegateConfig::default()).unwrap();
+        let extend_bytes = LaunchWindow::from_reports(&dev.log_since(before))
+            .stats
+            .global_bytes();
+        assert!(
+            (extend_bytes as f64) < 0.1 * cold_bytes as f64,
+            "extension {extend_bytes} should be a small fraction of the {cold_bytes} full scan"
+        );
+
+        // an unchanged-length prior re-attaches without launching
+        let prior = input.aux::<DelegateIndex<f32>>().unwrap();
+        input.set(0, data[0]); // bump the version without changing data
+        let before = dev.log_len();
+        extend_delegate_index(&dev, &input, &prior, DelegateConfig::default()).unwrap();
+        assert_eq!(dev.log_len(), before, "no launch on a zero-row extension");
+        assert!(input.aux::<DelegateIndex<f32>>().is_some());
+    }
+
+    #[test]
+    fn incompatible_prior_falls_back_to_full_extraction() {
+        let dev = Device::titan_x();
+        let data: Vec<f32> = Uniform.generate(1 << 14, 41);
+        let input = dev.upload(&data[..1 << 13]);
+        warm_delegate_index(&dev, &input, DelegateConfig::default()).unwrap();
+        let prior = input.aux::<DelegateIndex<f32>>().unwrap();
+
+        // granularity mismatch: the prior cannot be reused
+        let grown = dev.upload(&data);
+        let small = DelegateConfig {
+            subrange: 256,
+            ..DelegateConfig::default()
+        };
+        let before = dev.log_len();
+        extend_delegate_index(&dev, &grown, &prior, small).unwrap();
+        let reports = dev.log_since(before);
+        assert!(reports.iter().any(|r| r.name == "delegate_extract"));
+        let idx = grown.aux::<DelegateIndex<f32>>().unwrap();
+        assert_eq!(idx.subrange(), 256);
+        assert_eq!(idx.rows(), data.len());
+        let r = delegate_select_topk(&dev, &grown, 32, small).unwrap();
+        assert_eq!(keybits(&r.items), keybits(&reference_topk(&data, 32)));
     }
 
     #[test]

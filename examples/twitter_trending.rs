@@ -1,6 +1,13 @@
-//! The MapD integration demo (paper Sections 5 and 6.8): SQL-shaped
-//! queries over a synthetic Twitter table, comparing MapD's default
-//! filter+sort plan against bitonic top-k and the fused kernels.
+//! The MapD integration demo, upgraded to the streaming regime: tweets
+//! arrive in epoch-stamped batches, a standing "trending" view folds
+//! each delta into its result with a bitonic run-merge instead of
+//! rescanning the table, and a result-cached [`Server`] shows dashboard
+//! queries turning into zero-launch cache hits whenever no data arrived.
+//!
+//! Every epoch the maintained view is checked bit-for-bit against a
+//! from-scratch rescan of the whole table; any divergence exits
+//! non-zero. A JSON ledger of the run lands at the path printed last
+//! (override with the first CLI argument or `$GPU_TOPK_OUT_DIR`).
 //!
 //! ```sh
 //! cargo run --release --example twitter_trending
@@ -8,67 +15,180 @@
 
 use gpu_topk::datagen::twitter::TweetTable;
 use gpu_topk::qdb::{
-    explain_filtered_topk,
-    queries::{filtered_topk, group_topk, ranked_topk},
-    FilterOp, GpuTweetTable, Strategy, TableStats, TopKStrategy,
+    execute_sql, explain_view, parse_sql, GpuTweetTable, Server, ServerConfig, Strategy,
+    SubmitOptions, TopKView, ViewConfig, ViewMode,
 };
 use gpu_topk::simt::Device;
 
+/// The standing query: the paper's Q2 ranking function as a live view.
+const TRENDING: &str =
+    "SELECT id FROM tweets ORDER BY retweet_count + 0.5 * likes_count DESC LIMIT 20";
+
+/// Arrivals per epoch. The 90 000-row burst exceeds the view's refresh
+/// fraction and forces a rescan; the quiet epoch (0 arrivals) lets both
+/// the view and the result cache serve without touching the device.
+const ARRIVALS: [usize; 6] = [4096, 2048, 90_000, 1024, 0, 3072];
+
+fn dashboard(host: &TweetTable) -> Vec<String> {
+    let cutoff = host.time_cutoff_for_selectivity(0.25);
+    vec![
+        TRENDING.to_string(),
+        format!(
+            "SELECT id FROM tweets WHERE tweet_time < {cutoff} \
+             ORDER BY retweet_count DESC LIMIT 12"
+        ),
+        "SELECT id FROM tweets ORDER BY retweet_count ASC LIMIT 8".to_string(),
+    ]
+}
+
 fn main() {
-    let n = 1 << 19;
-    println!("loading {n} synthetic tweets…");
-    let host = TweetTable::generate(n, 2024);
+    let base = 1 << 17;
+    let cap = base + ARRIVALS.iter().sum::<usize>();
+    println!("loading {base} synthetic tweets (capacity {cap} rows for the stream)…");
+    let mut host = TweetTable::generate(base, 2024);
     let dev = Device::titan_x();
-    let table = GpuTweetTable::upload(&dev, &host);
+    let gpu = GpuTweetTable::upload_with_capacity(&dev, &host, cap);
 
-    // Q1: most retweeted tweets in the last ~10 days of the month
-    let cutoff = host.time_cutoff_for_selectivity(0.33);
-    println!("\nQ1: SELECT id FROM tweets WHERE tweet_time < {cutoff} ORDER BY retweet_count DESC LIMIT 50");
-    let stats = TableStats::gather(&table);
-    let plan = explain_filtered_topk(dev.spec(), &table, &stats, &FilterOp::TimeLess(cutoff), 50);
-    print!("{}", plan.render());
-    for strat in Strategy::all() {
-        let r = filtered_topk(&dev, &table, &FilterOp::TimeLess(cutoff), 50, strat)
-            .expect("Q1 execution");
+    let view = TopKView::register(TRENDING, Strategy::StageBitonic, ViewConfig::default())
+        .expect("trending view registers");
+    let mut server = Server::new(
+        &dev,
+        &gpu,
+        ServerConfig {
+            result_cache: true,
+            coalesce: false,
+            ..ServerConfig::default()
+        },
+    );
+
+    println!("\nstanding view: {TRENDING}");
+    println!(
+        "\n{:<6}{:>9}  {:<12}{:>10}{:>12}{:>12}  cache h/m/r",
+        "epoch", "arrivals", "mode", "delta", "bytes", "kernel µs"
+    );
+
+    let mut violations = 0usize;
+    let mut rows = Vec::new();
+    // per-drain cache counters, accumulated into a run-long ledger
+    let (mut hits, mut misses, mut refreshes) = (0usize, 0usize, 0usize);
+    for (e, &arrivals) in ARRIVALS.iter().enumerate() {
+        // 1. a batch of fresh tweets lands (epoch bumps on the splice)
+        if arrivals > 0 {
+            let batch = TweetTable::generate_at(arrivals, 9000 + e as u64, host.len() as u32);
+            gpu.append_batch(&dev, &batch)
+                .expect("append within capacity");
+            host.extend_from(&batch);
+        }
+
+        // 2. the standing view folds the delta (or rescans past the
+        //    crossover); count exactly what the refresh touched. The
+        //    plan is captured before the refresh advances the view.
+        let plan = explain_view(&view, host.len(), gpu.epoch(), None);
+        let log0 = dev.log_len();
+        let refresh = view.refresh(&dev, &gpu).expect("view refresh");
+        let window = dev.window_since(log0);
+
+        // 3. bit-exactness: the maintained result must equal a rescan
+        let oracle = execute_sql(
+            &dev,
+            &gpu,
+            &parse_sql(TRENDING).unwrap(),
+            Strategy::StageBitonic,
+        )
+        .expect("rescan oracle")
+        .ids;
+        if refresh.ids != oracle {
+            eprintln!(
+                "ORACLE MISMATCH at epoch {}: maintained view != rescan",
+                e + 1
+            );
+            violations += 1;
+        }
+
+        // 4. the dashboard hits the result-cached server; every answer
+        //    is also checked against a from-scratch execution
+        let sqls = dashboard(&host);
+        for sql in &sqls {
+            server
+                .submit(sql, SubmitOptions::default())
+                .expect("dashboard submit");
+        }
+        let report = server.drain();
+        for served in &report.queries {
+            let expect = execute_sql(
+                &dev,
+                &gpu,
+                &parse_sql(&served.sql).unwrap(),
+                Strategy::StageBitonic,
+            )
+            .expect("dashboard oracle")
+            .ids;
+            if served.result.ids != expect {
+                eprintln!("CACHE MISMATCH at epoch {}: {}", e + 1, served.sql);
+                violations += 1;
+            }
+        }
+        hits += report.resilience.cache_hits;
+        misses += report.resilience.cache_misses;
+        refreshes += report.resilience.cache_refreshes;
+        if arrivals == 0 && report.queries.iter().any(|q| !q.cached) {
+            eprintln!(
+                "CACHE VIOLATION at epoch {}: quiet epoch should serve entirely from cache",
+                e + 1
+            );
+            violations += 1;
+        }
+
         println!(
-            "  {:<18} {:>9.1} µs  (top tweet id={} with {} retweets)",
-            strat.name(),
-            r.kernel_time.micros(),
-            r.ids[0],
-            host.retweet_count[r.ids[0] as usize]
+            "{:<6}{:>9}  {:<12}{:>10}{:>12}{:>12.1}  {}/{}/{}",
+            e + 1,
+            arrivals,
+            refresh.mode.name(),
+            refresh.delta_rows,
+            window.stats.global_bytes(),
+            refresh.kernel_time.micros(),
+            hits,
+            misses,
+            refreshes
         );
+        if refresh.mode == ViewMode::Rescan && arrivals > 0 {
+            for line in plan.render().lines() {
+                println!("      | {line}");
+            }
+        }
+        rows.push(format!(
+            "{{\"epoch\":{},\"arrivals\":{},\"mode\":\"{}\",\"delta_rows\":{},\
+             \"global_bytes\":{},\"kernel_us\":{:.3},\"cache_hits\":{},\
+             \"cache_misses\":{},\"cache_refreshes\":{},\"top_id\":{}}}",
+            e + 1,
+            arrivals,
+            refresh.mode.name(),
+            refresh.delta_rows,
+            window.stats.global_bytes(),
+            refresh.kernel_time.micros(),
+            hits,
+            misses,
+            refreshes,
+            refresh.ids.first().copied().unwrap_or(0)
+        ));
     }
 
-    // Q2: custom ranking function
-    println!("\nQ2: … ORDER BY retweet_count + 0.5*likes_count DESC LIMIT 50");
-    for strat in Strategy::all() {
-        let r = ranked_topk(&dev, &table, 50, strat).expect("Q2 execution");
-        println!("  {:<18} {:>9.1} µs", strat.name(), r.kernel_time.micros());
-    }
+    let stats = view.stats();
+    println!(
+        "\nview ledger: {} delta-merges, {} rescans, {} current hits, {} delta rows folded",
+        stats.delta_merges, stats.rescans, stats.current_hits, stats.delta_rows_folded
+    );
+    println!(
+        "result cache: {hits} hits, {misses} misses, {refreshes} refreshes across {} epochs",
+        ARRIVALS.len()
+    );
 
-    // Q3: language filter (~80% selectivity)
-    println!("\nQ3: … WHERE lang='en' OR lang='es' ORDER BY retweet_count DESC LIMIT 50");
-    for strat in Strategy::all() {
-        let r = filtered_topk(&dev, &table, &FilterOp::LangIn(vec![0, 1]), 50, strat)
-            .expect("Q3 execution");
-        println!("  {:<18} {:>9.1} µs", strat.name(), r.kernel_time.micros());
+    let out_path = gpu_topk::artifact_path("twitter_trending_stream.json");
+    let json = format!("[\n  {}\n]\n", rows.join(",\n  "));
+    std::fs::write(&out_path, json).expect("write streaming trending report");
+    println!("wrote {}", out_path.display());
+    if violations > 0 {
+        eprintln!("{violations} correctness violation(s)");
+        std::process::exit(1);
     }
-
-    // Q4: group-by
-    println!("\nQ4: SELECT uid, COUNT(*) FROM tweets GROUP BY uid ORDER BY COUNT(*) DESC LIMIT 50");
-    for strat in [TopKStrategy::Sort, TopKStrategy::Bitonic] {
-        let r = group_topk(&dev, &table, 50, strat).expect("Q4 execution");
-        let breakdown: Vec<String> = r
-            .breakdown
-            .iter()
-            .map(|(name, t)| format!("{name}={:.1}µs", t.micros()))
-            .collect();
-        println!(
-            "  {:<18} {:>9.1} µs  [{}]",
-            format!("{strat:?}").to_lowercase(),
-            r.kernel_time.micros(),
-            breakdown.join(" ")
-        );
-    }
-    println!("\n(The sort step is what bitonic top-k replaces; the group-by cost is shared.)");
 }
